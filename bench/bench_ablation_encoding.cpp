@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation A4: the instruction encoding (paper Section 3.1: "we use
+ * a self-extending instruction encoding, but define a fixed-size
+ * 32-bit format to hold small instructions for compactness and
+ * translator efficiency"). Measures, per workload, what fraction of
+ * instructions fit the fixed 32-bit word, the bytes per
+ * instruction, and the breakdown of the object file.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace llva;
+using namespace llva::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Ablation A4: fixed 32-bit word vs self-extending "
+                "encoding\n");
+    hr('=');
+    std::printf("%-18s %8s %8s %9s %10s %10s %9s\n", "Program",
+                "32-bit", "extended", "%fixed", "inst bytes",
+                "B/inst", "types(B)");
+    hr();
+
+    double worst_fixed = 1.0;
+    for (const auto &info : allWorkloads()) {
+        auto m = prepared(info);
+        BytecodeStats s = measureBytecode(*m);
+        size_t total =
+            s.instructionWords32 + s.instructionsExtended;
+        double fixed_frac =
+            static_cast<double>(s.instructionWords32) /
+            static_cast<double>(total);
+        worst_fixed = std::min(worst_fixed, fixed_frac);
+        std::printf("%-18s %8zu %8zu %8.1f%% %10zu %10.2f %9zu\n",
+                    info.name.c_str(), s.instructionWords32,
+                    s.instructionsExtended, fixed_frac * 100.0,
+                    s.instructionBytes,
+                    static_cast<double>(s.instructionBytes) /
+                        static_cast<double>(total),
+                    s.typeTableBytes);
+    }
+    hr();
+    std::printf("worst-case fixed-word share: %.1f%% — \"most "
+                "instructions usually fit in a single 32-bit "
+                "word\".\n\n",
+                worst_fixed * 100.0);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+static void
+BM_ReadBytecode(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0], 2, 1);
+    auto bytes = writeBytecode(*m);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(readBytecode(bytes));
+}
+BENCHMARK(BM_ReadBytecode);

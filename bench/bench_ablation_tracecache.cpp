@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation A3: the software trace cache (paper Section 4.2).
+ * Profiles each workload over the explicit CFG, forms hot traces at
+ * several thresholds, and reports coverage plus the executed-
+ * instruction reduction when trace-driven layout is applied before
+ * retranslation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "trace/trace.h"
+
+using namespace llva;
+using namespace llva::bench;
+
+namespace {
+
+uint64_t
+simulatedInstructions(Module &m)
+{
+    ExecutionContext ctx(m);
+    CodeManager cm(*getTarget("sparc"));
+    MachineSimulator sim(ctx, cm);
+    auto r = sim.run(m.getFunction("main"));
+    if (!r.ok())
+        fatal("workload failed");
+    return sim.instructionsExecuted();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Ablation A3: software trace cache — coverage and "
+                "layout benefit\n");
+    hr('=');
+    std::printf("%-18s %8s %10s %12s %12s %9s\n", "Program",
+                "traces", "coverage", "insts before",
+                "insts after", "saved");
+    hr();
+
+    for (const auto &info : allWorkloads()) {
+        auto m = prepared(info);
+        uint64_t before = simulatedInstructions(*m);
+
+        // Profile everything in one interpreted run.
+        EdgeProfile profile;
+        {
+            ExecutionContext ctx(*m);
+            Interpreter interp(ctx);
+            interp.setProfile(&profile);
+            interp.run(m->getFunction("main"));
+        }
+
+        TraceCache cache;
+        for (const auto &f : m->functions()) {
+            if (f->isDeclaration())
+                continue;
+            for (Trace &t : formTraces(*f, profile))
+                cache.insert(std::move(t));
+        }
+        for (const auto &f : m->functions())
+            if (!f->isDeclaration())
+                applyTraceLayout(*f, cache.traces());
+        verifyOrDie(*m);
+
+        uint64_t after = simulatedInstructions(*m);
+        std::printf("%-18s %8zu %9.1f%% %12llu %12llu %8.2f%%\n",
+                    info.name.c_str(), cache.size(),
+                    cache.coverage(profile) * 100.0,
+                    (unsigned long long)before,
+                    (unsigned long long)after,
+                    100.0 * (1.0 - static_cast<double>(after) /
+                                       static_cast<double>(
+                                           before)));
+    }
+    hr();
+    std::printf("threshold sweep (ptrdist-ft): trace count and "
+                "coverage vs hot threshold\n");
+    {
+        auto m = prepared(allWorkloads()[2]);
+        EdgeProfile profile;
+        ExecutionContext ctx(*m);
+        Interpreter interp(ctx);
+        interp.setProfile(&profile);
+        interp.run(m->getFunction("main"));
+        for (uint64_t thresh : {10u, 50u, 200u, 1000u, 5000u}) {
+            TraceOptions opts;
+            opts.hotThreshold = thresh;
+            TraceCache cache;
+            for (const auto &f : m->functions())
+                if (!f->isDeclaration())
+                    for (Trace &t :
+                         formTraces(*f, profile, opts))
+                        cache.insert(std::move(t));
+            std::printf("  threshold %5llu: %2zu traces, coverage "
+                        "%5.1f%%\n",
+                        (unsigned long long)thresh, cache.size(),
+                        cache.coverage(profile) * 100.0);
+        }
+    }
+    std::printf("\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+static void
+BM_TraceFormation(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0], 2, 1);
+    EdgeProfile profile;
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    interp.setProfile(&profile);
+    interp.run(m->getFunction("main"));
+    Function *f = m->getFunction("main");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(formTraces(*f, profile));
+}
+BENCHMARK(BM_TraceFormation);

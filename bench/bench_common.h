@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the Table 2 / ablation benchmark binaries.
+ * Each binary prints a paper-style table on stdout and then runs
+ * any registered google-benchmark timers.
+ */
+
+#ifndef LLVA_BENCH_BENCH_COMMON_H
+#define LLVA_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bytecode/bytecode.h"
+#include "support/timer.h"
+#include "transforms/pass.h"
+#include "verifier/verifier.h"
+#include "vm/interpreter.h"
+#include "vm/machine_sim.h"
+#include "workloads/workloads.h"
+
+namespace llva {
+namespace bench {
+
+/**
+ * A workload prepared the way the paper prepared its inputs: built,
+ * optimized at the link-time level (the paper applied "the same
+ * LLVA optimizations ... in both cases"), and verified.
+ */
+inline std::unique_ptr<Module>
+prepared(const WorkloadInfo &info, unsigned opt_level = 2,
+         int scale = 0)
+{
+    auto m = info.build(scale > 0 ? scale : info.defaultScale);
+    PassManager pm;
+    addStandardPasses(pm, opt_level);
+    pm.run(*m);
+    verifyOrDie(*m);
+    return m;
+}
+
+/** Rough proxy for the paper's "#LOC" column: textual LLVA lines. */
+inline size_t
+sourceLines(const Module &m)
+{
+    std::string text = m.str();
+    size_t lines = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++lines;
+    return lines;
+}
+
+inline void
+hr(char c = '-', int width = 100)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+/** Simulated nominal clock for converting cycles to seconds. */
+constexpr double kSimHz = 1.0e9;
+
+} // namespace bench
+} // namespace llva
+
+#endif // LLVA_BENCH_BENCH_COMMON_H

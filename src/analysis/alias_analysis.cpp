@@ -1,0 +1,395 @@
+#include "analysis/alias_analysis.h"
+
+#include <functional>
+#include <set>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+// --- BasicAliasAnalysis ---------------------------------------------------
+
+const Value *
+BasicAliasAnalysis::underlyingObject(const Value *ptr)
+{
+    while (true) {
+        if (auto *gep = dyn_cast<GetElementPtrInst>(ptr)) {
+            ptr = gep->pointer();
+        } else if (auto *c = dyn_cast<CastInst>(ptr)) {
+            if (!c->value()->type()->isPointer())
+                return ptr; // integer provenance: opaque
+            ptr = c->value();
+        } else {
+            return ptr;
+        }
+    }
+}
+
+bool
+BasicAliasAnalysis::isIdentifiedObject(const Value *v)
+{
+    if (isa<AllocaInst>(v) || isa<GlobalVariable>(v))
+        return true;
+    // A direct call to a known allocator yields fresh storage.
+    if (auto *call = dyn_cast<CallInst>(v)) {
+        if (const Function *f = call->calledFunction())
+            return f->name() == "malloc" ||
+                   f->name() == "llva.malloc";
+    }
+    return false;
+}
+
+namespace {
+
+/** Byte offset of a GEP if all indices are constant; false if not. */
+bool
+constantGEPOffset(const GetElementPtrInst *gep, unsigned ptr_size,
+                  int64_t &offset)
+{
+    if (!gep->hasAllConstantIndices())
+        return false;
+    offset = 0;
+    Type *cur =
+        cast<PointerType>(gep->pointer()->type())->pointee();
+    for (unsigned i = 0; i < gep->numIndices(); ++i) {
+        auto *ci = cast<ConstantInt>(gep->index(i));
+        if (i == 0) {
+            offset += ci->sext() *
+                      static_cast<int64_t>(cur->sizeInBytes(ptr_size));
+            continue;
+        }
+        if (auto *at = dyn_cast<ArrayType>(cur)) {
+            cur = at->element();
+            offset += ci->sext() *
+                      static_cast<int64_t>(cur->sizeInBytes(ptr_size));
+        } else if (auto *st = dyn_cast<StructType>(cur)) {
+            size_t field = static_cast<size_t>(ci->zext());
+            offset += static_cast<int64_t>(
+                st->fieldOffset(field, ptr_size));
+            cur = st->field(field);
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Size in bytes of the scalar a pointer refers to (0 if unknown). */
+uint64_t
+pointeeSize(const Value *ptr, unsigned ptr_size)
+{
+    auto *pt = dyn_cast<PointerType>(ptr->type());
+    if (!pt)
+        return 0;
+    return pt->pointee()->sizeInBytes(ptr_size);
+}
+
+} // namespace
+
+AliasResult
+BasicAliasAnalysis::alias(const Value *a, const Value *b) const
+{
+    if (a == b)
+        return AliasResult::MustAlias;
+
+    const Value *oa = underlyingObject(a);
+    const Value *ob = underlyingObject(b);
+
+    // Distinct identified allocations never overlap.
+    if (oa != ob && isIdentifiedObject(oa) && isIdentifiedObject(ob))
+        return AliasResult::NoAlias;
+
+    // Null aliases nothing.
+    if (isa<ConstantNull>(oa) || isa<ConstantNull>(ob))
+        return AliasResult::NoAlias;
+
+    // Same base object: compare constant getelementptr offsets.
+    if (oa == ob) {
+        auto *ga = dyn_cast<GetElementPtrInst>(a);
+        auto *gb = dyn_cast<GetElementPtrInst>(b);
+        unsigned ps = m_.pointerSize();
+        int64_t off_a = 0, off_b = 0;
+        bool ka = ga ? constantGEPOffset(ga, ps, off_a) : (a == oa);
+        bool kb = gb ? constantGEPOffset(gb, ps, off_b) : (b == oa);
+        if (ka && kb) {
+            if (off_a == off_b)
+                return AliasResult::MustAlias;
+            // Disjoint if the accessed ranges cannot overlap.
+            uint64_t sz_a = pointeeSize(a, ps);
+            uint64_t sz_b = pointeeSize(b, ps);
+            if (sz_a && sz_b) {
+                int64_t lo = std::min(off_a, off_b);
+                int64_t hi = std::max(off_a, off_b);
+                uint64_t lo_sz = (lo == off_a) ? sz_a : sz_b;
+                if (lo + static_cast<int64_t>(lo_sz) <= hi)
+                    return AliasResult::NoAlias;
+            }
+            return AliasResult::MayAlias;
+        }
+    }
+
+    return AliasResult::MayAlias;
+}
+
+// --- SteensgaardAnalysis --------------------------------------------------
+
+unsigned
+SteensgaardAnalysis::find(unsigned x) const
+{
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]]; // path halving
+        x = parent_[x];
+    }
+    return x;
+}
+
+unsigned
+SteensgaardAnalysis::unify(unsigned a, unsigned b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return a;
+    parent_[b] = a;
+    // Merge pointee edges: if both point somewhere, unify targets.
+    unsigned pa = pointee_[a], pb = pointee_[b];
+    if (pa && pb) {
+        // Recursion depth is bounded by the points-to chain length.
+        pointee_[a] = unify(pa, pb);
+    } else if (pb) {
+        pointee_[a] = pb;
+    }
+    return a;
+}
+
+unsigned
+SteensgaardAnalysis::nodeFor(const Value *v)
+{
+    // Null and undef point to nothing: give every occurrence a
+    // fresh node so the interned constant does not act as a bridge
+    // between unrelated structures.
+    if (isa<ConstantNull>(v) || isa<ConstantUndef>(v)) {
+        unsigned n = static_cast<unsigned>(parent_.size());
+        parent_.push_back(n);
+        pointee_.push_back(0);
+        return n;
+    }
+    auto it = valueNode_.find(v);
+    if (it != valueNode_.end())
+        return it->second;
+    unsigned n = static_cast<unsigned>(parent_.size());
+    parent_.push_back(n);
+    pointee_.push_back(0);
+    valueNode_[v] = n;
+    return n;
+}
+
+unsigned
+SteensgaardAnalysis::pointeeOf(unsigned node)
+{
+    node = find(node);
+    if (!pointee_[node]) {
+        unsigned n = static_cast<unsigned>(parent_.size());
+        parent_.push_back(n);
+        pointee_.push_back(0);
+        pointee_[node] = n;
+    }
+    return find(pointee_[node]);
+}
+
+SteensgaardAnalysis::SteensgaardAnalysis(const Module &m)
+    : m_(m)
+{
+    // Node 0 is reserved as "no node".
+    parent_.push_back(0);
+    pointee_.push_back(0);
+
+    // Seed: every global/alloca/allocator call points to a fresh
+    // abstract object (its allocation site node).
+    for (const auto &gv : m.globals()) {
+        unsigned obj = pointeeOf(nodeFor(gv.get()));
+        allocSite_[gv.get()] = obj;
+    }
+
+    auto handleCall = [&](const Instruction *inst, const Value *callee,
+                          const std::vector<Value *> &args) {
+        auto *f = dyn_cast<Function>(callee);
+        if (f && (f->name() == "malloc" || f->name() == "llva.malloc")) {
+            unsigned obj = pointeeOf(nodeFor(inst));
+            allocSite_[inst] = obj;
+            return;
+        }
+        if (f && f->isDeclaration())
+            return; // external: no pointer flow modeled
+        if (!f) {
+            // Indirect call: conservatively unify pointer args with
+            // every address-taken function's parameters — for our
+            // workloads, collapse everything passed through it.
+            for (const Value *a : args)
+                if (a->type()->isPointer())
+                    unify(nodeFor(a), nodeFor(callee));
+            return;
+        }
+        for (size_t i = 0;
+             i < std::min<size_t>(args.size(), f->numArgs()); ++i)
+            if (args[i]->type()->isPointer())
+                unify(nodeFor(args[i]), nodeFor(f->arg(i)));
+        // Return value flows back to the call result.
+        if (inst->type()->isPointer())
+            unify(nodeFor(inst), nodeFor(f));
+        // (Function node doubles as its return-value node.)
+    };
+
+    for (const auto &func : m.functions()) {
+        for (const auto &bb : *func) {
+            for (const auto &inst : *bb) {
+                switch (inst->opcode()) {
+                  case Opcode::Alloca: {
+                    unsigned obj = pointeeOf(nodeFor(inst.get()));
+                    allocSite_[inst.get()] = obj;
+                    break;
+                  }
+                  case Opcode::GetElementPtr:
+                    // Field-insensitive: derived pointer aliases base.
+                    unify(nodeFor(inst.get()),
+                          nodeFor(cast<GetElementPtrInst>(inst.get())
+                                      ->pointer()));
+                    break;
+                  case Opcode::Cast: {
+                    auto *c = cast<CastInst>(inst.get());
+                    if (c->type()->isPointer() &&
+                        c->value()->type()->isPointer())
+                        unify(nodeFor(c), nodeFor(c->value()));
+                    break;
+                  }
+                  case Opcode::Load: {
+                    auto *l = cast<LoadInst>(inst.get());
+                    if (l->type()->isPointer())
+                        unify(nodeFor(l),
+                              pointeeOf(pointeeOf(
+                                  nodeFor(l->pointer()))));
+                    break;
+                  }
+                  case Opcode::Store: {
+                    auto *s = cast<StoreInst>(inst.get());
+                    if (s->value()->type()->isPointer())
+                        unify(pointeeOf(pointeeOf(
+                                  nodeFor(s->pointer()))),
+                              nodeFor(s->value()));
+                    break;
+                  }
+                  case Opcode::Phi: {
+                    auto *p = cast<PhiNode>(inst.get());
+                    if (p->type()->isPointer())
+                        for (unsigned i = 0; i < p->numIncoming(); ++i)
+                            unify(nodeFor(p),
+                                  nodeFor(p->incomingValue(i)));
+                    break;
+                  }
+                  case Opcode::Call: {
+                    auto *c = cast<CallInst>(inst.get());
+                    std::vector<Value *> args;
+                    for (unsigned i = 0; i < c->numArgs(); ++i)
+                        args.push_back(c->arg(i));
+                    handleCall(c, c->callee(), args);
+                    break;
+                  }
+                  case Opcode::Invoke: {
+                    auto *c = cast<InvokeInst>(inst.get());
+                    std::vector<Value *> args;
+                    for (unsigned i = 0; i < c->numArgs(); ++i)
+                        args.push_back(c->arg(i));
+                    handleCall(c, c->callee(), args);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                // Return values: unify returned pointers with the
+                // function's return node (the function node itself).
+                if (auto *r = dyn_cast<ReturnInst>(inst.get()))
+                    if (r->returnValue() &&
+                        r->returnValue()->type()->isPointer())
+                        unify(nodeFor(func.get()),
+                              nodeFor(r->returnValue()));
+            }
+        }
+    }
+}
+
+unsigned
+SteensgaardAnalysis::structureClass(const Value *v) const
+{
+    unsigned target = pointsToNode(v);
+    if (!target)
+        return 0;
+
+    // Lazily collapse points-to chains into components.
+    if (component_.empty()) {
+        component_.resize(parent_.size());
+        for (unsigned i = 0; i < component_.size(); ++i)
+            component_[i] = i;
+        std::function<unsigned(unsigned)> findc =
+            [&](unsigned x) {
+                while (component_[x] != x)
+                    x = component_[x] = component_[component_[x]];
+                return x;
+            };
+        for (unsigned i = 0; i < component_.size(); ++i) {
+            unsigned rep = find(i);
+            unsigned pt = pointee_[rep] ? find(pointee_[rep]) : 0;
+            if (pt)
+                component_[findc(rep)] = findc(pt);
+            if (rep != i)
+                component_[findc(i)] = findc(rep);
+        }
+        // Path-compress everything once.
+        for (unsigned i = 0; i < component_.size(); ++i)
+            component_[i] = findc(i);
+    }
+    return component_[target];
+}
+
+AliasResult
+SteensgaardAnalysis::alias(const Value *a, const Value *b) const
+{
+    unsigned na = pointsToNode(a);
+    unsigned nb = pointsToNode(b);
+    if (!na || !nb)
+        return AliasResult::MayAlias;
+    return na == nb ? AliasResult::MayAlias : AliasResult::NoAlias;
+}
+
+unsigned
+SteensgaardAnalysis::pointsToNode(const Value *v) const
+{
+    auto it = valueNode_.find(v);
+    if (it == valueNode_.end())
+        return 0;
+    unsigned n = find(it->second);
+    return pointee_[n] ? find(pointee_[n]) : 0;
+}
+
+unsigned
+SteensgaardAnalysis::numClasses() const
+{
+    std::set<unsigned> reps;
+    for (const auto &[site, node] : allocSite_)
+        reps.insert(find(node));
+    return static_cast<unsigned>(reps.size());
+}
+
+std::vector<const Value *>
+SteensgaardAnalysis::structureInstance(const Value *v) const
+{
+    std::vector<const Value *> out;
+    unsigned target = pointsToNode(v);
+    if (!target)
+        return out;
+    for (const auto &[site, node] : allocSite_)
+        if (find(node) == target)
+            out.push_back(site);
+    return out;
+}
+
+} // namespace llva

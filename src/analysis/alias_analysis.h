@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Alias analysis over LLVA.
+ *
+ * Paper Section 3.3/5.1: "the type, control-flow, and SSA information
+ * enable sophisticated alias analysis algorithms in the translator."
+ * Two analyses are provided:
+ *
+ *  - BasicAliasAnalysis: local, SSA-based rules (distinct allocas,
+ *    distinct globals, getelementptr with distinct constant offsets).
+ *  - SteensgaardAnalysis: a unification-based, interprocedural
+ *    points-to analysis in the spirit of the paper's Data Structure
+ *    Analysis. It identifies disjoint logical data-structure
+ *    instances (the property Automatic Pool Allocation exploits).
+ *    Simplification vs. the paper: unification-based rather than
+ *    fully context-sensitive — see DESIGN.md.
+ */
+
+#ifndef LLVA_ANALYSIS_ALIAS_ANALYSIS_H
+#define LLVA_ANALYSIS_ALIAS_ANALYSIS_H
+
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+enum class AliasResult : uint8_t {
+    NoAlias,
+    MayAlias,
+    MustAlias,
+};
+
+/** Stateless local alias rules. */
+class BasicAliasAnalysis
+{
+  public:
+    explicit BasicAliasAnalysis(const Module &m)
+        : m_(m)
+    {}
+
+    /** Do pointers \p a and \p b possibly address the same memory? */
+    AliasResult alias(const Value *a, const Value *b) const;
+
+    /**
+     * Trace a pointer through getelementptr and cast chains to the
+     * value that identifies the underlying allocation (an alloca, a
+     * global, a call result, an argument, a load, or a phi).
+     */
+    static const Value *underlyingObject(const Value *ptr);
+
+    /** True if \p v definitely identifies a distinct allocation. */
+    static bool isIdentifiedObject(const Value *v);
+
+  private:
+    const Module &m_;
+};
+
+/**
+ * Unification-based points-to analysis. Every pointer value maps to
+ * an abstract node; assignments unify nodes. After construction,
+ * two pointers may alias iff their representatives are equal.
+ */
+class SteensgaardAnalysis
+{
+  public:
+    explicit SteensgaardAnalysis(const Module &m);
+
+    AliasResult alias(const Value *a, const Value *b) const;
+
+    /** Representative id for the node \p v points to (0 if unknown). */
+    unsigned pointsToNode(const Value *v) const;
+
+    /** Number of disjoint memory classes discovered. */
+    unsigned numClasses() const;
+
+    /**
+     * All allocation sites (allocas, globals, heap-allocating calls)
+     * whose storage landed in the same class as \p v's target —
+     * the "logical data structure instance" of DSA.
+     */
+    std::vector<const Value *> structureInstance(const Value *v) const;
+
+    /**
+     * Connected-component id of the data structure \p v points
+     * into: objects linked by points-to edges (a list and the nodes
+     * it reaches) share one component. This is the pool-allocation
+     * granularity (one pool per logical data structure instance).
+     */
+    unsigned structureClass(const Value *v) const;
+
+  private:
+    unsigned find(unsigned x) const;
+    unsigned unify(unsigned a, unsigned b);
+    unsigned nodeFor(const Value *v);
+    unsigned pointeeOf(unsigned node);
+
+    const Module &m_;
+    mutable std::vector<unsigned> parent_; // union-find
+    mutable std::vector<unsigned> component_; // points-to closure
+    std::vector<unsigned> pointee_;        // node -> pointed-to node
+    std::map<const Value *, unsigned> valueNode_;
+    std::map<const Value *, unsigned> allocSite_; // site -> node
+};
+
+} // namespace llva
+
+#endif // LLVA_ANALYSIS_ALIAS_ANALYSIS_H

@@ -1,0 +1,153 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+CallGraph::CallGraph(const Module &m)
+    : m_(m)
+{
+    // Address-taken functions: any use that is not the callee slot of
+    // a direct call/invoke.
+    for (const auto &f : m.functions()) {
+        bool taken = false;
+        for (const User *u : f->users()) {
+            auto *call = dyn_cast<CallInst>(u);
+            auto *inv = dyn_cast<InvokeInst>(u);
+            if (call && call->callee() == f.get())
+                continue;
+            if (inv && inv->callee() == f.get())
+                continue;
+            taken = true;
+            break;
+        }
+        // Global initializers reference functions without use edges;
+        // scan them too.
+        if (!taken) {
+            std::vector<const Constant *> work;
+            for (const auto &gv : m.globals())
+                if (gv->initializer())
+                    work.push_back(gv->initializer());
+            while (!taken && !work.empty()) {
+                const Constant *c = work.back();
+                work.pop_back();
+                if (c == f.get())
+                    taken = true;
+                else if (auto *agg = dyn_cast<ConstantAggregate>(c))
+                    for (size_t i = 0; i < agg->numElements(); ++i)
+                        work.push_back(agg->element(i));
+            }
+        }
+        if (taken)
+            addressTaken_.push_back(f.get());
+    }
+
+    auto addEdge = [&](const Function *from, const Function *to) {
+        auto &out = callees_[from];
+        if (std::find(out.begin(), out.end(), to) == out.end())
+            out.push_back(to);
+        auto &in = callers_[to];
+        if (std::find(in.begin(), in.end(), from) == in.end())
+            in.push_back(from);
+    };
+
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : *f) {
+            for (const auto &inst : *bb) {
+                const Value *callee = nullptr;
+                FunctionType *ft = nullptr;
+                if (auto *c = dyn_cast<CallInst>(inst.get())) {
+                    callee = c->callee();
+                    ft = c->calleeType();
+                } else if (auto *iv =
+                               dyn_cast<InvokeInst>(inst.get())) {
+                    callee = iv->callee();
+                    ft = iv->calleeType();
+                } else {
+                    continue;
+                }
+                if (auto *target = dyn_cast<Function>(callee)) {
+                    addEdge(f.get(), target);
+                } else {
+                    // Indirect: all type-compatible address-taken
+                    // functions.
+                    for (const Function *cand : addressTaken_)
+                        if (cand->functionType() == ft)
+                            addEdge(f.get(), cand);
+                }
+            }
+        }
+    }
+}
+
+const std::vector<const Function *> &
+CallGraph::callees(const Function *f) const
+{
+    auto it = callees_.find(f);
+    return it == callees_.end() ? empty_ : it->second;
+}
+
+const std::vector<const Function *> &
+CallGraph::callers(const Function *f) const
+{
+    auto it = callers_.find(f);
+    return it == callers_.end() ? empty_ : it->second;
+}
+
+bool
+CallGraph::isRecursive(const Function *f) const
+{
+    // DFS from f looking for a path back to f.
+    std::set<const Function *> visited;
+    std::vector<const Function *> work{f};
+    while (!work.empty()) {
+        const Function *cur = work.back();
+        work.pop_back();
+        for (const Function *callee : callees(cur)) {
+            if (callee == f)
+                return true;
+            if (visited.insert(callee).second)
+                work.push_back(callee);
+        }
+    }
+    return false;
+}
+
+std::vector<const Function *>
+CallGraph::bottomUpOrder() const
+{
+    std::vector<const Function *> order;
+    std::set<const Function *> visited;
+
+    // Post-order DFS over the call graph.
+    struct Frame
+    {
+        const Function *f;
+        size_t next = 0;
+    };
+    for (const auto &root : m_.functions()) {
+        if (root->isDeclaration() || visited.count(root.get()))
+            continue;
+        std::vector<Frame> stack{{root.get()}};
+        visited.insert(root.get());
+        while (!stack.empty()) {
+            Frame &fr = stack.back();
+            const auto &succ = callees(fr.f);
+            if (fr.next < succ.size()) {
+                const Function *next = succ[fr.next++];
+                if (!next->isDeclaration() &&
+                    visited.insert(next).second)
+                    stack.push_back({next});
+            } else {
+                order.push_back(fr.f);
+                stack.pop_back();
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace llva

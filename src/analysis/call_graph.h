@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Call graph construction. Direct calls give precise edges; indirect
+ * calls conservatively target every address-taken function whose type
+ * matches (the type information in LLVA makes the match sound —
+ * paper Section 5.1 uses Data Structure Analysis for an accurate
+ * call graph; the type filter is our baseline approximation).
+ */
+
+#ifndef LLVA_ANALYSIS_CALL_GRAPH_H
+#define LLVA_ANALYSIS_CALL_GRAPH_H
+
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+class CallGraph
+{
+  public:
+    explicit CallGraph(const Module &m);
+
+    /** Possible callees of each call site in \p f (union). */
+    const std::vector<const Function *> &callees(const Function *f) const;
+
+    /** Functions that may call \p f. */
+    const std::vector<const Function *> &callers(const Function *f) const;
+
+    /** True if f may (transitively) call itself. */
+    bool isRecursive(const Function *f) const;
+
+    /**
+     * Bottom-up (callee-first) ordering of defined functions; members
+     * of strongly connected components appear in arbitrary relative
+     * order. Useful for inlining order.
+     */
+    std::vector<const Function *> bottomUpOrder() const;
+
+    /** Functions whose address is taken (indirect-call candidates). */
+    const std::vector<const Function *> &addressTaken() const
+    {
+        return addressTaken_;
+    }
+
+  private:
+    const Module &m_;
+    std::map<const Function *, std::vector<const Function *>> callees_;
+    std::map<const Function *, std::vector<const Function *>> callers_;
+    std::vector<const Function *> addressTaken_;
+    std::vector<const Function *> empty_;
+};
+
+} // namespace llva
+
+#endif // LLVA_ANALYSIS_CALL_GRAPH_H

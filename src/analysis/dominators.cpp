@@ -1,0 +1,195 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+std::vector<BasicBlock *>
+reversePostOrder(const Function &f)
+{
+    std::vector<BasicBlock *> post;
+    std::set<const BasicBlock *> visited;
+
+    // Iterative DFS with an explicit stack of (block, next-succ-index).
+    std::vector<std::pair<BasicBlock *, size_t>> stack;
+    BasicBlock *entry = const_cast<Function &>(f).entryBlock();
+    stack.emplace_back(entry, 0);
+    visited.insert(entry);
+
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        std::vector<BasicBlock *> succs = bb->successors();
+        if (idx < succs.size()) {
+            BasicBlock *next = succs[idx++];
+            if (visited.insert(next).second)
+                stack.emplace_back(next, 0);
+        } else {
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+DominatorTree::DominatorTree(const Function &f)
+    : f_(f)
+{
+    rpo_ = reversePostOrder(f);
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        nodes_[rpo_[i]].rpoIndex = static_cast<int>(i);
+
+    // Cooper–Harvey–Kennedy iteration.
+    BasicBlock *entry = rpo_.empty() ? nullptr : rpo_[0];
+    if (!entry)
+        return;
+    nodes_[entry].idom = entry; // sentinel: entry's idom is itself
+
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (nodes_[a].rpoIndex > nodes_[b].rpoIndex)
+                a = nodes_[a].idom;
+            while (nodes_[b].rpoIndex > nodes_[a].rpoIndex)
+                b = nodes_[b].idom;
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < rpo_.size(); ++i) {
+            BasicBlock *bb = rpo_[i];
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *pred : bb->predecessors()) {
+                auto it = nodes_.find(pred);
+                if (it == nodes_.end() || !it->second.idom)
+                    continue; // unreachable or unprocessed
+                new_idom = new_idom ? intersect(new_idom, pred) : pred;
+            }
+            if (new_idom && nodes_[bb].idom != new_idom) {
+                nodes_[bb].idom = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Entry's idom is conventionally null; build children lists.
+    nodes_[entry].idom = nullptr;
+    for (BasicBlock *bb : rpo_) {
+        if (BasicBlock *d = nodes_[bb].idom)
+            nodes_[d].children.push_back(bb);
+    }
+}
+
+const DominatorTree::Node *
+DominatorTree::node(const BasicBlock *bb) const
+{
+    auto it = nodes_.find(bb);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+BasicBlock *
+DominatorTree::idom(const BasicBlock *bb) const
+{
+    const Node *n = node(bb);
+    return n ? n->idom : nullptr;
+}
+
+bool
+DominatorTree::reachable(const BasicBlock *bb) const
+{
+    return node(bb) != nullptr;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    if (a == b)
+        return true;
+    const Node *nb = node(b);
+    if (!nb)
+        return true; // b unreachable: vacuously dominated
+    const Node *na = node(a);
+    if (!na)
+        return false;
+    // Walk b's idom chain upward; depths are bounded by rpo index.
+    const BasicBlock *cur = nb->idom;
+    while (cur) {
+        if (cur == a)
+            return true;
+        cur = node(cur)->idom;
+    }
+    return false;
+}
+
+bool
+DominatorTree::dominates(const Instruction *def, const Instruction *user,
+                         unsigned op_index) const
+{
+    const BasicBlock *def_bb = def->parent();
+    const BasicBlock *use_bb = user->parent();
+
+    // A phi's use of a value happens at the end of the incoming block.
+    if (auto *phi = dyn_cast<PhiNode>(user)) {
+        unsigned incoming = op_index / 2;
+        const BasicBlock *in_bb = phi->incomingBlock(incoming);
+        return dominates(def_bb, in_bb);
+    }
+
+    if (def_bb != use_bb)
+        return dominates(def_bb, use_bb);
+
+    // Same block: def must come strictly before use.
+    for (const auto &inst : *def_bb) {
+        if (inst.get() == def)
+            return true;
+        if (inst.get() == user)
+            return false;
+    }
+    return false;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(const BasicBlock *bb) const
+{
+    const Node *n = node(bb);
+    return n ? n->children : empty_;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::frontier(const BasicBlock *bb)
+{
+    if (!frontiersComputed_)
+        computeFrontiers();
+    const Node *n = node(bb);
+    return n ? n->frontier : empty_;
+}
+
+void
+DominatorTree::computeFrontiers()
+{
+    frontiersComputed_ = true;
+    for (BasicBlock *bb : rpo_) {
+        std::vector<BasicBlock *> preds = bb->predecessors();
+        if (preds.size() < 2)
+            continue;
+        BasicBlock *dom = nodes_[bb].idom;
+        for (BasicBlock *pred : preds) {
+            if (!reachable(pred))
+                continue;
+            BasicBlock *runner = pred;
+            while (runner && runner != dom) {
+                auto &df = nodes_[runner].frontier;
+                if (std::find(df.begin(), df.end(), bb) == df.end())
+                    df.push_back(bb);
+                runner = nodes_[runner].idom;
+            }
+        }
+    }
+}
+
+} // namespace llva

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dominator tree over the explicit CFG. LLVA's explicit control-flow
+ * information (paper Section 3.1) is what makes this computable
+ * directly on the persistent representation — no binary-level CFG
+ * reconstruction is needed.
+ *
+ * Uses the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+ * post-order numbering.
+ */
+
+#ifndef LLVA_ANALYSIS_DOMINATORS_H
+#define LLVA_ANALYSIS_DOMINATORS_H
+
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace llva {
+
+/** Blocks of \p f in reverse post-order from the entry block. */
+std::vector<BasicBlock *> reversePostOrder(const Function &f);
+
+class DominatorTree
+{
+  public:
+    /** Build the dominator tree for \p f (must have an entry block). */
+    explicit DominatorTree(const Function &f);
+
+    /** Immediate dominator (nullptr for entry / unreachable blocks). */
+    BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** True if \p a dominates \p b (reflexive). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /**
+     * True if the definition \p def dominates the use site
+     * (instruction \p user at operand slot \p op_index). Phi uses are
+     * checked against the end of the incoming block.
+     */
+    bool dominates(const Instruction *def, const Instruction *user,
+                   unsigned op_index) const;
+
+    /** Children of \p bb in the dominator tree. */
+    const std::vector<BasicBlock *> &children(const BasicBlock *bb) const;
+
+    /** Dominance frontier of \p bb (computed lazily, then cached). */
+    const std::vector<BasicBlock *> &frontier(const BasicBlock *bb);
+
+    /** True if \p bb is reachable from the entry block. */
+    bool reachable(const BasicBlock *bb) const;
+
+    const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+  private:
+    struct Node
+    {
+        int rpoIndex = -1;
+        BasicBlock *idom = nullptr;
+        std::vector<BasicBlock *> children;
+        std::vector<BasicBlock *> frontier;
+    };
+
+    const Node *node(const BasicBlock *bb) const;
+    void computeFrontiers();
+
+    const Function &f_;
+    std::vector<BasicBlock *> rpo_;
+    std::map<const BasicBlock *, Node> nodes_;
+    bool frontiersComputed_ = false;
+    std::vector<BasicBlock *> empty_;
+};
+
+} // namespace llva
+
+#endif // LLVA_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,136 @@
+#include "analysis/loop_info.h"
+
+#include <algorithm>
+#include <set>
+
+namespace llva {
+
+std::vector<BasicBlock *>
+Loop::exitingBlocks() const
+{
+    std::vector<BasicBlock *> out;
+    for (BasicBlock *bb : blocks_)
+        for (BasicBlock *succ : bb->successors())
+            if (!contains(succ)) {
+                out.push_back(bb);
+                break;
+            }
+    return out;
+}
+
+BasicBlock *
+Loop::preheader() const
+{
+    BasicBlock *pre = nullptr;
+    for (BasicBlock *pred : header_->predecessors()) {
+        if (contains(pred))
+            continue;
+        if (pre)
+            return nullptr; // multiple outside predecessors
+        pre = pred;
+    }
+    // A true preheader must branch only to the header.
+    if (pre && pre->successors().size() != 1)
+        return nullptr;
+    return pre;
+}
+
+std::vector<BasicBlock *>
+Loop::latches() const
+{
+    std::vector<BasicBlock *> out;
+    for (BasicBlock *pred : header_->predecessors())
+        if (contains(pred))
+            out.push_back(pred);
+    return out;
+}
+
+LoopInfo::LoopInfo(const Function &f, DominatorTree &dt)
+{
+    (void)f; // loops are derived purely from the dominator tree's CFG
+
+    // Find back edges: edge T -> H where H dominates T.
+    // Process headers in post-order of the dominator tree so inner
+    // loops are discovered before their enclosing loops.
+    std::map<BasicBlock *, std::vector<BasicBlock *>> backEdges;
+    for (BasicBlock *bb : dt.rpo())
+        for (BasicBlock *succ : bb->successors())
+            if (dt.dominates(succ, bb))
+                backEdges[succ].push_back(bb);
+
+    // Process headers innermost-first: reverse RPO order works
+    // because an inner header appears after its outer header in RPO.
+    std::vector<BasicBlock *> headers;
+    for (BasicBlock *bb : dt.rpo())
+        if (backEdges.count(bb))
+            headers.push_back(bb);
+    std::reverse(headers.begin(), headers.end());
+
+    for (BasicBlock *header : headers) {
+        auto loop = std::make_unique<Loop>();
+        loop->header_ = header;
+
+        // Collect the natural loop body: backward walk from each
+        // back-edge source until the header.
+        std::set<BasicBlock *> body{header};
+        std::vector<BasicBlock *> work = backEdges[header];
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            if (!body.insert(bb).second)
+                continue;
+            for (BasicBlock *pred : bb->predecessors())
+                if (dt.reachable(pred))
+                    work.push_back(pred);
+        }
+
+        for (BasicBlock *bb : body) {
+            loop->blocks_.push_back(bb);
+            // The innermost loop wins; blocks already claimed by an
+            // inner loop keep that mapping, and the inner loop gets
+            // parented to this one.
+            auto it = blockMap_.find(bb);
+            if (it == blockMap_.end()) {
+                blockMap_[bb] = loop.get();
+            } else {
+                // Find the outermost enclosing loop without a parent.
+                Loop *inner = it->second;
+                while (inner->parent_)
+                    inner = inner->parent_;
+                if (inner != loop.get() && !inner->parent_) {
+                    inner->parent_ = loop.get();
+                    loop->subLoops_.push_back(inner);
+                }
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Depths and roots.
+    for (auto &l : loops_)
+        if (!l->parent_)
+            roots_.push_back(l.get());
+    // Depth = 1 + number of ancestors.
+    for (auto &l : loops_) {
+        unsigned d = 1;
+        for (Loop *p = l->parent_; p; p = p->parent_)
+            ++d;
+        l->depth_ = d;
+    }
+    // Deduplicate subLoops (a loop may claim an inner loop once per
+    // shared block).
+    for (auto &l : loops_) {
+        auto &subs = l->subLoops_;
+        std::sort(subs.begin(), subs.end());
+        subs.erase(std::unique(subs.begin(), subs.end()), subs.end());
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    auto it = blockMap_.find(bb);
+    return it == blockMap_.end() ? nullptr : it->second;
+}
+
+} // namespace llva

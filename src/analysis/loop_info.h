@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Natural-loop detection over the explicit CFG. Loop structure drives
+ * the runtime path-profiling and trace-formation strategy of paper
+ * Section 4.2 ("use the CFG at runtime to perform path profiling
+ * within frequently executed loop regions").
+ */
+
+#ifndef LLVA_ANALYSIS_LOOP_INFO_H
+#define LLVA_ANALYSIS_LOOP_INFO_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace llva {
+
+/** A natural loop: header plus the set of blocks that reach a back
+ *  edge without leaving the header's dominance region. */
+class Loop
+{
+  public:
+    BasicBlock *header() const { return header_; }
+    Loop *parent() const { return parent_; }
+    unsigned depth() const { return depth_; }
+
+    const std::vector<BasicBlock *> &blocks() const { return blocks_; }
+    const std::vector<Loop *> &subLoops() const { return subLoops_; }
+
+    bool
+    contains(const BasicBlock *bb) const
+    {
+        for (BasicBlock *b : blocks_)
+            if (b == bb)
+                return true;
+        return false;
+    }
+
+    /** Blocks inside the loop with a successor outside it. */
+    std::vector<BasicBlock *> exitingBlocks() const;
+
+    /** The unique loop preheader, or nullptr if there is none. */
+    BasicBlock *preheader() const;
+
+    /** Latch blocks: in-loop predecessors of the header. */
+    std::vector<BasicBlock *> latches() const;
+
+  private:
+    friend class LoopInfo;
+    BasicBlock *header_ = nullptr;
+    Loop *parent_ = nullptr;
+    unsigned depth_ = 1;
+    std::vector<BasicBlock *> blocks_;
+    std::vector<Loop *> subLoops_;
+};
+
+/** All natural loops of a function, nested. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Function &f, DominatorTree &dt);
+
+    /** Innermost loop containing \p bb (nullptr if none). */
+    Loop *loopFor(const BasicBlock *bb) const;
+
+    unsigned
+    depth(const BasicBlock *bb) const
+    {
+        Loop *l = loopFor(bb);
+        return l ? l->depth() : 0;
+    }
+
+    const std::vector<Loop *> &topLevelLoops() const { return roots_; }
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::vector<Loop *> roots_;
+    std::map<const BasicBlock *, Loop *> blockMap_;
+};
+
+} // namespace llva
+
+#endif // LLVA_ANALYSIS_LOOP_INFO_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Virtual object code: the persistent binary form of LLVA modules.
+ *
+ * The format follows paper Section 3.1's encoding strategy: a
+ * fixed-size 32-bit instruction word holds "small" instructions
+ * (opcode, result type index, and up to three small operand ids), and
+ * a self-extending variable-length form covers everything else. The
+ * file header carries the pointer-size and endianness flags of
+ * Section 3.2 so a translator for a different I-ISA configuration can
+ * detect the producing configuration.
+ *
+ * Format constraint: within a function, only phi instructions may
+ * reference values defined later in the stream. The writer emits
+ * basic blocks in reverse post-order, which guarantees this for all
+ * verifier-clean SSA code (every definition dominates its uses, and
+ * dominators precede their dominees in RPO).
+ *
+ * Layout:
+ *   magic "LLVA", version, pointer-size, endianness
+ *   module name
+ *   type table        (indices; recursive structs via named shells)
+ *   global variables  (name, type, flags, initializer)
+ *   function table    (name, type, flags)
+ *   function bodies   (constant pool + blocks of instruction words)
+ */
+
+#ifndef LLVA_BYTECODE_BYTECODE_H
+#define LLVA_BYTECODE_BYTECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+/** Current bytecode format version. */
+constexpr uint8_t kBytecodeVersion = 1;
+
+/** Serialize \p m to virtual object code. */
+std::vector<uint8_t> writeBytecode(const Module &m);
+
+/** Deserialize a module; throws FatalError on malformed input. */
+std::unique_ptr<Module> readBytecode(const std::vector<uint8_t> &bytes);
+
+/** Statistics about an encoded module (for the encoding ablation). */
+struct BytecodeStats
+{
+    size_t totalBytes = 0;
+    size_t instructionWords32 = 0; ///< instructions in one 32-bit word
+    size_t instructionsExtended = 0; ///< self-extending form
+    size_t instructionBytes = 0;
+    size_t typeTableBytes = 0;
+    size_t globalBytes = 0;
+};
+
+/** Encode and measure (same bytes as writeBytecode). */
+BytecodeStats measureBytecode(const Module &m);
+
+} // namespace llva
+
+#endif // LLVA_BYTECODE_BYTECODE_H

@@ -1,0 +1,573 @@
+#include <map>
+#include <vector>
+
+#include "bytecode/bytecode.h"
+#include "ir/instructions.h"
+#include "support/byte_io.h"
+
+namespace llva {
+
+namespace {
+
+// Constant encoding tags (mirrors writer.cpp).
+enum ConstTag : uint8_t {
+    kConstInt = 0,
+    kConstFP = 1,
+    kConstNull = 2,
+    kConstUndef = 3,
+    kConstString = 4,
+    kConstAggregate = 5,
+    kConstGlobalRef = 6,
+    kConstFunctionRef = 7,
+};
+
+/** Raw type record: kind plus unresolved operand indices. */
+struct TypeRecord
+{
+    TypeKind kind;
+    std::string name;           // struct name (may be empty)
+    std::vector<uint64_t> refs; // pointee/element/fields/ret+params
+    uint64_t count = 0;         // array length
+    bool vararg = false;
+};
+
+class ModuleReader
+{
+  public:
+    explicit ModuleReader(const std::vector<uint8_t> &bytes)
+        : r_(bytes)
+    {}
+
+    std::unique_ptr<Module>
+    run()
+    {
+        if (r_.readByte() != 'L' || r_.readByte() != 'L' ||
+            r_.readByte() != 'V' || r_.readByte() != 'A')
+            fatal("not an LLVA object file (bad magic)");
+        uint8_t version = r_.readByte();
+        if (version != kBytecodeVersion)
+            fatal("unsupported bytecode version %u", version);
+        TargetFlags flags;
+        flags.pointerSize = r_.readByte();
+        flags.bigEndian = r_.readByte() != 0;
+        r_.readByte(); // reserved
+        if (flags.pointerSize != 4 && flags.pointerSize != 8)
+            fatal("bad pointer size %u in header", flags.pointerSize);
+
+        std::string name = r_.readString();
+        m_ = std::make_unique<Module>(name);
+        m_->setTargetFlags(flags);
+
+        readTypeTable();
+        readGlobals();
+        readFunctions();
+        return std::move(m_);
+    }
+
+  private:
+    // --- Types ---------------------------------------------------------
+
+    void
+    readTypeTable()
+    {
+        uint64_t count = r_.readVaruint();
+        records_.resize(count);
+        for (auto &rec : records_) {
+            rec.kind = static_cast<TypeKind>(r_.readByte());
+            switch (rec.kind) {
+              case TypeKind::Pointer:
+                rec.refs.push_back(r_.readVaruint());
+                break;
+              case TypeKind::Array:
+                rec.refs.push_back(r_.readVaruint());
+                rec.count = r_.readVaruint();
+                break;
+              case TypeKind::Struct: {
+                rec.name = r_.readString();
+                uint64_t n = r_.readVaruint();
+                for (uint64_t i = 0; i < n; ++i)
+                    rec.refs.push_back(r_.readVaruint());
+                break;
+              }
+              case TypeKind::Function: {
+                rec.refs.push_back(r_.readVaruint());
+                uint64_t n = r_.readVaruint();
+                for (uint64_t i = 0; i < n; ++i)
+                    rec.refs.push_back(r_.readVaruint());
+                rec.vararg = r_.readByte() != 0;
+                break;
+              }
+              default:
+                if (static_cast<uint8_t>(rec.kind) >
+                    static_cast<uint8_t>(TypeKind::Function))
+                    fatal("bad type kind in type table");
+                break;
+            }
+        }
+        resolved_.assign(records_.size(), nullptr);
+        for (size_t i = 0; i < records_.size(); ++i)
+            resolveType(i);
+    }
+
+    Type *
+    resolveType(uint64_t idx)
+    {
+        if (idx >= records_.size())
+            fatal("type index %llu out of range",
+                  (unsigned long long)idx);
+        if (resolved_[idx])
+            return resolved_[idx];
+        TypeRecord &rec = records_[idx];
+        TypeContext &tc = m_->types();
+        switch (rec.kind) {
+          case TypeKind::Pointer: {
+            // The pointee may be an in-progress named struct; named
+            // shells are created before their bodies, so recursion
+            // terminates there.
+            Type *pointee = resolveType(rec.refs[0]);
+            return resolved_[idx] = tc.pointerTo(pointee);
+          }
+          case TypeKind::Array:
+            return resolved_[idx] =
+                       tc.arrayOf(resolveType(rec.refs[0]), rec.count);
+          case TypeKind::Struct: {
+            if (!rec.name.empty()) {
+                StructType *st = tc.getOrCreateNamedStruct(rec.name);
+                resolved_[idx] = st; // shell first: recursion-safe
+                std::vector<Type *> fields;
+                for (uint64_t ref : rec.refs)
+                    fields.push_back(resolveType(ref));
+                st->setBody(std::move(fields));
+                return st;
+            }
+            std::vector<Type *> fields;
+            for (uint64_t ref : rec.refs)
+                fields.push_back(resolveType(ref));
+            return resolved_[idx] = tc.structOf(fields);
+          }
+          case TypeKind::Function: {
+            Type *ret = resolveType(rec.refs[0]);
+            std::vector<Type *> params;
+            for (size_t i = 1; i < rec.refs.size(); ++i)
+                params.push_back(resolveType(rec.refs[i]));
+            return resolved_[idx] =
+                       tc.functionOf(ret, params, rec.vararg);
+          }
+          default:
+            return resolved_[idx] = tc.prim(rec.kind);
+        }
+    }
+
+    Type *
+    readTypeRef()
+    {
+        return resolveType(r_.readVaruint());
+    }
+
+    // --- Constants -----------------------------------------------------
+
+    Constant *
+    readConstant()
+    {
+        uint8_t tag = r_.readByte();
+        switch (tag) {
+          case kConstInt: {
+            Type *t = readTypeRef();
+            int64_t v = r_.readVarint();
+            return m_->constantInt(t, static_cast<uint64_t>(v));
+          }
+          case kConstFP: {
+            Type *t = readTypeRef();
+            return m_->constantFP(t, r_.readDouble());
+          }
+          case kConstNull: {
+            Type *t = readTypeRef();
+            auto *pt = dyn_cast<PointerType>(t);
+            if (!pt)
+                fatal("null constant with non-pointer type");
+            return m_->constantNull(const_cast<PointerType *>(pt));
+          }
+          case kConstUndef:
+            return m_->constantUndef(readTypeRef());
+          case kConstString:
+            return m_->constantString(r_.readString(), /*nul=*/false);
+          case kConstAggregate: {
+            Type *t = readTypeRef();
+            uint64_t n = r_.readVaruint();
+            std::vector<Constant *> elems;
+            for (uint64_t i = 0; i < n; ++i)
+                elems.push_back(readConstant());
+            return m_->constantAggregate(t, std::move(elems));
+          }
+          case kConstFunctionRef: {
+            std::string name = r_.readString();
+            Function *f = m_->getFunction(name);
+            if (!f)
+                fatal("reference to unknown function %%%s",
+                      name.c_str());
+            return f;
+          }
+          case kConstGlobalRef: {
+            std::string name = r_.readString();
+            GlobalVariable *g = m_->getGlobal(name);
+            if (!g)
+                fatal("reference to unknown global %%%s", name.c_str());
+            return g;
+          }
+          default:
+            fatal("bad constant tag %u", tag);
+        }
+    }
+
+    // --- Globals & functions -------------------------------------------
+
+    void
+    readGlobals()
+    {
+        uint64_t count = r_.readVaruint();
+        // Two-phase: create all globals first so initializers can
+        // reference them... but initializers may also reference
+        // functions, which appear later in the file. Defer initializer
+        // decoding by recording byte positions? The writer emits
+        // initializers inline, so instead create globals with null
+        // initializers and decode inline: function refs are resolved
+        // against the function table, which is read *after* globals.
+        // To keep the format single-pass, initializers that reference
+        // functions are re-resolved in a fixup list.
+        pendingGlobals_.clear();
+        for (uint64_t i = 0; i < count; ++i) {
+            std::string name = r_.readString();
+            Type *contained = readTypeRef();
+            uint8_t flags = r_.readByte();
+            GlobalVariable *gv = m_->createGlobal(
+                contained, name, nullptr, (flags & 1) != 0,
+                (flags & 2) ? Linkage::Internal : Linkage::External);
+            if (r_.readByte()) {
+                // Initializer bytes follow; we must decode now, but
+                // function refs may be unresolvable. Save position,
+                // skip by decoding into a tolerant mode.
+                pendingGlobals_.emplace_back(gv, r_.position());
+                skipConstant();
+            }
+        }
+    }
+
+    /** Skip an encoded constant without resolving references. */
+    void
+    skipConstant()
+    {
+        uint8_t tag = r_.readByte();
+        switch (tag) {
+          case kConstInt:
+            r_.readVaruint();
+            r_.readVarint();
+            break;
+          case kConstFP:
+            r_.readVaruint();
+            r_.readDouble();
+            break;
+          case kConstNull:
+          case kConstUndef:
+            r_.readVaruint();
+            break;
+          case kConstString:
+            r_.readString();
+            break;
+          case kConstAggregate: {
+            r_.readVaruint();
+            uint64_t n = r_.readVaruint();
+            for (uint64_t i = 0; i < n; ++i)
+                skipConstant();
+            break;
+          }
+          case kConstFunctionRef:
+          case kConstGlobalRef:
+            r_.readString();
+            break;
+          default:
+            fatal("bad constant tag %u", tag);
+        }
+    }
+
+    void
+    readFunctions()
+    {
+        uint64_t count = r_.readVaruint();
+        std::vector<Function *> defined;
+        for (uint64_t i = 0; i < count; ++i) {
+            std::string name = r_.readString();
+            Type *t = readTypeRef();
+            auto *ft = dyn_cast<FunctionType>(t);
+            if (!ft)
+                fatal("function %%%s has non-function type",
+                      name.c_str());
+            uint8_t flags = r_.readByte();
+            Function *f = m_->createFunction(
+                const_cast<FunctionType *>(ft), name,
+                (flags & 1) ? Linkage::Internal : Linkage::External);
+            if (flags & 2)
+                defined.push_back(f);
+        }
+
+        // Now that all functions exist, decode pending global
+        // initializers from their saved positions.
+        size_t resume = r_.position();
+        for (auto &[gv, pos] : pendingGlobals_) {
+            r_.seek(pos);
+            gv->setInitializer(readConstant());
+        }
+        r_.seek(resume);
+
+        for (Function *f : defined)
+            readBody(*f);
+    }
+
+    // --- Function bodies -----------------------------------------------
+
+    void
+    readBody(Function &f)
+    {
+        uint64_t num_blocks = r_.readVaruint();
+        uint64_t pool_size = r_.readVaruint();
+
+        std::vector<Value *> values;
+        for (size_t i = 0; i < f.numArgs(); ++i)
+            values.push_back(f.arg(i));
+        std::vector<BasicBlock *> blocks;
+        for (uint64_t i = 0; i < num_blocks; ++i) {
+            BasicBlock *bb =
+                f.createBlock("bb" + std::to_string(i));
+            blocks.push_back(bb);
+            values.push_back(bb);
+        }
+        for (uint64_t i = 0; i < pool_size; ++i)
+            values.push_back(readConstant());
+
+        // Forward references (phi operands): placeholder undefs.
+        std::map<uint32_t, ConstantUndef *> forwards;
+
+        auto getValue = [&](uint32_t id, Type *expected) -> Value * {
+            if (id < values.size())
+                return values[id];
+            auto it = forwards.find(id);
+            if (it != forwards.end())
+                return it->second;
+            if (!expected)
+                fatal("forward reference with unknown type "
+                      "(malformed object code)");
+            auto *ph = new ConstantUndef(expected);
+            forwards[id] = ph;
+            return ph;
+        };
+
+        for (BasicBlock *bb : blocks) {
+            uint64_t n = r_.readVaruint();
+            for (uint64_t i = 0; i < n; ++i) {
+                Instruction *inst = readInstruction(*bb, getValue);
+                if (!inst->type()->isVoid())
+                    values.push_back(inst);
+            }
+        }
+
+        // Patch forward references.
+        for (auto &[id, ph] : forwards) {
+            if (id >= values.size())
+                fatal("unresolved forward reference %u", id);
+            if (values[id]->type() != ph->type())
+                fatal("forward reference %u type mismatch", id);
+            ph->replaceAllUsesWith(values[id]);
+            delete ph;
+        }
+    }
+
+    template <typename GetValue>
+    Instruction *
+    readInstruction(BasicBlock &bb, GetValue &getValue)
+    {
+        uint8_t head = r_.readByte();
+        unsigned fmt = head >> 6;
+        uint8_t opfield = head & 0x3f;
+        bool ee_override = (opfield & 0x20) != 0;
+        auto opcode = static_cast<Opcode>(opfield & 0x1f);
+        if ((opfield & 0x1f) >= kNumOpcodes)
+            fatal("bad opcode %u in object code", opfield & 0x1f);
+
+        Type *type;
+        std::vector<uint32_t> ops;
+        if (fmt == 0) {
+            type = resolveType(r_.readVaruint());
+            uint64_t n = r_.readVaruint();
+            for (uint64_t i = 0; i < n; ++i)
+                ops.push_back(
+                    static_cast<uint32_t>(r_.readVaruint()));
+        } else {
+            type = resolveType(r_.readByte());
+            uint32_t tail = static_cast<uint32_t>(r_.readByte()) << 8;
+            tail |= r_.readByte();
+            if (fmt == 1) {
+                if (tail != 0xffff)
+                    ops.push_back(tail);
+            } else if (fmt == 2) {
+                ops.push_back((tail >> 8) & 0xff);
+                ops.push_back(tail & 0xff);
+            } else {
+                ops.push_back((tail >> 11) & 0x1f);
+                ops.push_back((tail >> 6) & 0x1f);
+                ops.push_back(tail & 0x3f);
+            }
+        }
+
+        Instruction *inst =
+            buildInstruction(opcode, type, ops, getValue);
+        if (ee_override)
+            inst->setExceptionsEnabled(
+                !defaultExceptionsEnabled(opcode));
+        bb.append(std::unique_ptr<Instruction>(inst));
+        return inst;
+    }
+
+    template <typename GetValue>
+    Instruction *
+    buildInstruction(Opcode opcode, Type *type,
+                     const std::vector<uint32_t> &ops,
+                     GetValue &getValue)
+    {
+        TypeContext &tc = m_->types();
+
+        auto val = [&](size_t i, Type *expected = nullptr) {
+            LLVA_ASSERT(i < ops.size(), "operand index out of range");
+            return getValue(ops[i], expected);
+        };
+        auto block = [&](size_t i) {
+            Value *v = val(i);
+            auto *bb = dyn_cast<BasicBlock>(v);
+            if (!bb)
+                fatal("expected block operand");
+            return const_cast<BasicBlock *>(bb);
+        };
+
+        switch (opcode) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+            requireOps(ops, 2);
+            return new BinaryOperator(opcode, val(0), val(1));
+          case Opcode::SetEQ:
+          case Opcode::SetNE:
+          case Opcode::SetLT:
+          case Opcode::SetGT:
+          case Opcode::SetLE:
+          case Opcode::SetGE:
+            requireOps(ops, 2);
+            return new SetCondInst(opcode, val(0), val(1));
+          case Opcode::Ret:
+            if (ops.empty())
+                return new ReturnInst(tc);
+            requireOps(ops, 1);
+            return new ReturnInst(tc, val(0));
+          case Opcode::Br:
+            if (ops.size() == 1)
+                return new BranchInst(tc, block(0));
+            requireOps(ops, 3);
+            return new BranchInst(tc, val(0), block(1), block(2));
+          case Opcode::MBr: {
+            if (ops.size() < 2 || ops.size() % 2 != 0)
+                fatal("malformed mbr");
+            auto *m = new MBrInst(tc, val(0), block(1));
+            for (size_t i = 2; i + 1 < ops.size(); i += 2) {
+                auto *ci = dyn_cast<ConstantInt>(val(i));
+                if (!ci)
+                    fatal("mbr case is not a constant");
+                m->addCase(const_cast<ConstantInt *>(ci),
+                           block(i + 1));
+            }
+            return m;
+          }
+          case Opcode::Invoke: {
+            if (ops.size() < 3)
+                fatal("malformed invoke");
+            std::vector<Value *> args;
+            for (size_t i = 1; i + 2 < ops.size(); ++i)
+                args.push_back(val(i));
+            return new InvokeInst(type, val(0), args,
+                                  block(ops.size() - 2),
+                                  block(ops.size() - 1));
+          }
+          case Opcode::Unwind:
+            return new UnwindInst(tc);
+          case Opcode::Load:
+            requireOps(ops, 1);
+            return new LoadInst(val(0));
+          case Opcode::Store:
+            requireOps(ops, 2);
+            return new StoreInst(val(0), val(1));
+          case Opcode::GetElementPtr: {
+            if (ops.empty())
+                fatal("malformed getelementptr");
+            std::vector<Value *> indices;
+            for (size_t i = 1; i < ops.size(); ++i)
+                indices.push_back(val(i));
+            return new GetElementPtrInst(val(0), indices);
+          }
+          case Opcode::Alloca: {
+            auto *pt = dyn_cast<PointerType>(type);
+            if (!pt)
+                fatal("malformed alloca (non-pointer result)");
+            Value *size = ops.empty() ? nullptr : val(0);
+            return new AllocaInst(
+                const_cast<PointerType *>(pt)->pointee(), size);
+          }
+          case Opcode::Cast:
+            requireOps(ops, 1);
+            return new CastInst(val(0), type);
+          case Opcode::Call: {
+            if (ops.empty())
+                fatal("malformed call");
+            std::vector<Value *> args;
+            for (size_t i = 1; i < ops.size(); ++i)
+                args.push_back(val(i));
+            return new CallInst(type, val(0), args);
+          }
+          case Opcode::Phi: {
+            if (ops.size() % 2 != 0)
+                fatal("malformed phi");
+            auto *phi = new PhiNode(type);
+            for (size_t i = 0; i + 1 < ops.size(); i += 2)
+                phi->addIncoming(val(i, type), block(i + 1));
+            return phi;
+          }
+        }
+        fatal("bad opcode");
+    }
+
+    static void
+    requireOps(const std::vector<uint32_t> &ops, size_t n)
+    {
+        if (ops.size() != n)
+            fatal("instruction has %zu operands, expected %zu",
+                  ops.size(), n);
+    }
+
+    ByteReader r_;
+    std::unique_ptr<Module> m_;
+    std::vector<TypeRecord> records_;
+    std::vector<Type *> resolved_;
+    std::vector<std::pair<GlobalVariable *, size_t>> pendingGlobals_;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+readBytecode(const std::vector<uint8_t> &bytes)
+{
+    return ModuleReader(bytes).run();
+}
+
+} // namespace llva

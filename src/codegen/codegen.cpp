@@ -1,0 +1,148 @@
+#include "codegen/codegen.h"
+
+#include <set>
+#include <sstream>
+
+namespace llva {
+
+void
+finalizeFrame(MachineFunction &mf)
+{
+    // Layout: [0, outgoingArgs) | frame objects | (saved regs added
+    // by the prologue afterwards). Offsets are sp-relative after the
+    // prologue's stack adjustment.
+    uint64_t offset = mf.outgoingArgsSize();
+    for (FrameObject &obj : mf.frame()) {
+        uint64_t align = obj.align ? obj.align : 8;
+        offset = (offset + align - 1) / align * align;
+        obj.offset = static_cast<int64_t>(offset);
+        offset += obj.size;
+    }
+    offset = (offset + 15) / 16 * 16;
+    mf.setFrameSize(offset);
+
+    // Rewrite Frame operands to immediates: sp-relative offsets.
+    // Negative indices -(1+i) denote incoming argument slots, which
+    // live in the caller's outgoing area at sp + frameSize + 8i.
+    for (auto &mbb : mf.blocks()) {
+        for (auto &mi : mbb->instrs()) {
+            for (MOperand &op : mi->ops) {
+                if (op.kind != MOperand::Frame)
+                    continue;
+                int64_t off;
+                if (op.frameIndex < 0) {
+                    int arg = -op.frameIndex - 1;
+                    off = static_cast<int64_t>(mf.frameSize()) +
+                          8 * arg;
+                } else {
+                    off = mf.frame()[static_cast<size_t>(
+                                         op.frameIndex)]
+                              .offset;
+                }
+                op.kind = MOperand::Imm;
+                op.imm = off;
+            }
+        }
+    }
+}
+
+std::vector<unsigned>
+usedCalleeSaved(const MachineFunction &mf, const Target &target)
+{
+    std::set<unsigned> written;
+    for (const auto &mbb : mf.blocks())
+        for (const auto &mi : mbb->instrs())
+            for (size_t i = 0; i < mi->numDefs; ++i)
+                if (mi->ops[i].kind == MOperand::Reg)
+                    written.insert(mi->ops[i].reg);
+
+    std::vector<unsigned> out;
+    for (RegClass rc : {RegClass::Int, RegClass::FP})
+        for (unsigned reg : target.calleeSaved(rc))
+            if (written.count(reg))
+                out.push_back(reg);
+    return out;
+}
+
+std::unique_ptr<MachineFunction>
+translateFunction(const Function &f, Target &target,
+                  const CodeGenOptions &opts, CodeGenStats *stats)
+{
+    LLVA_ASSERT(!f.isDeclaration(), "cannot translate a declaration");
+    auto mf =
+        std::make_unique<MachineFunction>(&f, target.name());
+
+    target.select(f, *mf);
+    eliminatePhis(*mf, stats);
+
+    if (opts.allocator == CodeGenOptions::Allocator::Local)
+        allocateRegistersLocal(*mf, target, stats);
+    else
+        allocateRegistersLinearScan(*mf, target, opts.coalesce,
+                                    stats);
+
+    // Save slots for callee-saved registers the allocator used, then
+    // final frame layout, then the concrete prologue/epilogue.
+    std::vector<unsigned> saved = usedCalleeSaved(*mf, target);
+    std::vector<int> save_slots;
+    for (size_t i = 0; i < saved.size(); ++i)
+        save_slots.push_back(mf->createFrameObject(8, 8));
+    finalizeFrame(*mf);
+    std::vector<std::pair<unsigned, int64_t>> saved_offsets;
+    for (size_t i = 0; i < saved.size(); ++i)
+        saved_offsets.emplace_back(
+            saved[i],
+            mf->frame()[static_cast<size_t>(save_slots[i])].offset);
+    target.insertPrologueEpilogue(*mf, saved_offsets);
+    elideFallthroughJumps(*mf);
+    return mf;
+}
+
+void
+elideFallthroughJumps(MachineFunction &mf)
+{
+    auto &blocks = mf.blocks();
+    for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+        auto &instrs = blocks[i]->instrs();
+        if (instrs.empty())
+            continue;
+        MachineInstr &last = *instrs.back();
+        // An unconditional jump is a non-call, non-ret instruction
+        // whose only operand is a block.
+        if (last.isCall || last.isRet || last.ops.size() != 1 ||
+            last.ops[0].kind != MOperand::Block)
+            continue;
+        if (last.ops[0].block == blocks[i + 1].get())
+            instrs.pop_back();
+    }
+}
+
+std::vector<uint8_t>
+encodeFunction(const MachineFunction &mf, const Target &target)
+{
+    std::vector<uint8_t> bytes;
+    for (const auto &mbb : mf.blocks()) {
+        for (const auto &mi : mbb->instrs()) {
+            std::vector<uint8_t> enc = target.encode(*mi);
+            bytes.insert(bytes.end(), enc.begin(), enc.end());
+        }
+    }
+    return bytes;
+}
+
+std::string
+machineFunctionToString(const MachineFunction &mf,
+                        const Target &target)
+{
+    std::ostringstream os;
+    os << mf.name() << ":  ; " << target.name() << ", frame "
+       << mf.frameSize() << " bytes\n";
+    for (const auto &mbb : mf.blocks()) {
+        os << "." << mbb->name() << ":\n";
+        for (const auto &mi : mbb->instrs())
+            os << "    " << target.instrToString(*mi) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace llva

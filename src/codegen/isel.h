@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared instruction-selection skeleton. A target subclasses
+ * ISelBase, implements the small emit-helper vocabulary (moves,
+ * adds, loads, ...) in terms of its own opcodes, plus the
+ * target-flavored lowerings (calls, branches, binaries). The base
+ * class owns the traversal, value→vreg mapping, phi pseudo emission,
+ * getelementptr address arithmetic, and alloca lowering — the parts
+ * that are the same for every I-ISA.
+ */
+
+#ifndef LLVA_CODEGEN_ISEL_H
+#define LLVA_CODEGEN_ISEL_H
+
+#include <map>
+
+#include "codegen/machine.h"
+#include "codegen/target.h"
+#include "ir/instructions.h"
+
+namespace llva {
+
+class ISelBase
+{
+  public:
+    virtual ~ISelBase() = default;
+
+    /** Translate \p f into \p mf. */
+    void runOn(const Function &f, MachineFunction &mf);
+
+  protected:
+    // --- State ----------------------------------------------------------
+
+    MachineFunction *mf_ = nullptr;
+    const Function *f_ = nullptr;
+    MachineBasicBlock *cur_ = nullptr;
+    std::map<const Value *, unsigned> vregs_;
+    std::map<const BasicBlock *, MachineBasicBlock *> blockMap_;
+    /** Block that carries phi copies for edges leaving an IR block
+     *  through the given (pred, succ) pair — differs from
+     *  blockMap_[pred] for invoke edges. */
+    std::map<std::pair<const BasicBlock *, const BasicBlock *>,
+             MachineBasicBlock *>
+        edgeBlock_;
+    std::map<const AllocaInst *, int> staticAllocas_;
+
+    unsigned pointerSize_ = 8;
+
+    // --- Shared utilities -------------------------------------------------
+
+    static RegClass
+    classOf(const Type *t)
+    {
+        return t->isFloatingPoint() ? RegClass::FP : RegClass::Int;
+    }
+
+    static bool
+    isFP32(const Type *t)
+    {
+        return t->kind() == TypeKind::Float;
+    }
+
+    /** The vreg that holds \p v's value (creating it for defs). */
+    unsigned vregFor(const Value *v);
+
+    /** A vreg holding \p v, materializing constants as needed. */
+    unsigned valueReg(const Value *v);
+
+    /** Operand for a phi incoming value (constants stay inline). */
+    MOperand phiOperand(const Value *v);
+
+    MachineInstr *
+    emit(uint16_t opcode, std::vector<MOperand> ops, unsigned defs = 0)
+    {
+        return cur_->append(opcode, std::move(ops), defs);
+    }
+
+    // --- Target emit-helper vocabulary ------------------------------------
+
+    /** dst <- src (register move). */
+    virtual void emitMove(unsigned dst, unsigned src, bool fp,
+                          bool fp32) = 0;
+    /** dst <- immediate / global address / function address. */
+    virtual void emitMaterialize(unsigned dst, const MOperand &value,
+                                 bool fp, bool fp32) = 0;
+    /** dst <- a + b (integer registers). */
+    virtual void emitAdd(unsigned dst, unsigned a, unsigned b) = 0;
+    /** dst <- a + imm. */
+    virtual void emitAddImm(unsigned dst, unsigned a, int64_t imm) = 0;
+    /** dst <- a * imm (pointer scaling). */
+    virtual void emitMulImm(unsigned dst, unsigned a, int64_t imm) = 0;
+    /** dst <- fresh storage of sizeReg bytes (dynamic alloca). */
+    virtual void emitDynAlloca(unsigned dst, unsigned size_reg) = 0;
+
+    // --- Target lowerings ---------------------------------------------------
+
+    /** Copy incoming arguments into their vregs (entry block). */
+    virtual void lowerArgs() = 0;
+
+    virtual void lowerBinary(const BinaryOperator &inst) = 0;
+    virtual void lowerCompare(const SetCondInst &inst) = 0;
+    virtual void lowerRet(const ReturnInst &inst) = 0;
+    virtual void lowerBr(const BranchInst &inst) = 0;
+    virtual void lowerMBr(const MBrInst &inst) = 0;
+    virtual void lowerLoad(const LoadInst &inst) = 0;
+    virtual void lowerStore(const StoreInst &inst) = 0;
+    virtual void lowerCast(const CastInst &inst) = 0;
+    virtual void lowerCall(const CallInst &inst) = 0;
+    virtual void lowerInvoke(const InvokeInst &inst) = 0;
+    virtual void lowerUnwind(const UnwindInst &inst) = 0;
+
+    // --- Shared lowerings (implemented here) --------------------------------
+
+    void lowerGEP(const GetElementPtrInst &inst);
+    void lowerAlloca(const AllocaInst &inst);
+    void lowerPhi(const PhiNode &inst);
+
+    /** MBB that phi copies for edge (pred -> succ) belong in. */
+    MachineBasicBlock *edgeBlockFor(const BasicBlock *pred,
+                                    const BasicBlock *succ);
+
+  private:
+    void dispatch(const Instruction &inst);
+};
+
+} // namespace llva
+
+#endif // LLVA_CODEGEN_ISEL_H

@@ -1,0 +1,233 @@
+#include "codegen/memory.h"
+
+#include <cstring>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+const char *
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::None: return "none";
+      case TrapKind::NullAccess: return "null access";
+      case TrapKind::OutOfBounds: return "out of bounds";
+      case TrapKind::Misaligned: return "misaligned access";
+      case TrapKind::DivByZero: return "division by zero";
+      case TrapKind::StackOverflow: return "stack overflow";
+      case TrapKind::OutOfMemory: return "out of memory";
+      case TrapKind::BadIndirectCall: return "bad indirect call";
+      case TrapKind::PrivilegeViolation: return "privilege violation";
+    }
+    return "unknown";
+}
+
+Memory::Memory(uint64_t size)
+    : bytes_(size, 0), size_(size)
+{
+    globalBrk_ = kCodeBase + kCodeSize;
+    // Reserve the top 1/4 for stacks.
+    stackLimit_ = size_ - size_ / 4;
+}
+
+bool
+Memory::load(uint64_t addr, unsigned width, uint64_t &out)
+{
+    if (!check(addr, width))
+        return false;
+    uint64_t v = 0;
+    std::memcpy(&v, bytes_.data() + addr, width);
+    out = v;
+    return true;
+}
+
+bool
+Memory::store(uint64_t addr, unsigned width, uint64_t value)
+{
+    if (!check(addr, width))
+        return false;
+    std::memcpy(bytes_.data() + addr, &value, width);
+    return true;
+}
+
+bool
+Memory::loadFP(uint64_t addr, bool fp32, double &out)
+{
+    if (!check(addr, fp32 ? 4 : 8))
+        return false;
+    if (fp32) {
+        float f;
+        std::memcpy(&f, bytes_.data() + addr, 4);
+        out = f;
+    } else {
+        std::memcpy(&out, bytes_.data() + addr, 8);
+    }
+    return true;
+}
+
+bool
+Memory::storeFP(uint64_t addr, bool fp32, double value)
+{
+    if (!check(addr, fp32 ? 4 : 8))
+        return false;
+    if (fp32) {
+        float f = static_cast<float>(value);
+        std::memcpy(bytes_.data() + addr, &f, 4);
+    } else {
+        std::memcpy(bytes_.data() + addr, &value, 8);
+    }
+    return true;
+}
+
+void
+Memory::writeRaw(uint64_t addr, const void *data, uint64_t n)
+{
+    LLVA_ASSERT(addr + n <= size_, "writeRaw out of range");
+    std::memcpy(bytes_.data() + addr, data, n);
+}
+
+std::string
+Memory::readCString(uint64_t addr, uint64_t max)
+{
+    std::string s;
+    while (addr < size_ && s.size() < max) {
+        char c = static_cast<char>(bytes_[addr++]);
+        if (!c)
+            break;
+        s += c;
+    }
+    return s;
+}
+
+uint64_t
+Memory::allocateGlobal(uint64_t size, uint64_t align)
+{
+    if (align == 0)
+        align = 1;
+    globalBrk_ = (globalBrk_ + align - 1) / align * align;
+    uint64_t addr = globalBrk_;
+    globalBrk_ += size ? size : 1;
+    heapBase_ = heapBrk_ =
+        (globalBrk_ + 4095) / 4096 * 4096; // heap follows globals
+    return addr;
+}
+
+uint64_t
+Memory::malloc(uint64_t size)
+{
+    if (size == 0)
+        size = 1;
+    size = (size + 15) / 16 * 16;
+
+    // First fit over the free list.
+    for (auto &[addr, blk] : heapBlocks_) {
+        if (blk.free && blk.size >= size) {
+            blk.free = false;
+            heapAllocated_ += size;
+            return addr;
+        }
+    }
+    if (heapBase_ == 0)
+        heapBase_ = heapBrk_ = kCodeBase + kCodeSize;
+    uint64_t addr = heapBrk_;
+    if (addr + size > stackLimit_) {
+        trap_ = TrapKind::OutOfMemory;
+        return 0;
+    }
+    heapBrk_ += size;
+    heapBlocks_[addr] = {size, false};
+    heapAllocated_ += size;
+    return addr;
+}
+
+void
+Memory::free(uint64_t addr)
+{
+    if (addr == 0)
+        return;
+    auto it = heapBlocks_.find(addr);
+    if (it != heapBlocks_.end())
+        it->second.free = true;
+}
+
+uint64_t
+Memory::functionAddress(const Function *f)
+{
+    auto it = funcAddrs_.find(f);
+    if (it != funcAddrs_.end())
+        return it->second;
+    uint64_t addr = kCodeBase + 16 * (funcAddrs_.size() + 1);
+    LLVA_ASSERT(addr < kCodeBase + kCodeSize, "code region exhausted");
+    funcAddrs_[f] = addr;
+    addrFuncs_[addr] = f;
+    return addr;
+}
+
+const Function *
+Memory::functionAt(uint64_t addr) const
+{
+    auto it = addrFuncs_.find(addr);
+    return it == addrFuncs_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/** Write one constant into the image at \p addr. */
+void
+writeConstant(Memory &mem, const Module &m,
+              const std::map<const GlobalVariable *, uint64_t> &addrs,
+              const Constant *c, uint64_t addr)
+{
+    unsigned ps = m.pointerSize();
+    Type *t = c->type();
+    if (auto *ci = dyn_cast<ConstantInt>(c)) {
+        mem.store(addr, static_cast<unsigned>(t->sizeInBytes(ps)),
+                  ci->zext());
+    } else if (auto *cf = dyn_cast<ConstantFP>(c)) {
+        mem.storeFP(addr, t->kind() == TypeKind::Float, cf->value());
+    } else if (isa<ConstantNull>(c) || isa<ConstantUndef>(c)) {
+        // Image is zero-initialized.
+    } else if (auto *cs = dyn_cast<ConstantString>(c)) {
+        mem.writeRaw(addr, cs->data().data(), cs->data().size());
+    } else if (auto *ca = dyn_cast<ConstantAggregate>(c)) {
+        if (auto *at = dyn_cast<ArrayType>(t)) {
+            uint64_t esz = at->element()->sizeInBytes(ps);
+            for (size_t i = 0; i < ca->numElements(); ++i)
+                writeConstant(mem, m, addrs, ca->element(i),
+                              addr + i * esz);
+        } else {
+            auto *st = cast<StructType>(t);
+            for (size_t i = 0; i < ca->numElements(); ++i)
+                writeConstant(mem, m, addrs, ca->element(i),
+                              addr + st->fieldOffset(i, ps));
+        }
+    } else if (auto *gv = dyn_cast<GlobalVariable>(c)) {
+        mem.store(addr, ps, addrs.at(gv));
+    } else if (auto *f = dyn_cast<Function>(c)) {
+        mem.store(addr, ps, mem.functionAddress(f));
+    } else {
+        panic("unwritable constant in global image");
+    }
+}
+
+} // namespace
+
+std::map<const GlobalVariable *, uint64_t>
+layoutGlobals(const Module &m, Memory &mem)
+{
+    std::map<const GlobalVariable *, uint64_t> addrs;
+    unsigned ps = m.pointerSize();
+    for (const auto &gv : m.globals()) {
+        Type *t = gv->containedType();
+        addrs[gv.get()] =
+            mem.allocateGlobal(t->sizeInBytes(ps), t->alignment(ps));
+    }
+    for (const auto &gv : m.globals())
+        if (gv->initializer())
+            writeConstant(mem, m, addrs, gv->initializer(),
+                          addrs[gv.get()]);
+    return addrs;
+}
+
+} // namespace llva

@@ -1,0 +1,679 @@
+/**
+ * @file
+ * Register allocation.
+ *
+ * Two allocators model the paper's two back-ends (Section 5.2):
+ *
+ *  - Local: block-local greedy binding with everything spilled to the
+ *    stack between blocks. This mirrors the paper's X86 JIT, which
+ *    "performs virtually no optimization and very simple register
+ *    allocation resulting in significant spill code".
+ *  - LinearScan: global linear scan over live intervals with copy
+ *    hints (cheap coalescing), modeling the higher-quality SPARC
+ *    back-end.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "codegen/codegen.h"
+
+namespace llva {
+
+namespace {
+
+bool
+isBranchy(const MachineInstr &mi)
+{
+    for (const MOperand &op : mi.ops)
+        if (op.kind == MOperand::Block)
+            return true;
+    return mi.isRet;
+}
+
+/** Shared helper: lazily created spill slot per vreg. */
+class SpillSlots
+{
+  public:
+    explicit SpillSlots(MachineFunction &mf)
+        : mf_(mf)
+    {}
+
+    int
+    slotOf(unsigned vreg)
+    {
+        auto it = slots_.find(vreg);
+        if (it != slots_.end())
+            return it->second;
+        int idx = mf_.createFrameObject(8, 8);
+        slots_[vreg] = idx;
+        return idx;
+    }
+
+  private:
+    MachineFunction &mf_;
+    std::map<unsigned, int> slots_;
+};
+
+std::unique_ptr<MachineInstr>
+makeSpill(unsigned phys, int slot, bool fp, bool fp32)
+{
+    auto mi = std::make_unique<MachineInstr>(
+        kOpSpill,
+        std::vector<MOperand>{MOperand::makeReg(phys),
+                              MOperand::makeFrame(slot)},
+        0);
+    mi->width = 8;
+    mi->fp32 = fp32;
+    (void)fp;
+    return mi;
+}
+
+std::unique_ptr<MachineInstr>
+makeReload(unsigned phys, int slot, bool fp, bool fp32)
+{
+    auto mi = std::make_unique<MachineInstr>(
+        kOpReload,
+        std::vector<MOperand>{MOperand::makeReg(phys),
+                              MOperand::makeFrame(slot)},
+        1);
+    mi->width = 8;
+    mi->fp32 = fp32;
+    (void)fp;
+    return mi;
+}
+
+// --- Local allocator -------------------------------------------------------
+
+class LocalAllocator
+{
+  public:
+    LocalAllocator(MachineFunction &mf, Target &target,
+                   CodeGenStats *stats)
+        : mf_(mf), target_(target), stats_(stats), slots_(mf)
+    {}
+
+    void
+    run()
+    {
+        for (auto &mbb : mf_.blocks())
+            runOnBlock(*mbb);
+    }
+
+  private:
+    struct Binding
+    {
+        unsigned vreg = 0;
+        bool dirty = false;
+    };
+
+    MachineFunction &mf_;
+    Target &target_;
+    CodeGenStats *stats_;
+    SpillSlots slots_;
+
+    // Per-block state.
+    std::map<unsigned, Binding> physState_; // phys -> binding
+    std::map<unsigned, unsigned> vregLoc_;  // vreg -> phys
+    std::set<unsigned> reservedPhys_;
+    std::vector<std::unique_ptr<MachineInstr>> *instrs_ = nullptr;
+    size_t cursor_ = 0; // insertion point (index of current MI)
+
+    RegClass
+    classOf(unsigned vreg) const
+    {
+        return mf_.vregInfo(vreg).regClass;
+    }
+
+    void
+    insertBeforeCursor(std::unique_ptr<MachineInstr> mi)
+    {
+        instrs_->insert(instrs_->begin() +
+                            static_cast<ptrdiff_t>(cursor_),
+                        std::move(mi));
+        ++cursor_;
+    }
+
+    void
+    spillPhys(unsigned phys)
+    {
+        auto it = physState_.find(phys);
+        if (it == physState_.end())
+            return;
+        Binding b = it->second;
+        if (b.dirty) {
+            const VRegInfo &info = mf_.vregInfo(b.vreg);
+            insertBeforeCursor(makeSpill(
+                phys, slots_.slotOf(b.vreg),
+                info.regClass == RegClass::FP, info.fp32));
+            if (stats_)
+                ++stats_->spillsInserted;
+        }
+        vregLoc_.erase(b.vreg);
+        physState_.erase(it);
+    }
+
+    unsigned
+    allocPhys(RegClass rc, const std::set<unsigned> &avoid)
+    {
+        const auto &pool = target_.allocatable(rc);
+        // Free register first.
+        for (unsigned phys : pool)
+            if (!physState_.count(phys) && !reservedPhys_.count(phys) &&
+                !avoid.count(phys))
+                return phys;
+        // Evict (farthest binding — heuristics don't matter much for
+        // a block-local allocator; pick the first evictable).
+        for (unsigned phys : pool) {
+            if (reservedPhys_.count(phys) || avoid.count(phys))
+                continue;
+            spillPhys(phys);
+            return phys;
+        }
+        panic("register allocation: no evictable register");
+    }
+
+    unsigned
+    ensureLoaded(unsigned vreg, const std::set<unsigned> &avoid)
+    {
+        auto it = vregLoc_.find(vreg);
+        if (it != vregLoc_.end())
+            return it->second;
+        const VRegInfo &info = mf_.vregInfo(vreg);
+        unsigned phys = allocPhys(info.regClass, avoid);
+        insertBeforeCursor(makeReload(
+            phys, slots_.slotOf(vreg),
+            info.regClass == RegClass::FP, info.fp32));
+        if (stats_)
+            ++stats_->reloadsInserted;
+        physState_[phys] = {vreg, false};
+        vregLoc_[vreg] = phys;
+        return phys;
+    }
+
+    void
+    flushAll(bool unbind)
+    {
+        // Deterministic order for reproducible code.
+        std::vector<unsigned> physregs;
+        for (auto &[phys, b] : physState_)
+            physregs.push_back(phys);
+        for (unsigned phys : physregs)
+            spillPhys(phys);
+        if (unbind) {
+            physState_.clear();
+            vregLoc_.clear();
+        }
+    }
+
+    void
+    runOnBlock(MachineBasicBlock &mbb)
+    {
+        physState_.clear();
+        vregLoc_.clear();
+        reservedPhys_.clear();
+        instrs_ = &mbb.instrs();
+
+        bool flushed = false;
+        for (cursor_ = 0; cursor_ < instrs_->size(); ++cursor_) {
+            MachineInstr &mi = *(*instrs_)[cursor_];
+            // Everything must live in stack slots across blocks:
+            // flush once, when the first control-transfer is reached.
+            // (Spill/reload moves do not disturb the condition codes,
+            // so flushing between a compare and its branch is safe.)
+            if (!flushed && isBranchy(mi)) {
+                flushAll(true);
+                flushed = true;
+            }
+
+            if (mi.isCall) {
+                // Everything allocatable is caller-saved for the
+                // local allocator: flush and unbind.
+                flushAll(true);
+                reservedPhys_.clear();
+            }
+
+            // Uses: operands [numDefs..).
+            std::set<unsigned> avoid;
+            for (const MOperand &op : mi.ops)
+                if (op.kind == MOperand::Reg &&
+                    !isVirtualReg(op.reg))
+                    avoid.insert(op.reg);
+            for (size_t i = mi.numDefs; i < mi.ops.size(); ++i) {
+                MOperand &op = mi.ops[i];
+                if (op.kind != MOperand::Reg ||
+                    !isVirtualReg(op.reg))
+                    continue;
+                op.reg = ensureLoaded(op.reg, avoid);
+                avoid.insert(op.reg);
+            }
+            // Defs.
+            for (size_t i = 0; i < mi.numDefs; ++i) {
+                MOperand &op = mi.ops[i];
+                if (op.kind != MOperand::Reg)
+                    continue;
+                if (!isVirtualReg(op.reg)) {
+                    // Explicit physical def: evict any occupant.
+                    spillPhys(op.reg);
+                    reservedPhys_.insert(op.reg);
+                    continue;
+                }
+                unsigned vreg = op.reg;
+                auto loc = vregLoc_.find(vreg);
+                unsigned phys;
+                if (loc != vregLoc_.end()) {
+                    phys = loc->second;
+                } else {
+                    phys = allocPhys(classOf(vreg), avoid);
+                    physState_[phys] = {vreg, false};
+                    vregLoc_[vreg] = phys;
+                }
+                physState_[phys].dirty = true;
+                op.reg = phys;
+                avoid.insert(phys);
+            }
+        }
+        if (!flushed)
+            flushAll(true);
+        instrs_ = nullptr;
+    }
+};
+
+// --- Linear scan ------------------------------------------------------------
+
+struct Interval
+{
+    unsigned vreg = 0;
+    int start = 0;
+    int end = 0;
+    bool crossesCall = false;
+    unsigned hint = 0; ///< preferred physical register (from copies)
+    unsigned assigned = 0;
+    bool spilled = false;
+};
+
+class LinearScanAllocator
+{
+  public:
+    LinearScanAllocator(MachineFunction &mf, Target &target,
+                        bool coalesce, CodeGenStats *stats)
+        : mf_(mf), target_(target), coalesce_(coalesce),
+          stats_(stats), slots_(mf)
+    {}
+
+    void
+    run()
+    {
+        numberInstructions();
+        computeLiveness();
+        buildIntervals();
+        allocate();
+        rewrite();
+    }
+
+  private:
+    MachineFunction &mf_;
+    Target &target_;
+    bool coalesce_;
+    CodeGenStats *stats_;
+    SpillSlots slots_;
+
+    // Linearized view.
+    std::vector<MachineInstr *> order_;
+    std::map<const MachineInstr *, int> index_;
+    std::vector<int> callPositions_;
+
+    std::map<unsigned, std::set<unsigned>> liveIn_; // block idx -> vregs
+    std::map<unsigned, Interval> intervals_;
+
+    // Scratch registers reserved for spill-code rewriting.
+    std::vector<unsigned> scratchInt_, scratchFP_;
+
+    void
+    numberInstructions()
+    {
+        for (auto &mbb : mf_.blocks()) {
+            for (auto &mi : mbb->instrs()) {
+                index_[mi.get()] = static_cast<int>(order_.size());
+                order_.push_back(mi.get());
+                if (mi->isCall)
+                    callPositions_.push_back(
+                        static_cast<int>(order_.size()) - 1);
+            }
+        }
+    }
+
+    static void
+    collectUsesDefs(const MachineInstr &mi,
+                    std::vector<unsigned> &uses,
+                    std::vector<unsigned> &defs)
+    {
+        for (size_t i = 0; i < mi.ops.size(); ++i) {
+            const MOperand &op = mi.ops[i];
+            if (op.kind != MOperand::Reg || !isVirtualReg(op.reg))
+                continue;
+            if (i < mi.numDefs)
+                defs.push_back(op.reg);
+            else
+                uses.push_back(op.reg);
+        }
+    }
+
+    void
+    computeLiveness()
+    {
+        // Iterative backward dataflow over blocks.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            auto &blocks = mf_.blocks();
+            for (auto it = blocks.rbegin(); it != blocks.rend();
+                 ++it) {
+                MachineBasicBlock *mbb = it->get();
+                std::set<unsigned> live;
+                for (MachineBasicBlock *succ : mbb->successors()) {
+                    const auto &in = liveIn_[succ->index()];
+                    live.insert(in.begin(), in.end());
+                }
+                for (auto mit = mbb->instrs().rbegin();
+                     mit != mbb->instrs().rend(); ++mit) {
+                    std::vector<unsigned> uses, defs;
+                    collectUsesDefs(**mit, uses, defs);
+                    for (unsigned d : defs)
+                        live.erase(d);
+                    for (unsigned u : uses)
+                        live.insert(u);
+                }
+                auto &in = liveIn_[mbb->index()];
+                if (live != in) {
+                    in = std::move(live);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    void
+    touch(unsigned vreg, int pos)
+    {
+        auto [it, fresh] =
+            intervals_.try_emplace(vreg, Interval{vreg, pos, pos});
+        if (!fresh) {
+            it->second.start = std::min(it->second.start, pos);
+            it->second.end = std::max(it->second.end, pos);
+        }
+    }
+
+    void
+    buildIntervals()
+    {
+        for (auto &mbb : mf_.blocks()) {
+            if (mbb->instrs().empty())
+                continue;
+            int bstart = index_[mbb->instrs().front().get()];
+            int bend = index_[mbb->instrs().back().get()];
+            // Live-in values span the whole block from its start.
+            for (unsigned v : liveIn_[mbb->index()])
+                touch(v, bstart);
+            // Values live out across the block extend to its end.
+            for (MachineBasicBlock *succ : mbb->successors())
+                for (unsigned v : liveIn_[succ->index()])
+                    touch(v, bend);
+            for (auto &mi : mbb->instrs()) {
+                int pos = index_[mi.get()];
+                std::vector<unsigned> uses, defs;
+                collectUsesDefs(*mi, uses, defs);
+                for (unsigned u : uses)
+                    touch(u, pos);
+                for (unsigned d : defs)
+                    touch(d, pos);
+                // Copy hints for coalescing.
+                if (coalesce_ && mi->opcode == kOpCopy &&
+                    mi->ops.size() == 2 &&
+                    mi->ops[1].kind == MOperand::Reg) {
+                    // Remember the relationship; resolved at
+                    // assignment time.
+                    copyPairs_.emplace_back(mi->ops[0].reg,
+                                            mi->ops[1].reg);
+                }
+            }
+        }
+        for (auto &[vreg, iv] : intervals_) {
+            for (int call : callPositions_) {
+                if (call > iv.start && call < iv.end) {
+                    iv.crossesCall = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    void
+    allocate()
+    {
+        // Reserve scratch registers (last two of each pool).
+        auto reserve = [&](RegClass rc, std::vector<unsigned> &out) {
+            const auto &pool = target_.allocatable(rc);
+            // Two scratch registers cover the worst case (an
+            // instruction with two spilled register uses).
+            size_t n = pool.size() >= 3 ? 2 : 1;
+            for (size_t i = pool.size() - n; i < pool.size(); ++i)
+                out.push_back(pool[i]);
+        };
+        reserve(RegClass::Int, scratchInt_);
+        reserve(RegClass::FP, scratchFP_);
+
+        std::vector<Interval *> list;
+        for (auto &[vreg, iv] : intervals_)
+            list.push_back(&iv);
+        std::sort(list.begin(), list.end(),
+                  [](const Interval *a, const Interval *b) {
+                      return a->start < b->start ||
+                             (a->start == b->start &&
+                              a->vreg < b->vreg);
+                  });
+
+        std::vector<Interval *> active;
+        std::map<unsigned, Interval *> physInUse;
+
+        auto expire = [&](int pos) {
+            for (auto it = active.begin(); it != active.end();) {
+                if ((*it)->end < pos) {
+                    physInUse.erase((*it)->assigned);
+                    it = active.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        };
+
+        for (Interval *iv : list) {
+            expire(iv->start);
+            RegClass rc = mf_.vregInfo(iv->vreg).regClass;
+            const auto &scratch =
+                rc == RegClass::Int ? scratchInt_ : scratchFP_;
+            const auto &calleeSaved = target_.calleeSaved(rc);
+
+            auto usable = [&](unsigned phys) {
+                if (physInUse.count(phys))
+                    return false;
+                if (std::find(scratch.begin(), scratch.end(), phys) !=
+                    scratch.end())
+                    return false;
+                if (iv->crossesCall &&
+                    std::find(calleeSaved.begin(), calleeSaved.end(),
+                              phys) == calleeSaved.end())
+                    return false;
+                return true;
+            };
+
+            unsigned chosen = 0;
+            // Try the coalescing hint first.
+            unsigned hint = hintFor(iv->vreg);
+            if (coalesce_ && hint && usable(hint))
+                chosen = hint;
+            if (!chosen) {
+                for (unsigned phys : target_.allocatable(rc)) {
+                    if (usable(phys)) {
+                        chosen = phys;
+                        break;
+                    }
+                }
+            }
+            if (chosen) {
+                iv->assigned = chosen;
+                active.push_back(iv);
+                physInUse[chosen] = iv;
+            } else {
+                // Spill the interval ending last (this one or an
+                // active one of the same class).
+                Interval *victim = iv;
+                for (Interval *a : active)
+                    if (mf_.vregInfo(a->vreg).regClass == rc &&
+                        a->end > victim->end &&
+                        !(iv->crossesCall && !a->crossesCall))
+                        victim = a;
+                if (victim != iv) {
+                    iv->assigned = victim->assigned;
+                    physInUse[iv->assigned] = iv;
+                    active.erase(std::find(active.begin(),
+                                           active.end(), victim));
+                    active.push_back(iv);
+                    victim->assigned = 0;
+                    victim->spilled = true;
+                } else {
+                    iv->spilled = true;
+                }
+            }
+        }
+    }
+
+    unsigned
+    hintFor(unsigned vreg)
+    {
+        for (auto &[a, b] : copyPairs_) {
+            unsigned other = 0;
+            if (a == vreg)
+                other = b;
+            else if (b == vreg)
+                other = a;
+            if (!other)
+                continue;
+            if (isVirtualReg(other)) {
+                auto it = intervals_.find(other);
+                if (it != intervals_.end() && it->second.assigned)
+                    return it->second.assigned;
+            } else {
+                return other; // physical hint (arg/ret copies)
+            }
+        }
+        return 0;
+    }
+
+    void
+    rewrite()
+    {
+        for (auto &mbb : mf_.blocks()) {
+            auto &instrs = mbb->instrs();
+            for (size_t i = 0; i < instrs.size(); ++i) {
+                MachineInstr &mi = *instrs[i];
+                unsigned scratchUsedInt = 0, scratchUsedFP = 0;
+
+                // Uses first: reload spilled values into scratch.
+                for (size_t o = mi.numDefs; o < mi.ops.size(); ++o) {
+                    MOperand &op = mi.ops[o];
+                    if (op.kind != MOperand::Reg ||
+                        !isVirtualReg(op.reg))
+                        continue;
+                    Interval &iv = intervals_.at(op.reg);
+                    const VRegInfo &info = mf_.vregInfo(op.reg);
+                    if (!iv.spilled) {
+                        op.reg = iv.assigned;
+                        continue;
+                    }
+                    bool fp = info.regClass == RegClass::FP;
+                    auto &scratch = fp ? scratchFP_ : scratchInt_;
+                    unsigned &used =
+                        fp ? scratchUsedFP : scratchUsedInt;
+                    LLVA_ASSERT(used < scratch.size(),
+                                "out of scratch registers");
+                    unsigned phys = scratch[used++];
+                    instrs.insert(
+                        instrs.begin() + static_cast<ptrdiff_t>(i),
+                        makeReload(phys, slots_.slotOf(op.reg), fp,
+                                   info.fp32));
+                    if (stats_)
+                        ++stats_->reloadsInserted;
+                    ++i;
+                    op.reg = phys;
+                }
+                // Defs: spill after the instruction.
+                for (size_t o = 0; o < mi.numDefs; ++o) {
+                    MOperand &op = mi.ops[o];
+                    if (op.kind != MOperand::Reg ||
+                        !isVirtualReg(op.reg))
+                        continue;
+                    Interval &iv = intervals_.at(op.reg);
+                    const VRegInfo &info = mf_.vregInfo(op.reg);
+                    if (!iv.spilled) {
+                        op.reg = iv.assigned;
+                        continue;
+                    }
+                    bool fp = info.regClass == RegClass::FP;
+                    auto &scratch = fp ? scratchFP_ : scratchInt_;
+                    unsigned phys = scratch[0];
+                    op.reg = phys;
+                    instrs.insert(
+                        instrs.begin() +
+                            static_cast<ptrdiff_t>(i + 1),
+                        makeSpill(phys, slots_.slotOf(
+                                            intervalVReg(iv)),
+                                  fp, info.fp32));
+                    if (stats_)
+                        ++stats_->spillsInserted;
+                }
+            }
+            // Delete coalesced copies (same source and dest).
+            for (auto it = instrs.begin(); it != instrs.end();) {
+                MachineInstr &mi = **it;
+                if (mi.opcode == kOpCopy && mi.ops.size() == 2 &&
+                    mi.ops[0].kind == MOperand::Reg &&
+                    mi.ops[1].kind == MOperand::Reg &&
+                    mi.ops[0].reg == mi.ops[1].reg) {
+                    if (stats_)
+                        ++stats_->phiCopiesCoalesced;
+                    it = instrs.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    static unsigned
+    intervalVReg(const Interval &iv)
+    {
+        return iv.vreg;
+    }
+
+    std::vector<std::pair<unsigned, unsigned>> copyPairs_;
+};
+
+} // namespace
+
+void
+allocateRegistersLocal(MachineFunction &mf, Target &target,
+                       CodeGenStats *stats)
+{
+    LocalAllocator(mf, target, stats).run();
+}
+
+void
+allocateRegistersLinearScan(MachineFunction &mf, Target &target,
+                            bool coalesce, CodeGenStats *stats)
+{
+    LinearScanAllocator(mf, target, coalesce, stats).run();
+}
+
+} // namespace llva

@@ -1,0 +1,26 @@
+#include "codegen/target.h"
+
+#include "target/sparc/sparc_target.h"
+#include "target/x86/x86_target.h"
+
+namespace llva {
+
+Target *
+getTarget(const std::string &name)
+{
+    static X86Target x86;
+    static SparcTarget sparc;
+    if (name == "x86")
+        return &x86;
+    if (name == "sparc")
+        return &sparc;
+    return nullptr;
+}
+
+std::vector<std::string>
+targetNames()
+{
+    return {"x86", "sparc"};
+}
+
+} // namespace llva

@@ -1,0 +1,115 @@
+#include "ir/basic_block.h"
+
+#include <algorithm>
+
+#include "ir/function.h"
+#include "ir/instructions.h"
+
+namespace llva {
+
+Instruction *
+BasicBlock::insertBefore(Instruction *before,
+                         std::unique_ptr<Instruction> inst)
+{
+    return insert(locate(before), std::move(inst));
+}
+
+BasicBlock::iterator
+BasicBlock::locate(Instruction *inst)
+{
+    for (auto it = insts_.begin(); it != insts_.end(); ++it)
+        if (it->get() == inst)
+            return it;
+    panic("instruction not in this block");
+}
+
+void
+BasicBlock::erase(Instruction *inst)
+{
+    auto it = locate(inst);
+    (*it)->dropAllOperands();
+    LLVA_ASSERT(!(*it)->hasUses(),
+                "erasing instruction '%s' that still has uses",
+                inst->name().c_str());
+    insts_.erase(it);
+}
+
+std::unique_ptr<Instruction>
+BasicBlock::remove(Instruction *inst)
+{
+    auto it = locate(inst);
+    std::unique_ptr<Instruction> owned = std::move(*it);
+    insts_.erase(it);
+    owned->setParent(nullptr);
+    return owned;
+}
+
+void
+BasicBlock::clear()
+{
+    // Break all def-use edges first so destruction order is safe.
+    for (auto &inst : insts_)
+        inst->dropAllOperands();
+    insts_.clear();
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    std::vector<BasicBlock *> out;
+    if (Instruction *term = terminator())
+        for (unsigned i = 0, e = term->numSuccessors(); i != e; ++i)
+            out.push_back(term->successor(i));
+    return out;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::predecessors() const
+{
+    std::vector<BasicBlock *> preds;
+    for (User *u : users()) {
+        auto *inst = dyn_cast<Instruction>(u);
+        if (!inst || !inst->isTerminator())
+            continue;
+        BasicBlock *pred = inst->parent();
+        if (std::find(preds.begin(), preds.end(), pred) == preds.end())
+            preds.push_back(pred);
+    }
+    return preds;
+}
+
+BasicBlock::iterator
+BasicBlock::firstNonPhi()
+{
+    auto it = insts_.begin();
+    while (it != insts_.end() && isa<PhiNode>(it->get()))
+        ++it;
+    return it;
+}
+
+BasicBlock::const_iterator
+BasicBlock::firstNonPhi() const
+{
+    auto it = insts_.begin();
+    while (it != insts_.end() && isa<PhiNode>(it->get()))
+        ++it;
+    return it;
+}
+
+BasicBlock *
+BasicBlock::splitBefore(Instruction *pos, const std::string &name)
+{
+    LLVA_ASSERT(parent_, "cannot split a detached block");
+    BasicBlock *tail = parent_->createBlockAfter(this, name);
+    auto it = locate(pos);
+    while (it != insts_.end()) {
+        std::unique_ptr<Instruction> inst = std::move(*it);
+        it = insts_.erase(it);
+        inst->setParent(tail);
+        tail->insts_.push_back(std::move(inst));
+    }
+    append(std::make_unique<BranchInst>(type()->context(), tail));
+    return tail;
+}
+
+} // namespace llva

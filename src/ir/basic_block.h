@@ -1,0 +1,134 @@
+/**
+ * @file
+ * BasicBlock: a label value owning a straight-line instruction list
+ * terminated by exactly one control-flow instruction.
+ *
+ * Paper Section 3.1: "Each function in LLVA is a list of basic
+ * blocks, and each basic block is a list of instructions ending in a
+ * single control flow instruction that explicitly specifies its
+ * successor basic blocks." Because blocks are Values (of label type)
+ * used by terminators and phis, the predecessor set falls out of the
+ * use list.
+ */
+
+#ifndef LLVA_IR_BASIC_BLOCK_H
+#define LLVA_IR_BASIC_BLOCK_H
+
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/value.h"
+
+namespace llva {
+
+class Function;
+
+class BasicBlock : public Value
+{
+  public:
+    using InstList = std::list<std::unique_ptr<Instruction>>;
+    using iterator = InstList::iterator;
+    using const_iterator = InstList::const_iterator;
+
+    BasicBlock(TypeContext &ctx, const std::string &name)
+        : Value(ctx.labelTy(), ValueKind::BasicBlock)
+    {
+        setName(name);
+    }
+
+    ~BasicBlock() override { clear(); }
+
+    Function *parent() const { return parent_; }
+    void setParent(Function *f) { parent_ = f; }
+
+    bool empty() const { return insts_.empty(); }
+    size_t size() const { return insts_.size(); }
+
+    iterator begin() { return insts_.begin(); }
+    iterator end() { return insts_.end(); }
+    const_iterator begin() const { return insts_.begin(); }
+    const_iterator end() const { return insts_.end(); }
+
+    Instruction *front() const { return insts_.front().get(); }
+    Instruction *back() const { return insts_.back().get(); }
+
+    /** The block's terminator, or nullptr if not yet terminated. */
+    Instruction *
+    terminator() const
+    {
+        if (insts_.empty() || !insts_.back()->isTerminator())
+            return nullptr;
+        return insts_.back().get();
+    }
+
+    /** Append an instruction, taking ownership. */
+    Instruction *
+    append(std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        insts_.push_back(std::move(inst));
+        return insts_.back().get();
+    }
+
+    /** Insert before \p pos, taking ownership. */
+    Instruction *
+    insert(iterator pos, std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        return insts_.insert(pos, std::move(inst))->get();
+    }
+
+    /** Insert immediately before an existing instruction. */
+    Instruction *insertBefore(Instruction *before,
+                              std::unique_ptr<Instruction> inst);
+
+    /** Remove and destroy \p inst (must belong to this block). */
+    void erase(Instruction *inst);
+
+    /** Remove without destroying; returns ownership. */
+    std::unique_ptr<Instruction> remove(Instruction *inst);
+
+    /** Iterator pointing at \p inst. */
+    iterator locate(Instruction *inst);
+
+    /** Destroy all instructions (dropping operands first). */
+    void clear();
+
+    /** Successor blocks, read off the terminator. */
+    std::vector<BasicBlock *> successors() const;
+
+    /**
+     * Predecessor blocks, computed from the use list: any terminator
+     * using this block as a target is a predecessor edge. Duplicate
+     * edges (e.g. both arms of a br to the same block) are collapsed.
+     */
+    std::vector<BasicBlock *> predecessors() const;
+
+    /** First non-phi instruction position. */
+    iterator firstNonPhi();
+    const_iterator firstNonPhi() const;
+
+    /**
+     * Split this block before \p pos; instructions from \p pos onward
+     * move to a new block which is returned. A br to the new block is
+     * appended here. Phi nodes and predecessor bookkeeping are the
+     * caller's concern.
+     */
+    BasicBlock *splitBefore(Instruction *pos, const std::string &name);
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::BasicBlock;
+    }
+
+  private:
+    InstList insts_;
+    Function *parent_ = nullptr;
+};
+
+} // namespace llva
+
+#endif // LLVA_IR_BASIC_BLOCK_H

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Constants and global values.
+ *
+ * Scalar constants (integers, floats, null pointers) are interned per
+ * Module so that pointer equality holds. Aggregate constants supply
+ * initializers for global variables.
+ */
+
+#ifndef LLVA_IR_CONSTANT_H
+#define LLVA_IR_CONSTANT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "ir/value.h"
+
+namespace llva {
+
+class Module;
+
+/** Base class of all constant values. */
+class Constant : public Value
+{
+  public:
+    static bool
+    classof(const Value *v)
+    {
+        switch (v->valueKind()) {
+          case ValueKind::ConstantInt:
+          case ValueKind::ConstantFP:
+          case ValueKind::ConstantNull:
+          case ValueKind::ConstantUndef:
+          case ValueKind::ConstantAggregate:
+          case ValueKind::ConstantString:
+          case ValueKind::GlobalVariable:
+          case ValueKind::Function:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+  protected:
+    Constant(Type *type, ValueKind vkind)
+        : Value(type, vkind)
+    {}
+};
+
+/**
+ * Integer or boolean constant. The value is stored as the 64-bit
+ * sign- or zero-extension (per the type's signedness) of the
+ * constant's bit pattern.
+ */
+class ConstantInt : public Constant
+{
+  public:
+    ConstantInt(Type *type, uint64_t bits)
+        : Constant(type, ValueKind::ConstantInt), bits_(bits)
+    {}
+
+    /** Raw 64-bit representation (sign-extended if signed type). */
+    uint64_t bits() const { return bits_; }
+    int64_t sext() const { return static_cast<int64_t>(bits_); }
+    uint64_t zext() const { return bits_; }
+
+    bool isZero() const { return bits_ == 0; }
+    bool isOne() const { return bits_ == 1; }
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantInt;
+    }
+
+  private:
+    uint64_t bits_;
+};
+
+/** Floating-point constant (float constants stored widened). */
+class ConstantFP : public Constant
+{
+  public:
+    ConstantFP(Type *type, double value)
+        : Constant(type, ValueKind::ConstantFP), value_(value)
+    {}
+
+    double value() const { return value_; }
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantFP;
+    }
+
+  private:
+    double value_;
+};
+
+/** The null pointer constant of some pointer type. */
+class ConstantNull : public Constant
+{
+  public:
+    explicit ConstantNull(PointerType *type)
+        : Constant(type, ValueKind::ConstantNull)
+    {}
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantNull;
+    }
+};
+
+/** Undefined value of any first-class type. */
+class ConstantUndef : public Constant
+{
+  public:
+    explicit ConstantUndef(Type *type)
+        : Constant(type, ValueKind::ConstantUndef)
+    {}
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantUndef;
+    }
+};
+
+/**
+ * Constant array or structure initializer. Elements are plain
+ * references (no use tracking): initializers are immutable data, not
+ * part of the rewritable SSA graph.
+ */
+class ConstantAggregate : public Constant
+{
+  public:
+    ConstantAggregate(Type *type, std::vector<Constant *> elems)
+        : Constant(type, ValueKind::ConstantAggregate),
+          elems_(std::move(elems))
+    {}
+
+    size_t numElements() const { return elems_.size(); }
+    Constant *element(size_t i) const { return elems_[i]; }
+    const std::vector<Constant *> &elements() const { return elems_; }
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantAggregate;
+    }
+
+  private:
+    std::vector<Constant *> elems_;
+};
+
+/** Byte-string constant; type is [N x ubyte] (NUL included if added). */
+class ConstantString : public Constant
+{
+  public:
+    ConstantString(ArrayType *type, std::string data)
+        : Constant(type, ValueKind::ConstantString),
+          data_(std::move(data))
+    {}
+
+    const std::string &data() const { return data_; }
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::ConstantString;
+    }
+
+  private:
+    std::string data_;
+};
+
+/** Linkage of globals and functions. */
+enum class Linkage : uint8_t {
+    External, ///< Visible to other modules.
+    Internal, ///< Local to this module.
+};
+
+/**
+ * A module-level global variable. Its value type is `T*` where T is
+ * the contained type; loads/stores go through that pointer.
+ */
+class GlobalVariable : public Constant
+{
+  public:
+    GlobalVariable(PointerType *type, const std::string &name,
+                   Constant *init, bool is_constant, Linkage linkage)
+        : Constant(type, ValueKind::GlobalVariable), init_(init),
+          isConstant_(is_constant), linkage_(linkage)
+    {
+        setName(name);
+    }
+
+    /** The contained (pointed-to) type. */
+    Type *
+    containedType() const
+    {
+        return cast<PointerType>(type())->pointee();
+    }
+
+    Constant *initializer() const { return init_; }
+    void setInitializer(Constant *c) { init_ = c; }
+    bool isConstant() const { return isConstant_; }
+    Linkage linkage() const { return linkage_; }
+
+    static bool
+    classof(const Value *v)
+    {
+        return v->valueKind() == ValueKind::GlobalVariable;
+    }
+
+  private:
+    Constant *init_;
+    bool isConstant_;
+    Linkage linkage_;
+};
+
+} // namespace llva
+
+#endif // LLVA_IR_CONSTANT_H

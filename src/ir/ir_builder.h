@@ -1,0 +1,211 @@
+/**
+ * @file
+ * IRBuilder: convenience interface for constructing LLVA instructions
+ * at an insertion point. This is the API external compilers (and our
+ * workload generators) use to emit virtual object code.
+ */
+
+#ifndef LLVA_IR_IR_BUILDER_H
+#define LLVA_IR_IR_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instructions.h"
+#include "ir/module.h"
+
+namespace llva {
+
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &m)
+        : m_(m)
+    {}
+
+    IRBuilder(Module &m, BasicBlock *bb)
+        : m_(m), block_(bb)
+    {}
+
+    Module &module() const { return m_; }
+    TypeContext &types() const { return m_.types(); }
+
+    /** Append subsequent instructions to the end of \p bb. */
+    void setInsertPoint(BasicBlock *bb) { block_ = bb; }
+    BasicBlock *insertBlock() const { return block_; }
+
+    // --- Constants -----------------------------------------------------
+
+    ConstantInt *cInt(int64_t v) { return m_.constantInt(types().intTy(), static_cast<uint64_t>(v)); }
+    ConstantInt *cUInt(uint64_t v) { return m_.constantInt(types().uintTy(), v); }
+    ConstantInt *cLong(int64_t v) { return m_.constantInt(types().longTy(), static_cast<uint64_t>(v)); }
+    ConstantInt *cULong(uint64_t v) { return m_.constantInt(types().ulongTy(), v); }
+    ConstantInt *cUByte(uint8_t v) { return m_.constantInt(types().ubyteTy(), v); }
+    ConstantInt *cBool(bool v) { return m_.constantBool(v); }
+    ConstantFP *cDouble(double v) { return m_.constantFP(types().doubleTy(), v); }
+    ConstantFP *cFloat(double v) { return m_.constantFP(types().floatTy(), v); }
+    ConstantNull *cNull(Type *pointee) { return m_.constantNull(types().pointerTo(pointee)); }
+
+    // --- Instructions --------------------------------------------------
+
+    Value *
+    binary(Opcode op, Value *lhs, Value *rhs, const std::string &name = "")
+    {
+        return insert(new BinaryOperator(op, lhs, rhs), name);
+    }
+
+    Value *add(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Add, l, r, n); }
+    Value *sub(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Sub, l, r, n); }
+    Value *mul(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Mul, l, r, n); }
+    Value *div(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Div, l, r, n); }
+    Value *rem(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Rem, l, r, n); }
+    Value *band(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::And, l, r, n); }
+    Value *bor(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Or, l, r, n); }
+    Value *bxor(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Xor, l, r, n); }
+    Value *shl(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Shl, l, r, n); }
+    Value *shr(Value *l, Value *r, const std::string &n = "") { return binary(Opcode::Shr, l, r, n); }
+
+    Value *
+    cmp(Opcode op, Value *lhs, Value *rhs, const std::string &name = "")
+    {
+        return insert(new SetCondInst(op, lhs, rhs), name);
+    }
+
+    Value *setEQ(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetEQ, l, r, n); }
+    Value *setNE(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetNE, l, r, n); }
+    Value *setLT(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetLT, l, r, n); }
+    Value *setGT(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetGT, l, r, n); }
+    Value *setLE(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetLE, l, r, n); }
+    Value *setGE(Value *l, Value *r, const std::string &n = "") { return cmp(Opcode::SetGE, l, r, n); }
+
+    Instruction *
+    retVoid()
+    {
+        return insert(new ReturnInst(types()), "");
+    }
+
+    Instruction *
+    ret(Value *v)
+    {
+        return insert(new ReturnInst(types(), v), "");
+    }
+
+    Instruction *
+    br(BasicBlock *dest)
+    {
+        return insert(new BranchInst(types(), dest), "");
+    }
+
+    Instruction *
+    condBr(Value *cond, BasicBlock *t, BasicBlock *f)
+    {
+        return insert(new BranchInst(types(), cond, t, f), "");
+    }
+
+    MBrInst *
+    mbr(Value *value, BasicBlock *def)
+    {
+        return static_cast<MBrInst *>(
+            insert(new MBrInst(types(), value, def), ""));
+    }
+
+    Value *
+    invoke(Function *callee, const std::vector<Value *> &args,
+           BasicBlock *normal, BasicBlock *unwind,
+           const std::string &name = "")
+    {
+        return insert(
+            new InvokeInst(callee->returnType(), callee, args, normal,
+                           unwind),
+            name);
+    }
+
+    Instruction *
+    unwind()
+    {
+        return insert(new UnwindInst(types()), "");
+    }
+
+    Value *
+    load(Value *ptr, const std::string &name = "")
+    {
+        return insert(new LoadInst(ptr), name);
+    }
+
+    Instruction *
+    store(Value *value, Value *ptr)
+    {
+        return insert(new StoreInst(value, ptr), "");
+    }
+
+    Value *
+    gep(Value *ptr, const std::vector<Value *> &indices,
+        const std::string &name = "")
+    {
+        return insert(new GetElementPtrInst(ptr, indices), name);
+    }
+
+    /** gep %p, long i — index a pointer-as-array. */
+    Value *
+    gepAt(Value *ptr, Value *index, const std::string &name = "")
+    {
+        return gep(ptr, {index}, name);
+    }
+
+    /** gep %p, long 0, ubyte field — address a struct field. */
+    Value *
+    gepField(Value *ptr, unsigned field, const std::string &name = "")
+    {
+        return gep(ptr, {cLong(0), cUByte(static_cast<uint8_t>(field))},
+                   name);
+    }
+
+    Value *
+    alloca_(Type *type, Value *array_size = nullptr,
+            const std::string &name = "")
+    {
+        return insert(new AllocaInst(type, array_size), name);
+    }
+
+    Value *
+    cast_(Value *v, Type *dest, const std::string &name = "")
+    {
+        if (v->type() == dest)
+            return v;
+        return insert(new CastInst(v, dest), name);
+    }
+
+    Value *
+    call(Value *callee, const std::vector<Value *> &args,
+         const std::string &name = "")
+    {
+        auto *pt = cast<PointerType>(callee->type());
+        auto *ft = cast<FunctionType>(pt->pointee());
+        return insert(new CallInst(ft->returnType(), callee, args),
+                      name);
+    }
+
+    PhiNode *
+    phi(Type *type, const std::string &name = "")
+    {
+        return static_cast<PhiNode *>(insert(new PhiNode(type), name));
+    }
+
+  private:
+    Instruction *
+    insert(Instruction *inst, const std::string &name)
+    {
+        LLVA_ASSERT(block_, "IRBuilder has no insertion point");
+        if (!name.empty())
+            inst->setName(name);
+        return block_->append(std::unique_ptr<Instruction>(inst));
+    }
+
+    Module &m_;
+    BasicBlock *block_ = nullptr;
+};
+
+} // namespace llva
+
+#endif // LLVA_IR_IR_BUILDER_H

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * The LLVA assembly writer. Output follows the paper's Fig. 2 syntax
+ * and round-trips through the parser.
+ */
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "ir/instructions.h"
+#include "ir/module.h"
+
+namespace llva {
+
+namespace {
+
+/** Words that cannot stand alone as a label or value name. */
+bool
+isReservedWord(const std::string &name)
+{
+    static const std::set<std::string> reserved = {
+        // types
+        "void", "bool", "ubyte", "sbyte", "ushort", "short", "uint",
+        "int", "ulong", "long", "float", "double", "label",
+        // opcodes
+        "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+        "shl", "shr", "seteq", "setne", "setlt", "setgt", "setle",
+        "setge", "ret", "br", "mbr", "invoke", "unwind", "load",
+        "store", "getelementptr", "alloca", "cast", "call", "phi",
+        // structure keywords and literals
+        "declare", "internal", "global", "constant", "target",
+        "type", "to", "null", "true", "false", "undef",
+        "zeroinitializer", "x",
+    };
+    return reserved.count(name) != 0;
+}
+
+/** Is \p name printable without renaming? */
+bool
+isSimpleName(const std::string &name)
+{
+    if (name.empty() || isReservedWord(name))
+        return false;
+    for (char c : name)
+        if (!isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '_' && c != '$' && c != '-')
+            return false;
+    return true;
+}
+
+std::string
+fpToString(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // Ensure the token is recognizably floating-point.
+    if (s.find_first_of(".eEnN") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+/** Per-module printing state: local value names per function. */
+class Printer
+{
+  public:
+    explicit Printer(const Module &m, std::ostream &os)
+        : m_(m), os_(os)
+    {}
+
+    void
+    run()
+    {
+        os_ << "; module '" << m_.name() << "'\n";
+        os_ << "target pointersize = "
+            << m_.targetFlags().pointerSize * 8 << "\n";
+        os_ << "target endian = "
+            << (m_.targetFlags().bigEndian ? "big" : "little")
+            << "\n\n";
+
+        for (const auto &[name, st] : m_.types().namedTypes()) {
+            os_ << "%" << name << " = type { ";
+            for (size_t i = 0; i < st->numFields(); ++i) {
+                if (i)
+                    os_ << ", ";
+                os_ << st->field(i)->str();
+            }
+            os_ << " }\n";
+        }
+        if (!m_.types().namedTypes().empty())
+            os_ << "\n";
+
+        for (const auto &gv : m_.globals())
+            printGlobal(gv.get());
+        if (!m_.globals().empty())
+            os_ << "\n";
+
+        for (const auto &f : m_.functions())
+            printFunction(f.get());
+    }
+
+  private:
+    void
+    printGlobal(const GlobalVariable *gv)
+    {
+        os_ << "%" << gv->name() << " = ";
+        if (gv->linkage() == Linkage::Internal)
+            os_ << "internal ";
+        os_ << (gv->isConstant() ? "constant " : "global ");
+        os_ << gv->containedType()->str();
+        if (gv->initializer()) {
+            os_ << " ";
+            printConstantValue(gv->initializer());
+        } else {
+            os_ << " zeroinitializer";
+        }
+        os_ << "\n";
+    }
+
+    /** Initializer payload (no leading type). */
+    void
+    printConstantValue(const Constant *c)
+    {
+        if (auto *ci = dyn_cast<ConstantInt>(c)) {
+            if (ci->type()->isBool())
+                os_ << (ci->isZero() ? "false" : "true");
+            else if (ci->type()->isSignedInteger())
+                os_ << ci->sext();
+            else
+                os_ << ci->zext();
+        } else if (auto *cf = dyn_cast<ConstantFP>(c)) {
+            os_ << fpToString(cf->value());
+        } else if (isa<ConstantNull>(c)) {
+            os_ << "null";
+        } else if (isa<ConstantUndef>(c)) {
+            os_ << "undef";
+        } else if (auto *cs = dyn_cast<ConstantString>(c)) {
+            os_ << "c\"";
+            for (char ch : cs->data()) {
+                auto u = static_cast<unsigned char>(ch);
+                if (isprint(u) && ch != '"' && ch != '\\') {
+                    os_ << ch;
+                } else {
+                    char buf[4];
+                    std::snprintf(buf, sizeof(buf), "\\%02X", u);
+                    os_ << buf;
+                }
+            }
+            os_ << "\"";
+        } else if (auto *ca = dyn_cast<ConstantAggregate>(c)) {
+            bool is_struct = ca->type()->isStruct();
+            os_ << (is_struct ? "{ " : "[ ");
+            for (size_t i = 0; i < ca->numElements(); ++i) {
+                if (i)
+                    os_ << ", ";
+                const Constant *e = ca->element(i);
+                os_ << e->type()->str() << " ";
+                printConstantValue(e);
+            }
+            os_ << (is_struct ? " }" : " ]");
+        } else if (auto *f = dyn_cast<Function>(c)) {
+            os_ << "%" << f->name();
+        } else if (auto *g = dyn_cast<GlobalVariable>(c)) {
+            os_ << "%" << g->name();
+        } else {
+            panic("unprintable constant");
+        }
+    }
+
+    /** Build printable names for every local value in \p f. */
+    void
+    nameLocals(const Function *f)
+    {
+        names_.clear();
+        std::set<std::string> taken;
+        unsigned slot = 0;
+
+        auto assign = [&](const Value *v, bool is_block) {
+            std::string base =
+                isSimpleName(v->name()) ? v->name() : std::string();
+            if (base.empty()) {
+                // Labels must lex as words, so blocks get an "L"
+                // prefix; values can be bare slot numbers.
+                base = (is_block ? "L" : "") +
+                       std::to_string(slot++);
+            }
+            std::string name = base;
+            unsigned suffix = 0;
+            while (taken.count(name))
+                name = base + "." + std::to_string(++suffix);
+            taken.insert(name);
+            names_[v] = name;
+        };
+
+        for (const auto &arg : f->args())
+            assign(arg.get(), false);
+        for (const auto &bb : *f) {
+            assign(bb.get(), true);
+            for (const auto &inst : *bb)
+                if (!inst->type()->isVoid())
+                    assign(inst.get(), false);
+        }
+    }
+
+    /** Operand reference without its type: %name / literal. */
+    std::string
+    ref(const Value *v)
+    {
+        if (auto *c = dyn_cast<ConstantInt>(v)) {
+            if (c->type()->isBool())
+                return c->isZero() ? "false" : "true";
+            return c->type()->isSignedInteger()
+                       ? std::to_string(c->sext())
+                       : std::to_string(c->zext());
+        }
+        if (auto *c = dyn_cast<ConstantFP>(v))
+            return fpToString(c->value());
+        if (isa<ConstantNull>(v))
+            return "null";
+        if (isa<ConstantUndef>(v))
+            return "undef";
+        if (auto *f = dyn_cast<Function>(v))
+            return "%" + f->name();
+        if (auto *g = dyn_cast<GlobalVariable>(v))
+            return "%" + g->name();
+        auto it = names_.find(v);
+        LLVA_ASSERT(it != names_.end(), "operand has no printed name");
+        return "%" + it->second;
+    }
+
+    /** Operand reference with its type: `int %x`. */
+    std::string
+    typedRef(const Value *v)
+    {
+        return v->type()->str() + " " + ref(v);
+    }
+
+    void
+    printFunction(const Function *f)
+    {
+        if (f->isDeclaration()) {
+            os_ << "declare " << f->returnType()->str() << " %"
+                << f->name() << "(";
+            for (size_t i = 0; i < f->numArgs(); ++i) {
+                if (i)
+                    os_ << ", ";
+                os_ << f->arg(i)->type()->str();
+            }
+            if (f->functionType()->isVarArg())
+                os_ << (f->numArgs() ? ", ..." : "...");
+            os_ << ")\n\n";
+            return;
+        }
+
+        nameLocals(f);
+        if (f->linkage() == Linkage::Internal)
+            os_ << "internal ";
+        os_ << f->returnType()->str() << " %" << f->name() << "(";
+        for (size_t i = 0; i < f->numArgs(); ++i) {
+            if (i)
+                os_ << ", ";
+            os_ << f->arg(i)->type()->str() << " %"
+                << names_[f->arg(i)];
+        }
+        if (f->functionType()->isVarArg())
+            os_ << (f->numArgs() ? ", ..." : "...");
+        os_ << ") {\n";
+
+        bool first = true;
+        for (const auto &bb : *f) {
+            if (!first)
+                os_ << "\n";
+            first = false;
+            os_ << names_[bb.get()] << ":\n";
+            for (const auto &inst : *bb)
+                printInstruction(inst.get());
+        }
+        os_ << "}\n\n";
+    }
+
+    void
+    printInstruction(const Instruction *inst)
+    {
+        os_ << "    ";
+        if (!inst->type()->isVoid())
+            os_ << "%" << names_[inst] << " = ";
+        switch (inst->opcode()) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr: {
+            auto *b = cast<BinaryOperator>(inst);
+            os_ << inst->opcodeStr() << " " << typedRef(b->lhs()) << ", ";
+            // Shift amounts are ubyte while the result is lhs-typed,
+            // so spell the rhs type out for shifts: "shl int %x, ubyte 3".
+            if (inst->opcode() == Opcode::Shl ||
+                inst->opcode() == Opcode::Shr)
+                os_ << typedRef(b->rhs());
+            else
+                os_ << ref(b->rhs());
+            break;
+          }
+          case Opcode::SetEQ:
+          case Opcode::SetNE:
+          case Opcode::SetLT:
+          case Opcode::SetGT:
+          case Opcode::SetLE:
+          case Opcode::SetGE: {
+            auto *s = cast<SetCondInst>(inst);
+            os_ << inst->opcodeStr() << " " << typedRef(s->lhs()) << ", "
+                << ref(s->rhs());
+            break;
+          }
+          case Opcode::Ret: {
+            auto *r = cast<ReturnInst>(inst);
+            if (r->returnValue())
+                os_ << "ret " << typedRef(r->returnValue());
+            else
+                os_ << "ret void";
+            break;
+          }
+          case Opcode::Br: {
+            auto *b = cast<BranchInst>(inst);
+            if (b->isConditional())
+                os_ << "br " << typedRef(b->condition()) << ", label "
+                    << ref(b->target(0)) << ", label "
+                    << ref(b->target(1));
+            else
+                os_ << "br label " << ref(b->target(0));
+            break;
+          }
+          case Opcode::MBr: {
+            auto *m = cast<MBrInst>(inst);
+            os_ << "mbr " << typedRef(m->condition()) << ", label "
+                << ref(m->defaultDest()) << " [";
+            for (unsigned i = 0; i < m->numCases(); ++i) {
+                if (i)
+                    os_ << ",";
+                os_ << " " << typedRef(m->caseValue(i)) << ", label "
+                    << ref(m->caseDest(i));
+            }
+            os_ << " ]";
+            break;
+          }
+          case Opcode::Invoke: {
+            auto *iv = cast<InvokeInst>(inst);
+            os_ << "invoke " << iv->type()->str() << " "
+                << ref(iv->callee()) << "(";
+            for (unsigned i = 0; i < iv->numArgs(); ++i) {
+                if (i)
+                    os_ << ", ";
+                os_ << typedRef(iv->arg(i));
+            }
+            os_ << ") to label " << ref(iv->normalDest())
+                << " unwind label " << ref(iv->unwindDest());
+            break;
+          }
+          case Opcode::Unwind:
+            os_ << "unwind";
+            break;
+          case Opcode::Load: {
+            auto *l = cast<LoadInst>(inst);
+            os_ << "load " << typedRef(l->pointer());
+            break;
+          }
+          case Opcode::Store: {
+            auto *s = cast<StoreInst>(inst);
+            os_ << "store " << typedRef(s->value()) << ", "
+                << typedRef(s->pointer());
+            break;
+          }
+          case Opcode::GetElementPtr: {
+            auto *g = cast<GetElementPtrInst>(inst);
+            os_ << "getelementptr " << typedRef(g->pointer());
+            for (unsigned i = 0; i < g->numIndices(); ++i)
+                os_ << ", " << typedRef(g->index(i));
+            break;
+          }
+          case Opcode::Alloca: {
+            auto *a = cast<AllocaInst>(inst);
+            os_ << "alloca " << a->allocatedType()->str();
+            if (a->arraySize())
+                os_ << ", " << typedRef(a->arraySize());
+            break;
+          }
+          case Opcode::Cast: {
+            auto *c = cast<CastInst>(inst);
+            os_ << "cast " << typedRef(c->value()) << " to "
+                << c->type()->str();
+            break;
+          }
+          case Opcode::Call: {
+            auto *c = cast<CallInst>(inst);
+            os_ << "call " << c->type()->str() << " " << ref(c->callee())
+                << "(";
+            for (unsigned i = 0; i < c->numArgs(); ++i) {
+                if (i)
+                    os_ << ", ";
+                os_ << typedRef(c->arg(i));
+            }
+            os_ << ")";
+            break;
+          }
+          case Opcode::Phi: {
+            auto *p = cast<PhiNode>(inst);
+            os_ << "phi " << p->type()->str();
+            for (unsigned i = 0; i < p->numIncoming(); ++i) {
+                os_ << (i ? ", [ " : " [ ")
+                    << ref(p->incomingValue(i)) << ", "
+                    << ref(p->incomingBlock(i)) << " ]";
+            }
+            break;
+          }
+        }
+        // Non-default ExceptionsEnabled is an explicit attribute
+        // (paper Section 3.3).
+        if (inst->exceptionsEnabled() !=
+            defaultExceptionsEnabled(inst->opcode()))
+            os_ << (inst->exceptionsEnabled() ? " !ee(true)"
+                                              : " !ee(false)");
+        os_ << "\n";
+    }
+
+    const Module &m_;
+    std::ostream &os_;
+    std::map<const Value *, std::string> names_;
+};
+
+} // namespace
+
+void
+Module::print(std::ostream &os) const
+{
+    Printer(*this, os).run();
+}
+
+} // namespace llva

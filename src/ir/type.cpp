@@ -1,0 +1,278 @@
+#include "ir/type.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace llva {
+
+namespace {
+
+/** Round \p v up to a multiple of \p align. */
+uint64_t
+alignTo(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // namespace
+
+uint64_t
+Type::sizeInBytes(unsigned ptr_size) const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+      case TypeKind::Label:
+      case TypeKind::Function:
+        return 0;
+      case TypeKind::Bool:
+      case TypeKind::UByte:
+      case TypeKind::SByte:
+        return 1;
+      case TypeKind::UShort:
+      case TypeKind::Short:
+        return 2;
+      case TypeKind::UInt:
+      case TypeKind::Int:
+      case TypeKind::Float:
+        return 4;
+      case TypeKind::ULong:
+      case TypeKind::Long:
+      case TypeKind::Double:
+        return 8;
+      case TypeKind::Pointer:
+        return ptr_size;
+      case TypeKind::Array: {
+        auto *at = cast<ArrayType>(this);
+        return at->numElements() *
+               at->element()->sizeInBytes(ptr_size);
+      }
+      case TypeKind::Struct: {
+        auto *st = cast<StructType>(this);
+        if (st->numFields() == 0)
+            return 0;
+        uint64_t end = st->fieldOffset(st->numFields() - 1, ptr_size) +
+                       st->field(st->numFields() - 1)
+                           ->sizeInBytes(ptr_size);
+        return alignTo(end, alignment(ptr_size));
+      }
+    }
+    return 0;
+}
+
+uint64_t
+Type::alignment(unsigned ptr_size) const
+{
+    switch (kind_) {
+      case TypeKind::Array:
+        return cast<ArrayType>(this)->element()->alignment(ptr_size);
+      case TypeKind::Struct: {
+        uint64_t a = 1;
+        for (Type *f : cast<StructType>(this)->fields())
+            a = std::max(a, f->alignment(ptr_size));
+        return a;
+      }
+      default: {
+        uint64_t sz = sizeInBytes(ptr_size);
+        return sz ? sz : 1;
+      }
+    }
+}
+
+uint64_t
+StructType::fieldOffset(size_t i, unsigned ptr_size) const
+{
+    LLVA_ASSERT(i < fields_.size(), "field index out of range");
+    uint64_t off = 0;
+    for (size_t f = 0; f <= i; ++f) {
+        off = alignTo(off, fields_[f]->alignment(ptr_size));
+        if (f == i)
+            return off;
+        off += fields_[f]->sizeInBytes(ptr_size);
+    }
+    return off;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+        return "void";
+      case TypeKind::Bool:
+        return "bool";
+      case TypeKind::UByte:
+        return "ubyte";
+      case TypeKind::SByte:
+        return "sbyte";
+      case TypeKind::UShort:
+        return "ushort";
+      case TypeKind::Short:
+        return "short";
+      case TypeKind::UInt:
+        return "uint";
+      case TypeKind::Int:
+        return "int";
+      case TypeKind::ULong:
+        return "ulong";
+      case TypeKind::Long:
+        return "long";
+      case TypeKind::Float:
+        return "float";
+      case TypeKind::Double:
+        return "double";
+      case TypeKind::Label:
+        return "label";
+      case TypeKind::Pointer:
+        return cast<PointerType>(this)->pointee()->str() + "*";
+      case TypeKind::Array: {
+        auto *at = cast<ArrayType>(this);
+        return "[" + std::to_string(at->numElements()) + " x " +
+               at->element()->str() + "]";
+      }
+      case TypeKind::Struct: {
+        auto *st = cast<StructType>(this);
+        if (!st->name().empty())
+            return "%" + st->name();
+        std::string s = "{ ";
+        for (size_t i = 0; i < st->numFields(); ++i) {
+            if (i)
+                s += ", ";
+            s += st->field(i)->str();
+        }
+        return s + " }";
+      }
+      case TypeKind::Function: {
+        auto *ft = cast<FunctionType>(this);
+        std::string s = ft->returnType()->str() + " (";
+        for (size_t i = 0; i < ft->numParams(); ++i) {
+            if (i)
+                s += ", ";
+            s += ft->paramType(i)->str();
+        }
+        if (ft->isVarArg())
+            s += ft->numParams() ? ", ..." : "...";
+        return s + ")";
+      }
+    }
+    return "<badtype>";
+}
+
+TypeContext::TypeContext() = default;
+TypeContext::~TypeContext() = default;
+
+Type *
+TypeContext::prim(TypeKind kind)
+{
+    auto it = prims_.find(kind);
+    if (it != prims_.end())
+        return it->second;
+    struct PrimType : Type
+    {
+        PrimType(TypeContext &ctx, TypeKind k) : Type(ctx, k) {}
+    };
+    auto t = std::make_unique<PrimType>(*this, kind);
+    Type *raw = t.get();
+    owned_.push_back(std::move(t));
+    prims_[kind] = raw;
+    return raw;
+}
+
+Type *
+TypeContext::primByName(const std::string &name)
+{
+    static const std::map<std::string, TypeKind> table = {
+        {"void", TypeKind::Void},     {"bool", TypeKind::Bool},
+        {"ubyte", TypeKind::UByte},   {"sbyte", TypeKind::SByte},
+        {"ushort", TypeKind::UShort}, {"short", TypeKind::Short},
+        {"uint", TypeKind::UInt},     {"int", TypeKind::Int},
+        {"ulong", TypeKind::ULong},   {"long", TypeKind::Long},
+        {"float", TypeKind::Float},   {"double", TypeKind::Double},
+        {"label", TypeKind::Label},
+    };
+    auto it = table.find(name);
+    return it == table.end() ? nullptr : prim(it->second);
+}
+
+PointerType *
+TypeContext::pointerTo(Type *pointee)
+{
+    LLVA_ASSERT(pointee && !pointee->isVoid() && !pointee->isLabel(),
+                "invalid pointee type");
+    auto it = pointers_.find(pointee);
+    if (it != pointers_.end())
+        return it->second;
+    auto *t = new PointerType(*this, pointee);
+    owned_.emplace_back(t);
+    pointers_[pointee] = t;
+    return t;
+}
+
+ArrayType *
+TypeContext::arrayOf(Type *element, uint64_t num)
+{
+    auto key = std::make_pair(element, num);
+    auto it = arrays_.find(key);
+    if (it != arrays_.end())
+        return it->second;
+    auto *t = new ArrayType(*this, element, num);
+    owned_.emplace_back(t);
+    arrays_[key] = t;
+    return t;
+}
+
+StructType *
+TypeContext::structOf(const std::vector<Type *> &fields)
+{
+    auto it = structs_.find(fields);
+    if (it != structs_.end())
+        return it->second;
+    auto *t = new StructType(*this, fields);
+    owned_.emplace_back(t);
+    structs_[fields] = t;
+    return t;
+}
+
+StructType *
+TypeContext::namedStruct(const std::string &name,
+                         const std::vector<Type *> &fields)
+{
+    LLVA_ASSERT(!named_.count(name), "duplicate named type %%%s",
+                name.c_str());
+    auto *t = new StructType(*this, fields);
+    t->setName(name);
+    owned_.emplace_back(t);
+    named_[name] = t;
+    return t;
+}
+
+StructType *
+TypeContext::getOrCreateNamedStruct(const std::string &name)
+{
+    if (StructType *st = namedType(name))
+        return st;
+    return namedStruct(name, {});
+}
+
+StructType *
+TypeContext::namedType(const std::string &name) const
+{
+    auto it = named_.find(name);
+    return it == named_.end() ? nullptr : it->second;
+}
+
+FunctionType *
+TypeContext::functionOf(Type *ret, const std::vector<Type *> &params,
+                        bool vararg)
+{
+    auto key = std::make_pair(ret, std::make_pair(params, vararg));
+    auto it = functions_.find(key);
+    if (it != functions_.end())
+        return it->second;
+    auto *t = new FunctionType(*this, ret, params, vararg);
+    owned_.emplace_back(t);
+    functions_[key] = t;
+    return t;
+}
+
+} // namespace llva

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The LLVA type system (paper Section 3.1).
+ *
+ * The type system is deliberately small: primitive scalar types with
+ * predefined sizes (bool, sbyte/ubyte, short/ushort, int/uint,
+ * long/ulong, float, double), plus exactly four derived types —
+ * pointer, array, structure, and function. All instructions are
+ * strictly typed over these; there is no implicit coercion (the
+ * `cast` instruction is the sole conversion mechanism).
+ *
+ * Types are interned: structurally identical types are represented by
+ * a single Type object owned by a TypeContext, so pointer equality is
+ * type equality.
+ */
+
+#ifndef LLVA_IR_TYPE_H
+#define LLVA_IR_TYPE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/casting.h"
+
+namespace llva {
+
+class TypeContext;
+
+/** Discriminator for every LLVA type. */
+enum class TypeKind : uint8_t {
+    Void,
+    Bool,
+    UByte,
+    SByte,
+    UShort,
+    Short,
+    UInt,
+    Int,
+    ULong,
+    Long,
+    Float,
+    Double,
+    Label,
+    Pointer,
+    Array,
+    Struct,
+    Function,
+};
+
+/**
+ * Base class for all LLVA types. Interned and immutable; compare with
+ * pointer equality.
+ */
+class Type
+{
+  public:
+    virtual ~Type() = default;
+
+    TypeKind kind() const { return kind_; }
+    TypeContext &context() const { return ctx_; }
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isBool() const { return kind_ == TypeKind::Bool; }
+    bool isLabel() const { return kind_ == TypeKind::Label; }
+    bool isPointer() const { return kind_ == TypeKind::Pointer; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+    bool isFunction() const { return kind_ == TypeKind::Function; }
+
+    bool
+    isInteger() const
+    {
+        return kind_ >= TypeKind::UByte && kind_ <= TypeKind::Long;
+    }
+
+    bool
+    isSignedInteger() const
+    {
+        return kind_ == TypeKind::SByte || kind_ == TypeKind::Short ||
+               kind_ == TypeKind::Int || kind_ == TypeKind::Long;
+    }
+
+    bool
+    isUnsignedInteger() const
+    {
+        return isInteger() && !isSignedInteger();
+    }
+
+    bool
+    isFloatingPoint() const
+    {
+        return kind_ == TypeKind::Float || kind_ == TypeKind::Double;
+    }
+
+    /** Integer, bool, FP, or pointer — what a virtual register holds. */
+    bool
+    isScalar() const
+    {
+        return isBool() || isInteger() || isFloatingPoint() ||
+               isPointer();
+    }
+
+    /** Usable as the element type of memory (loads/stores/allocas). */
+    bool
+    isFirstClass() const
+    {
+        return isScalar();
+    }
+
+    /** Storage size in bytes. Pointer size comes from \p ptr_size. */
+    uint64_t sizeInBytes(unsigned ptr_size) const;
+
+    /** Natural alignment in bytes. */
+    uint64_t alignment(unsigned ptr_size) const;
+
+    /** Bit width of integer/bool types. */
+    unsigned
+    integerBitWidth() const
+    {
+        switch (kind_) {
+          case TypeKind::Bool:
+            return 1;
+          case TypeKind::UByte:
+          case TypeKind::SByte:
+            return 8;
+          case TypeKind::UShort:
+          case TypeKind::Short:
+            return 16;
+          case TypeKind::UInt:
+          case TypeKind::Int:
+            return 32;
+          case TypeKind::ULong:
+          case TypeKind::Long:
+            return 64;
+          default:
+            return 0;
+        }
+    }
+
+    /** Render this type in LLVA assembly syntax (e.g. "[4 x %QT*]"). */
+    std::string str() const;
+
+  protected:
+    Type(TypeContext &ctx, TypeKind kind)
+        : ctx_(ctx), kind_(kind)
+    {}
+
+  private:
+    TypeContext &ctx_;
+    TypeKind kind_;
+};
+
+/** Pointer type: `T*`. */
+class PointerType : public Type
+{
+  public:
+    Type *pointee() const { return pointee_; }
+
+    static bool
+    classof(const Type *t)
+    {
+        return t->kind() == TypeKind::Pointer;
+    }
+
+  private:
+    friend class TypeContext;
+    PointerType(TypeContext &ctx, Type *pointee)
+        : Type(ctx, TypeKind::Pointer), pointee_(pointee)
+    {}
+
+    Type *pointee_;
+};
+
+/** Fixed-size array type: `[N x T]`. */
+class ArrayType : public Type
+{
+  public:
+    Type *element() const { return element_; }
+    uint64_t numElements() const { return num_; }
+
+    static bool
+    classof(const Type *t)
+    {
+        return t->kind() == TypeKind::Array;
+    }
+
+  private:
+    friend class TypeContext;
+    ArrayType(TypeContext &ctx, Type *element, uint64_t num)
+        : Type(ctx, TypeKind::Array), element_(element), num_(num)
+    {}
+
+    Type *element_;
+    uint64_t num_;
+};
+
+/** Structure type: `{T0, T1, ...}`; may carry a name (%struct.Foo). */
+class StructType : public Type
+{
+  public:
+    const std::vector<Type *> &fields() const { return fields_; }
+    size_t numFields() const { return fields_.size(); }
+    Type *field(size_t i) const { return fields_[i]; }
+
+    /** Symbolic name, empty for anonymous structs. */
+    const std::string &name() const { return name_; }
+    void setName(const std::string &n) { name_ = n; }
+
+    /**
+     * Set the field list of a named struct created as a forward
+     * reference (only the parser should need this).
+     */
+    void setBody(std::vector<Type *> fields) { fields_ = std::move(fields); }
+
+    /** Byte offset of field \p i given the pointer size. */
+    uint64_t fieldOffset(size_t i, unsigned ptr_size) const;
+
+    static bool
+    classof(const Type *t)
+    {
+        return t->kind() == TypeKind::Struct;
+    }
+
+  private:
+    friend class TypeContext;
+    StructType(TypeContext &ctx, std::vector<Type *> fields)
+        : Type(ctx, TypeKind::Struct), fields_(std::move(fields))
+    {}
+
+    std::vector<Type *> fields_;
+    std::string name_;
+};
+
+/** Function type: `Ret (A0, A1, ...)`, optionally varargs. */
+class FunctionType : public Type
+{
+  public:
+    Type *returnType() const { return ret_; }
+    const std::vector<Type *> &paramTypes() const { return params_; }
+    size_t numParams() const { return params_.size(); }
+    Type *paramType(size_t i) const { return params_[i]; }
+    bool isVarArg() const { return vararg_; }
+
+    static bool
+    classof(const Type *t)
+    {
+        return t->kind() == TypeKind::Function;
+    }
+
+  private:
+    friend class TypeContext;
+    FunctionType(TypeContext &ctx, Type *ret, std::vector<Type *> params,
+                 bool vararg)
+        : Type(ctx, TypeKind::Function), ret_(ret),
+          params_(std::move(params)), vararg_(vararg)
+    {}
+
+    Type *ret_;
+    std::vector<Type *> params_;
+    bool vararg_;
+};
+
+/**
+ * Owns and interns all types for one Module tree.
+ *
+ * Named struct types (paper Fig. 2: `%struct.QuadTree = type {...}`)
+ * are registered here so the parser/printer can resolve them.
+ */
+class TypeContext
+{
+  public:
+    TypeContext();
+    ~TypeContext();
+
+    TypeContext(const TypeContext &) = delete;
+    TypeContext &operator=(const TypeContext &) = delete;
+
+    // Primitive type accessors.
+    Type *voidTy() { return prim(TypeKind::Void); }
+    Type *boolTy() { return prim(TypeKind::Bool); }
+    Type *ubyteTy() { return prim(TypeKind::UByte); }
+    Type *sbyteTy() { return prim(TypeKind::SByte); }
+    Type *ushortTy() { return prim(TypeKind::UShort); }
+    Type *shortTy() { return prim(TypeKind::Short); }
+    Type *uintTy() { return prim(TypeKind::UInt); }
+    Type *intTy() { return prim(TypeKind::Int); }
+    Type *ulongTy() { return prim(TypeKind::ULong); }
+    Type *longTy() { return prim(TypeKind::Long); }
+    Type *floatTy() { return prim(TypeKind::Float); }
+    Type *doubleTy() { return prim(TypeKind::Double); }
+    Type *labelTy() { return prim(TypeKind::Label); }
+
+    Type *prim(TypeKind kind);
+    Type *primByName(const std::string &name);
+
+    PointerType *pointerTo(Type *pointee);
+    ArrayType *arrayOf(Type *element, uint64_t num);
+    /** Anonymous (structurally interned) struct type. */
+    StructType *structOf(const std::vector<Type *> &fields);
+    /** Fresh named struct type; registered under \p name. */
+    StructType *namedStruct(const std::string &name,
+                            const std::vector<Type *> &fields);
+
+    /** Named struct, created empty on first request (parser use). */
+    StructType *getOrCreateNamedStruct(const std::string &name);
+    FunctionType *functionOf(Type *ret, const std::vector<Type *> &params,
+                             bool vararg = false);
+
+    /** Look up a named struct (nullptr if absent). */
+    StructType *namedType(const std::string &name) const;
+    const std::map<std::string, StructType *> &namedTypes() const
+    {
+        return named_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Type>> owned_;
+    std::map<TypeKind, Type *> prims_;
+    std::map<Type *, PointerType *> pointers_;
+    std::map<std::pair<Type *, uint64_t>, ArrayType *> arrays_;
+    std::map<std::vector<Type *>, StructType *> structs_;
+    std::map<std::pair<Type *, std::pair<std::vector<Type *>, bool>>,
+             FunctionType *>
+        functions_;
+    std::map<std::string, StructType *> named_;
+};
+
+} // namespace llva
+
+#endif // LLVA_IR_TYPE_H

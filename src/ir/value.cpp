@@ -1,0 +1,34 @@
+#include "ir/value.h"
+
+#include <algorithm>
+
+namespace llva {
+
+Value::~Value()
+{
+    LLVA_ASSERT(users_.empty(),
+                "value '%s' destroyed while still in use", name_.c_str());
+}
+
+void
+Value::removeUser(User *u)
+{
+    auto it = std::find(users_.begin(), users_.end(), u);
+    LLVA_ASSERT(it != users_.end(), "removeUser: not a user");
+    users_.erase(it);
+}
+
+void
+Value::replaceAllUsesWith(Value *repl)
+{
+    LLVA_ASSERT(repl != this, "replaceAllUsesWith self");
+    // Users mutate users_ as slots are rewritten; iterate on a copy.
+    std::vector<User *> snapshot = users_;
+    for (User *u : snapshot) {
+        for (size_t i = 0, e = u->numOperands(); i != e; ++i)
+            if (u->operand(i) == this)
+                u->setOperand(i, repl);
+    }
+}
+
+} // namespace llva

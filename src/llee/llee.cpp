@@ -1,0 +1,150 @@
+#include "llee/llee.h"
+
+#include "bytecode/bytecode.h"
+#include "llee/mcode_io.h"
+#include "support/hashing.h"
+#include "support/timer.h"
+
+namespace llva {
+
+LLEE::LLEE(Target &target, StorageAPI *storage, CodeGenOptions opts)
+    : target_(target), storage_(storage), opts_(opts)
+{
+    if (storage_)
+        storage_->createCache(kCacheName);
+}
+
+std::string
+LLEE::programKey(const std::vector<uint8_t> &bytecode)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)fnv1a(bytecode));
+    return buf;
+}
+
+LLEEResult
+LLEE::execute(const std::vector<uint8_t> &bytecode,
+              const std::string &entry,
+              const std::vector<RtValue> &args)
+{
+    LLEEResult result;
+
+    // The module hash keys every cached artifact, which makes the
+    // paper's timestamp check a content-validity check: a stale
+    // translation simply never matches the new key.
+    std::string key = programKey(bytecode);
+    std::unique_ptr<Module> m = readBytecode(bytecode);
+
+    CodeManager cm(target_, opts_);
+
+    // Look for cached translations of every defined function.
+    for (const auto &f : m->functions()) {
+        if (f->isDeclaration())
+            continue;
+        if (!storage_) {
+            ++result.cacheMisses;
+            continue;
+        }
+        std::string name = key + "." + f->name() + "." +
+                           target_.name() + "." +
+                           (opts_.allocator ==
+                                    CodeGenOptions::Allocator::Local
+                                ? "local"
+                                : "lscan");
+        std::vector<uint8_t> cached;
+        if (storage_->read(kCacheName, name, cached) &&
+            storage_->timestamp(kCacheName, name) != 0) {
+            cm.install(f.get(),
+                       readMachineFunction(cached, *m, f.get()));
+            ++result.cacheHits;
+        } else {
+            ++result.cacheMisses;
+        }
+    }
+
+    ExecutionContext ctx(*m);
+    MachineSimulator sim(ctx, cm);
+
+    const Function *entry_fn = m->getFunction(entry);
+    if (!entry_fn || entry_fn->isDeclaration())
+        fatal("LLEE: no entry function %%%s", entry.c_str());
+
+    result.exec = sim.run(entry_fn, args);
+    result.output = ctx.output();
+    result.machineInstructionsExecuted = sim.instructionsExecuted();
+    result.functionsTranslatedOnline = cm.functionsTranslated();
+    result.onlineTranslateSeconds = cm.totalTranslateSeconds();
+
+    // Write back any translations produced online.
+    if (storage_) {
+        for (const auto &f : m->functions()) {
+            if (f->isDeclaration() || !cm.has(f.get()))
+                continue;
+            std::string name =
+                key + "." + f->name() + "." + target_.name() + "." +
+                (opts_.allocator == CodeGenOptions::Allocator::Local
+                     ? "local"
+                     : "lscan");
+            if (storage_->timestamp(kCacheName, name) == 0)
+                storage_->write(
+                    kCacheName, name,
+                    writeMachineFunction(*cm.get(f.get())));
+        }
+    }
+    return result;
+}
+
+size_t
+LLEE::offlineTranslate(const std::vector<uint8_t> &bytecode)
+{
+    if (!storage_)
+        return 0;
+    std::string key = programKey(bytecode);
+    std::unique_ptr<Module> m = readBytecode(bytecode);
+
+    CodeManager cm(target_, opts_);
+    size_t translated = 0;
+    for (const auto &f : m->functions()) {
+        if (f->isDeclaration())
+            continue;
+        std::string name =
+            key + "." + f->name() + "." + target_.name() + "." +
+            (opts_.allocator == CodeGenOptions::Allocator::Local
+                 ? "local"
+                 : "lscan");
+        if (storage_->timestamp(kCacheName, name) != 0)
+            continue; // already translated and current
+        storage_->write(kCacheName, name,
+                        writeMachineFunction(*cm.get(f.get())));
+        ++translated;
+    }
+    return translated;
+}
+
+bool
+LLEE::writeProfile(const std::vector<uint8_t> &bytecode,
+                   const EdgeProfile &profile, const Module &m)
+{
+    if (!storage_)
+        return false;
+    (void)m;
+    // Profiles are persisted as block-count and edge-count rows
+    // keyed by the program hash.
+    std::string text;
+    for (const auto &[bb, count] : profile.blocks)
+        text += "block " + bb->parent()->name() + " " + bb->name() +
+                " " + std::to_string(count) + "\n";
+    for (const auto &[edge, count] : profile.edges) {
+        const BasicBlock *from = edge.first;
+        const BasicBlock *to = edge.second;
+        text += "edge " + from->parent()->name() + " " +
+                from->name() + " " + to->name() + " " +
+                std::to_string(count) + "\n";
+    }
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    return storage_->write(kCacheName,
+                           programKey(bytecode) + ".profile", bytes);
+}
+
+} // namespace llva

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * LLEE: the LLVA Execution Environment (paper Section 4.1, Fig. 3).
+ *
+ * Strategy: "offline translation when possible, online translation
+ * whenever necessary." When asked to execute a virtual executable,
+ * LLEE consults the (optional) OS-provided storage API for cached
+ * native translations keyed by a hash of the virtual object code;
+ * hits are loaded and relocated, misses are JIT-translated and
+ * written back. An OS can also ask LLEE to translate a program
+ * during idle time without running it (offlineTranslate), and
+ * profile information collected at runtime is persisted the same
+ * way for idle-time profile-guided optimization.
+ */
+
+#ifndef LLVA_LLEE_LLEE_H
+#define LLVA_LLEE_LLEE_H
+
+#include <memory>
+#include <string>
+
+#include "llee/storage.h"
+#include "vm/interpreter.h"
+#include "vm/machine_sim.h"
+
+namespace llva {
+
+/** Outcome of one LLEE program execution, with cache telemetry. */
+struct LLEEResult
+{
+    ExecResult exec;
+    std::string output;
+    size_t cacheHits = 0;
+    size_t cacheMisses = 0;
+    size_t functionsTranslatedOnline = 0;
+    double onlineTranslateSeconds = 0;
+    uint64_t machineInstructionsExecuted = 0;
+};
+
+class LLEE
+{
+  public:
+    /**
+     * \p storage may be null: the system operates correctly without
+     * it, translating online on every run (the DAISY/Crusoe
+     * situation the paper contrasts against).
+     */
+    LLEE(Target &target, StorageAPI *storage,
+         CodeGenOptions opts = {});
+
+    /**
+     * Load a virtual executable (bytecode), then run \p entry.
+     * Cached translations are used when valid; new translations are
+     * written back if storage is available.
+     */
+    LLEEResult execute(const std::vector<uint8_t> &bytecode,
+                       const std::string &entry = "main",
+                       const std::vector<RtValue> &args = {});
+
+    /**
+     * "During idle times, the OS can notify LLEE to perform offline
+     * translation of an LLVA program" — translate and cache every
+     * function without executing anything.
+     */
+    size_t offlineTranslate(const std::vector<uint8_t> &bytecode);
+
+    /** Persist an edge profile for idle-time PGO. */
+    bool writeProfile(const std::vector<uint8_t> &bytecode,
+                      const EdgeProfile &profile, const Module &m);
+
+    /** Cache key prefix for a program (content hash). */
+    static std::string programKey(const std::vector<uint8_t> &bytecode);
+
+  private:
+    static constexpr const char *kCacheName = "llee-native-cache";
+
+    Target &target_;
+    StorageAPI *storage_;
+    CodeGenOptions opts_;
+};
+
+} // namespace llva
+
+#endif // LLVA_LLEE_LLEE_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Serialization of translated machine code for the offline cache.
+ * Symbolic operands (globals, functions) are stored by name and
+ * re-resolved against the module on load — the "relocation as
+ * necessary on the native code" step of paper Section 4.1.
+ */
+
+#ifndef LLVA_LLEE_MCODE_IO_H
+#define LLVA_LLEE_MCODE_IO_H
+
+#include <memory>
+#include <vector>
+
+#include "codegen/machine.h"
+
+namespace llva {
+
+/** Serialize \p mf (post-register-allocation form). */
+std::vector<uint8_t> writeMachineFunction(const MachineFunction &mf);
+
+/**
+ * Reconstruct a machine function for \p source from cached bytes,
+ * resolving global/function names against \p m. Throws FatalError on
+ * malformed or unresolvable input.
+ */
+std::unique_ptr<MachineFunction>
+readMachineFunction(const std::vector<uint8_t> &bytes, const Module &m,
+                    const Function *source);
+
+} // namespace llva
+
+#endif // LLVA_LLEE_MCODE_IO_H

@@ -1,0 +1,196 @@
+#include "llee/storage.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace llva {
+
+namespace fs = std::filesystem;
+
+// --- MemoryStorage ---------------------------------------------------------
+
+bool
+MemoryStorage::createCache(const std::string &cache)
+{
+    caches_.try_emplace(cache);
+    return true;
+}
+
+bool
+MemoryStorage::deleteCache(const std::string &cache)
+{
+    return caches_.erase(cache) != 0;
+}
+
+uint64_t
+MemoryStorage::cacheSize(const std::string &cache)
+{
+    auto it = caches_.find(cache);
+    if (it == caches_.end())
+        return UINT64_MAX;
+    uint64_t total = 0;
+    for (const auto &[name, e] : it->second)
+        total += e.bytes.size();
+    return total;
+}
+
+bool
+MemoryStorage::write(const std::string &cache, const std::string &name,
+                     const std::vector<uint8_t> &bytes)
+{
+    auto it = caches_.find(cache);
+    if (it == caches_.end())
+        return false;
+    it->second[name] = {bytes, clock_++};
+    return true;
+}
+
+bool
+MemoryStorage::read(const std::string &cache, const std::string &name,
+                    std::vector<uint8_t> &bytes)
+{
+    auto it = caches_.find(cache);
+    if (it == caches_.end())
+        return false;
+    auto eit = it->second.find(name);
+    if (eit == it->second.end())
+        return false;
+    bytes = eit->second.bytes;
+    return true;
+}
+
+uint64_t
+MemoryStorage::timestamp(const std::string &cache,
+                         const std::string &name)
+{
+    auto it = caches_.find(cache);
+    if (it == caches_.end())
+        return 0;
+    auto eit = it->second.find(name);
+    return eit == it->second.end() ? 0 : eit->second.stamp;
+}
+
+std::vector<std::string>
+MemoryStorage::list(const std::string &cache)
+{
+    std::vector<std::string> out;
+    auto it = caches_.find(cache);
+    if (it != caches_.end())
+        for (const auto &[name, e] : it->second)
+            out.push_back(name);
+    return out;
+}
+
+// --- FileStorage -----------------------------------------------------------
+
+namespace {
+
+/** Byte-vector names may contain '/' etc.; flatten for filenames. */
+std::string
+mangle(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '-' || c == '_')
+            out += c;
+        else
+            out += '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+FileStorage::path(const std::string &cache,
+                  const std::string &name) const
+{
+    std::string p = root_ + "/" + mangle(cache);
+    if (!name.empty())
+        p += "/" + mangle(name);
+    return p;
+}
+
+bool
+FileStorage::createCache(const std::string &cache)
+{
+    std::error_code ec;
+    fs::create_directories(path(cache), ec);
+    return !ec;
+}
+
+bool
+FileStorage::deleteCache(const std::string &cache)
+{
+    std::error_code ec;
+    fs::remove_all(path(cache), ec);
+    return !ec;
+}
+
+uint64_t
+FileStorage::cacheSize(const std::string &cache)
+{
+    std::error_code ec;
+    if (!fs::is_directory(path(cache), ec))
+        return UINT64_MAX;
+    uint64_t total = 0;
+    for (const auto &entry : fs::directory_iterator(path(cache), ec))
+        if (entry.is_regular_file())
+            total += entry.file_size();
+    return total;
+}
+
+bool
+FileStorage::write(const std::string &cache, const std::string &name,
+                   const std::vector<uint8_t> &bytes)
+{
+    std::ofstream f(path(cache, name), std::ios::binary);
+    if (!f)
+        return false;
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return f.good();
+}
+
+bool
+FileStorage::read(const std::string &cache, const std::string &name,
+                  std::vector<uint8_t> &bytes)
+{
+    std::ifstream f(path(cache, name),
+                    std::ios::binary | std::ios::ate);
+    if (!f)
+        return false;
+    auto size = f.tellg();
+    f.seekg(0);
+    bytes.resize(static_cast<size_t>(size));
+    f.read(reinterpret_cast<char *>(bytes.data()), size);
+    return f.good();
+}
+
+uint64_t
+FileStorage::timestamp(const std::string &cache,
+                       const std::string &name)
+{
+    std::error_code ec;
+    auto t = fs::last_write_time(path(cache, name), ec);
+    if (ec)
+        return 0;
+    return static_cast<uint64_t>(
+        t.time_since_epoch().count());
+}
+
+std::vector<std::string>
+FileStorage::list(const std::string &cache)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(path(cache), ec))
+        if (entry.is_regular_file())
+            out.push_back(entry.path().filename().string());
+    return out;
+}
+
+} // namespace llva

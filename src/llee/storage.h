@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The OS-independent storage API of paper Section 4.1.
+ *
+ * "The V-ABI defines a standard, OS-independent storage API with a
+ * set of routines that enables LLEE to read, write, and validate
+ * data in offline storage. An OS ported to LLVA can choose to
+ * implement these routines for higher performance, but they are
+ * strictly optional and the system will operate correctly in their
+ * absence."
+ *
+ * The interface matches the paper's description: create, delete, and
+ * query the size of an offline cache; read or write a vector of N
+ * bytes tagged by a unique string name; and check a timestamp on a
+ * cached vector. Two implementations are provided — a POSIX
+ * directory-backed store (the paper's own user-level implementation
+ * used disk files) and an in-memory store for tests.
+ */
+
+#ifndef LLVA_LLEE_STORAGE_H
+#define LLVA_LLEE_STORAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llva {
+
+class StorageAPI
+{
+  public:
+    virtual ~StorageAPI() = default;
+
+    /** Create an offline cache (idempotent). */
+    virtual bool createCache(const std::string &cache) = 0;
+
+    /** Delete a cache and everything in it. */
+    virtual bool deleteCache(const std::string &cache) = 0;
+
+    /** Total bytes stored in a cache (SIZE_MAX if absent). */
+    virtual uint64_t cacheSize(const std::string &cache) = 0;
+
+    /** Write a named byte vector (overwrites). */
+    virtual bool write(const std::string &cache,
+                       const std::string &name,
+                       const std::vector<uint8_t> &bytes) = 0;
+
+    /** Read a named byte vector; false if absent. */
+    virtual bool read(const std::string &cache,
+                      const std::string &name,
+                      std::vector<uint8_t> &bytes) = 0;
+
+    /** Timestamp of a cached vector (0 if absent). */
+    virtual uint64_t timestamp(const std::string &cache,
+                               const std::string &name) = 0;
+
+    /** Names stored in a cache (extension for enumeration). */
+    virtual std::vector<std::string>
+    list(const std::string &cache) = 0;
+};
+
+/** Volatile in-memory storage (tests; "no OS support" baseline). */
+class MemoryStorage : public StorageAPI
+{
+  public:
+    bool createCache(const std::string &cache) override;
+    bool deleteCache(const std::string &cache) override;
+    uint64_t cacheSize(const std::string &cache) override;
+    bool write(const std::string &cache, const std::string &name,
+               const std::vector<uint8_t> &bytes) override;
+    bool read(const std::string &cache, const std::string &name,
+              std::vector<uint8_t> &bytes) override;
+    uint64_t timestamp(const std::string &cache,
+                       const std::string &name) override;
+    std::vector<std::string> list(const std::string &cache) override;
+
+  private:
+    struct Entry
+    {
+        std::vector<uint8_t> bytes;
+        uint64_t stamp;
+    };
+    std::map<std::string, std::map<std::string, Entry>> caches_;
+    uint64_t clock_ = 1;
+};
+
+/** Directory-backed storage (one file per named vector). */
+class FileStorage : public StorageAPI
+{
+  public:
+    explicit FileStorage(const std::string &root)
+        : root_(root)
+    {}
+
+    bool createCache(const std::string &cache) override;
+    bool deleteCache(const std::string &cache) override;
+    uint64_t cacheSize(const std::string &cache) override;
+    bool write(const std::string &cache, const std::string &name,
+               const std::vector<uint8_t> &bytes) override;
+    bool read(const std::string &cache, const std::string &name,
+              std::vector<uint8_t> &bytes) override;
+    uint64_t timestamp(const std::string &cache,
+                       const std::string &name) override;
+    std::vector<std::string> list(const std::string &cache) override;
+
+  private:
+    std::string path(const std::string &cache,
+                     const std::string &name = "") const;
+
+    std::string root_;
+};
+
+} // namespace llva
+
+#endif // LLVA_LLEE_STORAGE_H

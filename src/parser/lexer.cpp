@@ -1,0 +1,178 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace llva {
+
+namespace {
+
+bool
+isNameChar(char c)
+{
+    return isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+           c == '_' || c == '$' || c == '-';
+}
+
+} // namespace
+
+char
+Lexer::peek(size_t ahead) const
+{
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+void
+Lexer::advance()
+{
+    // Skip whitespace and ';' comments.
+    while (pos_ < src_.size()) {
+        char c = src_[pos_];
+        if (c == '\n') {
+            ++line_;
+            ++pos_;
+        } else if (isspace(static_cast<unsigned char>(c))) {
+            ++pos_;
+        } else if (c == ';') {
+            while (pos_ < src_.size() && src_[pos_] != '\n')
+                ++pos_;
+        } else {
+            break;
+        }
+    }
+
+    tok_ = Token();
+    tok_.line = line_;
+    if (pos_ >= src_.size()) {
+        tok_.kind = TokKind::Eof;
+        return;
+    }
+
+    char c = src_[pos_];
+
+    auto punct = [&](TokKind k) {
+        tok_.kind = k;
+        ++pos_;
+    };
+
+    switch (c) {
+      case '(': punct(TokKind::LParen); return;
+      case ')': punct(TokKind::RParen); return;
+      case '{': punct(TokKind::LBrace); return;
+      case '}': punct(TokKind::RBrace); return;
+      case '[': punct(TokKind::LBracket); return;
+      case ']': punct(TokKind::RBracket); return;
+      case ',': punct(TokKind::Comma); return;
+      case '=': punct(TokKind::Equal); return;
+      case '*': punct(TokKind::Star); return;
+      case ':': punct(TokKind::Colon); return;
+      case '!': punct(TokKind::Bang); return;
+      default: break;
+    }
+
+    if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+        tok_.kind = TokKind::Ellipsis;
+        pos_ += 3;
+        return;
+    }
+
+    if (c == '%') {
+        ++pos_;
+        std::string name;
+        while (pos_ < src_.size() && isNameChar(src_[pos_]))
+            name += src_[pos_++];
+        if (name.empty())
+            fatal("line %d: empty %% identifier", line_);
+        tok_.kind = TokKind::Var;
+        tok_.text = name;
+        return;
+    }
+
+    // c"..." byte string.
+    if (c == 'c' && peek(1) == '"') {
+        pos_ += 2;
+        std::string bytes;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+            char ch = src_[pos_++];
+            if (ch == '\\') {
+                // Two hex digits.
+                if (pos_ + 1 >= src_.size())
+                    fatal("line %d: truncated string escape", line_);
+                auto hex = [&](char h) -> int {
+                    if (h >= '0' && h <= '9') return h - '0';
+                    if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+                    if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+                    fatal("line %d: bad hex digit in string", line_);
+                };
+                int hi = hex(src_[pos_++]);
+                int lo = hex(src_[pos_++]);
+                bytes += static_cast<char>(hi * 16 + lo);
+            } else {
+                bytes += ch;
+            }
+        }
+        if (pos_ >= src_.size())
+            fatal("line %d: unterminated string", line_);
+        ++pos_; // closing quote
+        tok_.kind = TokKind::StringLit;
+        tok_.text = bytes;
+        return;
+    }
+
+    // Numbers (optionally negative; FP if '.', exponent, inf, or nan).
+    if (isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && (isdigit(static_cast<unsigned char>(peek(1))) ||
+                      peek(1) == '.'))) {
+        size_t start = pos_;
+        if (c == '-')
+            ++pos_;
+        bool is_fp = false;
+        while (pos_ < src_.size()) {
+            char d = src_[pos_];
+            if (isdigit(static_cast<unsigned char>(d))) {
+                ++pos_;
+            } else if (d == '.' && peek(1) != '.') {
+                is_fp = true;
+                ++pos_;
+            } else if (d == 'e' || d == 'E') {
+                is_fp = true;
+                ++pos_;
+                if (pos_ < src_.size() &&
+                    (src_[pos_] == '+' || src_[pos_] == '-'))
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string text = src_.substr(start, pos_ - start);
+        if (is_fp) {
+            tok_.kind = TokKind::FPLit;
+            tok_.fpValue = std::strtod(text.c_str(), nullptr);
+        } else {
+            tok_.kind = TokKind::IntLit;
+            if (text[0] == '-') {
+                tok_.intNegative = true;
+                tok_.intBits = static_cast<uint64_t>(
+                    std::strtoll(text.c_str(), nullptr, 10));
+            } else {
+                tok_.intBits = std::strtoull(text.c_str(), nullptr, 10);
+            }
+        }
+        return;
+    }
+
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (pos_ < src_.size() && isNameChar(src_[pos_]))
+            word += src_[pos_++];
+        tok_.kind = TokKind::Word;
+        tok_.text = word;
+        return;
+    }
+
+    fatal("line %d: unexpected character '%c'", line_, c);
+}
+
+} // namespace llva

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tokenizer for LLVA assembly.
+ */
+
+#ifndef LLVA_PARSER_LEXER_H
+#define LLVA_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace llva {
+
+enum class TokKind : uint8_t {
+    Eof,
+    Word,      ///< bare identifier/keyword: add, int, label, declare...
+    Var,       ///< %name — value, type, or global reference
+    IntLit,    ///< integer literal (possibly negative)
+    FPLit,     ///< floating-point literal
+    StringLit, ///< c"..." byte-string literal
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Equal,
+    Star,
+    Colon,
+    Bang,
+    Ellipsis,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;    ///< Word/Var name or decoded string bytes.
+    uint64_t intBits = 0;///< IntLit payload (two's complement).
+    bool intNegative = false;
+    double fpValue = 0.0;
+    int line = 0;
+};
+
+/** One-token-lookahead lexer over an in-memory buffer. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src)
+        : src_(src)
+    {
+        advance();
+    }
+
+    const Token &current() const { return tok_; }
+
+    /** Consume the current token and lex the next one. */
+    Token
+    take()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+    int line() const { return tok_.line; }
+
+  private:
+    void advance();
+    char peek(size_t ahead = 0) const;
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    Token tok_;
+};
+
+} // namespace llva
+
+#endif // LLVA_PARSER_LEXER_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Parser for LLVA assembly: turns the textual form (paper Fig. 2)
+ * back into an in-memory Module.
+ */
+
+#ifndef LLVA_PARSER_PARSER_H
+#define LLVA_PARSER_PARSER_H
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace llva {
+
+/**
+ * Parse a complete module from LLVA assembly text.
+ * Throws FatalError on syntax or semantic errors.
+ */
+std::unique_ptr<Module> parseAssembly(const std::string &source,
+                                      const std::string &module_name =
+                                          "module");
+
+} // namespace llva
+
+#endif // LLVA_PARSER_PARSER_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight isa/cast/dyn_cast facility.
+ *
+ * Classes participating in checked casting expose a static
+ * `classof(const Base *)` predicate, mirroring the classic LLVM idiom
+ * the LLVA paper's implementation introduced.
+ */
+
+#ifndef LLVA_SUPPORT_CASTING_H
+#define LLVA_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace llva {
+
+/** True if \p val dynamically has type To (never null). */
+template <typename To, typename From>
+bool
+isa(const From *val)
+{
+    assert(val && "isa<> on null pointer");
+    return To::classof(val);
+}
+
+/** Checked downcast; asserts the cast is valid. */
+template <typename To, typename From>
+To *
+cast(From *val)
+{
+    assert(isa<To>(val) && "cast<> to incompatible type");
+    return static_cast<To *>(val);
+}
+
+template <typename To, typename From>
+const To *
+cast(const From *val)
+{
+    assert(isa<To>(val) && "cast<> to incompatible type");
+    return static_cast<const To *>(val);
+}
+
+/** Downcast returning nullptr when the dynamic type does not match. */
+template <typename To, typename From>
+To *
+dyn_cast(From *val)
+{
+    return (val && To::classof(val)) ? static_cast<To *>(val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *
+dyn_cast(const From *val)
+{
+    return (val && To::classof(val)) ? static_cast<const To *>(val)
+                                     : nullptr;
+}
+
+} // namespace llva
+
+#endif // LLVA_SUPPORT_CASTING_H

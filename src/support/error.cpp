@@ -1,0 +1,63 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace llva {
+
+std::string
+vformatString(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return "<format error>";
+    std::string buf(static_cast<size_t>(n), '\0');
+    std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap);
+    return buf;
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    throw FatalError(s);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "llva panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "llva warning: %s\n", s.c_str());
+}
+
+} // namespace llva

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error reporting helpers for the LLVA system.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user-caused
+ * conditions such as malformed assembly or invalid object files.
+ */
+
+#ifndef LLVA_SUPPORT_ERROR_H
+#define LLVA_SUPPORT_ERROR_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace llva {
+
+/** Exception thrown for user-level errors (bad input, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Report a user-caused error. Throws FatalError with a printf-style
+ * formatted message; callers higher up (drivers, tests) may catch it.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a bug in this library).
+ * Prints the message and aborts.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vformatString(const char *fmt, va_list ap);
+
+} // namespace llva
+
+/** Assert an internal invariant; compiled in all build modes. */
+#define LLVA_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::llva::panic("assertion failed: %s: %s", #cond,             \
+                          ::llva::formatString(__VA_ARGS__).c_str());    \
+    } while (0)
+
+#endif // LLVA_SUPPORT_ERROR_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FNV-1a hashing, used to key cached translations in the LLEE
+ * offline storage (paper Section 4.1: cached vectors are validated
+ * against the LLVA program they were produced from).
+ */
+
+#ifndef LLVA_SUPPORT_HASHING_H
+#define LLVA_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace llva {
+
+/** 64-bit FNV-1a over a byte range. */
+inline uint64_t
+fnv1a(const uint8_t *data, size_t n, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t h = seed;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+inline uint64_t
+fnv1a(const std::vector<uint8_t> &bytes)
+{
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+inline uint64_t
+fnv1a(const std::string &s)
+{
+    return fnv1a(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+} // namespace llva
+
+#endif // LLVA_SUPPORT_HASHING_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Simple wall-clock timer used to measure translation cost
+ * (Table 2's "Translate Time" column).
+ */
+
+#ifndef LLVA_SUPPORT_TIMER_H
+#define LLVA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace llva {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace llva
+
+#endif // LLVA_SUPPORT_TIMER_H

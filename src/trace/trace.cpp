@@ -1,0 +1,162 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+std::vector<Trace>
+formTraces(Function &f, const EdgeProfile &profile,
+           const TraceOptions &opts)
+{
+    // Candidate seeds: hot blocks of this function, hottest first;
+    // ties broken by layout order so loop headers win over their
+    // equally-hot latches.
+    std::vector<std::pair<uint64_t, BasicBlock *>> seeds;
+    for (const auto &bb : f) {
+        auto it = profile.blocks.find(bb.get());
+        if (it != profile.blocks.end() &&
+            it->second >= opts.hotThreshold)
+            seeds.emplace_back(it->second, bb.get());
+    }
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+
+    std::set<const BasicBlock *> taken;
+    std::vector<Trace> traces;
+
+    auto edgeCount = [&](const BasicBlock *from,
+                         const BasicBlock *to) -> uint64_t {
+        auto it = profile.edges.find({from, to});
+        return it == profile.edges.end() ? 0 : it->second;
+    };
+
+    for (auto &[count, seed] : seeds) {
+        if (taken.count(seed))
+            continue;
+        Trace trace;
+        trace.headCount = count;
+        BasicBlock *cur = seed;
+        while (trace.blocks.size() < opts.maxLength) {
+            trace.blocks.push_back(cur);
+            taken.insert(cur);
+
+            // Follow the dominant successor edge.
+            BasicBlock *best = nullptr;
+            uint64_t best_count = 0;
+            uint64_t total = 0;
+            for (BasicBlock *succ : cur->successors()) {
+                uint64_t c = edgeCount(cur, succ);
+                total += c;
+                if (c > best_count) {
+                    best_count = c;
+                    best = succ;
+                }
+            }
+            if (!best || taken.count(best) || total == 0)
+                break;
+            if (static_cast<double>(best_count) <
+                opts.minBranchBias * static_cast<double>(total))
+                break;
+            cur = best;
+        }
+        if (trace.blocks.size() >= 2)
+            traces.push_back(std::move(trace));
+        else
+            taken.erase(seed); // singleton: leave it for others
+    }
+    return traces;
+}
+
+void
+TraceCache::insert(Trace trace)
+{
+    traces_[trace.head()] = order_.size();
+    order_.push_back(std::move(trace));
+}
+
+const Trace *
+TraceCache::lookup(const BasicBlock *head) const
+{
+    auto it = traces_.find(head);
+    return it == traces_.end() ? nullptr : &order_[it->second];
+}
+
+double
+TraceCache::coverage(const EdgeProfile &profile) const
+{
+    std::set<const BasicBlock *> inTrace;
+    for (const Trace &t : order_)
+        for (const BasicBlock *bb : t.blocks)
+            inTrace.insert(bb);
+
+    uint64_t total = 0, covered = 0;
+    for (const auto &[bb, count] : profile.blocks) {
+        total += count;
+        if (inTrace.count(bb))
+            covered += count;
+    }
+    return total ? static_cast<double>(covered) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+applyTraceLayout(Function &f, const std::vector<Trace> &traces)
+{
+    // Pettis–Hansen-style chain merging: each consecutive pair of
+    // trace blocks is a hot edge we want as a fallthrough. Chains
+    // start as singletons (in original layout order, preserving
+    // existing fallthroughs as much as possible) and merge when a
+    // hot edge connects one chain's tail to another's head.
+    std::map<BasicBlock *, size_t> chainOf;
+    std::vector<std::vector<BasicBlock *>> chains;
+    for (const auto &bb : f) {
+        chainOf[bb.get()] = chains.size();
+        chains.push_back({bb.get()});
+    }
+
+    auto tryMerge = [&](BasicBlock *a, BasicBlock *b) {
+        if (a->parent() != &f || b->parent() != &f)
+            return;
+        size_t ca = chainOf[a], cb = chainOf[b];
+        if (ca == cb)
+            return;
+        if (chains[ca].back() != a || chains[cb].front() != b)
+            return;
+        for (BasicBlock *bb : chains[cb]) {
+            chains[ca].push_back(bb);
+            chainOf[bb] = ca;
+        }
+        chains[cb].clear();
+    };
+
+    for (const Trace &t : traces)
+        for (size_t i = 0; i + 1 < t.blocks.size(); ++i)
+            tryMerge(t.blocks[i], t.blocks[i + 1]);
+
+    // Emit: the entry block's chain first, then the remaining
+    // chains in original order.
+    std::vector<BasicBlock *> order;
+    size_t entry_chain = chainOf[f.entryBlock()];
+    for (BasicBlock *bb : chains[entry_chain])
+        order.push_back(bb);
+    for (size_t c = 0; c < chains.size(); ++c)
+        if (c != entry_chain)
+            for (BasicBlock *bb : chains[c])
+                order.push_back(bb);
+
+    // The entry block must stay first; if its chain does not start
+    // with it (merged as a tail), fall back to original order.
+    if (order.empty() || order.front() != f.entryBlock())
+        return;
+
+    for (BasicBlock *bb : order)
+        f.moveBlockBefore(bb, nullptr);
+}
+
+} // namespace llva

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The software trace cache and hot-trace formation (paper Section
+ * 4.2): runtime path profiles gathered over the explicit CFG are
+ * turned into traces — sequences of basic blocks that execution
+ * usually follows — which seed trace-driven reoptimization. The
+ * concrete optimization implemented here is trace-driven code
+ * layout: blocks on a trace are emitted contiguously so the
+ * translator's fallthrough elision removes the branches between
+ * them (fewer executed instructions, smaller code).
+ */
+
+#ifndef LLVA_TRACE_TRACE_H
+#define LLVA_TRACE_TRACE_H
+
+#include <map>
+#include <vector>
+
+#include "vm/interpreter.h" // EdgeProfile
+
+namespace llva {
+
+/** A hot path: blocks of one function, in execution order. */
+struct Trace
+{
+    std::vector<BasicBlock *> blocks;
+    uint64_t headCount = 0; ///< executions of the head block
+
+    BasicBlock *head() const { return blocks.front(); }
+    size_t length() const { return blocks.size(); }
+};
+
+/** Knobs for trace formation. */
+struct TraceOptions
+{
+    /** A block is a trace seed if executed at least this often. */
+    uint64_t hotThreshold = 50;
+    /** Stop growing when the best successor edge carries less than
+     *  this fraction of the current block's executions. */
+    double minBranchBias = 0.6;
+    size_t maxLength = 16;
+};
+
+/**
+ * Form traces for \p f from an edge profile, most-executed seeds
+ * first. Each block joins at most one trace.
+ */
+std::vector<Trace> formTraces(Function &f, const EdgeProfile &profile,
+                              const TraceOptions &opts = {});
+
+/**
+ * The software trace cache: traces indexed by head block, with hit
+ * accounting. (The paper's cache stores native code for traces; here
+ * the payload is the trace itself, consumed by the re-layout step.)
+ */
+class TraceCache
+{
+  public:
+    void insert(Trace trace);
+
+    const Trace *lookup(const BasicBlock *head) const;
+
+    size_t size() const { return traces_.size(); }
+
+    const std::vector<Trace> &traces() const { return order_; }
+
+    /**
+     * Fraction of profiled block executions that occur inside some
+     * cached trace — the coverage metric for ablation A3.
+     */
+    double coverage(const EdgeProfile &profile) const;
+
+  private:
+    std::map<const BasicBlock *, size_t> traces_;
+    std::vector<Trace> order_;
+};
+
+/**
+ * Reorder \p f's blocks so each trace is contiguous (trace-driven
+ * code layout). Cross-procedure traces are handled per function.
+ */
+void applyTraceLayout(Function &f, const std::vector<Trace> &traces);
+
+} // namespace llva
+
+#endif // LLVA_TRACE_TRACE_H

@@ -1,0 +1,252 @@
+#include "transforms/const_fold.h"
+
+#include <cmath>
+
+namespace llva {
+
+namespace {
+
+/** Truncate/extend \p bits to the width and signedness of \p type. */
+uint64_t
+canonicalize(Type *type, uint64_t bits)
+{
+    unsigned width = type->integerBitWidth();
+    if (width == 0 || width >= 64)
+        return bits;
+    uint64_t mask = (1ull << width) - 1;
+    bits &= mask;
+    if (type->isSignedInteger() && ((bits >> (width - 1)) & 1))
+        bits |= ~mask;
+    return bits;
+}
+
+} // namespace
+
+Constant *
+foldBinary(Module &m, Opcode op, Constant *lhs, Constant *rhs)
+{
+    Type *t = lhs->type();
+
+    // Comparisons on pointers: only null-vs-null is constant here.
+    if (t->isPointer()) {
+        bool ln = isa<ConstantNull>(lhs), rn = isa<ConstantNull>(rhs);
+        if (!(ln && rn))
+            return nullptr;
+        switch (op) {
+          case Opcode::SetEQ:
+          case Opcode::SetLE:
+          case Opcode::SetGE:
+            return m.constantBool(true);
+          case Opcode::SetNE:
+          case Opcode::SetLT:
+          case Opcode::SetGT:
+            return m.constantBool(false);
+          default:
+            return nullptr;
+        }
+    }
+
+    if (t->isFloatingPoint()) {
+        auto *lf = dyn_cast<ConstantFP>(lhs);
+        auto *rf = dyn_cast<ConstantFP>(rhs);
+        if (!lf || !rf)
+            return nullptr;
+        double a = lf->value(), b = rf->value();
+        switch (op) {
+          case Opcode::Add: return m.constantFP(t, a + b);
+          case Opcode::Sub: return m.constantFP(t, a - b);
+          case Opcode::Mul: return m.constantFP(t, a * b);
+          case Opcode::Div:
+            return b == 0.0 ? nullptr : m.constantFP(t, a / b);
+          case Opcode::Rem:
+            return b == 0.0 ? nullptr
+                            : m.constantFP(t, std::fmod(a, b));
+          case Opcode::SetEQ: return m.constantBool(a == b);
+          case Opcode::SetNE: return m.constantBool(a != b);
+          case Opcode::SetLT: return m.constantBool(a < b);
+          case Opcode::SetGT: return m.constantBool(a > b);
+          case Opcode::SetLE: return m.constantBool(a <= b);
+          case Opcode::SetGE: return m.constantBool(a >= b);
+          default: return nullptr;
+        }
+    }
+
+    auto *li = dyn_cast<ConstantInt>(lhs);
+    auto *ri = dyn_cast<ConstantInt>(rhs);
+    if (!li || !ri)
+        return nullptr;
+
+    bool is_signed = t->isSignedInteger();
+    int64_t sa = li->sext(), sb = ri->sext();
+    uint64_t ua = li->zext(), ub = ri->zext();
+    // For sub-64-bit unsigned types zext() may carry sign-extension
+    // bits from canonicalization; mask to the width for unsigned math.
+    unsigned width = t->integerBitWidth();
+    if (width && width < 64) {
+        uint64_t mask = (1ull << width) - 1;
+        ua &= mask;
+        ub &= mask;
+    }
+
+    auto wrap = [&](uint64_t v) {
+        return m.constantInt(t, canonicalize(t, v));
+    };
+
+    switch (op) {
+      case Opcode::Add:
+        return wrap(ua + ub);
+      case Opcode::Sub:
+        return wrap(ua - ub);
+      case Opcode::Mul:
+        return wrap(ua * ub);
+      case Opcode::Div:
+        if (ub == 0)
+            return nullptr; // traps: never fold away
+        if (is_signed) {
+            if (sa == INT64_MIN && sb == -1)
+                return nullptr; // overflow trap
+            return wrap(static_cast<uint64_t>(sa / sb));
+        }
+        return wrap(ua / ub);
+      case Opcode::Rem:
+        if (ub == 0)
+            return nullptr;
+        if (is_signed) {
+            if (sa == INT64_MIN && sb == -1)
+                return nullptr;
+            return wrap(static_cast<uint64_t>(sa % sb));
+        }
+        return wrap(ua % ub);
+      case Opcode::And:
+        return wrap(ua & ub);
+      case Opcode::Or:
+        return wrap(ua | ub);
+      case Opcode::Xor:
+        return wrap(ua ^ ub);
+      case Opcode::Shl: {
+        uint64_t sh = ri->zext() & 0xff;
+        if (sh >= 64)
+            return wrap(0);
+        return wrap(ua << sh);
+      }
+      case Opcode::Shr: {
+        uint64_t sh = ri->zext() & 0xff;
+        // Arithmetic shift for signed types, logical for unsigned
+        // (LLVA-era convention: shr is overloaded by type).
+        if (is_signed) {
+            if (sh >= 64)
+                return wrap(static_cast<uint64_t>(sa < 0 ? -1 : 0));
+            return wrap(static_cast<uint64_t>(sa >> sh));
+        }
+        if (sh >= 64)
+            return wrap(0);
+        return wrap(ua >> sh);
+      }
+      case Opcode::SetEQ:
+        return m.constantBool(ua == ub);
+      case Opcode::SetNE:
+        return m.constantBool(ua != ub);
+      case Opcode::SetLT:
+        return m.constantBool(is_signed ? sa < sb : ua < ub);
+      case Opcode::SetGT:
+        return m.constantBool(is_signed ? sa > sb : ua > ub);
+      case Opcode::SetLE:
+        return m.constantBool(is_signed ? sa <= sb : ua <= ub);
+      case Opcode::SetGE:
+        return m.constantBool(is_signed ? sa >= sb : ua >= ub);
+      default:
+        return nullptr;
+    }
+}
+
+Constant *
+foldCast(Module &m, Constant *value, Type *dest)
+{
+    Type *src = value->type();
+    if (src == dest)
+        return value;
+
+    if (auto *ci = dyn_cast<ConstantInt>(value)) {
+        if (dest->isInteger() || dest->isBool()) {
+            // Integer-to-integer: reinterpret through source value.
+            uint64_t v = src->isSignedInteger()
+                             ? static_cast<uint64_t>(ci->sext())
+                             : ci->zext();
+            if (dest->isBool())
+                return m.constantBool(v != 0);
+            return m.constantInt(dest, v);
+        }
+        if (dest->isFloatingPoint()) {
+            double d = src->isSignedInteger()
+                           ? static_cast<double>(ci->sext())
+                           : static_cast<double>(ci->zext());
+            return m.constantFP(dest, d);
+        }
+        return nullptr; // int -> pointer: not folded
+    }
+    if (auto *cf = dyn_cast<ConstantFP>(value)) {
+        if (dest->isFloatingPoint())
+            return m.constantFP(dest, cf->value());
+        if (dest->isInteger()) {
+            // FP-to-int casts trap on out-of-range in some I-ISAs;
+            // fold only in-range values.
+            double d = cf->value();
+            if (!(d >= -9.2e18 && d <= 9.2e18))
+                return nullptr;
+            if (dest->isSignedInteger())
+                return m.constantInt(
+                    dest, static_cast<uint64_t>(
+                              static_cast<int64_t>(d)));
+            if (d < 0)
+                return nullptr;
+            return m.constantInt(dest, static_cast<uint64_t>(d));
+        }
+        return nullptr;
+    }
+    if (isa<ConstantNull>(value)) {
+        if (auto *pt = dyn_cast<PointerType>(dest))
+            return m.constantNull(const_cast<PointerType *>(pt));
+        if (dest->isInteger())
+            return m.constantInt(dest, 0);
+        if (dest->isBool())
+            return m.constantBool(false);
+    }
+    return nullptr;
+}
+
+Constant *
+foldInstruction(Module &m, const Instruction *inst)
+{
+    // All operands must be constants.
+    std::vector<Constant *> ops;
+    for (size_t i = 0; i < inst->numOperands(); ++i) {
+        auto *c = dyn_cast<Constant>(inst->operand(i));
+        if (!c && !isa<BasicBlock>(inst->operand(i)))
+            return nullptr;
+        ops.push_back(const_cast<Constant *>(c));
+    }
+
+    if (inst->isBinaryOp() || inst->isComparison())
+        return foldBinary(m, inst->opcode(), ops[0], ops[1]);
+
+    if (inst->opcode() == Opcode::Cast)
+        return foldCast(m, ops[0], inst->type());
+
+    if (auto *phi = dyn_cast<PhiNode>(inst)) {
+        // phi folds if every incoming value is the same constant.
+        Constant *common = nullptr;
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+            auto *c = dyn_cast<Constant>(phi->incomingValue(i));
+            if (!c)
+                return nullptr;
+            if (common && common != c)
+                return nullptr;
+            common = const_cast<Constant *>(c);
+        }
+        return common;
+    }
+
+    return nullptr;
+}
+
+} // namespace llva

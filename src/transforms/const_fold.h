@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Constant folding over LLVA's typed operations. Arithmetic follows
+ * the type's signedness and width exactly; operations that would trap
+ * with ExceptionsEnabled set (div/rem by zero) are never folded away.
+ */
+
+#ifndef LLVA_TRANSFORMS_CONST_FOLD_H
+#define LLVA_TRANSFORMS_CONST_FOLD_H
+
+#include "ir/instructions.h"
+#include "ir/module.h"
+
+namespace llva {
+
+/**
+ * Fold a binary/comparison operation with constant operands.
+ * Returns nullptr when not foldable.
+ */
+Constant *foldBinary(Module &m, Opcode op, Constant *lhs, Constant *rhs);
+
+/** Fold a cast of a constant. Returns nullptr when not foldable. */
+Constant *foldCast(Module &m, Constant *value, Type *dest);
+
+/**
+ * Fold any instruction whose operands are all constants (including
+ * phi with identical incoming constants). Returns nullptr when not
+ * foldable.
+ */
+Constant *foldInstruction(Module &m, const Instruction *inst);
+
+} // namespace llva
+
+#endif // LLVA_TRANSFORMS_CONST_FOLD_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dead code elimination.
+ *
+ * DCE removes trivially dead instructions (no uses, no side effects,
+ * no deliverable exceptions — the ExceptionsEnabled attribute of
+ * paper Section 3.3 is what licenses deleting dead arithmetic while
+ * keeping dead trapping loads).
+ *
+ * ADCE is the aggressive variant: start from the set of obviously
+ * live roots (side-effecting and control-returning instructions) and
+ * mark backward along def-use chains; everything unmarked dies.
+ */
+
+#include <set>
+
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+/** Removable if dead: no side effects and no deliverable traps. */
+bool
+removableIfUnused(const Instruction *inst)
+{
+    if (inst->isTerminator() || inst->hasSideEffects())
+        return false;
+    if (inst->mayTrap())
+        return false;
+    // Alloca frees automatically; safe to drop when unused.
+    return true;
+}
+
+class DCE : public FunctionPass
+{
+  public:
+    const char *name() const override { return "dce"; }
+
+    bool
+    run(Function &f) override
+    {
+        bool changed = false;
+        bool local_change = true;
+        while (local_change) {
+            local_change = false;
+            for (auto &bb : f) {
+                for (auto it = bb->begin(); it != bb->end();) {
+                    Instruction *inst = it->get();
+                    ++it;
+                    if (!inst->hasUses() &&
+                        removableIfUnused(inst)) {
+                        inst->eraseFromParent();
+                        local_change = changed = true;
+                    }
+                }
+            }
+        }
+        return changed;
+    }
+};
+
+class ADCE : public FunctionPass
+{
+  public:
+    const char *name() const override { return "adce"; }
+
+    bool
+    run(Function &f) override
+    {
+        std::set<Instruction *> live;
+        std::vector<Instruction *> work;
+
+        auto markLive = [&](Instruction *inst) {
+            if (live.insert(inst).second)
+                work.push_back(inst);
+        };
+
+        for (auto &bb : f)
+            for (auto &inst : *bb)
+                if (!removableIfUnused(inst.get()))
+                    markLive(inst.get());
+
+        while (!work.empty()) {
+            Instruction *inst = work.back();
+            work.pop_back();
+            for (size_t i = 0; i < inst->numOperands(); ++i)
+                if (auto *op =
+                        dyn_cast<Instruction>(inst->operand(i)))
+                    markLive(op);
+        }
+
+        bool changed = false;
+        for (auto &bb : f) {
+            for (auto it = bb->begin(); it != bb->end();) {
+                Instruction *inst = it->get();
+                ++it;
+                if (live.count(inst))
+                    continue;
+                // Dead instructions may feed each other; detach from
+                // the graph before erasing.
+                if (inst->hasUses())
+                    inst->replaceAllUsesWith(
+                        f.parent()->constantUndef(inst->type()));
+                inst->eraseFromParent();
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createDCEPass()
+{
+    return std::make_unique<DCE>();
+}
+
+std::unique_ptr<FunctionPass>
+createADCEPass()
+{
+    return std::make_unique<ADCE>();
+}
+
+} // namespace llva

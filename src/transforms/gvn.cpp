@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Global value numbering / dominator-scoped common subexpression
+ * elimination for pure operations (arithmetic, comparisons, casts,
+ * getelementptr), plus redundant-load elimination within a block when
+ * alias analysis proves no intervening clobber.
+ */
+
+#include <map>
+#include <vector>
+
+#include "analysis/alias_analysis.h"
+#include "analysis/dominators.h"
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+/** Is this instruction a pure, re-usable expression? */
+bool
+isPureExpression(const Instruction *inst)
+{
+    switch (inst->opcode()) {
+      case Opcode::Cast:
+      case Opcode::GetElementPtr:
+        return true;
+      default:
+        return inst->isBinaryOp() || inst->isComparison();
+    }
+}
+
+using ExprKey = std::vector<uint64_t>;
+
+ExprKey
+keyOf(const Instruction *inst)
+{
+    ExprKey key;
+    key.push_back(static_cast<uint64_t>(inst->opcode()));
+    key.push_back(reinterpret_cast<uint64_t>(inst->type()));
+    uint64_t op0 = 0, op1 = 0;
+    for (size_t i = 0; i < inst->numOperands(); ++i) {
+        uint64_t v = reinterpret_cast<uint64_t>(inst->operand(i));
+        if (i == 0)
+            op0 = v;
+        if (i == 1)
+            op1 = v;
+        key.push_back(v);
+    }
+    // Commutative operations: canonicalize operand order.
+    switch (inst->opcode()) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::SetEQ:
+      case Opcode::SetNE:
+        if (op0 > op1) {
+            key[2] = op1;
+            key[3] = op0;
+        }
+        break;
+      default:
+        break;
+    }
+    return key;
+}
+
+class GVN : public FunctionPass
+{
+  public:
+    const char *name() const override { return "gvn"; }
+
+    bool
+    run(Function &f) override
+    {
+        changed_ = false;
+        DominatorTree dt(f);
+        BasicAliasAnalysis aa(*f.parent());
+        processBlock(f.entryBlock(), dt, aa);
+        return changed_;
+    }
+
+  private:
+    void
+    processBlock(BasicBlock *bb, DominatorTree &dt,
+                 BasicAliasAnalysis &aa)
+    {
+        std::vector<ExprKey> inserted;
+
+        // Per-block load table: pointer -> last known value.
+        std::map<Value *, Value *> availableLoads;
+
+        for (auto it = bb->begin(); it != bb->end();) {
+            Instruction *inst = it->get();
+            ++it;
+
+            if (auto *ld = dyn_cast<LoadInst>(inst)) {
+                auto av = availableLoads.find(ld->pointer());
+                if (av != availableLoads.end()) {
+                    ld->replaceAllUsesWith(av->second);
+                    ld->eraseFromParent();
+                    changed_ = true;
+                } else {
+                    availableLoads[ld->pointer()] = ld;
+                }
+                continue;
+            }
+            if (auto *st = dyn_cast<StoreInst>(inst)) {
+                // Kill aliased entries; remember the stored value.
+                for (auto av = availableLoads.begin();
+                     av != availableLoads.end();) {
+                    if (aa.alias(st->pointer(), av->first) !=
+                        AliasResult::NoAlias)
+                        av = availableLoads.erase(av);
+                    else
+                        ++av;
+                }
+                availableLoads[st->pointer()] = st->value();
+                continue;
+            }
+            if (inst->opcode() == Opcode::Call ||
+                inst->opcode() == Opcode::Invoke) {
+                // Unknown side effects clobber all loads.
+                availableLoads.clear();
+                continue;
+            }
+
+            if (!isPureExpression(inst))
+                continue;
+            ExprKey key = keyOf(inst);
+            auto found = table_.find(key);
+            if (found != table_.end() && !found->second.empty()) {
+                inst->replaceAllUsesWith(found->second.back());
+                inst->eraseFromParent();
+                changed_ = true;
+            } else {
+                table_[key].push_back(inst);
+                inserted.push_back(std::move(key));
+            }
+        }
+
+        for (BasicBlock *child : dt.children(bb))
+            processBlock(child, dt, aa);
+
+        for (const ExprKey &key : inserted) {
+            auto found = table_.find(key);
+            found->second.pop_back();
+            if (found->second.empty())
+                table_.erase(found);
+        }
+    }
+
+    std::map<ExprKey, std::vector<Value *>> table_;
+    bool changed_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createGVNPass()
+{
+    return std::make_unique<GVN>();
+}
+
+} // namespace llva

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Function inlining — the workhorse of the link-time interprocedural
+ * configuration (paper Section 4.2). Operates bottom-up over the
+ * call graph and inlines small defined callees at direct call sites.
+ */
+
+#include <map>
+
+#include "analysis/call_graph.h"
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+class Inliner : public ModulePass
+{
+  public:
+    explicit Inliner(unsigned threshold)
+        : threshold_(threshold)
+    {}
+
+    const char *name() const override { return "inline"; }
+
+    bool
+    run(Module &m) override
+    {
+        CallGraph cg(m);
+        bool changed = false;
+        for (const Function *cf : cg.bottomUpOrder()) {
+            Function *f = const_cast<Function *>(cf);
+            changed |= processFunction(*f, cg);
+        }
+        return changed;
+    }
+
+  private:
+    bool
+    shouldInline(const Function *callee, const CallGraph &cg) const
+    {
+        if (callee->isDeclaration() || callee->isIntrinsic())
+            return false;
+        if (callee->functionType()->isVarArg())
+            return false;
+        if (callee->instructionCount() > threshold_)
+            return false;
+        if (cg.isRecursive(callee))
+            return false;
+        return true;
+    }
+
+    bool
+    processFunction(Function &f, const CallGraph &cg)
+    {
+        bool changed = false;
+        // Collect call sites up front; inlining mutates the lists.
+        std::vector<CallInst *> sites;
+        for (auto &bb : f)
+            for (auto &inst : *bb)
+                if (auto *call = dyn_cast<CallInst>(inst.get()))
+                    if (Function *callee = call->calledFunction())
+                        if (callee != &f &&
+                            shouldInline(callee, cg))
+                            sites.push_back(call);
+        for (CallInst *call : sites) {
+            inlineCall(f, call);
+            changed = true;
+        }
+        return changed;
+    }
+
+    void
+    inlineCall(Function &caller, CallInst *call)
+    {
+        Function *callee = call->calledFunction();
+        TypeContext &tc = caller.functionType()->context();
+        BasicBlock *head = call->parent();
+
+        // Split the block right after the call.
+        auto call_it = head->locate(call);
+        auto next_it = std::next(call_it);
+        Instruction *next = next_it->get();
+        BasicBlock *tail = head->splitBefore(
+            next, head->name() + ".after_" + callee->name());
+
+        // Successor phis that named `head` must now name `tail`.
+        for (BasicBlock *succ : tail->successors()) {
+            for (auto &inst : *succ) {
+                auto *phi = dyn_cast<PhiNode>(inst.get());
+                if (!phi)
+                    break;
+                int idx = phi->incomingIndexFor(head);
+                if (idx >= 0)
+                    phi->setOperand(
+                        static_cast<size_t>(2 * idx + 1), tail);
+            }
+        }
+
+        // Clone the callee body.
+        std::map<const Value *, Value *> map;
+        for (size_t i = 0; i < callee->numArgs(); ++i)
+            map[callee->arg(i)] = call->arg(i);
+
+        std::vector<BasicBlock *> clonedBlocks;
+        for (auto &bb : *callee) {
+            BasicBlock *clone = caller.createBlock(
+                callee->name() + "." + bb->name());
+            caller.moveBlockBefore(clone, tail);
+            map[bb.get()] = clone;
+            clonedBlocks.push_back(clone);
+        }
+
+        std::vector<std::pair<Value *, BasicBlock *>> returns;
+        {
+            auto src = callee->begin();
+            for (BasicBlock *clone : clonedBlocks) {
+                for (auto &inst : **src) {
+                    if (auto *ret =
+                            dyn_cast<ReturnInst>(inst.get())) {
+                        // Record the (mapped-later) return value; the
+                        // terminator becomes a br to the tail block.
+                        returns.push_back(
+                            {ret->returnValue(), clone});
+                        clone->append(std::make_unique<BranchInst>(
+                            tc, tail));
+                        continue;
+                    }
+                    Instruction *cloned = inst->clone();
+                    cloned->setName(inst->name());
+                    cloned->setExceptionsEnabled(
+                        inst->exceptionsEnabled());
+                    map[inst.get()] = cloned;
+                    clone->append(
+                        std::unique_ptr<Instruction>(cloned));
+                }
+                ++src;
+            }
+        }
+
+        // Remap operands of all cloned instructions.
+        for (BasicBlock *clone : clonedBlocks) {
+            for (auto &inst : *clone) {
+                for (size_t i = 0; i < inst->numOperands(); ++i) {
+                    auto it = map.find(inst->operand(i));
+                    if (it != map.end())
+                        inst->setOperand(i, it->second);
+                }
+            }
+        }
+
+        // Wire the call block to the cloned entry.
+        BasicBlock *clonedEntry = clonedBlocks.front();
+        head->erase(head->terminator()); // the br added by split
+        head->append(std::make_unique<BranchInst>(tc, clonedEntry));
+
+        // Return value plumbing.
+        if (!call->type()->isVoid()) {
+            Value *result;
+            if (returns.size() == 1) {
+                Value *rv = returns[0].first;
+                auto it = map.find(rv);
+                result = it != map.end() ? it->second : rv;
+            } else {
+                auto *phi = new PhiNode(call->type());
+                phi->setName(callee->name() + ".ret");
+                for (auto &[rv, bb] : returns) {
+                    Value *mapped = rv;
+                    auto it = map.find(rv);
+                    if (it != map.end())
+                        mapped = it->second;
+                    phi->addIncoming(mapped, bb);
+                }
+                tail->insert(tail->begin(),
+                             std::unique_ptr<Instruction>(phi));
+                result = phi;
+            }
+            call->replaceAllUsesWith(result);
+        }
+        call->eraseFromParent();
+    }
+
+    unsigned threshold_;
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass>
+createInlinerPass(unsigned threshold)
+{
+    return std::make_unique<Inliner>(threshold);
+}
+
+} // namespace llva

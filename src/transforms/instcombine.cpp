@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Peephole algebraic simplification (instcombine). Works directly on
+ * the typed SSA graph; every rule respects the type's signedness and
+ * the ExceptionsEnabled attribute (a potentially trapping div is
+ * never removed, only strength-reduced when provably safe).
+ */
+
+#include <set>
+
+#include "ir/instructions.h"
+#include "transforms/const_fold.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+bool
+isAllOnes(const ConstantInt *c)
+{
+    unsigned width = c->type()->integerBitWidth();
+    if (width == 64)
+        return c->zext() == ~0ull;
+    uint64_t mask = (1ull << width) - 1;
+    return (c->zext() & mask) == mask;
+}
+
+/** Log2 of a power-of-two constant, or -1. */
+int
+powerOfTwo(const ConstantInt *c)
+{
+    uint64_t v = c->zext();
+    unsigned width = c->type()->integerBitWidth();
+    if (width < 64)
+        v &= (1ull << width) - 1;
+    if (v == 0 || (v & (v - 1)))
+        return -1;
+    int log = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++log;
+    }
+    return log;
+}
+
+class InstCombine : public FunctionPass
+{
+  public:
+    const char *name() const override { return "instcombine"; }
+
+    bool
+    run(Function &f) override
+    {
+        mod_ = f.parent();
+        bool changed = false;
+        bool local = true;
+        while (local) {
+            local = false;
+            for (auto &bb : f) {
+                for (auto it = bb->begin(); it != bb->end();) {
+                    Instruction *inst = it->get();
+                    ++it;
+                    if (simplify(inst)) {
+                        local = changed = true;
+                    }
+                }
+            }
+        }
+        return changed;
+    }
+
+  private:
+    /** Replace inst's result and erase it. */
+    bool
+    replaceWith(Instruction *inst, Value *v)
+    {
+        inst->replaceAllUsesWith(v);
+        inst->eraseFromParent();
+        return true;
+    }
+
+    bool
+    simplify(Instruction *inst)
+    {
+        // Full constant fold first.
+        if (!inst->type()->isVoid()) {
+            if (Constant *c = foldInstruction(*mod_, inst))
+                return replaceWith(inst, c);
+        }
+
+        if (auto *phi = dyn_cast<PhiNode>(inst)) {
+            // Single incoming, or all incoming identical.
+            if (phi->numIncoming() >= 1) {
+                Value *common = phi->incomingValue(0);
+                bool same = true;
+                for (unsigned i = 1; i < phi->numIncoming(); ++i)
+                    if (phi->incomingValue(i) != common &&
+                        phi->incomingValue(i) != phi) {
+                        same = false;
+                        break;
+                    }
+                if (same && common != phi)
+                    return replaceWith(phi, common);
+            }
+            return false;
+        }
+
+        if (auto *c = dyn_cast<CastInst>(inst)) {
+            if (c->value()->type() == c->type())
+                return replaceWith(c, c->value());
+            // cast (cast x to T1) to T2 where T1 and T2 are the same
+            // width and x's type equals T2: the round trip is a no-op.
+            if (auto *inner = dyn_cast<CastInst>(c->value())) {
+                Type *x = inner->value()->type();
+                if (x == c->type() && x->isInteger() &&
+                    inner->type()->isInteger() &&
+                    inner->type()->integerBitWidth() >=
+                        x->integerBitWidth())
+                    return replaceWith(c, inner->value());
+            }
+            return false;
+        }
+
+        if (inst->isComparison()) {
+            auto *cmp = cast<SetCondInst>(inst);
+            Type *t = cmp->lhs()->type();
+            bool fp = t->isFloatingPoint();
+            if (cmp->lhs() == cmp->rhs() && !fp) {
+                switch (inst->opcode()) {
+                  case Opcode::SetEQ:
+                  case Opcode::SetLE:
+                  case Opcode::SetGE:
+                    return replaceWith(inst, mod_->constantBool(true));
+                  default:
+                    return replaceWith(inst,
+                                       mod_->constantBool(false));
+                }
+            }
+            // Constant on the left: canonicalize to the right.
+            if (isa<Constant>(cmp->lhs()) &&
+                !isa<Constant>(cmp->rhs())) {
+                Value *l = cmp->lhs(), *r = cmp->rhs();
+                auto *repl = new SetCondInst(
+                    SetCondInst::swapped(inst->opcode()), r, l);
+                repl->setName(inst->name());
+                inst->parent()->insertBefore(
+                    inst, std::unique_ptr<Instruction>(repl));
+                return replaceWith(inst, repl);
+            }
+            return false;
+        }
+
+        if (!inst->isBinaryOp())
+            return false;
+
+        auto *bin = cast<BinaryOperator>(inst);
+        Value *lhs = bin->lhs(), *rhs = bin->rhs();
+        Type *t = bin->type();
+        bool is_int = t->isInteger();
+
+        // Canonicalize constants to the right for commutative ops.
+        if ((inst->opcode() == Opcode::Add ||
+             inst->opcode() == Opcode::Mul ||
+             inst->opcode() == Opcode::And ||
+             inst->opcode() == Opcode::Or ||
+             inst->opcode() == Opcode::Xor) &&
+            isa<Constant>(lhs) && !isa<Constant>(rhs)) {
+            bin->setOperand(0, rhs);
+            bin->setOperand(1, lhs);
+            std::swap(lhs, rhs);
+            // fall through to the rules below (counts as a change
+            // only if another rule fires; canonicalization alone
+            // must not claim progress or the loop never terminates).
+        }
+
+        auto *rc = dyn_cast<ConstantInt>(rhs);
+        switch (inst->opcode()) {
+          case Opcode::Add:
+            if (rc && rc->isZero())
+                return replaceWith(inst, lhs);
+            break;
+          case Opcode::Sub:
+            if (rc && rc->isZero())
+                return replaceWith(inst, lhs);
+            if (lhs == rhs && is_int)
+                return replaceWith(inst, mod_->constantInt(t, 0));
+            break;
+          case Opcode::Mul:
+            if (rc && rc->isOne())
+                return replaceWith(inst, lhs);
+            if (rc && rc->isZero() && is_int)
+                return replaceWith(inst, mod_->constantInt(t, 0));
+            if (rc && is_int && t->isUnsignedInteger()) {
+                int log = powerOfTwo(rc);
+                if (log > 0) {
+                    auto *shift = new BinaryOperator(
+                        Opcode::Shl, lhs,
+                        mod_->constantInt(
+                            mod_->types().ubyteTy(),
+                            static_cast<uint64_t>(log)));
+                    shift->setName(inst->name());
+                    inst->parent()->insertBefore(
+                        inst, std::unique_ptr<Instruction>(shift));
+                    return replaceWith(inst, shift);
+                }
+            }
+            break;
+          case Opcode::Div:
+            if (rc && rc->isOne())
+                return replaceWith(inst, lhs);
+            if (rc && is_int && t->isUnsignedInteger()) {
+                int log = powerOfTwo(rc);
+                if (log > 0) {
+                    auto *shift = new BinaryOperator(
+                        Opcode::Shr, lhs,
+                        mod_->constantInt(
+                            mod_->types().ubyteTy(),
+                            static_cast<uint64_t>(log)));
+                    shift->setName(inst->name());
+                    inst->parent()->insertBefore(
+                        inst, std::unique_ptr<Instruction>(shift));
+                    return replaceWith(inst, shift);
+                }
+            }
+            break;
+          case Opcode::Rem:
+            if (rc && rc->isOne() && is_int)
+                return replaceWith(inst, mod_->constantInt(t, 0));
+            break;
+          case Opcode::And:
+            if (rc && rc->isZero())
+                return replaceWith(inst, mod_->constantInt(t, 0));
+            if (rc && isAllOnes(rc))
+                return replaceWith(inst, lhs);
+            if (lhs == rhs)
+                return replaceWith(inst, lhs);
+            break;
+          case Opcode::Or:
+            if (rc && rc->isZero())
+                return replaceWith(inst, lhs);
+            if (rc && isAllOnes(rc))
+                return replaceWith(inst, rhs);
+            if (lhs == rhs)
+                return replaceWith(inst, lhs);
+            break;
+          case Opcode::Xor:
+            if (rc && rc->isZero())
+                return replaceWith(inst, lhs);
+            if (lhs == rhs && is_int)
+                return replaceWith(inst, mod_->constantInt(t, 0));
+            break;
+          case Opcode::Shl:
+          case Opcode::Shr:
+            if (rc && rc->isZero())
+                return replaceWith(inst, lhs);
+            break;
+          default:
+            break;
+        }
+        return false;
+    }
+
+    Module *mod_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createInstCombinePass()
+{
+    return std::make_unique<InstCombine>();
+}
+
+} // namespace llva

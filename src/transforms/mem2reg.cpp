@@ -1,0 +1,177 @@
+/**
+ * @file
+ * mem2reg: promote scalar stack slots to SSA registers.
+ *
+ * External compilers emit source variables as allocas (paper Fig. 2:
+ * %V lives on the stack because its address is taken); everything
+ * whose address does not escape is promoted into the infinite virtual
+ * register file, inserting phi nodes at iterated dominance frontiers.
+ */
+
+#include <map>
+#include <set>
+
+#include "analysis/dominators.h"
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+/** Promotable: scalar, statically sized, and only loaded/stored. */
+bool
+isPromotable(const AllocaInst *ai)
+{
+    if (ai->arraySize())
+        return false;
+    if (!ai->allocatedType()->isFirstClass())
+        return false;
+    for (const User *u : ai->users()) {
+        if (isa<LoadInst>(u))
+            continue;
+        auto *st = dyn_cast<StoreInst>(u);
+        if (st && st->pointer() == ai && st->value() != ai)
+            continue;
+        return false; // address escapes (gep, call, store of ptr...)
+    }
+    return true;
+}
+
+class Mem2Reg : public FunctionPass
+{
+  public:
+    const char *name() const override { return "mem2reg"; }
+
+    bool
+    run(Function &f) override
+    {
+        std::vector<AllocaInst *> allocas;
+        for (auto &inst : *f.entryBlock())
+            if (auto *ai = dyn_cast<AllocaInst>(inst.get()))
+                if (isPromotable(ai))
+                    allocas.push_back(ai);
+        if (allocas.empty())
+            return false;
+
+        DominatorTree dt(f);
+        for (AllocaInst *ai : allocas)
+            promote(f, dt, ai);
+        return true;
+    }
+
+  private:
+    void
+    promote(Function &f, DominatorTree &dt, AllocaInst *ai)
+    {
+        Type *type = ai->allocatedType();
+        Module *mod = f.parent();
+
+        // Phi placement at the iterated dominance frontier of the
+        // store (definition) blocks.
+        std::set<BasicBlock *> defBlocks;
+        for (User *u : ai->users())
+            if (auto *st = dyn_cast<StoreInst>(u))
+                defBlocks.insert(st->parent());
+
+        std::set<BasicBlock *> phiBlocks;
+        std::vector<BasicBlock *> work(defBlocks.begin(),
+                                       defBlocks.end());
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            for (BasicBlock *df : dt.frontier(bb))
+                if (phiBlocks.insert(df).second)
+                    work.push_back(df);
+        }
+
+        std::map<BasicBlock *, PhiNode *> phis;
+        for (BasicBlock *bb : phiBlocks) {
+            if (!dt.reachable(bb))
+                continue;
+            auto *phi = new PhiNode(type);
+            phi->setName(ai->name());
+            bb->insert(bb->begin(), std::unique_ptr<Instruction>(phi));
+            phis[bb] = phi;
+        }
+
+        // Rename: one pass over the CFG from the entry. A block
+        // without a phi is only reached with a single well-defined
+        // value (that is what the iterated-DF placement guarantees),
+        // so a visited-once DFS carrying the current value is sound.
+        Value *undef = mod->constantUndef(type);
+        struct Frame
+        {
+            BasicBlock *bb;
+            Value *value;
+        };
+        std::vector<Frame> stack{{f.entryBlock(), undef}};
+        std::set<BasicBlock *> visited;
+        while (!stack.empty()) {
+            Frame fr = stack.back();
+            stack.pop_back();
+            if (auto it = phis.find(fr.bb); it != phis.end())
+                fr.value = it->second;
+            bool first_visit = visited.insert(fr.bb).second;
+
+            if (first_visit) {
+                for (auto &inst : *fr.bb) {
+                    if (auto *ld = dyn_cast<LoadInst>(inst.get())) {
+                        if (ld->pointer() == ai)
+                            ld->replaceAllUsesWith(fr.value);
+                    } else if (auto *st =
+                                   dyn_cast<StoreInst>(inst.get())) {
+                        if (st->pointer() == ai)
+                            fr.value = st->value();
+                    }
+                }
+            } else {
+                // Value at block end unchanged: recompute by scanning
+                // stores only (cheap; needed to fill successor phis
+                // identically on every edge).
+                for (auto &inst : *fr.bb)
+                    if (auto *st = dyn_cast<StoreInst>(inst.get()))
+                        if (st->pointer() == ai)
+                            fr.value = st->value();
+            }
+
+            for (BasicBlock *succ : fr.bb->successors()) {
+                if (auto it = phis.find(succ); it != phis.end())
+                    if (it->second->incomingIndexFor(fr.bb) < 0)
+                        it->second->addIncoming(fr.value, fr.bb);
+                if (!visited.count(succ))
+                    stack.push_back({succ, fr.value});
+            }
+        }
+
+        // Unreachable predecessors never got visited: give their phi
+        // edges undef so the SSA form stays verifier-clean.
+        for (auto &[bb, phi] : phis)
+            for (BasicBlock *pred : bb->predecessors())
+                if (phi->incomingIndexFor(pred) < 0)
+                    phi->addIncoming(undef, pred);
+
+        // Drop the memory operations and the slot itself. Loads in
+        // unreachable code were never rewritten; they become undef.
+        std::vector<Instruction *> dead;
+        for (User *u : ai->users())
+            dead.push_back(cast<Instruction>(u));
+        for (Instruction *inst : dead) {
+            if (inst->hasUses())
+                inst->replaceAllUsesWith(
+                    mod->constantUndef(inst->type()));
+            inst->eraseFromParent();
+        }
+        ai->eraseFromParent();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createMem2RegPass()
+{
+    return std::make_unique<Mem2Reg>();
+}
+
+} // namespace llva

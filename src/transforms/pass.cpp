@@ -1,0 +1,57 @@
+#include "transforms/pass.h"
+
+#include "verifier/verifier.h"
+
+namespace llva {
+
+bool
+PassManager::run(Module &m)
+{
+    changed_.clear();
+    bool any = false;
+    for (auto &e : entries_) {
+        bool changed = false;
+        if (e.mp) {
+            changed = e.mp->run(m);
+        } else {
+            for (auto &f : m.functions())
+                if (!f->isDeclaration())
+                    changed |= e.fp->run(*f);
+        }
+        if (changed)
+            changed_.push_back(e.mp ? e.mp->name() : e.fp->name());
+        any |= changed;
+        if (verifyEach_) {
+            VerifyResult r = verifyModule(m);
+            if (!r.ok())
+                fatal("verification failed after pass '%s':\n%s",
+                      e.mp ? e.mp->name() : e.fp->name(),
+                      r.str().c_str());
+        }
+    }
+    return any;
+}
+
+void
+addStandardPasses(PassManager &pm, unsigned level)
+{
+    if (level == 0)
+        return;
+    pm.add(createMem2RegPass());
+    pm.add(createInstCombinePass());
+    pm.add(createSCCPPass());
+    pm.add(createSimplifyCFGPass());
+    pm.add(createGVNPass());
+    pm.add(createADCEPass());
+    pm.add(createSimplifyCFGPass());
+    if (level >= 2) {
+        pm.add(createInlinerPass());
+        pm.add(createInstCombinePass());
+        pm.add(createSCCPPass());
+        pm.add(createGVNPass());
+        pm.add(createADCEPass());
+        pm.add(createSimplifyCFGPass());
+    }
+}
+
+} // namespace llva

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pass framework: the optimization pipeline that runs over virtual
+ * object code at compile-, link-, install-, run-, or idle-time
+ * (paper Section 4.2's four optimization opportunities all operate
+ * on this same representation).
+ */
+
+#ifndef LLVA_TRANSFORMS_PASS_H
+#define LLVA_TRANSFORMS_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+/** A transformation applied to one function at a time. */
+class FunctionPass
+{
+  public:
+    virtual ~FunctionPass() = default;
+
+    /** Returns true if the function was modified. */
+    virtual bool run(Function &f) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** A whole-module (interprocedural) transformation. */
+class ModulePass
+{
+  public:
+    virtual ~ModulePass() = default;
+
+    virtual bool run(Module &m) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Runs a sequence of passes. Function passes are applied to every
+ * defined function; module passes to the whole module. Optionally
+ * verifies after each pass (used heavily in tests).
+ */
+class PassManager
+{
+  public:
+    void
+    add(std::unique_ptr<FunctionPass> p)
+    {
+        entries_.push_back({std::move(p), nullptr});
+    }
+
+    void
+    add(std::unique_ptr<ModulePass> p)
+    {
+        entries_.push_back({nullptr, std::move(p)});
+    }
+
+    void setVerifyEach(bool v) { verifyEach_ = v; }
+
+    /** Run all passes; returns true if anything changed. */
+    bool run(Module &m);
+
+    /** Names of passes that reported changes in the last run. */
+    const std::vector<std::string> &changedPasses() const
+    {
+        return changed_;
+    }
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<FunctionPass> fp;
+        std::unique_ptr<ModulePass> mp;
+    };
+    std::vector<Entry> entries_;
+    std::vector<std::string> changed_;
+    bool verifyEach_ = false;
+};
+
+// Factory functions for the standard passes.
+std::unique_ptr<FunctionPass> createMem2RegPass();
+std::unique_ptr<FunctionPass> createSCCPPass();
+std::unique_ptr<FunctionPass> createDCEPass();
+std::unique_ptr<FunctionPass> createADCEPass();
+std::unique_ptr<FunctionPass> createGVNPass();
+std::unique_ptr<FunctionPass> createInstCombinePass();
+std::unique_ptr<FunctionPass> createSimplifyCFGPass();
+std::unique_ptr<ModulePass> createInlinerPass(unsigned threshold = 40);
+/** Demote phis to stack slots (models naive front-end output). */
+std::unique_ptr<FunctionPass> createReg2MemPass();
+/**
+ * Automatic Pool Allocation (Section 5.1): partition the heap into
+ * one pool per disjoint data-structure instance found by the
+ * points-to analysis.
+ */
+std::unique_ptr<ModulePass> createPoolAllocationPass();
+
+/**
+ * The standard optimization pipeline.
+ *  - level 0: nothing.
+ *  - level 1: mem2reg, instcombine, SCCP, GVN, ADCE, simplifycfg.
+ *  - level 2: level 1 plus inlining and a second scalar round
+ *    (the "link-time interprocedural" configuration of Section 4.2).
+ */
+void addStandardPasses(PassManager &pm, unsigned level);
+
+} // namespace llva
+
+#endif // LLVA_TRANSFORMS_PASS_H

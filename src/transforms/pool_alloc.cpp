@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Automatic Pool Allocation (paper Section 5.1, reference [25]):
+ * "a powerful interprocedural transformation that uses Data
+ * Structure Analysis to partition the heap into separate pools for
+ * each data structure instance."
+ *
+ * Simplified faithfully to this repository's DSA stand-in: the
+ * unification-based points-to analysis identifies disjoint logical
+ * data-structure instances; every malloc feeding one instance is
+ * rewritten to allocate from that instance's pool
+ * (`llva.poolalloc`), and frees of pointers into the instance go to
+ * `llva.poolfree`. Pools hand out contiguous chunks, so each data
+ * structure becomes spatially clustered — the locality property the
+ * original transformation targets. Pool descriptors are module
+ * globals (the full algorithm sinks create/destroy to the data
+ * structure's lifetime; see DESIGN.md).
+ */
+
+#include <map>
+
+#include "analysis/alias_analysis.h"
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+class PoolAllocation : public ModulePass
+{
+  public:
+    const char *name() const override { return "poolalloc"; }
+
+    bool
+    run(Module &m) override
+    {
+        Function *mallocFn = m.getFunction("malloc");
+        if (!mallocFn)
+            return false;
+        Function *freeFn = m.getFunction("free");
+
+        SteensgaardAnalysis dsa(m);
+
+        // Group heap allocation sites by points-to class.
+        std::map<unsigned, std::vector<CallInst *>> classes;
+        for (const auto &f : m.functions()) {
+            for (const auto &bb : *f) {
+                for (const auto &inst : *bb) {
+                    auto *call = dyn_cast<CallInst>(inst.get());
+                    if (!call ||
+                        call->calledFunction() != mallocFn)
+                        continue;
+                    unsigned cls = dsa.structureClass(call);
+                    if (cls)
+                        classes[cls].push_back(call);
+                }
+            }
+        }
+        if (classes.empty())
+            return false;
+
+        TypeContext &tc = m.types();
+        auto *bytePtr = tc.pointerTo(tc.ubyteTy());
+        auto *poolPtrTy = tc.pointerTo(tc.ulongTy());
+        Function *poolAlloc = m.getOrInsertFunction(
+            "llva.poolalloc",
+            tc.functionOf(bytePtr, {poolPtrTy, tc.ulongTy()}));
+        Function *poolFree = m.getOrInsertFunction(
+            "llva.poolfree",
+            tc.functionOf(tc.voidTy(), {poolPtrTy, bytePtr}));
+
+        // One pool descriptor global per disjoint structure.
+        std::map<unsigned, GlobalVariable *> pools;
+        unsigned n = 0;
+        for (const auto &[cls, sites] : classes) {
+            pools[cls] = m.createGlobal(
+                tc.ulongTy(), "pool." + std::to_string(n++),
+                m.constantInt(tc.ulongTy(), 0), false,
+                Linkage::Internal);
+        }
+
+        // Resolve each free's pool before rewriting mallocs (the
+        // analysis maps the original values).
+        std::vector<std::pair<CallInst *, GlobalVariable *>>
+            free_rewrites;
+        if (freeFn) {
+            for (const auto &f : m.functions())
+                for (const auto &bb : *f)
+                    for (const auto &inst : *bb) {
+                        auto *call =
+                            dyn_cast<CallInst>(inst.get());
+                        if (!call ||
+                            call->calledFunction() != freeFn)
+                            continue;
+                        auto it = pools.find(
+                            dsa.structureClass(call->arg(0)));
+                        if (it != pools.end())
+                            free_rewrites.emplace_back(
+                                call, it->second);
+                    }
+        }
+
+        // Rewrite mallocs.
+        for (const auto &[cls, sites] : classes) {
+            for (CallInst *call : sites) {
+                auto *repl = new CallInst(
+                    bytePtr, poolAlloc,
+                    {pools[cls], call->arg(0)});
+                repl->setName(call->name());
+                call->parent()->insertBefore(
+                    call, std::unique_ptr<Instruction>(repl));
+                call->replaceAllUsesWith(repl);
+                call->eraseFromParent();
+            }
+        }
+
+        // Rewrite the resolved frees.
+        for (auto &[call, pool] : free_rewrites) {
+            auto *repl = new CallInst(tc.voidTy(), poolFree,
+                                      {pool, call->arg(0)});
+            call->parent()->insertBefore(
+                call, std::unique_ptr<Instruction>(repl));
+            call->eraseFromParent();
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass>
+createPoolAllocationPass()
+{
+    return std::make_unique<PoolAllocation>();
+}
+
+} // namespace llva

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * reg2mem: demote SSA phi values to stack slots — the inverse of
+ * mem2reg. This models what a naive front-end emits before any
+ * optimization (every cross-block value lives in memory), and is
+ * the baseline for the "optimize before translation" ablation.
+ */
+
+#include <vector>
+
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+class Reg2Mem : public FunctionPass
+{
+  public:
+    const char *name() const override { return "reg2mem"; }
+
+    bool
+    run(Function &f) override
+    {
+        std::vector<PhiNode *> phis;
+        for (auto &bb : f)
+            for (auto &inst : *bb) {
+                auto *phi = dyn_cast<PhiNode>(inst.get());
+                if (!phi)
+                    break;
+                // An invoke result can only be named by the phi on
+                // its normal edge, never stored before the invoke
+                // itself — leave such phis alone.
+                bool demotable = true;
+                for (unsigned i = 0; i < phi->numIncoming(); ++i)
+                    if (phi->incomingValue(i) ==
+                        static_cast<Value *>(
+                            phi->incomingBlock(i)->terminator()))
+                        demotable = false;
+                if (demotable)
+                    phis.push_back(phi);
+            }
+        if (phis.empty())
+            return false;
+
+        BasicBlock *entry = f.entryBlock();
+        for (PhiNode *phi : phis) {
+            auto *slot = new AllocaInst(phi->type());
+            slot->setName(phi->name() + ".slot");
+            entry->insert(entry->begin(),
+                          std::unique_ptr<Instruction>(slot));
+
+            // Store each incoming value at the end of its edge's
+            // source block.
+            for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+                BasicBlock *pred = phi->incomingBlock(i);
+                Instruction *term = pred->terminator();
+                pred->insertBefore(
+                    term, std::make_unique<StoreInst>(
+                              phi->incomingValue(i), slot));
+            }
+
+            // The merged value becomes a load where the phi stood.
+            auto *load = new LoadInst(slot);
+            load->setName(phi->name());
+            phi->parent()->insert(
+                phi->parent()->firstNonPhi(),
+                std::unique_ptr<Instruction>(load));
+            phi->replaceAllUsesWith(load);
+            phi->eraseFromParent();
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createReg2MemPass()
+{
+    return std::make_unique<Reg2Mem>();
+}
+
+} // namespace llva

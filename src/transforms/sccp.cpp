@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Sparse conditional constant propagation over LLVA's SSA form.
+ * The explicit SSA def-use chains are exactly what makes the sparse
+ * formulation possible on the persistent representation (paper
+ * Section 3.1: SSA "allows for efficient 'sparse' algorithms for
+ * global dataflow problems").
+ */
+
+#include <map>
+#include <set>
+
+#include "ir/instructions.h"
+#include "transforms/const_fold.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+struct LatticeValue
+{
+    enum State { Unknown, Constant, Overdefined } state = Unknown;
+    llva::Constant *constant = nullptr;
+};
+
+class SCCP : public FunctionPass
+{
+  public:
+    const char *name() const override { return "sccp"; }
+
+    bool
+    run(Function &f) override
+    {
+        values_.clear();
+        executableBlocks_.clear();
+        executableEdges_.clear();
+        instWork_.clear();
+        blockWork_.clear();
+
+        mod_ = f.parent();
+
+        // Arguments are runtime values.
+        for (size_t i = 0; i < f.numArgs(); ++i)
+            markOverdefined(f.arg(i));
+
+        markBlockExecutable(f.entryBlock());
+        while (!blockWork_.empty() || !instWork_.empty()) {
+            while (!instWork_.empty()) {
+                Instruction *inst = *instWork_.begin();
+                instWork_.erase(instWork_.begin());
+                if (executableBlocks_.count(inst->parent()))
+                    visit(inst);
+            }
+            while (!blockWork_.empty()) {
+                BasicBlock *bb = *blockWork_.begin();
+                blockWork_.erase(blockWork_.begin());
+                for (auto &inst : *bb)
+                    visit(inst.get());
+            }
+        }
+
+        // Rewrite proven constants.
+        bool changed = false;
+        for (auto &bb : f) {
+            for (auto it = bb->begin(); it != bb->end();) {
+                Instruction *inst = it->get();
+                ++it;
+                if (inst->type()->isVoid())
+                    continue;
+                // Note: a trapping op (div/rem with ExceptionsEnabled)
+                // only reaches the Constant state when the fold was
+                // proven safe (nonzero divisor), so rewriting is fine.
+                auto lv = values_.find(inst);
+                if (lv == values_.end() ||
+                    lv->second.state != LatticeValue::Constant)
+                    continue;
+                if (inst->hasUses()) {
+                    inst->replaceAllUsesWith(lv->second.constant);
+                    changed = true;
+                }
+                if (!inst->hasSideEffects() && !inst->hasUses()) {
+                    inst->eraseFromParent();
+                    changed = true;
+                }
+            }
+        }
+        return changed;
+    }
+
+  private:
+    LatticeValue
+    lattice(Value *v)
+    {
+        if (auto *c = dyn_cast<Constant>(v)) {
+            if (isa<ConstantUndef>(c))
+                return {LatticeValue::Unknown, nullptr};
+            return {LatticeValue::Constant, c};
+        }
+        auto it = values_.find(v);
+        if (it != values_.end())
+            return it->second;
+        return {LatticeValue::Unknown, nullptr};
+    }
+
+    void
+    markOverdefined(Value *v)
+    {
+        LatticeValue &lv = values_[v];
+        if (lv.state == LatticeValue::Overdefined)
+            return;
+        lv.state = LatticeValue::Overdefined;
+        lv.constant = nullptr;
+        notifyUsers(v);
+    }
+
+    void
+    markConstant(Value *v, Constant *c)
+    {
+        LatticeValue &lv = values_[v];
+        if (lv.state == LatticeValue::Constant && lv.constant == c)
+            return;
+        if (lv.state == LatticeValue::Overdefined)
+            return;
+        if (lv.state == LatticeValue::Constant && lv.constant != c) {
+            markOverdefined(v);
+            return;
+        }
+        lv.state = LatticeValue::Constant;
+        lv.constant = c;
+        notifyUsers(v);
+    }
+
+    void
+    notifyUsers(Value *v)
+    {
+        for (User *u : v->users())
+            if (auto *inst = dyn_cast<Instruction>(u))
+                instWork_.insert(inst);
+    }
+
+    void
+    markBlockExecutable(BasicBlock *bb)
+    {
+        if (executableBlocks_.insert(bb).second)
+            blockWork_.insert(bb);
+    }
+
+    void
+    markEdgeExecutable(BasicBlock *from, BasicBlock *to)
+    {
+        if (!executableEdges_.insert({from, to}).second)
+            return;
+        markBlockExecutable(to);
+        // Phi nodes in `to` must be re-evaluated.
+        for (auto &inst : *to) {
+            if (!isa<PhiNode>(inst.get()))
+                break;
+            instWork_.insert(inst.get());
+        }
+    }
+
+    void
+    visit(Instruction *inst)
+    {
+        switch (inst->opcode()) {
+          case Opcode::Phi:
+            visitPhi(cast<PhiNode>(inst));
+            return;
+          case Opcode::Br:
+            visitBranch(cast<BranchInst>(inst));
+            return;
+          case Opcode::MBr:
+            visitMBr(cast<MBrInst>(inst));
+            return;
+          case Opcode::Invoke: {
+            auto *iv = cast<InvokeInst>(inst);
+            markEdgeExecutable(inst->parent(), iv->normalDest());
+            markEdgeExecutable(inst->parent(), iv->unwindDest());
+            if (!inst->type()->isVoid())
+                markOverdefined(inst);
+            return;
+          }
+          case Opcode::Ret:
+          case Opcode::Unwind:
+          case Opcode::Store:
+            return;
+          case Opcode::Call:
+          case Opcode::Load:
+          case Opcode::Alloca:
+          case Opcode::GetElementPtr:
+            if (!inst->type()->isVoid())
+                markOverdefined(inst);
+            return;
+          default:
+            break;
+        }
+
+        // Foldable scalar operation: meet over operand lattice.
+        bool any_overdefined = false, all_constant = true;
+        for (size_t i = 0; i < inst->numOperands(); ++i) {
+            LatticeValue lv = lattice(inst->operand(i));
+            if (lv.state == LatticeValue::Overdefined)
+                any_overdefined = true;
+            if (lv.state != LatticeValue::Constant)
+                all_constant = false;
+        }
+        if (all_constant) {
+            // Build a shadow fold using the lattice constants.
+            Constant *folded = nullptr;
+            if (inst->isBinaryOp() || inst->isComparison()) {
+                folded = foldBinary(*mod_, inst->opcode(),
+                                    latticeConst(inst->operand(0)),
+                                    latticeConst(inst->operand(1)));
+            } else if (inst->opcode() == Opcode::Cast) {
+                folded = foldCast(*mod_,
+                                  latticeConst(inst->operand(0)),
+                                  inst->type());
+            }
+            if (folded)
+                markConstant(inst, folded);
+            else
+                markOverdefined(inst);
+            return;
+        }
+        if (any_overdefined)
+            markOverdefined(inst);
+        // else: still unknown — wait for operands.
+    }
+
+    Constant *
+    latticeConst(Value *v)
+    {
+        LatticeValue lv = lattice(v);
+        LLVA_ASSERT(lv.state == LatticeValue::Constant,
+                    "operand is not constant");
+        return lv.constant;
+    }
+
+    void
+    visitPhi(PhiNode *phi)
+    {
+        Constant *common = nullptr;
+        bool overdefined = false;
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+            if (!executableEdges_.count(
+                    {phi->incomingBlock(i), phi->parent()}))
+                continue;
+            LatticeValue lv = lattice(phi->incomingValue(i));
+            if (lv.state == LatticeValue::Overdefined) {
+                overdefined = true;
+                break;
+            }
+            if (lv.state == LatticeValue::Unknown)
+                continue;
+            if (common && common != lv.constant) {
+                overdefined = true;
+                break;
+            }
+            common = lv.constant;
+        }
+        if (overdefined)
+            markOverdefined(phi);
+        else if (common)
+            markConstant(phi, common);
+    }
+
+    void
+    visitBranch(BranchInst *br)
+    {
+        BasicBlock *bb = br->parent();
+        if (!br->isConditional()) {
+            markEdgeExecutable(bb, br->target(0));
+            return;
+        }
+        LatticeValue lv = lattice(br->condition());
+        if (lv.state == LatticeValue::Constant) {
+            auto *ci = cast<ConstantInt>(lv.constant);
+            markEdgeExecutable(bb, br->target(ci->isZero() ? 1 : 0));
+        } else if (lv.state == LatticeValue::Overdefined) {
+            markEdgeExecutable(bb, br->target(0));
+            markEdgeExecutable(bb, br->target(1));
+        }
+    }
+
+    void
+    visitMBr(MBrInst *mbr)
+    {
+        BasicBlock *bb = mbr->parent();
+        LatticeValue lv = lattice(mbr->condition());
+        if (lv.state == LatticeValue::Constant) {
+            auto *ci = cast<ConstantInt>(lv.constant);
+            for (unsigned i = 0; i < mbr->numCases(); ++i) {
+                if (mbr->caseValue(i)->bits() == ci->bits()) {
+                    markEdgeExecutable(bb, mbr->caseDest(i));
+                    return;
+                }
+            }
+            markEdgeExecutable(bb, mbr->defaultDest());
+        } else if (lv.state == LatticeValue::Overdefined) {
+            markEdgeExecutable(bb, mbr->defaultDest());
+            for (unsigned i = 0; i < mbr->numCases(); ++i)
+                markEdgeExecutable(bb, mbr->caseDest(i));
+        }
+    }
+
+    Module *mod_ = nullptr;
+    std::map<Value *, LatticeValue> values_;
+    std::set<BasicBlock *> executableBlocks_;
+    std::set<std::pair<BasicBlock *, BasicBlock *>> executableEdges_;
+    std::set<Instruction *> instWork_;
+    std::set<BasicBlock *> blockWork_;
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createSCCPPass()
+{
+    return std::make_unique<SCCP>();
+}
+
+} // namespace llva

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * CFG simplification: folds branches on constants, deletes
+ * unreachable blocks, and merges straight-line block chains.
+ */
+
+#include <set>
+
+#include "ir/instructions.h"
+#include "transforms/pass.h"
+
+namespace llva {
+
+namespace {
+
+/** Remove \p pred's incoming entries from all phis in \p bb. */
+void
+removePhiEntriesFor(BasicBlock *bb, BasicBlock *pred)
+{
+    for (auto &inst : *bb) {
+        auto *phi = dyn_cast<PhiNode>(inst.get());
+        if (!phi)
+            break;
+        int idx = phi->incomingIndexFor(pred);
+        if (idx >= 0)
+            phi->removeIncoming(static_cast<unsigned>(idx));
+    }
+}
+
+class SimplifyCFG : public FunctionPass
+{
+  public:
+    const char *name() const override { return "simplifycfg"; }
+
+    bool
+    run(Function &f) override
+    {
+        bool changed = false;
+        bool local = true;
+        while (local) {
+            local = false;
+            local |= foldConstantBranches(f);
+            local |= removeUnreachable(f);
+            local |= mergeChains(f);
+            local |= simplifyTrivialPhis(f);
+            changed |= local;
+        }
+        return changed;
+    }
+
+  private:
+    bool
+    foldConstantBranches(Function &f)
+    {
+        bool changed = false;
+        for (auto &bb : f) {
+            Instruction *term = bb->terminator();
+            if (!term)
+                continue;
+            TypeContext &tc = f.functionType()->context();
+
+            if (auto *br = dyn_cast<BranchInst>(term)) {
+                if (!br->isConditional())
+                    continue;
+                BasicBlock *t = br->target(0), *fb = br->target(1);
+                if (t == fb) {
+                    replaceTerminator(bb.get(),
+                                      new BranchInst(tc, t));
+                    changed = true;
+                    continue;
+                }
+                auto *ci = dyn_cast<ConstantInt>(br->condition());
+                if (!ci)
+                    continue;
+                BasicBlock *live = ci->isZero() ? fb : t;
+                BasicBlock *dead = ci->isZero() ? t : fb;
+                replaceTerminator(bb.get(), new BranchInst(tc, live));
+                if (!isPredecessor(bb.get(), dead))
+                    removePhiEntriesFor(dead, bb.get());
+                changed = true;
+            } else if (auto *mbr = dyn_cast<MBrInst>(term)) {
+                auto *ci = dyn_cast<ConstantInt>(mbr->condition());
+                if (!ci)
+                    continue;
+                BasicBlock *live = mbr->defaultDest();
+                for (unsigned i = 0; i < mbr->numCases(); ++i)
+                    if (mbr->caseValue(i)->bits() == ci->bits())
+                        live = mbr->caseDest(i);
+                std::set<BasicBlock *> targets;
+                targets.insert(mbr->defaultDest());
+                for (unsigned i = 0; i < mbr->numCases(); ++i)
+                    targets.insert(mbr->caseDest(i));
+                replaceTerminator(bb.get(), new BranchInst(tc, live));
+                for (BasicBlock *target : targets)
+                    if (target != live &&
+                        !isPredecessor(bb.get(), target))
+                        removePhiEntriesFor(target, bb.get());
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    static bool
+    isPredecessor(BasicBlock *pred, BasicBlock *bb)
+    {
+        for (BasicBlock *p : bb->predecessors())
+            if (p == pred)
+                return true;
+        return false;
+    }
+
+    void
+    replaceTerminator(BasicBlock *bb, Instruction *repl)
+    {
+        bb->erase(bb->terminator());
+        bb->append(std::unique_ptr<Instruction>(repl));
+    }
+
+    bool
+    removeUnreachable(Function &f)
+    {
+        std::set<BasicBlock *> reachable;
+        std::vector<BasicBlock *> work{f.entryBlock()};
+        reachable.insert(f.entryBlock());
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            for (BasicBlock *succ : bb->successors())
+                if (reachable.insert(succ).second)
+                    work.push_back(succ);
+        }
+        std::vector<BasicBlock *> dead;
+        for (auto &bb : f)
+            if (!reachable.count(bb.get()))
+                dead.push_back(bb.get());
+        if (dead.empty())
+            return false;
+
+        // Detach phi entries in reachable blocks, then clear bodies
+        // (which drops cross-references among dead blocks), then
+        // erase.
+        for (BasicBlock *bb : dead)
+            for (BasicBlock *succ : bb->successors())
+                if (reachable.count(succ))
+                    removePhiEntriesFor(succ, bb);
+        for (BasicBlock *bb : dead) {
+            // Any stray uses of dead instructions from other dead
+            // blocks disappear with clear(); uses from reachable code
+            // cannot exist (defs must dominate uses).
+            for (auto &inst : *bb)
+                if (inst->hasUses())
+                    inst->replaceAllUsesWith(
+                        f.parent()->constantUndef(inst->type()));
+            bb->clear();
+        }
+        for (BasicBlock *bb : dead)
+            f.eraseBlock(bb);
+        return true;
+    }
+
+    bool
+    mergeChains(Function &f)
+    {
+        bool changed = false;
+        for (auto it = f.begin(); it != f.end();) {
+            BasicBlock *bb = it->get();
+            ++it;
+            if (bb == f.entryBlock())
+                continue;
+            std::vector<BasicBlock *> preds = bb->predecessors();
+            if (preds.size() != 1)
+                continue;
+            BasicBlock *pred = preds[0];
+            if (pred == bb)
+                continue;
+            auto *br = dyn_cast<BranchInst>(pred->terminator());
+            if (!br || br->isConditional())
+                continue;
+            LLVA_ASSERT(br->target(0) == bb, "CFG inconsistency");
+
+            // Phis in bb have exactly one incoming (from pred).
+            for (auto pit = bb->begin(); pit != bb->end();) {
+                auto *phi = dyn_cast<PhiNode>(pit->get());
+                if (!phi)
+                    break;
+                ++pit;
+                phi->replaceAllUsesWith(phi->incomingValue(0));
+                phi->eraseFromParent();
+            }
+
+            // Splice bb's instructions into pred.
+            pred->erase(pred->terminator());
+            while (!bb->empty()) {
+                std::unique_ptr<Instruction> inst =
+                    bb->remove(bb->front());
+                inst->setParent(pred);
+                pred->append(std::move(inst));
+            }
+            // Successor phis must now name pred as the incoming block.
+            bb->replaceAllUsesWith(pred);
+            f.eraseBlock(bb);
+            changed = true;
+            it = f.begin(); // iterator invalidated; restart
+        }
+        return changed;
+    }
+
+    bool
+    simplifyTrivialPhis(Function &f)
+    {
+        bool changed = false;
+        for (auto &bb : f) {
+            for (auto it = bb->begin(); it != bb->end();) {
+                auto *phi = dyn_cast<PhiNode>(it->get());
+                if (!phi)
+                    break;
+                ++it;
+                if (phi->numIncoming() == 1) {
+                    phi->replaceAllUsesWith(phi->incomingValue(0));
+                    phi->eraseFromParent();
+                    changed = true;
+                }
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass>
+createSimplifyCFGPass()
+{
+    return std::make_unique<SimplifyCFG>();
+}
+
+} // namespace llva

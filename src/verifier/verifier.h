@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The LLVA verifier: checks the structural, type, and SSA rules that
+ * make virtual object code analyzable (paper Section 3.1 — "All
+ * instructions in the V-ISA have strict type rules").
+ *
+ * Checks performed:
+ *  - every block ends in exactly one terminator, and only one;
+ *  - phi nodes are grouped at block heads and have exactly one
+ *    incoming entry per CFG predecessor;
+ *  - operand types obey each opcode's typing rule (no implicit
+ *    coercions anywhere);
+ *  - every SSA definition dominates each of its uses (phi uses are
+ *    checked against the incoming edge);
+ *  - call/invoke argument lists match the callee's function type;
+ *  - entry blocks have no predecessors and no phis.
+ */
+
+#ifndef LLVA_VERIFIER_VERIFIER_H
+#define LLVA_VERIFIER_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+/** Result of verification: empty errors means the module is valid. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All errors joined with newlines. */
+    std::string str() const;
+};
+
+/** Verify a whole module. */
+VerifyResult verifyModule(const Module &m);
+
+/** Verify a single function. */
+VerifyResult verifyFunction(const Function &f);
+
+/** Verify and fatal() with the error list if invalid. */
+void verifyOrDie(const Module &m);
+
+} // namespace llva
+
+#endif // LLVA_VERIFIER_VERIFIER_H

@@ -1,0 +1,71 @@
+#include "vm/code_manager.h"
+
+#include "support/timer.h"
+
+namespace llva {
+
+const MachineFunction *
+CodeManager::get(const Function *f)
+{
+    auto it = cache_.find(f);
+    if (it != cache_.end())
+        return it->second.get();
+
+    Timer timer;
+    CodeGenStats stats;
+    auto mf = translateFunction(*f, target_, opts_, &stats);
+    seconds_ += timer.seconds();
+    ++translated_;
+    stats_.phiCopiesInserted += stats.phiCopiesInserted;
+    stats_.phiCopiesCoalesced += stats.phiCopiesCoalesced;
+    stats_.spillsInserted += stats.spillsInserted;
+    stats_.reloadsInserted += stats.reloadsInserted;
+
+    const MachineFunction *raw = mf.get();
+    cache_[f] = std::move(mf);
+    return raw;
+}
+
+void
+CodeManager::invalidate(const Function *f)
+{
+    cache_.erase(f);
+}
+
+void
+CodeManager::translateAll(const Module &m)
+{
+    for (const auto &f : m.functions())
+        if (!f->isDeclaration())
+            get(f.get());
+}
+
+void
+CodeManager::install(const Function *f,
+                     std::unique_ptr<MachineFunction> mf)
+{
+    cache_[f] = std::move(mf);
+}
+
+size_t
+CodeManager::totalMachineInstructions() const
+{
+    size_t n = 0;
+    for (const auto &[f, mf] : cache_)
+        n += mf->instructionCount();
+    return n;
+}
+
+size_t
+CodeManager::totalEncodedBytes() const
+{
+    size_t n = 0;
+    for (const auto &[f, mf] : cache_) {
+        n += encodeFunction(*mf, target_).size();
+        // Functions are 16-byte aligned in a linked executable.
+        n = (n + 15) / 16 * 16;
+    }
+    return n;
+}
+
+} // namespace llva

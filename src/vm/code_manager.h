@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CodeManager: the translator's code cache. Functions are translated
+ * on demand (JIT mode, paper Section 4.1: "the JIT translates
+ * functions on demand, so that unused code is not translated") or
+ * eagerly (offline mode). Translation wall-clock time is recorded
+ * per function — this is the "Translate Time" column of Table 2.
+ *
+ * SMC support (Section 3.4): invalidating a function simply drops
+ * its translation, "forcing it to be regenerated the next time the
+ * function is invoked."
+ */
+
+#ifndef LLVA_VM_CODE_MANAGER_H
+#define LLVA_VM_CODE_MANAGER_H
+
+#include <map>
+#include <memory>
+
+#include "codegen/codegen.h"
+
+namespace llva {
+
+class CodeManager
+{
+  public:
+    CodeManager(Target &target, CodeGenOptions opts = {})
+        : target_(target), opts_(opts)
+    {}
+
+    Target &target() { return target_; }
+    const CodeGenOptions &options() const { return opts_; }
+
+    /** Translation for \p f, translating now if needed. */
+    const MachineFunction *get(const Function *f);
+
+    bool
+    has(const Function *f) const
+    {
+        return cache_.count(f) != 0;
+    }
+
+    /** Drop a translation (SMC invalidation). */
+    void invalidate(const Function *f);
+
+    /** Eagerly translate every defined function in \p m. */
+    void translateAll(const Module &m);
+
+    /** Install an externally produced translation (LLEE cache). */
+    void install(const Function *f,
+                 std::unique_ptr<MachineFunction> mf);
+
+    // --- Statistics -------------------------------------------------------
+
+    double totalTranslateSeconds() const { return seconds_; }
+    size_t functionsTranslated() const { return translated_; }
+    const CodeGenStats &stats() const { return stats_; }
+
+    /** Total machine instructions across all cached translations. */
+    size_t totalMachineInstructions() const;
+
+    /** Total encoded native bytes across all cached translations. */
+    size_t totalEncodedBytes() const;
+
+  private:
+    Target &target_;
+    CodeGenOptions opts_;
+    std::map<const Function *, std::unique_ptr<MachineFunction>>
+        cache_;
+    double seconds_ = 0;
+    size_t translated_ = 0;
+    CodeGenStats stats_;
+};
+
+} // namespace llva
+
+#endif // LLVA_VM_CODE_MANAGER_H

@@ -1,0 +1,226 @@
+#include "vm/machine_sim.h"
+
+namespace llva {
+
+namespace {
+
+constexpr size_t kMaxCallDepth = 2048;
+
+/** An invoke-style call site: a call with explicit handler blocks. */
+bool
+isInvokeSite(const MachineInstr &mi)
+{
+    if (!mi.isCall)
+        return false;
+    unsigned blocks = 0;
+    for (const MOperand &op : mi.ops)
+        if (op.kind == MOperand::Block)
+            ++blocks;
+    return blocks >= 2;
+}
+
+MachineBasicBlock *
+invokeBlockOperand(const MachineInstr &mi, unsigned which)
+{
+    unsigned seen = 0;
+    for (const MOperand &op : mi.ops) {
+        if (op.kind != MOperand::Block)
+            continue;
+        if (seen == which)
+            return op.block;
+        ++seen;
+    }
+    panic("invoke site lacks handler blocks");
+}
+
+} // namespace
+
+ExecResult
+MachineSimulator::run(const Function *f,
+                      const std::vector<RtValue> &args)
+{
+    ExecResult result = runInternal(f, args);
+
+    // Trap-handler dispatch (paper Section 3.5).
+    if (result.trap != TrapKind::None) {
+        unsigned trapno = static_cast<unsigned>(result.trap);
+        uint64_t handler = ctx_.trapHandler(trapno);
+        if (handler) {
+            if (const Function *hf =
+                    ctx_.memory().functionAt(handler)) {
+                std::vector<RtValue> hargs = {
+                    RtValue::ofInt(trapno), RtValue::ofInt(0)};
+                runInternal(hf, hargs);
+                result.instructionsExecuted = executed_;
+            }
+        }
+    }
+    return result;
+}
+
+ExecResult
+MachineSimulator::runInternal(const Function *f,
+                              const std::vector<RtValue> &args)
+{
+    Target &target = code_.target();
+    ExecResult result;
+
+    // Apply pending SMC invalidations before dispatch.
+    for (const Function *inv : ctx_.takeInvalidations())
+        code_.invalidate(inv);
+    if (const Function *repl = ctx_.redirectFor(f))
+        f = repl;
+
+    SimState state;
+    state.mem = &ctx_.memory();
+    state.globalAddrs = &ctx_.globalAddrs();
+    state.sp = ctx_.memory().stackTop() - 4096; // synthetic caller
+
+    target.writeArgs(state, f->functionType(), args);
+
+    const MachineFunction *mf = code_.get(f);
+    MachineBasicBlock *block = mf->blocks().front().get();
+    size_t index = 0;
+    std::vector<Frame> frames;
+
+    uint64_t start_count = executed_;
+    (void)start_count;
+
+    while (true) {
+        if (index >= block->instrs().size()) {
+            // Elided fallthrough jump: continue with the next block
+            // in layout order.
+            size_t next = block->index() + 1;
+            LLVA_ASSERT(next < mf->blocks().size(),
+                        "machine function fell off the end (%s)",
+                        mf->name().c_str());
+            block = mf->blocks()[next].get();
+            index = 0;
+            continue;
+        }
+        const MachineInstr &mi = *block->instrs()[index];
+        state.reset();
+        target.execute(mi, state);
+        ++executed_;
+        if (limit_ && executed_ > limit_)
+            fatal("simulator instruction limit exceeded");
+
+        switch (state.next) {
+          case SimState::Next::Fall:
+            ++index;
+            break;
+
+          case SimState::Next::Branch:
+            block = state.branchTarget;
+            index = 0;
+            break;
+
+          case SimState::Next::Trap:
+            result.trap = state.trapKind;
+            result.instructionsExecuted = executed_;
+            return result;
+
+          case SimState::Next::Return: {
+            if (frames.empty()) {
+                result.value = target.readReturn(
+                    state, f->functionType()->returnType());
+                result.instructionsExecuted = executed_;
+                return result;
+            }
+            Frame fr = frames.back();
+            frames.pop_back();
+            mf = fr.mf;
+            const MachineInstr &site =
+                *fr.block->instrs()[fr.index];
+            if (isInvokeSite(site)) {
+                block = invokeBlockOperand(site, 0);
+                index = 0;
+            } else {
+                block = fr.block;
+                index = fr.index + 1;
+            }
+            break;
+          }
+
+          case SimState::Next::Call: {
+            const Function *callee = state.callTarget;
+            if (!callee) {
+                callee = ctx_.memory().functionAt(state.callAddr);
+                if (!callee) {
+                    result.trap = TrapKind::BadIndirectCall;
+                    result.instructionsExecuted = executed_;
+                    return result;
+                }
+            }
+            if (const Function *repl = ctx_.redirectFor(callee))
+                callee = repl;
+
+            if (callee->isDeclaration()) {
+                const RuntimeHandler *h =
+                    ctx_.handlerFor(callee->name());
+                if (!h)
+                    fatal("call to unresolved external %%%s",
+                          callee->name().c_str());
+                std::vector<RtValue> hargs =
+                    target.readArgs(state, callee->functionType());
+                RtValue rv = (*h)(ctx_, hargs);
+                target.writeReturn(
+                    state, callee->functionType()->returnType(),
+                    rv);
+                // Consume any pending SMC invalidations the handler
+                // produced before the next dispatch.
+                for (const Function *inv :
+                     ctx_.takeInvalidations())
+                    code_.invalidate(inv);
+                if (isInvokeSite(mi)) {
+                    block = invokeBlockOperand(mi, 0);
+                    index = 0;
+                } else {
+                    ++index;
+                }
+                break;
+            }
+
+            if (frames.size() >= kMaxCallDepth ||
+                state.sp < ctx_.memory().stackLimit() + 4096) {
+                result.trap = TrapKind::StackOverflow;
+                result.instructionsExecuted = executed_;
+                return result;
+            }
+
+            frames.push_back({mf, block, index, state.sp});
+            mf = code_.get(callee);
+            block = mf->blocks().front().get();
+            index = 0;
+            break;
+          }
+
+          case SimState::Next::Unwind: {
+            // Pop frames to the nearest invoke-style call site.
+            bool handled = false;
+            while (!frames.empty()) {
+                Frame fr = frames.back();
+                frames.pop_back();
+                const MachineInstr &site =
+                    *fr.block->instrs()[fr.index];
+                if (isInvokeSite(site)) {
+                    mf = fr.mf;
+                    state.sp = fr.spAtCall;
+                    block = invokeBlockOperand(site, 1);
+                    index = 0;
+                    handled = true;
+                    break;
+                }
+            }
+            if (!handled) {
+                result.unwound = true;
+                result.instructionsExecuted = executed_;
+                return result;
+            }
+            break;
+          }
+        }
+    }
+}
+
+} // namespace llva

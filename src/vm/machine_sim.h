@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MachineSimulator: the simulated hardware processor. Executes
+ * translated machine code (x86-like or sparc-like) against the same
+ * ExecutionContext as the interpreter, translating callees on demand
+ * through the CodeManager — i.e. this is the JIT execution engine of
+ * paper Section 5.2, with the hardware replaced by a functional
+ * simulator so translated code actually runs and can be verified.
+ */
+
+#ifndef LLVA_VM_MACHINE_SIM_H
+#define LLVA_VM_MACHINE_SIM_H
+
+#include "vm/code_manager.h"
+#include "vm/interpreter.h" // ExecResult
+#include "vm/runtime.h"
+
+namespace llva {
+
+class MachineSimulator
+{
+  public:
+    MachineSimulator(ExecutionContext &ctx, CodeManager &code)
+        : ctx_(ctx), code_(code)
+    {}
+
+    /** Run \p f to completion (JIT-translating on demand). */
+    ExecResult run(const Function *f,
+                   const std::vector<RtValue> &args = {});
+
+    /** Machine instructions executed across all run() calls. */
+    uint64_t instructionsExecuted() const { return executed_; }
+
+    /** Cap on executed machine instructions (0 = unlimited). */
+    void setInstructionLimit(uint64_t limit) { limit_ = limit; }
+
+  private:
+    struct Frame
+    {
+        const MachineFunction *mf = nullptr;
+        MachineBasicBlock *block = nullptr;
+        size_t index = 0;      ///< instruction index of the call site
+        uint64_t spAtCall = 0; ///< sp when the call was made
+    };
+
+    ExecResult runInternal(const Function *f,
+                           const std::vector<RtValue> &args);
+
+    ExecutionContext &ctx_;
+    CodeManager &code_;
+    uint64_t executed_ = 0;
+    uint64_t limit_ = 0;
+};
+
+} // namespace llva
+
+#endif // LLVA_VM_MACHINE_SIM_H

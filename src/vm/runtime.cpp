@@ -1,0 +1,224 @@
+#include "vm/runtime.h"
+
+#include <cinttypes>
+
+#include "ir/instructions.h"
+
+namespace llva {
+
+ExecutionContext::ExecutionContext(const Module &m, uint64_t mem_size)
+    : m_(m), mem_(mem_size)
+{
+    globalAddrs_ = layoutGlobals(m, mem_);
+    installDefaultHandlers();
+}
+
+const RuntimeHandler *
+ExecutionContext::handlerFor(const std::string &name) const
+{
+    auto it = handlers_.find(name);
+    return it == handlers_.end() ? nullptr : &it->second;
+}
+
+void
+ExecutionContext::setHandler(const std::string &name, RuntimeHandler h)
+{
+    handlers_[name] = std::move(h);
+}
+
+uint64_t
+ExecutionContext::trapHandler(unsigned trap_number) const
+{
+    auto it = trapHandlers_.find(trap_number);
+    return it == trapHandlers_.end() ? 0 : it->second;
+}
+
+void
+ExecutionContext::setTrapHandler(unsigned trap_number, uint64_t addr)
+{
+    trapHandlers_[trap_number] = addr;
+}
+
+const Function *
+ExecutionContext::redirectFor(const Function *f) const
+{
+    auto it = redirects_.find(f);
+    return it == redirects_.end() ? nullptr : it->second;
+}
+
+void
+ExecutionContext::setRedirect(const Function *target,
+                              const Function *repl)
+{
+    redirects_[target] = repl;
+    invalidations_.push_back(target);
+}
+
+std::vector<const Function *>
+ExecutionContext::takeInvalidations()
+{
+    return std::move(invalidations_);
+}
+
+uint64_t
+ExecutionContext::poolAlloc(uint64_t pool_addr, uint64_t size)
+{
+    PoolState &pool = pools_[pool_addr];
+    size = (size + 15) / 16 * 16;
+    if (pool.chunkUsed + size > pool.chunkSize) {
+        uint64_t chunk = std::max<uint64_t>(size, 1 << 16);
+        pool.chunkBase = mem_.malloc(chunk);
+        pool.chunkUsed = 0;
+        pool.chunkSize = pool.chunkBase ? chunk : 0;
+        if (!pool.chunkBase)
+            return 0;
+    }
+    uint64_t addr = pool.chunkBase + pool.chunkUsed;
+    pool.chunkUsed += size;
+    pool.totalAllocated += size;
+    pool.loAddr = std::min(pool.loAddr, addr);
+    pool.hiAddr = std::max(pool.hiAddr, addr + size);
+    return addr;
+}
+
+void
+ExecutionContext::poolFree(uint64_t pool_addr, uint64_t ptr)
+{
+    // Individual objects are reclaimed when the pool dies (the
+    // common fast path of pool allocation); account only.
+    (void)ptr;
+    pools_[pool_addr].totalFreed += 1;
+}
+
+void
+ExecutionContext::installDefaultHandlers()
+{
+    auto fmt = [](const char *f, auto v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), f, v);
+        return std::string(buf);
+    };
+
+    handlers_["malloc"] = [](ExecutionContext &ctx,
+                             const std::vector<RtValue> &args) {
+        return RtValue::ofInt(ctx.memory().malloc(args.at(0).i));
+    };
+    handlers_["free"] = [](ExecutionContext &ctx,
+                           const std::vector<RtValue> &args) {
+        ctx.memory().free(args.at(0).i);
+        return RtValue();
+    };
+    handlers_["puts"] = [](ExecutionContext &ctx,
+                           const std::vector<RtValue> &args) {
+        ctx.output() += ctx.memory().readCString(args.at(0).i);
+        ctx.output() += '\n';
+        return RtValue::ofInt(0);
+    };
+    handlers_["putstr"] = [](ExecutionContext &ctx,
+                             const std::vector<RtValue> &args) {
+        ctx.output() += ctx.memory().readCString(args.at(0).i);
+        return RtValue::ofInt(0);
+    };
+    handlers_["putchar"] = [](ExecutionContext &ctx,
+                              const std::vector<RtValue> &args) {
+        ctx.output() += static_cast<char>(args.at(0).i);
+        return RtValue::ofInt(args.at(0).i);
+    };
+    handlers_["putint"] = [fmt](ExecutionContext &ctx,
+                                const std::vector<RtValue> &args) {
+        ctx.output() += fmt("%" PRId64,
+                            static_cast<int64_t>(args.at(0).i));
+        return RtValue();
+    };
+    handlers_["putuint"] = [fmt](ExecutionContext &ctx,
+                                 const std::vector<RtValue> &args) {
+        ctx.output() += fmt("%" PRIu64, args.at(0).i);
+        return RtValue();
+    };
+    handlers_["putdouble"] = [fmt](ExecutionContext &ctx,
+                                   const std::vector<RtValue> &args) {
+        ctx.output() += fmt("%.6g", args.at(0).f);
+        return RtValue();
+    };
+    handlers_["memcpy"] = [](ExecutionContext &ctx,
+                             const std::vector<RtValue> &args) {
+        Memory &mem = ctx.memory();
+        uint64_t dst = args.at(0).i, src = args.at(1).i,
+                 n = args.at(2).i;
+        for (uint64_t i = 0; i < n; ++i) {
+            uint64_t b;
+            if (!mem.load(src + i, 1, b) || !mem.store(dst + i, 1, b))
+                break;
+        }
+        return RtValue::ofInt(dst);
+    };
+    handlers_["memset"] = [](ExecutionContext &ctx,
+                             const std::vector<RtValue> &args) {
+        Memory &mem = ctx.memory();
+        uint64_t dst = args.at(0).i, v = args.at(1).i,
+                 n = args.at(2).i;
+        for (uint64_t i = 0; i < n; ++i)
+            if (!mem.store(dst + i, 1, v))
+                break;
+        return RtValue::ofInt(dst);
+    };
+    handlers_["strlen"] = [](ExecutionContext &ctx,
+                             const std::vector<RtValue> &args) {
+        return RtValue::ofInt(
+            ctx.memory().readCString(args.at(0).i).size());
+    };
+
+    // --- LLVA intrinsics -------------------------------------------------
+
+    // SMC: future invocations of %target run %replacement's body
+    // (paper Section 3.4 — active invocations are unaffected).
+    handlers_["llva.smc.replace.function"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            const Function *target =
+                ctx.memory().functionAt(args.at(0).i);
+            const Function *repl =
+                ctx.memory().functionAt(args.at(1).i);
+            if (!target || !repl)
+                fatal("llva.smc.replace.function: bad function "
+                      "pointer");
+            ctx.setRedirect(target, repl);
+            return RtValue();
+        };
+
+    // Pool allocation runtime (paper Section 5.1, ref [25]).
+    handlers_["llva.poolalloc"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            return RtValue::ofInt(
+                ctx.poolAlloc(args.at(0).i, args.at(1).i));
+        };
+    handlers_["llva.poolfree"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            ctx.poolFree(args.at(0).i, args.at(1).i);
+            return RtValue();
+        };
+
+    // OS support (paper Section 3.5). Privileged-only intrinsics.
+    handlers_["llva.os.set.privileged"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            ctx.setPrivileged(args.at(0).i != 0);
+            return RtValue();
+        };
+    handlers_["llva.os.register.traphandler"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            if (!ctx.privileged())
+                fatal("llva.os.register.traphandler requires the "
+                      "privileged bit");
+            ctx.setTrapHandler(
+                static_cast<unsigned>(args.at(0).i), args.at(1).i);
+            return RtValue();
+        };
+    // Storage-API bootstrap: the OS registers one entry point which
+    // the translator then uses to discover the rest (Section 4.1).
+    handlers_["llva.os.register.storageapi"] =
+        [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
+            ctx.setStorageApi(args.at(0).i);
+            return RtValue();
+        };
+}
+
+} // namespace llva

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared scaffolding for authoring workloads with IRBuilder: module
+ * setup with the runtime declarations, function definition helpers,
+ * counted-loop construction, and a deterministic LCG.
+ */
+
+#ifndef LLVA_WORKLOADS_BUILDER_UTIL_H
+#define LLVA_WORKLOADS_BUILDER_UTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir_builder.h"
+
+namespace llva {
+namespace workloads {
+
+/** A module pre-populated with the runtime declarations. */
+struct Env
+{
+    std::unique_ptr<Module> m;
+    Function *putint = nullptr;
+    Function *putdouble = nullptr;
+    Function *puts = nullptr;
+    Function *putchar = nullptr;
+    Function *mallocFn = nullptr;
+    Function *freeFn = nullptr;
+
+    explicit Env(const std::string &name)
+        : m(std::make_unique<Module>(name))
+    {
+        TypeContext &tc = m->types();
+        auto *bytePtr = tc.pointerTo(tc.ubyteTy());
+        putint = m->createFunction(
+            tc.functionOf(tc.voidTy(), {tc.longTy()}), "putint");
+        putdouble = m->createFunction(
+            tc.functionOf(tc.voidTy(), {tc.doubleTy()}), "putdouble");
+        puts = m->createFunction(
+            tc.functionOf(tc.intTy(), {bytePtr}), "puts");
+        putchar = m->createFunction(
+            tc.functionOf(tc.intTy(), {tc.intTy()}), "putchar");
+        mallocFn = m->createFunction(
+            tc.functionOf(bytePtr, {tc.ulongTy()}), "malloc");
+        freeFn = m->createFunction(
+            tc.functionOf(tc.voidTy(), {bytePtr}), "free");
+    }
+
+    TypeContext &types() { return m->types(); }
+
+    /** Define a function with an entry block; names its arguments. */
+    Function *
+    def(const std::string &name, Type *ret,
+        const std::vector<std::pair<Type *, std::string>> &params,
+        Linkage linkage = Linkage::External)
+    {
+        std::vector<Type *> ptypes;
+        for (auto &[t, n] : params)
+            ptypes.push_back(t);
+        Function *f = m->createFunction(
+            types().functionOf(ret, ptypes), name, linkage);
+        for (size_t i = 0; i < params.size(); ++i)
+            f->arg(i)->setName(params[i].second);
+        f->createBlock("entry");
+        return f;
+    }
+};
+
+/**
+ * A counted loop `for (iv = lo; iv < hi; iv += step)`. After
+ * construction the builder inserts into the body; next() closes the
+ * latch and moves insertion to the exit block.
+ */
+class Loop
+{
+  public:
+    Loop(IRBuilder &b, Value *lo, Value *hi,
+         const std::string &name = "i")
+        : b_(b)
+    {
+        Function *f = b.insertBlock()->parent();
+        header_ = f->createBlock(name + ".header");
+        body_ = f->createBlock(name + ".body");
+        exit_ = f->createBlock(name + ".exit");
+
+        BasicBlock *pre = b.insertBlock();
+        b.br(header_);
+
+        b.setInsertPoint(header_);
+        iv_ = b.phi(lo->type(), name);
+        iv_->addIncoming(lo, pre);
+        Value *cond = b.setLT(iv_, hi, name + ".cmp");
+        b.condBr(cond, body_, exit_);
+
+        b.setInsertPoint(body_);
+    }
+
+    /** The induction variable (valid inside the body and after). */
+    PhiNode *iv() const { return iv_; }
+
+    BasicBlock *exitBlock() const { return exit_; }
+    BasicBlock *headerBlock() const { return header_; }
+
+    /** Close the loop with iv += \p step (default 1). */
+    void
+    next(Value *step = nullptr)
+    {
+        Module &m = b_.module();
+        if (!step)
+            step = m.constantInt(iv_->type(), 1);
+        Value *inc = b_.add(iv_, step, iv_->name() + ".next");
+        iv_->addIncoming(inc, b_.insertBlock());
+        b_.br(header_);
+        b_.setInsertPoint(exit_);
+    }
+
+  private:
+    IRBuilder &b_;
+    BasicBlock *header_ = nullptr;
+    BasicBlock *body_ = nullptr;
+    BasicBlock *exit_ = nullptr;
+    PhiNode *iv_ = nullptr;
+};
+
+/**
+ * Deterministic 64-bit LCG over a stack slot: emits
+ * `state = state * 6364136223846793005 + 1442695040888963407` and
+ * returns the new value (ulong).
+ */
+inline Value *
+lcgNext(IRBuilder &b, Value *state_ptr)
+{
+    Module &m = b.module();
+    TypeContext &tc = m.types();
+    Value *s = b.load(state_ptr, "rng");
+    Value *mul = b.mul(
+        s, m.constantInt(tc.ulongTy(), 6364136223846793005ull));
+    Value *add = b.add(
+        mul, m.constantInt(tc.ulongTy(), 1442695040888963407ull));
+    b.store(add, state_ptr);
+    return add;
+}
+
+/** Emit `call void %putint(long v)` (casting as needed). */
+inline void
+emitPutInt(IRBuilder &b, Env &env, Value *v)
+{
+    TypeContext &tc = env.types();
+    b.call(env.putint, {b.cast_(v, tc.longTy())});
+}
+
+} // namespace workloads
+} // namespace llva
+
+#endif // LLVA_WORKLOADS_BUILDER_UTIL_H

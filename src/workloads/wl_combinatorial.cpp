@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Integer/combinatorial workloads:
+ *  - mcf: network flow cost relaxation over arc structures.
+ *  - vpr: placement cost annealing on a grid.
+ *  - twolf: standard-cell swapping over doubly linked rows.
+ *  - crafty: bitboard move generation over 64-bit words.
+ *  - gap: permutation-group orbit/order computation.
+ */
+
+#include "workloads/builder_util.h"
+
+namespace llva {
+namespace workloads {
+
+// --- 181.mcf -----------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildMCF(int scale)
+{
+    int nodes = 30 * scale;
+    int arcs = nodes * 4;
+    Env env("181.mcf");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // struct Arc { long src; long dst; long cost }
+    StructType *arcTy = tc.namedStruct(
+        "struct.Arc", {tc.longTy(), tc.longTy(), tc.longTy()});
+    PointerType *arcPtr = tc.pointerTo(arcTy);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x9e6c63d0876a9a35ull), rng);
+
+    uint64_t arcSize = arcTy->sizeInBytes(8);
+    Value *arcArr = b.cast_(
+        b.call(env.mallocFn, {b.cULong(arcSize * (uint64_t)arcs)}),
+        arcPtr, "arcs");
+
+    // Chain arcs keep every node reachable; the rest are random.
+    {
+        Loop i(b, b.cLong(0), b.cLong(arcs), "mk");
+        Value *a = b.gepAt(arcArr, i.iv(), "a");
+        BasicBlock *chain = f->createBlock("chain");
+        BasicBlock *rand = f->createBlock("rand");
+        BasicBlock *done = f->createBlock("mkdone");
+        b.condBr(b.setLT(i.iv(), b.cLong(nodes - 1)), chain, rand);
+        b.setInsertPoint(chain);
+        b.store(i.iv(), b.gepField(a, 0));
+        b.store(b.add(i.iv(), b.cLong(1)), b.gepField(a, 1));
+        b.br(done);
+        b.setInsertPoint(rand);
+        Value *r1 = lcgNext(b, rng);
+        b.store(b.cast_(b.rem(b.shr(r1, b.cUByte(7)),
+                              b.cULong((uint64_t)nodes)),
+                        tc.longTy()),
+                b.gepField(a, 0));
+        Value *r2 = lcgNext(b, rng);
+        b.store(b.cast_(b.rem(b.shr(r2, b.cUByte(11)),
+                              b.cULong((uint64_t)nodes)),
+                        tc.longTy()),
+                b.gepField(a, 1));
+        b.br(done);
+        b.setInsertPoint(done);
+        Value *r3 = lcgNext(b, rng);
+        b.store(b.cast_(b.add(b.rem(b.shr(r3, b.cUByte(5)),
+                                    b.cULong(50)),
+                              b.cULong(1)),
+                        tc.longTy()),
+                b.gepField(a, 2));
+        i.next();
+    }
+
+    // Bellman–Ford relaxation from node 0.
+    Value *dist = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * nodes)}),
+        tc.pointerTo(tc.longTy()), "dist");
+    {
+        Loop i(b, b.cLong(0), b.cLong(nodes), "dz");
+        b.store(b.cLong(1 << 28), b.gepAt(dist, i.iv()));
+        i.next();
+    }
+    b.store(b.cLong(0), b.gepAt(dist, b.cLong(0)));
+
+    Value *relaxed = b.alloca_(tc.longTy(), nullptr, "relaxed");
+    b.store(b.cLong(0), relaxed);
+    {
+        Loop pass(b, b.cLong(0), b.cLong(nodes), "pass");
+        {
+            Loop i(b, b.cLong(0), b.cLong(arcs), "arc");
+            Value *a = b.gepAt(arcArr, i.iv());
+            Value *src = b.load(b.gepField(a, 0));
+            Value *dst = b.load(b.gepField(a, 1));
+            Value *cost = b.load(b.gepField(a, 2));
+            Value *ds = b.load(b.gepAt(dist, src));
+            Value *nd = b.add(ds, cost);
+            Value *dslot = b.gepAt(dist, dst);
+            BasicBlock *upd = f->createBlock("relax");
+            BasicBlock *nxt = f->createBlock("rnext");
+            b.condBr(b.setLT(nd, b.load(dslot)), upd, nxt);
+            b.setInsertPoint(upd);
+            b.store(nd, dslot);
+            b.store(b.add(b.load(relaxed), b.cLong(1)), relaxed);
+            b.br(nxt);
+            b.setInsertPoint(nxt);
+            i.next();
+        }
+        pass.next();
+    }
+
+    Value *acc = b.alloca_(tc.longTy(), nullptr, "acc");
+    b.store(b.cLong(0), acc);
+    {
+        Loop i(b, b.cLong(0), b.cLong(nodes), "sumd");
+        b.store(b.add(b.load(acc), b.load(b.gepAt(dist, i.iv()))),
+                acc);
+        i.next();
+    }
+    Value *sum = b.add(b.mul(b.load(relaxed), b.cLong(100000)),
+                       b.rem(b.load(acc), b.cLong(100000)), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 175.vpr -----------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildVPR(int scale)
+{
+    int grid = 8;
+    int cells = grid * grid / 2;
+    int nets = cells;
+    int moves = 120 * scale;
+    Env env("175.vpr");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x7f4a7c159e3779b9ull), rng);
+
+    // Positions: posx[cells], posy[cells]; nets connect cell pairs.
+    auto larr = [&](int count, const char *name) {
+        return b.cast_(
+            b.call(env.mallocFn, {b.cULong(8ull * count)}),
+            tc.pointerTo(tc.longTy()), name);
+    };
+    Value *posx = larr(cells, "posx");
+    Value *posy = larr(cells, "posy");
+    Value *netA = larr(nets, "netA");
+    Value *netB = larr(nets, "netB");
+
+    {
+        Loop i(b, b.cLong(0), b.cLong(cells), "pinit");
+        b.store(b.rem(i.iv(), b.cLong(grid)),
+                b.gepAt(posx, i.iv()));
+        b.store(b.div(i.iv(), b.cLong(grid)),
+                b.gepAt(posy, i.iv()));
+        i.next();
+    }
+    {
+        Loop i(b, b.cLong(0), b.cLong(nets), "ninit");
+        b.store(i.iv(), b.gepAt(netA, i.iv()));
+        Value *r = lcgNext(b, rng);
+        b.store(b.cast_(b.rem(b.shr(r, b.cUByte(9)),
+                              b.cULong((uint64_t)cells)),
+                        tc.longTy()),
+                b.gepAt(netB, i.iv()));
+        i.next();
+    }
+
+    // long cost(): sum of half-perimeter wirelengths.
+    Function *costFn =
+        env.def("cost", tc.longTy(), {}, Linkage::Internal);
+    // cost() reads the placement arrays through globals: store the
+    // pointers into globals so the helper can see them.
+    GlobalVariable *gx = env.m->createGlobal(
+        tc.pointerTo(tc.longTy()), "gposx", nullptr);
+    GlobalVariable *gy = env.m->createGlobal(
+        tc.pointerTo(tc.longTy()), "gposy", nullptr);
+    GlobalVariable *ga = env.m->createGlobal(
+        tc.pointerTo(tc.longTy()), "gnetA", nullptr);
+    GlobalVariable *gb = env.m->createGlobal(
+        tc.pointerTo(tc.longTy()), "gnetB", nullptr);
+    {
+        IRBuilder cb(*env.m, costFn->entryBlock());
+        Value *px = cb.load(gx, "px");
+        Value *py = cb.load(gy, "py");
+        Value *na = cb.load(ga, "na");
+        Value *nb = cb.load(gb, "nb");
+        Value *acc = cb.alloca_(tc.longTy(), nullptr, "acc");
+        cb.store(cb.cLong(0), acc);
+        Loop i(cb, cb.cLong(0), cb.cLong(nets), "net");
+        Value *ca = cb.load(cb.gepAt(na, i.iv()));
+        Value *cbv = cb.load(cb.gepAt(nb, i.iv()));
+        Value *dx = cb.sub(cb.load(cb.gepAt(px, ca)),
+                           cb.load(cb.gepAt(px, cbv)));
+        Value *dy = cb.sub(cb.load(cb.gepAt(py, ca)),
+                           cb.load(cb.gepAt(py, cbv)));
+        // |dx| + |dy| via conditional negation.
+        auto absVal = [&](Value *v) {
+            Value *neg = cb.sub(cb.cLong(0), v);
+            Value *isNeg = cb.setLT(v, cb.cLong(0));
+            BasicBlock *n = costFn->createBlock("neg");
+            BasicBlock *p = costFn->createBlock("pos");
+            BasicBlock *j = costFn->createBlock("join");
+            BasicBlock *cur = cb.insertBlock();
+            cb.condBr(isNeg, n, p);
+            cb.setInsertPoint(n);
+            cb.br(j);
+            cb.setInsertPoint(p);
+            cb.br(j);
+            cb.setInsertPoint(j);
+            PhiNode *phi = cb.phi(tc.longTy(), "abs");
+            phi->addIncoming(neg, n);
+            phi->addIncoming(v, p);
+            (void)cur;
+            return static_cast<Value *>(phi);
+        };
+        Value *hp = cb.add(absVal(dx), absVal(dy));
+        cb.store(cb.add(cb.load(acc), hp), acc);
+        i.next();
+        cb.ret(cb.load(acc));
+    }
+
+    b.store(posx, gx);
+    b.store(posy, gy);
+    b.store(netA, ga);
+    b.store(netB, gb);
+
+    // Annealing: swap two cells; keep if the cost improves, or
+    // occasionally anyway (temperature decays with the move count).
+    Value *accepted = b.alloca_(tc.longTy(), nullptr, "accepted");
+    b.store(b.cLong(0), accepted);
+    {
+        Loop mv(b, b.cLong(0), b.cLong(moves), "mv");
+        Value *before = b.call(costFn, {}, "before");
+        Value *r1 = lcgNext(b, rng);
+        Value *c1 = b.cast_(b.rem(b.shr(r1, b.cUByte(7)),
+                                  b.cULong((uint64_t)cells)),
+                            tc.longTy(), "c1");
+        Value *r2 = lcgNext(b, rng);
+        Value *c2 = b.cast_(b.rem(b.shr(r2, b.cUByte(13)),
+                                  b.cULong((uint64_t)cells)),
+                            tc.longTy(), "c2");
+        auto swap = [&](Value *arr) {
+            Value *s1 = b.gepAt(arr, c1);
+            Value *s2 = b.gepAt(arr, c2);
+            Value *t1 = b.load(s1);
+            Value *t2 = b.load(s2);
+            b.store(t2, s1);
+            b.store(t1, s2);
+        };
+        swap(posx);
+        swap(posy);
+        Value *after = b.call(costFn, {}, "after");
+        Value *worse = b.setGT(after, before);
+        // Temperature: accept worse moves while (lcg & 1023) <
+        // 800 - moveIndex*4 (clamped at 0 implicitly).
+        Value *r3 = lcgNext(b, rng);
+        Value *dice = b.cast_(
+            b.band(r3, b.cULong(1023)), tc.longTy(), "dice");
+        Value *temp = b.sub(b.cLong(800),
+                            b.mul(mv.iv(), b.cLong(4)), "temp");
+        Value *lucky = b.setLT(dice, temp);
+        Value *keepWorse = b.band(worse, b.bxor(lucky, b.cBool(true)));
+        BasicBlock *revert = f->createBlock("revert");
+        BasicBlock *keep = f->createBlock("keep");
+        BasicBlock *nxt = f->createBlock("mvnext");
+        b.condBr(keepWorse, revert, keep);
+        b.setInsertPoint(revert);
+        swap(posx);
+        swap(posy);
+        b.br(nxt);
+        b.setInsertPoint(keep);
+        b.store(b.add(b.load(accepted), b.cLong(1)), accepted);
+        b.br(nxt);
+        b.setInsertPoint(nxt);
+        mv.next();
+    }
+
+    Value *final_cost = b.call(costFn, {}, "final");
+    Value *sum = b.add(b.mul(b.load(accepted), b.cLong(100000)),
+                       final_cost, "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 300.twolf ---------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildTwolf(int scale)
+{
+    int cells = 24 * scale;
+    int passes = 6 * scale;
+    Env env("300.twolf");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // struct Cell { long width; long gain; Cell *prev; Cell *next }
+    StructType *cellTy = tc.namedStruct("struct.Cell", {});
+    cellTy->setBody({tc.longTy(), tc.longTy(),
+                     tc.pointerTo(cellTy), tc.pointerTo(cellTy)});
+    PointerType *cellPtr = tc.pointerTo(cellTy);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0xcafef00dd15ea5e5ull), rng);
+
+    // Build a doubly linked row of cells with random widths.
+    uint64_t cellSize = cellTy->sizeInBytes(8);
+    Value *headSlot = b.alloca_(cellPtr, nullptr, "head");
+    b.store(b.cNull(cellTy), headSlot);
+    Value *tailSlot = b.alloca_(cellPtr, nullptr, "tail");
+    b.store(b.cNull(cellTy), tailSlot);
+    {
+        Loop i(b, b.cLong(0), b.cLong(cells), "mkcell");
+        Value *raw = b.call(env.mallocFn, {b.cULong(cellSize)});
+        Value *c = b.cast_(raw, cellPtr, "c");
+        Value *r = lcgNext(b, rng);
+        b.store(b.cast_(b.add(b.rem(b.shr(r, b.cUByte(6)),
+                                    b.cULong(20)),
+                              b.cULong(1)),
+                        tc.longTy()),
+                b.gepField(c, 0));
+        b.store(i.iv(), b.gepField(c, 1)); // gain = original index
+        b.store(b.cNull(cellTy), b.gepField(c, 3));
+        Value *tail = b.load(tailSlot);
+        b.store(tail, b.gepField(c, 2));
+        BasicBlock *first = f->createBlock("first");
+        BasicBlock *append = f->createBlock("append");
+        BasicBlock *done = f->createBlock("mkdone");
+        b.condBr(b.setEQ(tail, b.cNull(cellTy)), first, append);
+        b.setInsertPoint(first);
+        b.store(c, headSlot);
+        b.br(done);
+        b.setInsertPoint(append);
+        b.store(c, b.gepField(tail, 3));
+        b.br(done);
+        b.setInsertPoint(done);
+        b.store(c, tailSlot);
+        i.next();
+    }
+
+    // Bubble passes: swap adjacent cells when the wider one comes
+    // first (sorting by width via list surgery, like twolf's cell
+    // exchanges).
+    Value *swaps = b.alloca_(tc.longTy(), nullptr, "swaps");
+    b.store(b.cLong(0), swaps);
+    {
+        Loop p(b, b.cLong(0), b.cLong(passes), "pass");
+        Value *cur = b.alloca_(cellPtr, nullptr, "cur");
+        b.store(b.load(headSlot), cur);
+        BasicBlock *walkHead = f->createBlock("walk.head");
+        BasicBlock *walkBody = f->createBlock("walk.body");
+        BasicBlock *walkExit = f->createBlock("walk.exit");
+        b.br(walkHead);
+        b.setInsertPoint(walkHead);
+        Value *c = b.load(cur, "c");
+        BasicBlock *haveC = f->createBlock("haveC");
+        b.condBr(b.setEQ(c, b.cNull(cellTy)), walkExit, haveC);
+        b.setInsertPoint(haveC);
+        Value *n = b.load(b.gepField(c, 3), "n");
+        b.condBr(b.setEQ(n, b.cNull(cellTy)), walkExit, walkBody);
+        b.setInsertPoint(walkBody);
+        Value *wc = b.load(b.gepField(c, 0));
+        Value *wn = b.load(b.gepField(n, 0));
+        BasicBlock *doSwap = f->createBlock("doswap");
+        BasicBlock *advance = f->createBlock("advance");
+        b.condBr(b.setGT(wc, wn), doSwap, advance);
+        b.setInsertPoint(doSwap);
+        // Swap payloads (width and gain) instead of relinking: the
+        // traversal stays simple and the memory traffic is the same.
+        b.store(wn, b.gepField(c, 0));
+        b.store(wc, b.gepField(n, 0));
+        Value *gc = b.load(b.gepField(c, 1));
+        Value *gn = b.load(b.gepField(n, 1));
+        b.store(gn, b.gepField(c, 1));
+        b.store(gc, b.gepField(n, 1));
+        b.store(b.add(b.load(swaps), b.cLong(1)), swaps);
+        b.br(advance);
+        b.setInsertPoint(advance);
+        b.store(n, cur);
+        b.br(walkHead);
+        b.setInsertPoint(walkExit);
+        p.next();
+    }
+
+    // Positional hash of the final order (walk backwards too, to
+    // exercise prev links).
+    Value *hash = b.alloca_(tc.ulongTy(), nullptr, "hash");
+    b.store(b.cULong(0), hash);
+    Value *cur = b.alloca_(cellPtr, nullptr, "hc");
+    b.store(b.load(tailSlot), cur);
+    BasicBlock *hHead = f->createBlock("h.head");
+    BasicBlock *hBody = f->createBlock("h.body");
+    BasicBlock *hExit = f->createBlock("h.exit");
+    b.br(hHead);
+    b.setInsertPoint(hHead);
+    Value *c = b.load(cur);
+    b.condBr(b.setEQ(c, b.cNull(cellTy)), hExit, hBody);
+    b.setInsertPoint(hBody);
+    Value *g = b.cast_(b.load(b.gepField(c, 1)), tc.ulongTy());
+    Value *h = b.mul(b.load(hash), b.cULong(31));
+    b.store(b.add(h, g), hash);
+    b.store(b.load(b.gepField(c, 2)), cur);
+    b.br(hHead);
+    b.setInsertPoint(hExit);
+
+    Value *sum = b.add(
+        b.mul(b.load(swaps), b.cLong(1000000)),
+        b.cast_(b.rem(b.load(hash), b.cULong(1000000)),
+                tc.longTy()),
+        "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 186.crafty --------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildCrafty(int scale)
+{
+    int positions = 100 * scale;
+    Env env("186.crafty");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // ulong popcount(ulong x): Kernighan loop.
+    Function *popcnt = env.def("popcount", tc.ulongTy(),
+                               {{tc.ulongTy(), "x"}},
+                               Linkage::Internal);
+    {
+        IRBuilder pb(*env.m, popcnt->entryBlock());
+        Value *xs = pb.alloca_(tc.ulongTy(), nullptr, "xs");
+        pb.store(popcnt->arg(0), xs);
+        Value *n = pb.alloca_(tc.ulongTy(), nullptr, "n");
+        pb.store(pb.cULong(0), n);
+        BasicBlock *head = popcnt->createBlock("head");
+        BasicBlock *body = popcnt->createBlock("body");
+        BasicBlock *exit = popcnt->createBlock("exit");
+        pb.br(head);
+        pb.setInsertPoint(head);
+        Value *x = pb.load(xs);
+        pb.condBr(pb.setNE(x, pb.cULong(0)), body, exit);
+        pb.setInsertPoint(body);
+        Value *x1 = pb.sub(x, pb.cULong(1));
+        pb.store(pb.band(x, x1), xs);
+        pb.store(pb.add(pb.load(n), pb.cULong(1)), n);
+        pb.br(head);
+        pb.setInsertPoint(exit);
+        pb.ret(pb.load(n));
+    }
+
+    // ulong knightAttacks(ulong knights): shifted masks.
+    Function *knights = env.def("knightAttacks", tc.ulongTy(),
+                                {{tc.ulongTy(), "kn"}},
+                                Linkage::Internal);
+    {
+        IRBuilder kb(*env.m, knights->entryBlock());
+        Value *kn = knights->arg(0);
+        Value *notA = kb.cULong(0xfefefefefefefefeull);
+        Value *notAB = kb.cULong(0xfcfcfcfcfcfcfcfcull);
+        Value *notH = kb.cULong(0x7f7f7f7f7f7f7f7full);
+        Value *notGH = kb.cULong(0x3f3f3f3f3f3f3f3full);
+        Value *acc = kb.bor(
+            kb.shl(kb.band(kn, notH), kb.cUByte(17)),
+            kb.shl(kb.band(kn, notA), kb.cUByte(15)));
+        acc = kb.bor(acc,
+                     kb.shl(kb.band(kn, notGH), kb.cUByte(10)));
+        acc = kb.bor(acc,
+                     kb.shl(kb.band(kn, notAB), kb.cUByte(6)));
+        acc = kb.bor(acc,
+                     kb.shr(kb.band(kn, notA), kb.cUByte(17)));
+        acc = kb.bor(acc,
+                     kb.shr(kb.band(kn, notH), kb.cUByte(15)));
+        acc = kb.bor(acc,
+                     kb.shr(kb.band(kn, notAB), kb.cUByte(10)));
+        acc = kb.bor(acc,
+                     kb.shr(kb.band(kn, notGH), kb.cUByte(6)));
+        kb.ret(acc);
+    }
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x8000000080000001ull), rng);
+
+    Value *total = b.alloca_(tc.ulongTy(), nullptr, "total");
+    b.store(b.cULong(0), total);
+    {
+        Loop p(b, b.cLong(0), b.cLong(positions), "pos");
+        Value *occ = lcgNext(b, rng);
+        Value *kn = b.band(occ, lcgNext(b, rng));
+        Value *att = b.call(knights, {kn}, "att");
+        Value *legal = b.band(
+            att, b.bxor(occ, b.cULong(~0ull)), "legal");
+        Value *mobility = b.call(popcnt, {legal}, "mob");
+        Value *material = b.call(popcnt, {occ}, "mat");
+        Value *score =
+            b.add(b.mul(mobility, b.cULong(10)), material);
+        b.store(b.add(b.load(total), score), total);
+        p.next();
+    }
+
+    Value *sum = b.cast_(b.rem(b.load(total), b.cULong(1000000007)),
+                         tc.longTy(), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 254.gap -----------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildGap(int scale)
+{
+    int degree = 12;
+    int perms = 10 * scale;
+    Env env("254.gap");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x41c64e6d41c64e6dull), rng);
+
+    auto parr = [&](const char *name) {
+        return b.cast_(
+            b.call(env.mallocFn, {b.cULong(8ull * degree)}),
+            tc.pointerTo(tc.longTy()), name);
+    };
+
+    Value *perm = parr("perm");
+    Value *cur = parr("cur");
+    Value *tmp = parr("tmp");
+
+    Value *orderSum = b.alloca_(tc.longTy(), nullptr, "ordersum");
+    b.store(b.cLong(0), orderSum);
+
+    {
+        Loop pi(b, b.cLong(0), b.cLong(perms), "perm");
+        // Random permutation by Fisher–Yates.
+        {
+            Loop i(b, b.cLong(0), b.cLong(degree), "id");
+            b.store(i.iv(), b.gepAt(perm, i.iv()));
+            i.next();
+        }
+        {
+            Loop i(b, b.cLong(1), b.cLong(degree), "shuf");
+            Value *r = lcgNext(b, rng);
+            Value *j = b.cast_(
+                b.rem(b.shr(r, b.cUByte(33)),
+                      b.cast_(b.add(i.iv(), b.cLong(1)),
+                              tc.ulongTy())),
+                tc.longTy(), "j");
+            Value *si = b.gepAt(perm, i.iv());
+            Value *sj = b.gepAt(perm, j);
+            Value *vi = b.load(si);
+            Value *vj = b.load(sj);
+            b.store(vj, si);
+            b.store(vi, sj);
+            i.next();
+        }
+        // Order of the permutation: compose until identity.
+        {
+            Loop i(b, b.cLong(0), b.cLong(degree), "cp");
+            b.store(b.load(b.gepAt(perm, i.iv())),
+                    b.gepAt(cur, i.iv()));
+            i.next();
+        }
+        Value *order = b.alloca_(tc.longTy(), nullptr, "order");
+        b.store(b.cLong(1), order);
+        BasicBlock *oHead = f->createBlock("ord.head");
+        BasicBlock *oBody = f->createBlock("ord.body");
+        BasicBlock *oExit = f->createBlock("ord.exit");
+        b.br(oHead);
+        b.setInsertPoint(oHead);
+        // Identity check.
+        Value *isId = b.alloca_(tc.boolTy(), nullptr, "isid");
+        b.store(b.cBool(true), isId);
+        {
+            Loop i(b, b.cLong(0), b.cLong(degree), "chk");
+            Value *v = b.load(b.gepAt(cur, i.iv()));
+            Value *same = b.setEQ(v, i.iv());
+            b.store(b.band(b.load(isId), same), isId);
+            i.next();
+        }
+        b.condBr(b.load(isId), oExit, oBody);
+        b.setInsertPoint(oBody);
+        // cur = cur ∘ perm
+        {
+            Loop i(b, b.cLong(0), b.cLong(degree), "comp");
+            Value *pv = b.load(b.gepAt(perm, i.iv()));
+            Value *cv = b.load(b.gepAt(cur, pv));
+            b.store(cv, b.gepAt(tmp, i.iv()));
+            i.next();
+        }
+        {
+            Loop i(b, b.cLong(0), b.cLong(degree), "wb");
+            b.store(b.load(b.gepAt(tmp, i.iv())),
+                    b.gepAt(cur, i.iv()));
+            i.next();
+        }
+        b.store(b.add(b.load(order), b.cLong(1)), order);
+        b.br(oHead);
+        b.setInsertPoint(oExit);
+        b.store(b.add(b.load(orderSum), b.load(order)), orderSum);
+        pi.next();
+    }
+
+    Value *sum = b.load(orderSum);
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+} // namespace workloads
+} // namespace llva

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Floating-point workloads mirroring the paper's CFP2000 rows and
+ * ammp:
+ *  - art: neural-network recognition (dense matvec + winner update).
+ *  - equake: sparse matrix-vector products in CSR form.
+ *  - ammp: n-body molecular-dynamics force integration.
+ */
+
+#include "workloads/builder_util.h"
+
+namespace llva {
+namespace workloads {
+
+// --- 179.art -----------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildArt(int scale)
+{
+    int neurons = 12 * scale;
+    int inputs = 16;
+    int iters = 20 * scale;
+    Env env("179.art");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x853c49e6748fea9bull), rng);
+
+    auto dvec = [&](int count, const char *name) {
+        Value *raw =
+            b.call(env.mallocFn, {b.cULong(8ull * count)});
+        return b.cast_(raw, tc.pointerTo(tc.doubleTy()), name);
+    };
+    Value *wts = dvec(neurons * inputs, "w");
+    Value *x = dvec(inputs, "x");
+    Value *y = dvec(neurons, "y");
+
+    auto frand = [&]() {
+        // Uniform-ish double in [0, 1): (lcg >> 11) / 2^53.
+        Value *r = lcgNext(b, rng);
+        Value *hi = b.shr(r, b.cUByte(11));
+        Value *d = b.cast_(hi, tc.doubleTy());
+        return b.div(d, b.cDouble(9007199254740992.0));
+    };
+
+    {
+        Loop i(b, b.cLong(0), b.cLong(neurons * inputs), "wi");
+        b.store(frand(), b.gepAt(wts, i.iv()));
+        i.next();
+    }
+
+    Value *drift = b.alloca_(tc.doubleTy(), nullptr, "drift");
+    b.store(b.cDouble(0.0), drift);
+
+    {
+        Loop t(b, b.cLong(0), b.cLong(iters), "t");
+        // Fresh input vector each iteration.
+        {
+            Loop i(b, b.cLong(0), b.cLong(inputs), "xi");
+            b.store(frand(), b.gepAt(x, i.iv()));
+            i.next();
+        }
+        // y = W x
+        {
+            Loop i(b, b.cLong(0), b.cLong(neurons), "yi");
+            Value *acc = b.alloca_(tc.doubleTy(), nullptr, "acc");
+            b.store(b.cDouble(0.0), acc);
+            {
+                Loop j(b, b.cLong(0), b.cLong(inputs), "yj");
+                Value *wij = b.load(b.gepAt(
+                    wts, b.add(b.mul(i.iv(), b.cLong(inputs)),
+                               j.iv())));
+                Value *xj = b.load(b.gepAt(x, j.iv()));
+                b.store(b.add(b.load(acc), b.mul(wij, xj)), acc);
+                j.next();
+            }
+            b.store(b.load(acc), b.gepAt(y, i.iv()));
+            i.next();
+        }
+        // Winner take all.
+        Value *bestV = b.alloca_(tc.doubleTy(), nullptr, "bestv");
+        Value *bestI = b.alloca_(tc.longTy(), nullptr, "besti");
+        b.store(b.cDouble(-1.0e30), bestV);
+        b.store(b.cLong(0), bestI);
+        {
+            Loop i(b, b.cLong(0), b.cLong(neurons), "win");
+            Value *yi = b.load(b.gepAt(y, i.iv()));
+            BasicBlock *upd = f->createBlock("upd");
+            BasicBlock *nxt = f->createBlock("wnext");
+            b.condBr(b.setGT(yi, b.load(bestV)), upd, nxt);
+            b.setInsertPoint(upd);
+            b.store(yi, bestV);
+            b.store(i.iv(), bestI);
+            b.br(nxt);
+            b.setInsertPoint(nxt);
+            i.next();
+        }
+        // Move the winner's weights toward the input (learning).
+        Value *wi = b.load(bestI, "winner");
+        {
+            Loop j(b, b.cLong(0), b.cLong(inputs), "learn");
+            Value *slot = b.gepAt(
+                wts, b.add(b.mul(wi, b.cLong(inputs)), j.iv()));
+            Value *wv = b.load(slot);
+            Value *xv = b.load(b.gepAt(x, j.iv()));
+            Value *nv = b.add(
+                wv, b.mul(b.cDouble(0.25), b.sub(xv, wv)));
+            b.store(nv, slot);
+            j.next();
+        }
+        b.store(b.add(b.load(drift), b.load(bestV)), drift);
+        t.next();
+    }
+
+    Value *scaled = b.mul(b.load(drift), b.cDouble(1000.0));
+    Value *sum = b.cast_(scaled, tc.longTy(), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 183.equake --------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildEquake(int scale)
+{
+    int n = 60 * scale;       // rows
+    int per_row = 5;          // nonzeros per row
+    int iters = 12 * scale;
+    Env env("183.equake");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0xaef17502108ef2d9ull), rng);
+
+    int nnz = n * per_row;
+    Value *rowptr = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * (n + 1))}),
+        tc.pointerTo(tc.longTy()), "rowptr");
+    Value *col = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * nnz)}),
+        tc.pointerTo(tc.longTy()), "col");
+    Value *val = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * nnz)}),
+        tc.pointerTo(tc.doubleTy()), "val");
+    Value *xv = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.doubleTy()), "x");
+    Value *yv = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.doubleTy()), "y");
+
+    // Build the CSR structure: fixed row degree, scattered columns.
+    {
+        Loop i(b, b.cLong(0), b.cLong(n + 1), "rp");
+        b.store(b.mul(i.iv(), b.cLong(per_row)),
+                b.gepAt(rowptr, i.iv()));
+        i.next();
+    }
+    {
+        Loop k(b, b.cLong(0), b.cLong(nnz), "fill");
+        Value *r = lcgNext(b, rng);
+        Value *c = b.cast_(b.rem(b.shr(r, b.cUByte(9)),
+                                 b.cULong((uint64_t)n)),
+                           tc.longTy());
+        b.store(c, b.gepAt(col, k.iv()));
+        Value *r2 = lcgNext(b, rng);
+        Value *mag = b.cast_(b.rem(b.shr(r2, b.cUByte(17)),
+                                   b.cULong(1000)),
+                             tc.doubleTy());
+        b.store(b.div(mag, b.cDouble(999.0)),
+                b.gepAt(val, k.iv()));
+        k.next();
+    }
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "x0");
+        b.store(b.cDouble(1.0), b.gepAt(xv, i.iv()));
+        i.next();
+    }
+
+    // Iterate y = A x; x = y * (1 / (1 + ||row scale||)).
+    {
+        Loop t(b, b.cLong(0), b.cLong(iters), "t");
+        {
+            Loop i(b, b.cLong(0), b.cLong(n), "row");
+            Value *lo = b.load(b.gepAt(rowptr, i.iv()), "lo");
+            Value *hi = b.load(
+                b.gepAt(rowptr, b.add(i.iv(), b.cLong(1))), "hi");
+            Value *acc = b.alloca_(tc.doubleTy(), nullptr, "acc");
+            b.store(b.cDouble(0.0), acc);
+            {
+                Loop k(b, lo, hi, "k");
+                Value *c = b.load(b.gepAt(col, k.iv()));
+                Value *a = b.load(b.gepAt(val, k.iv()));
+                Value *xc = b.load(b.gepAt(xv, c));
+                b.store(b.add(b.load(acc), b.mul(a, xc)), acc);
+                k.next();
+            }
+            b.store(b.load(acc), b.gepAt(yv, i.iv()));
+            i.next();
+        }
+        {
+            Loop i(b, b.cLong(0), b.cLong(n), "renorm");
+            Value *yi = b.load(b.gepAt(yv, i.iv()));
+            b.store(b.mul(yi, b.cDouble(0.35)),
+                    b.gepAt(xv, i.iv()));
+            i.next();
+        }
+        t.next();
+    }
+
+    Value *acc = b.alloca_(tc.doubleTy(), nullptr, "final");
+    b.store(b.cDouble(0.0), acc);
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "sumv");
+        b.store(b.add(b.load(acc), b.load(b.gepAt(xv, i.iv()))),
+                acc);
+        i.next();
+    }
+    Value *sum = b.cast_(b.mul(b.load(acc), b.cDouble(1.0e6)),
+                         tc.longTy(), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- 188.ammp ----------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildAmmp(int scale)
+{
+    int atoms = 16 * scale;
+    int steps = 8 * scale;
+    Env env("188.ammp");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // struct Atom { double x, y, z, vx, vy, vz }
+    StructType *atomTy = tc.namedStruct(
+        "struct.Atom",
+        {tc.doubleTy(), tc.doubleTy(), tc.doubleTy(), tc.doubleTy(),
+         tc.doubleTy(), tc.doubleTy()});
+    PointerType *atomPtr = tc.pointerTo(atomTy);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x5851f42d4c957f2dull), rng);
+
+    uint64_t atomSize = atomTy->sizeInBytes(8);
+    Value *raw = b.call(env.mallocFn,
+                        {b.cULong(atomSize * (uint64_t)atoms)});
+    Value *arr = b.cast_(raw, atomPtr, "atoms");
+
+    auto coord = [&]() {
+        Value *r = lcgNext(b, rng);
+        Value *m = b.cast_(
+            b.rem(b.shr(r, b.cUByte(13)), b.cULong(2000)),
+            tc.doubleTy());
+        return b.sub(b.div(m, b.cDouble(100.0)), b.cDouble(10.0));
+    };
+
+    {
+        Loop i(b, b.cLong(0), b.cLong(atoms), "init");
+        Value *a = b.gepAt(arr, i.iv(), "a");
+        for (unsigned fld = 0; fld < 3; ++fld)
+            b.store(coord(), b.gepField(a, fld));
+        for (unsigned fld = 3; fld < 6; ++fld)
+            b.store(b.cDouble(0.0), b.gepField(a, fld));
+        i.next();
+    }
+
+    Value *dt = b.cDouble(0.001);
+    {
+        Loop s(b, b.cLong(0), b.cLong(steps), "step");
+        // Pairwise repulsive force ~ 1/r^4 (softened).
+        {
+            Loop i(b, b.cLong(0), b.cLong(atoms), "fi");
+            Value *ai = b.gepAt(arr, i.iv(), "ai");
+            {
+                Loop j(b, b.cLong(0), b.cLong(atoms), "fj");
+                BasicBlock *distinct = f->createBlock("distinct");
+                BasicBlock *nxt = f->createBlock("fnext");
+                b.condBr(b.setNE(i.iv(), j.iv()), distinct, nxt);
+                b.setInsertPoint(distinct);
+                Value *aj = b.gepAt(arr, j.iv(), "aj");
+                Value *dx = b.sub(b.load(b.gepField(ai, 0)),
+                                  b.load(b.gepField(aj, 0)));
+                Value *dy = b.sub(b.load(b.gepField(ai, 1)),
+                                  b.load(b.gepField(aj, 1)));
+                Value *dz = b.sub(b.load(b.gepField(ai, 2)),
+                                  b.load(b.gepField(aj, 2)));
+                Value *r2 = b.add(
+                    b.add(b.mul(dx, dx), b.mul(dy, dy)),
+                    b.add(b.mul(dz, dz), b.cDouble(0.5)));
+                Value *inv = b.div(b.cDouble(1.0), r2);
+                Value *coef = b.mul(inv, inv);
+                b.store(
+                    b.add(b.load(b.gepField(ai, 3)),
+                          b.mul(b.mul(dx, coef), dt)),
+                    b.gepField(ai, 3));
+                b.store(
+                    b.add(b.load(b.gepField(ai, 4)),
+                          b.mul(b.mul(dy, coef), dt)),
+                    b.gepField(ai, 4));
+                b.store(
+                    b.add(b.load(b.gepField(ai, 5)),
+                          b.mul(b.mul(dz, coef), dt)),
+                    b.gepField(ai, 5));
+                b.br(nxt);
+                b.setInsertPoint(nxt);
+                j.next();
+            }
+            i.next();
+        }
+        // Integrate positions.
+        {
+            Loop i(b, b.cLong(0), b.cLong(atoms), "move");
+            Value *a = b.gepAt(arr, i.iv(), "m");
+            for (unsigned fld = 0; fld < 3; ++fld) {
+                Value *p = b.load(b.gepField(a, fld));
+                Value *v = b.load(b.gepField(a, fld + 3));
+                b.store(b.add(p, b.mul(v, dt)),
+                        b.gepField(a, fld));
+            }
+            i.next();
+        }
+        s.next();
+    }
+
+    // Checksum: folded coordinates.
+    Value *acc = b.alloca_(tc.doubleTy(), nullptr, "acc");
+    b.store(b.cDouble(0.0), acc);
+    {
+        Loop i(b, b.cLong(0), b.cLong(atoms), "sum");
+        Value *a = b.gepAt(arr, i.iv());
+        Value *s = b.add(b.add(b.load(b.gepField(a, 0)),
+                               b.load(b.gepField(a, 1))),
+                         b.load(b.gepField(a, 2)));
+        b.store(b.add(b.load(acc), s), acc);
+        i.next();
+    }
+    Value *sum = b.cast_(b.mul(b.load(acc), b.cDouble(1000.0)),
+                         tc.longTy(), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+} // namespace workloads
+} // namespace llva

@@ -1,0 +1,721 @@
+/**
+ * @file
+ * PtrDist-like workloads: the pointer-intensive half of Table 2.
+ *  - anagram: letter-signature hashing and pair matching.
+ *  - ks: Kernighan–Lin-style graph partition improvement.
+ *  - ft: minimum spanning tree over linked adjacency lists.
+ *  - yacr2: channel routing by greedy track assignment.
+ *  - bc: arbitrary-precision integer arithmetic.
+ */
+
+#include "workloads/builder_util.h"
+
+namespace llva {
+namespace workloads {
+
+// --- ptrdist-anagram ---------------------------------------------------------
+
+std::unique_ptr<Module>
+buildAnagram(int scale)
+{
+    int n = 40 * scale;
+    Env env("ptrdist-anagram");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // Prime per letter: multiplying primes gives an order-invariant
+    // (anagram-invariant) signature.
+    std::vector<Constant *> primes;
+    static const unsigned kPrimes[26] = {
+        2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41,
+        43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101};
+    for (unsigned p : kPrimes)
+        primes.push_back(env.m->constantInt(tc.ulongTy(), p));
+    auto *primesTy = tc.arrayOf(tc.ulongTy(), 26);
+    GlobalVariable *primesGV = env.m->createGlobal(
+        primesTy, "primes",
+        env.m->constantAggregate(primesTy, primes), true);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x9e3779b97f4a7c15ull), rng);
+
+    Value *bytes = b.call(env.mallocFn, {b.cULong(8ull * n)});
+    Value *sigs = b.cast_(bytes, tc.pointerTo(tc.ulongTy()), "sigs");
+
+    // Generate signatures for n pseudo-words.
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "w");
+        Value *sigSlot = b.alloca_(tc.ulongTy(), nullptr, "sigslot");
+        b.store(b.cULong(1), sigSlot);
+        Value *r = lcgNext(b, rng);
+        Value *len = b.add(
+            b.rem(b.shr(r, b.cUByte(5)), b.cULong(5)), b.cULong(3),
+            "len");
+        {
+            Loop j(b, b.cULong(0), len, "c");
+            Value *r2 = lcgNext(b, rng);
+            Value *letter = b.rem(b.shr(r2, b.cUByte(7)),
+                                  b.cULong(26), "letter");
+            Value *pp = b.gep(primesGV,
+                              {b.cLong(0),
+                               b.cast_(letter, tc.longTy())});
+            Value *prime = b.load(pp, "prime");
+            Value *sig = b.load(sigSlot);
+            b.store(b.mul(sig, prime), sigSlot);
+            j.next();
+        }
+        Value *slot = b.gepAt(sigs, b.cast_(i.iv(), tc.longTy()));
+        b.store(b.load(sigSlot), slot);
+        i.next();
+    }
+
+    // Count anagram pairs and fold signatures into a checksum.
+    Value *count = b.alloca_(tc.longTy(), nullptr, "count");
+    b.store(b.cLong(0), count);
+    Value *fold = b.alloca_(tc.ulongTy(), nullptr, "fold");
+    b.store(b.cULong(0), fold);
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "i");
+        Value *si =
+            b.load(b.gepAt(sigs, i.iv()), "si");
+        b.store(b.bxor(b.load(fold), si), fold);
+        {
+            Loop j(b, b.add(i.iv(), b.cLong(1)), b.cLong(n), "j");
+            Value *sj = b.load(b.gepAt(sigs, j.iv()), "sj");
+            Value *eq = b.setEQ(si, sj, "eq");
+            BasicBlock *hit = f->createBlock("hit");
+            BasicBlock *cont = f->createBlock("cont");
+            b.condBr(eq, hit, cont);
+            b.setInsertPoint(hit);
+            b.store(b.add(b.load(count), b.cLong(1)), count);
+            b.br(cont);
+            b.setInsertPoint(cont);
+            j.next();
+        }
+        i.next();
+    }
+
+    b.call(env.freeFn, {bytes});
+    Value *folded = b.cast_(b.load(fold), tc.longTy());
+    Value *sum = b.add(b.mul(b.load(count), b.cLong(100000)),
+                       b.rem(folded, b.cLong(100000)), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- ptrdist-ks --------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildKS(int scale)
+{
+    int n = 8 * scale; // nodes (even)
+    Env env("ptrdist-ks");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0x2545f4914f6cdd1dull), rng);
+
+    // Symmetric weight matrix w[n][n] of small ints.
+    Value *wBytes = b.call(env.mallocFn, {b.cULong(8ull * n * n)});
+    Value *w = b.cast_(wBytes, tc.pointerTo(tc.longTy()), "w");
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "i");
+        {
+            Loop j(b, b.cLong(0), b.cLong(n), "j");
+            Value *r = lcgNext(b, rng);
+            Value *weight = b.cast_(
+                b.rem(b.shr(r, b.cUByte(3)), b.cULong(10)),
+                tc.longTy(), "weight");
+            Value *lt = b.setLT(i.iv(), j.iv());
+            Value *sel = b.alloca_(tc.longTy(), nullptr, "sel");
+            BasicBlock *upper = f->createBlock("upper");
+            BasicBlock *lower = f->createBlock("lower");
+            BasicBlock *done = f->createBlock("stored");
+            b.condBr(lt, upper, lower);
+            b.setInsertPoint(upper);
+            b.store(weight, sel);
+            b.br(done);
+            b.setInsertPoint(lower);
+            // Mirror w[j][i] to keep the matrix symmetric.
+            Value *mirror = b.load(b.gepAt(
+                w, b.add(b.mul(j.iv(), b.cLong(n)), i.iv())));
+            b.store(mirror, sel);
+            b.br(done);
+            b.setInsertPoint(done);
+            Value *slot = b.gepAt(
+                w, b.add(b.mul(i.iv(), b.cLong(n)), j.iv()));
+            b.store(b.load(sel), slot);
+            j.next();
+        }
+        i.next();
+    }
+
+    // side[i] = (i < n/2): 1 for set A, 0 for set B.
+    Value *sideBytes = b.call(env.mallocFn, {b.cULong((uint64_t)n)});
+    Value *side = b.cast_(sideBytes, tc.pointerTo(tc.ubyteTy()));
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "s");
+        Value *inA = b.setLT(i.iv(), b.cLong(n / 2));
+        b.store(b.cast_(inA, tc.ubyteTy()),
+                b.gepAt(side, i.iv()));
+        i.next();
+    }
+
+    // Improvement passes: pick the best (a in A, b in B) swap by
+    // gain D[a] + D[b] - 2*w[a][b]; apply while the gain is positive.
+    Value *total = b.alloca_(tc.longTy(), nullptr, "total");
+    b.store(b.cLong(0), total);
+    Value *dArr = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.longTy()), "D");
+    {
+        Loop pass(b, b.cLong(0), b.cLong(4), "pass");
+        // D[i] = sum_j w[i][j] * (side[i] != side[j] ? +1 : -1)
+        {
+            Loop i(b, b.cLong(0), b.cLong(n), "di");
+            Value *acc = b.alloca_(tc.longTy(), nullptr, "acc");
+            b.store(b.cLong(0), acc);
+            Value *si = b.load(b.gepAt(side, i.iv()), "si");
+            {
+                Loop j(b, b.cLong(0), b.cLong(n), "dj");
+                Value *sj = b.load(b.gepAt(side, j.iv()), "sj");
+                Value *wij = b.load(b.gepAt(
+                    w, b.add(b.mul(i.iv(), b.cLong(n)), j.iv())));
+                Value *diff = b.setNE(si, sj);
+                BasicBlock *ext = f->createBlock("ext");
+                BasicBlock *inte = f->createBlock("int");
+                BasicBlock *nxt = f->createBlock("dnext");
+                b.condBr(diff, ext, inte);
+                b.setInsertPoint(ext);
+                b.store(b.add(b.load(acc), wij), acc);
+                b.br(nxt);
+                b.setInsertPoint(inte);
+                b.store(b.sub(b.load(acc), wij), acc);
+                b.br(nxt);
+                b.setInsertPoint(nxt);
+                j.next();
+            }
+            b.store(b.load(acc), b.gepAt(dArr, i.iv()));
+            i.next();
+        }
+        // Best swap.
+        Value *bestGain = b.alloca_(tc.longTy(), nullptr, "bg");
+        Value *bestA = b.alloca_(tc.longTy(), nullptr, "ba");
+        Value *bestB = b.alloca_(tc.longTy(), nullptr, "bb");
+        b.store(b.cLong(-1000000), bestGain);
+        b.store(b.cLong(0), bestA);
+        b.store(b.cLong(0), bestB);
+        {
+            Loop i(b, b.cLong(0), b.cLong(n), "ga");
+            Value *si = b.load(b.gepAt(side, i.iv()));
+            BasicBlock *inA = f->createBlock("inA");
+            BasicBlock *skipA = f->createBlock("skipA");
+            b.condBr(b.setNE(si, b.cUByte(0)), inA, skipA);
+            b.setInsertPoint(inA);
+            {
+                Loop j(b, b.cLong(0), b.cLong(n), "gb");
+                Value *sj = b.load(b.gepAt(side, j.iv()));
+                BasicBlock *inB = f->createBlock("inB");
+                BasicBlock *nxt = f->createBlock("gnext");
+                b.condBr(b.setEQ(sj, b.cUByte(0)), inB, nxt);
+                b.setInsertPoint(inB);
+                Value *da = b.load(b.gepAt(dArr, i.iv()));
+                Value *db = b.load(b.gepAt(dArr, j.iv()));
+                Value *wij = b.load(b.gepAt(
+                    w, b.add(b.mul(i.iv(), b.cLong(n)), j.iv())));
+                Value *gain = b.sub(b.add(da, db),
+                                    b.mul(b.cLong(2), wij), "gain");
+                BasicBlock *better = f->createBlock("better");
+                b.condBr(b.setGT(gain, b.load(bestGain)), better,
+                         nxt);
+                b.setInsertPoint(better);
+                b.store(gain, bestGain);
+                b.store(i.iv(), bestA);
+                b.store(j.iv(), bestB);
+                b.br(nxt);
+                b.setInsertPoint(nxt);
+                j.next();
+            }
+            b.br(skipA);
+            b.setInsertPoint(skipA);
+            i.next();
+        }
+        // Apply the swap when profitable.
+        BasicBlock *apply = f->createBlock("apply");
+        BasicBlock *done = f->createBlock("passdone");
+        b.condBr(b.setGT(b.load(bestGain), b.cLong(0)), apply,
+                 done);
+        b.setInsertPoint(apply);
+        b.store(b.cUByte(0), b.gepAt(side, b.load(bestA)));
+        b.store(b.cUByte(1), b.gepAt(side, b.load(bestB)));
+        b.store(b.add(b.load(total), b.load(bestGain)), total);
+        b.br(done);
+        b.setInsertPoint(done);
+        pass.next();
+    }
+
+    // Final cut cost.
+    Value *cut = b.alloca_(tc.longTy(), nullptr, "cut");
+    b.store(b.cLong(0), cut);
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "ci");
+        Value *si = b.load(b.gepAt(side, i.iv()));
+        {
+            Loop j(b, b.add(i.iv(), b.cLong(1)), b.cLong(n), "cj");
+            Value *sj = b.load(b.gepAt(side, j.iv()));
+            BasicBlock *cross = f->createBlock("cross");
+            BasicBlock *nxt = f->createBlock("cnext");
+            b.condBr(b.setNE(si, sj), cross, nxt);
+            b.setInsertPoint(cross);
+            Value *wij = b.load(b.gepAt(
+                w, b.add(b.mul(i.iv(), b.cLong(n)), j.iv())));
+            b.store(b.add(b.load(cut), wij), cut);
+            b.br(nxt);
+            b.setInsertPoint(nxt);
+            j.next();
+        }
+        i.next();
+    }
+
+    Value *sum = b.add(b.mul(b.load(total), b.cLong(1000)),
+                       b.load(cut), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- ptrdist-ft --------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildFT(int scale)
+{
+    int n = 24 * scale;
+    int edges_per_node = 4;
+    Env env("ptrdist-ft");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // struct Edge { int dst; int w; Edge *next }
+    StructType *edgeTy = tc.namedStruct(
+        "struct.Edge", {});
+    edgeTy->setBody({tc.intTy(), tc.intTy(), tc.pointerTo(edgeTy)});
+    PointerType *edgePtr = tc.pointerTo(edgeTy);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0xda3e39cb94b95bdbull), rng);
+
+    // heads: Edge*[n]
+    Value *headsBytes =
+        b.call(env.mallocFn, {b.cULong(8ull * n)});
+    Value *heads = b.cast_(headsBytes, tc.pointerTo(edgePtr));
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "hz");
+        b.store(b.cNull(edgeTy), b.gepAt(heads, i.iv()));
+        i.next();
+    }
+
+    uint64_t edgeSize = edgeTy->sizeInBytes(8);
+    auto addEdge = [&](Value *u, Value *v, Value *wt) {
+        Value *raw = b.call(env.mallocFn, {b.cULong(edgeSize)});
+        Value *e = b.cast_(raw, edgePtr, "e");
+        b.store(b.cast_(v, tc.intTy()), b.gepField(e, 0));
+        b.store(wt, b.gepField(e, 1));
+        Value *headSlot = b.gepAt(heads, u);
+        b.store(b.load(headSlot), b.gepField(e, 2));
+        b.store(e, headSlot);
+    };
+
+    // Ring edges keep the graph connected; extra random edges.
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "ring");
+        Value *v = b.rem(b.add(i.iv(), b.cLong(1)), b.cLong(n));
+        Value *r = lcgNext(b, rng);
+        Value *wt = b.cast_(
+            b.add(b.rem(b.shr(r, b.cUByte(9)), b.cULong(90)),
+                  b.cULong(10)),
+            tc.intTy(), "wt");
+        addEdge(i.iv(), v, wt);
+        addEdge(v, i.iv(), wt);
+        i.next();
+    }
+    {
+        Loop i(b, b.cLong(0),
+               b.cLong((int64_t)n * (edges_per_node - 2)), "rnd");
+        Value *r1 = lcgNext(b, rng);
+        Value *u = b.cast_(b.rem(b.shr(r1, b.cUByte(11)),
+                                 b.cULong((uint64_t)n)),
+                           tc.longTy());
+        Value *r2 = lcgNext(b, rng);
+        Value *v = b.cast_(b.rem(b.shr(r2, b.cUByte(13)),
+                                 b.cULong((uint64_t)n)),
+                           tc.longTy());
+        Value *r3 = lcgNext(b, rng);
+        Value *wt = b.cast_(
+            b.add(b.rem(b.shr(r3, b.cUByte(7)), b.cULong(100)),
+                  b.cULong(1)),
+            tc.intTy());
+        addEdge(u, v, wt);
+        addEdge(v, u, wt);
+        i.next();
+    }
+
+    // Prim's algorithm with a linear-scan "frontier" (the paper's ft
+    // used Fibonacci heaps; the pointer-chasing adjacency walk is
+    // the behaviour that matters here).
+    Value *dist = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.longTy()), "dist");
+    Value *inTree = b.cast_(
+        b.call(env.mallocFn, {b.cULong((uint64_t)n)}),
+        tc.pointerTo(tc.ubyteTy()), "intree");
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "init");
+        b.store(b.cLong(1 << 30), b.gepAt(dist, i.iv()));
+        b.store(b.cUByte(0), b.gepAt(inTree, i.iv()));
+        i.next();
+    }
+    b.store(b.cLong(0), b.gepAt(dist, b.cLong(0)));
+
+    Value *mst = b.alloca_(tc.longTy(), nullptr, "mst");
+    b.store(b.cLong(0), mst);
+    {
+        Loop round(b, b.cLong(0), b.cLong(n), "round");
+        // Find the cheapest node not yet in the tree.
+        Value *bestD = b.alloca_(tc.longTy(), nullptr, "bestd");
+        Value *bestI = b.alloca_(tc.longTy(), nullptr, "besti");
+        b.store(b.cLong(1 << 30), bestD);
+        b.store(b.cLong(-1), bestI);
+        {
+            Loop i(b, b.cLong(0), b.cLong(n), "scan");
+            Value *in = b.load(b.gepAt(inTree, i.iv()));
+            Value *d = b.load(b.gepAt(dist, i.iv()));
+            Value *avail = b.setEQ(in, b.cUByte(0));
+            Value *closer = b.setLT(d, b.load(bestD));
+            Value *both = b.band(avail, closer);
+            BasicBlock *upd = f->createBlock("upd");
+            BasicBlock *nxt = f->createBlock("snext");
+            b.condBr(both, upd, nxt);
+            b.setInsertPoint(upd);
+            b.store(d, bestD);
+            b.store(i.iv(), bestI);
+            b.br(nxt);
+            b.setInsertPoint(nxt);
+            i.next();
+        }
+        Value *u = b.load(bestI, "u");
+        b.store(b.cUByte(1), b.gepAt(inTree, u));
+        b.store(b.add(b.load(mst), b.load(bestD)), mst);
+
+        // Relax u's adjacency list (pointer chase).
+        Value *cursor = b.alloca_(edgePtr, nullptr, "cursor");
+        b.store(b.load(b.gepAt(heads, u)), cursor);
+        BasicBlock *walkHead = f->createBlock("walk.head");
+        BasicBlock *walkBody = f->createBlock("walk.body");
+        BasicBlock *walkExit = f->createBlock("walk.exit");
+        b.br(walkHead);
+        b.setInsertPoint(walkHead);
+        Value *e = b.load(cursor, "e");
+        b.condBr(b.setNE(e, b.cNull(edgeTy)), walkBody, walkExit);
+        b.setInsertPoint(walkBody);
+        Value *dst = b.cast_(b.load(b.gepField(e, 0)), tc.longTy());
+        Value *wt = b.cast_(b.load(b.gepField(e, 1)), tc.longTy());
+        Value *dslot = b.gepAt(dist, dst);
+        Value *better = b.setLT(wt, b.load(dslot));
+        BasicBlock *relax = f->createBlock("relax");
+        BasicBlock *walkNext = f->createBlock("walk.next");
+        b.condBr(better, relax, walkNext);
+        b.setInsertPoint(relax);
+        b.store(wt, dslot);
+        b.br(walkNext);
+        b.setInsertPoint(walkNext);
+        b.store(b.load(b.gepField(e, 2)), cursor);
+        b.br(walkHead);
+        b.setInsertPoint(walkExit);
+        round.next();
+    }
+
+    Value *sum = b.load(mst);
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- ptrdist-yacr2 -----------------------------------------------------------
+
+std::unique_ptr<Module>
+buildYacr2(int scale)
+{
+    int n = 30 * scale; // intervals
+    Env env("ptrdist-yacr2");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    Function *f = env.def("main", tc.intTy(), {});
+    b.setInsertPoint(f->entryBlock());
+
+    Value *rng = b.alloca_(tc.ulongTy(), nullptr, "rng");
+    b.store(b.cULong(0xd1b54a32d192ed03ull), rng);
+
+    Value *left = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.longTy()), "left");
+    Value *right = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * n)}),
+        tc.pointerTo(tc.longTy()), "right");
+
+    // Random horizontal wire segments [l, r) in a 256-wide channel.
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "gen");
+        Value *r1 = lcgNext(b, rng);
+        Value *l = b.cast_(
+            b.rem(b.shr(r1, b.cUByte(5)), b.cULong(200)),
+            tc.longTy(), "l");
+        Value *r2 = lcgNext(b, rng);
+        Value *len = b.cast_(
+            b.add(b.rem(b.shr(r2, b.cUByte(9)), b.cULong(50)),
+                  b.cULong(4)),
+            tc.longTy(), "len");
+        b.store(l, b.gepAt(left, i.iv()));
+        b.store(b.add(l, len), b.gepAt(right, i.iv()));
+        i.next();
+    }
+
+    // Insertion sort by left edge (array shuffling, like yacr2's
+    // sorted net lists).
+    {
+        Loop i(b, b.cLong(1), b.cLong(n), "sort");
+        Value *keyL = b.load(b.gepAt(left, i.iv()), "keyl");
+        Value *keyR = b.load(b.gepAt(right, i.iv()), "keyr");
+        Value *jslot = b.alloca_(tc.longTy(), nullptr, "j");
+        b.store(b.sub(i.iv(), b.cLong(1)), jslot);
+        BasicBlock *shiftHead = f->createBlock("shift.head");
+        BasicBlock *shiftBody = f->createBlock("shift.body");
+        BasicBlock *shiftExit = f->createBlock("shift.exit");
+        b.br(shiftHead);
+        b.setInsertPoint(shiftHead);
+        Value *j = b.load(jslot);
+        Value *inRange = b.setGE(j, b.cLong(0));
+        BasicBlock *checkVal = f->createBlock("shift.check");
+        b.condBr(inRange, checkVal, shiftExit);
+        b.setInsertPoint(checkVal);
+        Value *lj = b.load(b.gepAt(left, j));
+        b.condBr(b.setGT(lj, keyL), shiftBody, shiftExit);
+        b.setInsertPoint(shiftBody);
+        Value *j1 = b.add(j, b.cLong(1));
+        b.store(lj, b.gepAt(left, j1));
+        b.store(b.load(b.gepAt(right, j)), b.gepAt(right, j1));
+        b.store(b.sub(j, b.cLong(1)), jslot);
+        b.br(shiftHead);
+        b.setInsertPoint(shiftExit);
+        Value *pos = b.add(b.load(jslot), b.cLong(1));
+        b.store(keyL, b.gepAt(left, pos));
+        b.store(keyR, b.gepAt(right, pos));
+        i.next();
+    }
+
+    // Greedy track assignment ("left-edge algorithm").
+    int max_tracks = 64;
+    Value *trackEnd = b.cast_(
+        b.call(env.mallocFn, {b.cULong(8ull * max_tracks)}),
+        tc.pointerTo(tc.longTy()), "trackend");
+    {
+        Loop t(b, b.cLong(0), b.cLong(max_tracks), "tz");
+        b.store(b.cLong(-1), b.gepAt(trackEnd, t.iv()));
+        t.next();
+    }
+    Value *used = b.alloca_(tc.longTy(), nullptr, "used");
+    b.store(b.cLong(0), used);
+    Value *assignSum = b.alloca_(tc.longTy(), nullptr, "asum");
+    b.store(b.cLong(0), assignSum);
+    {
+        Loop i(b, b.cLong(0), b.cLong(n), "assign");
+        Value *l = b.load(b.gepAt(left, i.iv()));
+        Value *r = b.load(b.gepAt(right, i.iv()));
+        Value *tslot = b.alloca_(tc.longTy(), nullptr, "t");
+        b.store(b.cLong(0), tslot);
+        BasicBlock *findHead = f->createBlock("find.head");
+        BasicBlock *findBody = f->createBlock("find.body");
+        BasicBlock *found = f->createBlock("found");
+        b.br(findHead);
+        b.setInsertPoint(findHead);
+        Value *t = b.load(tslot);
+        Value *end = b.load(b.gepAt(trackEnd, t));
+        b.condBr(b.setLT(end, l), found, findBody);
+        b.setInsertPoint(findBody);
+        b.store(b.add(t, b.cLong(1)), tslot);
+        b.br(findHead);
+        b.setInsertPoint(found);
+        Value *tf = b.load(tslot);
+        b.store(r, b.gepAt(trackEnd, tf));
+        Value *t1 = b.add(tf, b.cLong(1));
+        BasicBlock *bump = f->createBlock("bump");
+        BasicBlock *nxt = f->createBlock("anext");
+        b.condBr(b.setGT(t1, b.load(used)), bump, nxt);
+        b.setInsertPoint(bump);
+        b.store(t1, used);
+        b.br(nxt);
+        b.setInsertPoint(nxt);
+        b.store(b.add(b.load(assignSum),
+                      b.mul(tf, b.add(i.iv(), b.cLong(1)))),
+                assignSum);
+        i.next();
+    }
+
+    Value *sum = b.add(b.mul(b.load(used), b.cLong(1000000)),
+                       b.load(assignSum), "sum");
+    emitPutInt(b, env, sum);
+    b.ret(b.cast_(sum, tc.intTy()));
+    return std::move(env.m);
+}
+
+// --- ptrdist-bc --------------------------------------------------------------
+
+std::unique_ptr<Module>
+buildBC(int scale)
+{
+    Env env("ptrdist-bc");
+    TypeContext &tc = env.types();
+    IRBuilder b(*env.m);
+
+    // struct Big { long len; [64 x ulong] digits } — base 1e9 limbs.
+    auto *digitsTy = tc.arrayOf(tc.ulongTy(), 64);
+    StructType *bigTy =
+        tc.namedStruct("struct.Big", {tc.longTy(), digitsTy});
+    PointerType *bigPtr = tc.pointerTo(bigTy);
+    Constant *base = env.m->constantInt(tc.ulongTy(), 1000000000);
+
+    // void bigInit(Big *x, ulong v)
+    Function *bigInit = env.def(
+        "bigInit", tc.voidTy(),
+        {{bigPtr, "x"}, {tc.ulongTy(), "v"}}, Linkage::Internal);
+    {
+        b.setInsertPoint(bigInit->entryBlock());
+        Value *x = bigInit->arg(0);
+        Value *v = bigInit->arg(1);
+        Loop i(b, b.cLong(0), b.cLong(64), "z");
+        b.store(b.cULong(0),
+                b.gep(x, {b.cLong(0), b.cUByte(1), i.iv()}));
+        i.next();
+        b.store(b.rem(v, base),
+                b.gep(x, {b.cLong(0), b.cUByte(1), b.cLong(0)}));
+        b.store(b.div(v, base),
+                b.gep(x, {b.cLong(0), b.cUByte(1), b.cLong(1)}));
+        b.store(b.cLong(2), b.gepField(x, 0));
+        b.retVoid();
+    }
+
+    // void bigAdd(Big *dst, Big *a, Big *bb)  (dst may alias a)
+    Function *bigAdd = env.def(
+        "bigAdd", tc.voidTy(),
+        {{bigPtr, "dst"}, {bigPtr, "a"}, {bigPtr, "b"}},
+        Linkage::Internal);
+    {
+        b.setInsertPoint(bigAdd->entryBlock());
+        Value *dst = bigAdd->arg(0), *a = bigAdd->arg(1),
+              *bb = bigAdd->arg(2);
+        Value *carry = b.alloca_(tc.ulongTy(), nullptr, "carry");
+        b.store(b.cULong(0), carry);
+        Loop i(b, b.cLong(0), b.cLong(63), "add");
+        Value *da = b.load(
+            b.gep(a, {b.cLong(0), b.cUByte(1), i.iv()}));
+        Value *db = b.load(
+            b.gep(bb, {b.cLong(0), b.cUByte(1), i.iv()}));
+        Value *s = b.add(b.add(da, db), b.load(carry), "s");
+        b.store(b.rem(s, base),
+                b.gep(dst, {b.cLong(0), b.cUByte(1), i.iv()}));
+        b.store(b.div(s, base), carry);
+        i.next();
+        b.store(b.cLong(63), b.gepField(dst, 0));
+        b.retVoid();
+    }
+
+    // void bigMulSmall(Big *dst, Big *a, ulong m)
+    Function *bigMul = env.def(
+        "bigMulSmall", tc.voidTy(),
+        {{bigPtr, "dst"}, {bigPtr, "a"}, {tc.ulongTy(), "m"}},
+        Linkage::Internal);
+    {
+        b.setInsertPoint(bigMul->entryBlock());
+        Value *dst = bigMul->arg(0), *a = bigMul->arg(1),
+              *mval = bigMul->arg(2);
+        Value *carry = b.alloca_(tc.ulongTy(), nullptr, "carry");
+        b.store(b.cULong(0), carry);
+        Loop i(b, b.cLong(0), b.cLong(63), "mul");
+        Value *da = b.load(
+            b.gep(a, {b.cLong(0), b.cUByte(1), i.iv()}));
+        Value *p =
+            b.add(b.mul(da, mval), b.load(carry), "p");
+        b.store(b.rem(p, base),
+                b.gep(dst, {b.cLong(0), b.cUByte(1), i.iv()}));
+        b.store(b.div(p, base), carry);
+        i.next();
+        b.store(b.cLong(63), b.gepField(dst, 0));
+        b.retVoid();
+    }
+
+    // ulong bigFold(Big *x): positional hash of the limbs.
+    Function *bigFold = env.def("bigFold", tc.ulongTy(),
+                                {{bigPtr, "x"}}, Linkage::Internal);
+    {
+        b.setInsertPoint(bigFold->entryBlock());
+        Value *x = bigFold->arg(0);
+        Value *acc = b.alloca_(tc.ulongTy(), nullptr, "acc");
+        b.store(b.cULong(0), acc);
+        Loop i(b, b.cLong(0), b.cLong(64), "fold");
+        Value *d = b.load(
+            b.gep(x, {b.cLong(0), b.cUByte(1), i.iv()}));
+        Value *h = b.mul(b.load(acc), b.cULong(1099511628211ull));
+        b.store(b.bxor(h, d), acc);
+        i.next();
+        b.ret(b.load(acc));
+    }
+
+    // main: factorial chain and a big Fibonacci, folded together.
+    Function *f = env.def("main", tc.intTy(), {});
+    {
+        b.setInsertPoint(f->entryBlock());
+        Value *fact = b.alloca_(bigTy, nullptr, "fact");
+        b.call(bigInit, {fact, b.cULong(1)});
+        Loop k(b, b.cULong(2), b.cULong(20 + 5 * (uint64_t)scale),
+               "k");
+        b.call(bigMul, {fact, fact, k.iv()});
+        k.next();
+
+        Value *fa = b.alloca_(bigTy, nullptr, "fa");
+        Value *fb = b.alloca_(bigTy, nullptr, "fb");
+        Value *ft = b.alloca_(bigTy, nullptr, "ft");
+        b.call(bigInit, {fa, b.cULong(0)});
+        b.call(bigInit, {fb, b.cULong(1)});
+        Loop k2(b, b.cLong(0), b.cLong(60 * scale), "fib");
+        b.call(bigAdd, {ft, fa, fb});
+        // rotate: a <- b, b <- t (via adds with a zeroed temp)
+        b.call(bigInit, {fa, b.cULong(0)});
+        b.call(bigAdd, {fa, fa, fb});
+        b.call(bigInit, {fb, b.cULong(0)});
+        b.call(bigAdd, {fb, fb, ft});
+        k2.next();
+
+        Value *h1 = b.call(bigFold, {fact}, "h1");
+        Value *h2 = b.call(bigFold, {fb}, "h2");
+        Value *sum = b.cast_(
+            b.rem(b.bxor(h1, h2), b.cULong(1000000007)),
+            tc.longTy(), "sum");
+        emitPutInt(b, env, sum);
+        b.ret(b.cast_(sum, tc.intTy()));
+    }
+    return std::move(env.m);
+}
+
+} // namespace workloads
+} // namespace llva

@@ -1,0 +1,73 @@
+#include "workloads/workloads.h"
+
+#include "support/error.h"
+
+namespace llva {
+
+namespace workloads {
+
+std::unique_ptr<Module> buildAnagram(int);
+std::unique_ptr<Module> buildKS(int);
+std::unique_ptr<Module> buildFT(int);
+std::unique_ptr<Module> buildYacr2(int);
+std::unique_ptr<Module> buildBC(int);
+std::unique_ptr<Module> buildArt(int);
+std::unique_ptr<Module> buildEquake(int);
+std::unique_ptr<Module> buildAmmp(int);
+std::unique_ptr<Module> buildMCF(int);
+std::unique_ptr<Module> buildVPR(int);
+std::unique_ptr<Module> buildTwolf(int);
+std::unique_ptr<Module> buildCrafty(int);
+std::unique_ptr<Module> buildGap(int);
+std::unique_ptr<Module> buildBzip2(int);
+std::unique_ptr<Module> buildGzip(int);
+std::unique_ptr<Module> buildParser(int);
+std::unique_ptr<Module> buildVortex(int);
+
+} // namespace workloads
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    using namespace workloads;
+    static const std::vector<WorkloadInfo> table = {
+        {"ptrdist-anagram", "anagram signature matching",
+         buildAnagram, 2},
+        {"ptrdist-ks", "Kernighan-Lin graph partitioning", buildKS,
+         2},
+        {"ptrdist-ft", "minimum spanning tree over adjacency lists",
+         buildFT, 2},
+        {"ptrdist-yacr2", "channel routing by track assignment",
+         buildYacr2, 2},
+        {"ptrdist-bc", "arbitrary-precision calculator", buildBC, 2},
+        {"179.art", "neural network recognition", buildArt, 2},
+        {"183.equake", "sparse matrix-vector products", buildEquake,
+         2},
+        {"181.mcf", "network flow cost relaxation", buildMCF, 2},
+        {"256.bzip2", "RLE + move-to-front compression", buildBzip2,
+         2},
+        {"164.gzip", "LZ77 with hash chains", buildGzip, 2},
+        {"197.parser", "recursive-descent expression parsing",
+         buildParser, 2},
+        {"188.ammp", "n-body molecular dynamics", buildAmmp, 2},
+        {"175.vpr", "placement annealing", buildVPR, 2},
+        {"300.twolf", "standard-cell swapping over linked rows",
+         buildTwolf, 2},
+        {"186.crafty", "bitboard move generation", buildCrafty, 2},
+        {"255.vortex", "hash-indexed object store", buildVortex, 2},
+        {"254.gap", "permutation group orders", buildGap, 2},
+    };
+    return table;
+}
+
+std::unique_ptr<Module>
+buildWorkload(const std::string &name, int scale)
+{
+    for (const WorkloadInfo &info : allWorkloads())
+        if (info.name == name)
+            return info.build(scale > 0 ? scale
+                                        : info.defaultScale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace llva

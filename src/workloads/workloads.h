@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The benchmark workload suite.
+ *
+ * The paper evaluates LLVA on the PtrDist benchmarks and SPEC
+ * CINT2000 (+ two CFP2000 codes) compiled from C. Those sources are
+ * not available here, so each row of Table 2 is represented by a
+ * synthetic program with the same computational character —
+ * pointer-chasing data structures, compression, parsing, numeric
+ * kernels — constructed directly in LLVA via the IRBuilder API (see
+ * DESIGN.md's substitution table). Every program is deterministic,
+ * prints a checksum, and returns it, so the interpreter and both
+ * machine simulators can be differentially tested on the full suite.
+ */
+
+#ifndef LLVA_WORKLOADS_WORKLOADS_H
+#define LLVA_WORKLOADS_WORKLOADS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace llva {
+
+struct WorkloadInfo
+{
+    std::string name;        ///< e.g. "ptrdist-anagram"
+    std::string description; ///< what the paper's original did
+    /** Build the module; \p scale grows the input size. */
+    std::function<std::unique_ptr<Module>(int scale)> build;
+    int defaultScale;
+};
+
+/** All workloads, in Table 2 row order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Build one workload by name at its default (or given) scale. */
+std::unique_ptr<Module> buildWorkload(const std::string &name,
+                                      int scale = 0);
+
+} // namespace llva
+
+#endif // LLVA_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Structured random-program generator for differential testing.
+ *
+ * Generates well-typed, verifier-clean, terminating LLVA programs by
+ * construction: arithmetic over a live-value pool, guarded divisions,
+ * nested if/else, bounded counted loops (phi- or memory-carried),
+ * stack arrays with in-bounds indexing, helper-function calls, and a
+ * final checksum fold. Programs are deterministic in their seed, so
+ * every engine must produce the identical checksum and output.
+ */
+
+#ifndef LLVA_TESTS_FUZZ_GEN_H
+#define LLVA_TESTS_FUZZ_GEN_H
+
+#include <random>
+#include <vector>
+
+#include "ir/ir_builder.h"
+
+namespace llva {
+namespace fuzz {
+
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed)
+        : rng_(seed)
+    {}
+
+    std::unique_ptr<Module>
+    generate()
+    {
+        m_ = std::make_unique<Module>("fuzz");
+        TypeContext &tc = m_->types();
+        putint_ = m_->createFunction(
+            tc.functionOf(tc.voidTy(), {tc.longTy()}), "putint");
+
+        // A few helper functions main can call.
+        unsigned helpers = pick(0, 2);
+        for (unsigned h = 0; h < helpers; ++h)
+            makeHelper(h);
+
+        Function *main = m_->createFunction(
+            tc.functionOf(tc.intTy(), {}), "main");
+        BasicBlock *entry = main->createBlock("entry");
+        IRBuilder b(*m_, entry);
+
+        std::vector<Value *> pool = {b.cLong(pick(1, 100)),
+                                     b.cLong(pick(1, 100))};
+        genBody(b, main, pool, /*depth=*/0);
+
+        // Fold the live pool into one checksum.
+        Value *sum = fold(b, pool);
+        b.call(putint_, {sum});
+        b.ret(b.cast_(sum, tc.intTy()));
+        return std::move(m_);
+    }
+
+  private:
+    uint64_t
+    pick(uint64_t lo, uint64_t hi)
+    {
+        return lo + rng_() % (hi - lo + 1);
+    }
+
+    Value *
+    anyOf(IRBuilder &b, std::vector<Value *> &pool)
+    {
+        (void)b;
+        return pool[pick(0, pool.size() - 1)];
+    }
+
+    Value *
+    fold(IRBuilder &b, std::vector<Value *> &pool)
+    {
+        Value *sum = b.cLong(0);
+        for (Value *v : pool)
+            sum = b.add(b.mul(sum, b.cLong(31)), v);
+        // Clamp so no engine-dependent overflow printing occurs
+        // (the arithmetic itself is 2's-complement and identical).
+        return b.rem(sum, b.cLong(1000000007));
+    }
+
+    void
+    makeHelper(unsigned index)
+    {
+        TypeContext &tc = m_->types();
+        Function *f = m_->createFunction(
+            tc.functionOf(tc.longTy(), {tc.longTy(), tc.longTy()}),
+            "helper" + std::to_string(index), Linkage::Internal);
+        BasicBlock *entry = f->createBlock("entry");
+        IRBuilder b(*m_, entry);
+        std::vector<Value *> pool = {f->arg(0), f->arg(1),
+                                     b.cLong(pick(1, 50))};
+        genBody(b, f, pool, /*depth=*/2);
+        b.ret(fold(b, pool));
+        helpers_.push_back(f);
+    }
+
+    /** Emit 2-6 random statements into the current block chain. */
+    void
+    genBody(IRBuilder &b, Function *f, std::vector<Value *> &pool,
+            int depth)
+    {
+        unsigned stmts = static_cast<unsigned>(pick(2, 6));
+        for (unsigned s = 0; s < stmts; ++s) {
+            switch (pick(0, depth >= 3 ? 1 : 5)) {
+              case 0:
+              case 1:
+                genArith(b, pool);
+                break;
+              case 2:
+                genIf(b, f, pool, depth);
+                break;
+              case 3:
+                genLoop(b, f, pool, depth);
+                break;
+              case 4:
+                genArray(b, f, pool, depth);
+                break;
+              case 5:
+                genCall(b, pool);
+                break;
+            }
+        }
+    }
+
+    void
+    genArith(IRBuilder &b, std::vector<Value *> &pool)
+    {
+        Value *lhs = anyOf(b, pool);
+        Value *rhs = anyOf(b, pool);
+        Value *v = nullptr;
+        switch (pick(0, 7)) {
+          case 0: v = b.add(lhs, rhs); break;
+          case 1: v = b.sub(lhs, rhs); break;
+          case 2: v = b.mul(lhs, rhs); break;
+          case 3: {
+            // Guarded: |rhs| could still be 0 after or; or with 1.
+            Value *nz = b.bor(rhs, b.cLong(1));
+            v = b.div(lhs, nz);
+            break;
+          }
+          case 4: {
+            Value *nz = b.bor(rhs, b.cLong(1));
+            v = b.rem(lhs, nz);
+            break;
+          }
+          case 5: v = b.bxor(lhs, rhs); break;
+          case 6:
+            v = b.shl(lhs, b.cUByte(static_cast<uint8_t>(
+                               pick(0, 7))));
+            break;
+          case 7:
+            v = b.shr(lhs, b.cUByte(static_cast<uint8_t>(
+                               pick(0, 7))));
+            break;
+        }
+        pool.push_back(v);
+        if (pool.size() > 8)
+            pool.erase(pool.begin());
+    }
+
+    void
+    genIf(IRBuilder &b, Function *f, std::vector<Value *> &pool,
+          int depth)
+    {
+        Value *cond;
+        switch (pick(0, 2)) {
+          case 0:
+            cond = b.setLT(anyOf(b, pool), anyOf(b, pool));
+            break;
+          case 1:
+            cond = b.setEQ(
+                b.rem(anyOf(b, pool), b.cLong(3)), b.cLong(0));
+            break;
+          default:
+            cond = b.setGE(anyOf(b, pool), b.cLong(pick(0, 64)));
+            break;
+        }
+        BasicBlock *thenB = f->createBlock("then");
+        BasicBlock *elseB = f->createBlock("else");
+        BasicBlock *join = f->createBlock("join");
+        b.condBr(cond, thenB, elseB);
+
+        Value *base = anyOf(b, pool);
+        b.setInsertPoint(thenB);
+        std::vector<Value *> tpool = pool;
+        genBody(b, f, tpool, depth + 1);
+        Value *tval = b.add(tpool.back(), base);
+        BasicBlock *tend = b.insertBlock();
+        b.br(join);
+
+        b.setInsertPoint(elseB);
+        std::vector<Value *> epool = pool;
+        genBody(b, f, epool, depth + 1);
+        Value *eval = b.bxor(epool.back(), base);
+        BasicBlock *eend = b.insertBlock();
+        b.br(join);
+
+        b.setInsertPoint(join);
+        PhiNode *phi = b.phi(tval->type(), "merge");
+        phi->addIncoming(tval, tend);
+        phi->addIncoming(eval, eend);
+        pool.push_back(phi);
+    }
+
+    void
+    genLoop(IRBuilder &b, Function *f, std::vector<Value *> &pool,
+            int depth)
+    {
+        Module &m = *m_;
+        TypeContext &tc = m.types();
+        int64_t trip = static_cast<int64_t>(pick(1, 12));
+
+        bool memory_carried = pick(0, 1) == 0;
+        Value *slot = nullptr;
+        if (memory_carried) {
+            slot = b.alloca_(tc.longTy(), nullptr, "carry");
+            b.store(anyOf(b, pool), slot);
+        }
+
+        BasicBlock *header = f->createBlock("loop.header");
+        BasicBlock *body = f->createBlock("loop.body");
+        BasicBlock *exit = f->createBlock("loop.exit");
+        BasicBlock *pre = b.insertBlock();
+        Value *init = anyOf(b, pool);
+        b.br(header);
+
+        b.setInsertPoint(header);
+        PhiNode *iv = b.phi(tc.longTy(), "iv");
+        iv->addIncoming(b.cLong(0), pre);
+        PhiNode *acc = nullptr;
+        if (!memory_carried) {
+            acc = b.phi(tc.longTy(), "acc");
+            acc->addIncoming(init, pre);
+        }
+        Value *cond = b.setLT(iv, b.cLong(trip));
+        b.condBr(cond, body, exit);
+
+        b.setInsertPoint(body);
+        Value *cur =
+            memory_carried ? b.load(slot) : static_cast<Value *>(acc);
+        Value *next = b.add(b.mul(cur, b.cLong(3)),
+                            b.add(iv, b.cLong(pick(0, 9))));
+        if (depth < 2 && pick(0, 2) == 0) {
+            std::vector<Value *> lpool = {next, iv};
+            genArith(b, lpool);
+            next = lpool.back();
+        }
+        if (memory_carried)
+            b.store(next, slot);
+        Value *iv2 = b.add(iv, b.cLong(1));
+        iv->addIncoming(iv2, b.insertBlock());
+        if (acc)
+            acc->addIncoming(next, b.insertBlock());
+        b.br(header);
+
+        b.setInsertPoint(exit);
+        Value *result =
+            memory_carried ? b.load(slot) : static_cast<Value *>(acc);
+        pool.push_back(result);
+    }
+
+    void
+    genArray(IRBuilder &b, Function *f, std::vector<Value *> &pool,
+             int depth)
+    {
+        (void)depth;
+        TypeContext &tc = m_->types();
+        int64_t n = static_cast<int64_t>(pick(2, 8));
+        Value *arr = b.alloca_(tc.arrayOf(tc.longTy(), n), nullptr,
+                               "arr");
+
+        // Initialize all slots, then do a few in-bounds updates.
+        for (int64_t i = 0; i < n; ++i)
+            b.store(b.cLong(static_cast<int64_t>(pick(0, 99))),
+                    b.gep(arr, {b.cLong(0), b.cLong(i)}));
+        unsigned updates = static_cast<unsigned>(pick(1, 3));
+        for (unsigned u = 0; u < updates; ++u) {
+            Value *idx = b.rem(
+                b.band(anyOf(b, pool),
+                       b.cLong(0x7fffffffffffffffll)),
+                b.cLong(n));
+            Value *slot = b.gep(arr, {b.cLong(0), idx});
+            Value *v = b.add(b.load(slot), anyOf(b, pool));
+            b.store(v, slot);
+        }
+        // Fold the array.
+        Value *sum = b.cLong(0);
+        for (int64_t i = 0; i < n; ++i)
+            sum = b.add(sum,
+                        b.load(b.gep(arr, {b.cLong(0),
+                                           b.cLong(i)})));
+        pool.push_back(sum);
+        (void)f;
+    }
+
+    void
+    genCall(IRBuilder &b, std::vector<Value *> &pool)
+    {
+        if (helpers_.empty()) {
+            genArith(b, pool);
+            return;
+        }
+        Function *callee =
+            helpers_[pick(0, helpers_.size() - 1)];
+        Value *r = b.call(callee,
+                          {anyOf(b, pool), anyOf(b, pool)});
+        pool.push_back(r);
+    }
+
+    std::mt19937_64 rng_;
+    std::unique_ptr<Module> m_;
+    Function *putint_ = nullptr;
+    std::vector<Function *> helpers_;
+};
+
+} // namespace fuzz
+} // namespace llva
+
+#endif // LLVA_TESTS_FUZZ_GEN_H

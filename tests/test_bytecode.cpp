@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Virtual object code tests: round-tripping, the header flags of
+ * Section 3.2, encoding density (most instructions in one 32-bit
+ * word, per Section 3.1), and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/bytecode.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+#include "workloads/workloads.h"
+
+using namespace llva;
+
+namespace {
+
+const char *kRichModule = R"(
+target pointersize = 64
+%struct.Node = type { long, %struct.Node* }
+%msg = constant [3 x ubyte] c"ok\00"
+%tab = global [2 x long] [ long 7, long -9 ]
+declare void %putint(long %v)
+internal long %walk(%struct.Node* %n) {
+entry:
+    br label %head
+head:
+    %cur = phi %struct.Node* [ %n, %entry ], [ %nx, %body ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %body ]
+    %stop = seteq %struct.Node* %cur, null
+    br bool %stop, label %out, label %body
+body:
+    %vp = getelementptr %struct.Node* %cur, long 0, ubyte 0
+    %v = load long* %vp
+    %acc2 = add long %acc, %v
+    %npp = getelementptr %struct.Node* %cur, long 0, ubyte 1
+    %nx = load %struct.Node** %npp
+    br label %head
+out:
+    ret long %acc
+}
+int %main() {
+entry:
+    %r = call long %walk(%struct.Node* null)
+    call void %putint(long %r)
+    %t = cast long %r to int
+    ret int %t
+}
+)";
+
+} // namespace
+
+TEST(Bytecode, RoundTripIsStable)
+{
+    auto m = parseAssembly(kRichModule, "rich");
+    verifyOrDie(*m);
+    auto bytes = writeBytecode(*m);
+    auto m2 = readBytecode(bytes);
+    verifyOrDie(*m2);
+    auto bytes2 = writeBytecode(*m2);
+    EXPECT_EQ(bytes, bytes2);
+}
+
+TEST(Bytecode, HeaderCarriesTargetFlags)
+{
+    auto m = parseAssembly("target pointersize = 32\n"
+                           "target endian = big\n");
+    auto bytes = writeBytecode(*m);
+    EXPECT_EQ(bytes[0], 'L');
+    EXPECT_EQ(bytes[1], 'L');
+    EXPECT_EQ(bytes[2], 'V');
+    EXPECT_EQ(bytes[3], 'A');
+    auto m2 = readBytecode(bytes);
+    EXPECT_EQ(m2->pointerSize(), 4u);
+    EXPECT_TRUE(m2->targetFlags().bigEndian);
+}
+
+TEST(Bytecode, PreservesSemanticsAcrossRoundTrip)
+{
+    auto m = parseAssembly(kRichModule, "rich");
+    auto m2 = readBytecode(writeBytecode(*m));
+    // Same structure: functions, globals, instruction counts.
+    EXPECT_EQ(m2->functions().size(), m->functions().size());
+    EXPECT_EQ(m2->globals().size(), m->globals().size());
+    EXPECT_EQ(m2->instructionCount(), m->instructionCount());
+    Function *walk = m2->getFunction("walk");
+    ASSERT_NE(walk, nullptr);
+    EXPECT_EQ(walk->linkage(), Linkage::Internal);
+    EXPECT_EQ(walk->size(), 4u);
+}
+
+TEST(Bytecode, PreservesExceptionsAttribute)
+{
+    auto m = parseAssembly(R"(
+int %f(int* %p) {
+entry:
+    %v = load int* %p !ee(false)
+    %w = add int %v, 1 !ee(true)
+    ret int %w
+}
+)");
+    auto m2 = readBytecode(writeBytecode(*m));
+    BasicBlock *bb = m2->getFunction("f")->entryBlock();
+    auto it = bb->begin();
+    EXPECT_FALSE((*it)->exceptionsEnabled());
+    ++it;
+    EXPECT_TRUE((*it)->exceptionsEnabled());
+}
+
+TEST(Bytecode, MostInstructionsFitOneWord)
+{
+    // Section 3.1: "most instructions usually fit in a single
+    // 32-bit word."
+    auto m = buildWorkload("ptrdist-anagram", 1);
+    BytecodeStats stats = measureBytecode(*m);
+    size_t total =
+        stats.instructionWords32 + stats.instructionsExtended;
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(stats.instructionWords32) /
+                  static_cast<double>(total),
+              0.5);
+}
+
+TEST(Bytecode, StatsAccountTotalSize)
+{
+    auto m = parseAssembly(kRichModule, "rich");
+    BytecodeStats stats = measureBytecode(*m);
+    auto bytes = writeBytecode(*m);
+    EXPECT_EQ(stats.totalBytes, bytes.size());
+    EXPECT_GT(stats.typeTableBytes, 0u);
+    EXPECT_GT(stats.instructionBytes, 0u);
+    EXPECT_LT(stats.instructionBytes, stats.totalBytes);
+}
+
+TEST(Bytecode, RejectsBadMagic)
+{
+    std::vector<uint8_t> junk = {'N', 'O', 'P', 'E', 1, 8, 0, 0};
+    EXPECT_THROW(readBytecode(junk), FatalError);
+}
+
+TEST(Bytecode, RejectsTruncatedFile)
+{
+    auto m = parseAssembly(kRichModule, "rich");
+    auto bytes = writeBytecode(*m);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(readBytecode(bytes), FatalError);
+}
+
+TEST(Bytecode, RejectsBadVersion)
+{
+    auto m = parseAssembly("target pointersize = 64\n");
+    auto bytes = writeBytecode(*m);
+    bytes[4] = 99;
+    EXPECT_THROW(readBytecode(bytes), FatalError);
+}
+
+TEST(Bytecode, RecursiveTypesRoundTrip)
+{
+    auto m = parseAssembly(R"(
+%A = type { int, %B* }
+%B = type { double, %A* }
+%root = global %A* null
+)");
+    auto m2 = readBytecode(writeBytecode(*m));
+    StructType *a = m2->types().namedType("A");
+    StructType *bt = m2->types().namedType("B");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(bt, nullptr);
+    EXPECT_EQ(cast<PointerType>(a->field(1))->pointee(), bt);
+    EXPECT_EQ(cast<PointerType>(bt->field(1))->pointee(), a);
+}
+
+TEST(Bytecode, WorkloadSuiteRoundTrips)
+{
+    for (const auto &info : allWorkloads()) {
+        auto m = info.build(1);
+        auto bytes = writeBytecode(*m);
+        auto m2 = readBytecode(bytes);
+        VerifyResult r = verifyModule(*m2);
+        EXPECT_TRUE(r.ok()) << info.name << ":\n" << r.str();
+        EXPECT_EQ(writeBytecode(*m2), bytes) << info.name;
+    }
+}
+
+TEST(Bytecode, CompactRelativeToText)
+{
+    // Binary virtual object code should beat the textual assembly
+    // by a wide margin (compactness claim of Section 3.1).
+    auto m = buildWorkload("181.mcf", 1);
+    auto bytes = writeBytecode(*m);
+    std::string text = m->str();
+    EXPECT_LT(bytes.size(), text.size() / 2);
+}

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Code-generation tests: instruction selection shape, phi
+ * elimination, both register allocators (output uses only physical
+ * registers), frame layout, encoding properties (fixed 4-byte sparc
+ * words vs variable x86), and fallthrough elision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+using namespace llva;
+
+namespace {
+
+std::unique_ptr<Module>
+parse(const std::string &src)
+{
+    auto m = parseAssembly(src);
+    verifyOrDie(*m);
+    return m;
+}
+
+const char *kLoopFn = R"(
+int %sum(int %n) {
+entry:
+    br label %cond
+cond:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %acc = phi int [ 0, %entry ], [ %a2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %a2 = add int %acc, %i
+    %i2 = add int %i, 1
+    br label %cond
+exit:
+    ret int %acc
+}
+)";
+
+bool
+allRegistersPhysical(const MachineFunction &mf)
+{
+    for (const auto &mbb : mf.blocks())
+        for (const auto &mi : mbb->instrs())
+            for (const MOperand &op : mi->ops)
+                if (op.kind == MOperand::Reg &&
+                    isVirtualReg(op.reg))
+                    return false;
+    return true;
+}
+
+size_t
+countOpcode(const MachineFunction &mf, uint16_t op)
+{
+    size_t n = 0;
+    for (const auto &mbb : mf.blocks())
+        for (const auto &mi : mbb->instrs())
+            if (mi->opcode == op)
+                ++n;
+    return n;
+}
+
+} // namespace
+
+class CodegenTargets : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Target &target() { return *getTarget(GetParam()); }
+};
+
+TEST_P(CodegenTargets, TranslationUsesOnlyPhysicalRegisters)
+{
+    auto m = parse(kLoopFn);
+    for (auto alloc : {CodeGenOptions::Allocator::Local,
+                       CodeGenOptions::Allocator::LinearScan}) {
+        CodeGenOptions opts;
+        opts.allocator = alloc;
+        auto mf = translateFunction(*m->getFunction("sum"),
+                                    target(), opts);
+        EXPECT_TRUE(allRegistersPhysical(*mf));
+        EXPECT_EQ(countOpcode(*mf, kOpPhi), 0u);
+    }
+}
+
+TEST_P(CodegenTargets, NoFrameOperandsRemain)
+{
+    auto m = parse(kLoopFn);
+    auto mf = translateFunction(*m->getFunction("sum"), target());
+    for (const auto &mbb : mf->blocks())
+        for (const auto &mi : mbb->instrs())
+            for (const MOperand &op : mi->ops)
+                EXPECT_NE(op.kind, MOperand::Frame);
+}
+
+TEST_P(CodegenTargets, ExpansionRatioInPaperRange)
+{
+    auto m = parse(kLoopFn);
+    Function *f = m->getFunction("sum");
+    CodeGenOptions opts;
+    opts.allocator = GetParam() == "x86"
+                         ? CodeGenOptions::Allocator::Local
+                         : CodeGenOptions::Allocator::LinearScan;
+    auto mf = translateFunction(*f, target(), opts);
+    double ratio = static_cast<double>(mf->instructionCount()) /
+                   static_cast<double>(f->instructionCount());
+    // Table 2 reports roughly 2.2-3.3 (x86) and 2.3-4.2 (sparc);
+    // allow slack for the tiny function.
+    EXPECT_GT(ratio, 1.2) << GetParam();
+    EXPECT_LT(ratio, 6.0) << GetParam();
+}
+
+TEST_P(CodegenTargets, EncodeProducesBytes)
+{
+    auto m = parse(kLoopFn);
+    auto mf = translateFunction(*m->getFunction("sum"), target());
+    auto bytes = encodeFunction(*mf, target());
+    EXPECT_GT(bytes.size(), mf->instructionCount()); // >1 B/inst
+}
+
+TEST_P(CodegenTargets, LocalAllocatorSpillsMoreThanLinearScan)
+{
+    auto m = parse(kLoopFn);
+    Function *f = m->getFunction("sum");
+    CodeGenStats local, lscan;
+    CodeGenOptions lo;
+    lo.allocator = CodeGenOptions::Allocator::Local;
+    translateFunction(*f, target(), lo, &local);
+    CodeGenOptions ls;
+    ls.allocator = CodeGenOptions::Allocator::LinearScan;
+    translateFunction(*f, target(), ls, &lscan);
+    EXPECT_GE(local.spillsInserted + local.reloadsInserted,
+              lscan.spillsInserted + lscan.reloadsInserted);
+}
+
+TEST_P(CodegenTargets, CoalescingRemovesPhiCopies)
+{
+    auto m = parse(kLoopFn);
+    Function *f = m->getFunction("sum");
+    CodeGenStats with, without;
+    CodeGenOptions cw;
+    cw.coalesce = true;
+    translateFunction(*f, target(), cw, &with);
+    CodeGenOptions cwo;
+    cwo.coalesce = false;
+    translateFunction(*f, target(), cwo, &without);
+    EXPECT_GT(with.phiCopiesInserted, 0u);
+    EXPECT_GE(with.phiCopiesCoalesced, without.phiCopiesCoalesced);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CodegenTargets,
+                         ::testing::Values("x86", "sparc"),
+                         [](const auto &info) {
+                             return info.param;
+                         });
+
+TEST(Codegen, SparcEncodingIsFixedWidth)
+{
+    auto m = parse(kLoopFn);
+    Target &sparc = *getTarget("sparc");
+    auto mf = translateFunction(*m->getFunction("sum"), sparc);
+    for (const auto &mbb : mf->blocks())
+        for (const auto &mi : mbb->instrs()) {
+            auto bytes = sparc.encode(*mi);
+            EXPECT_EQ(bytes.size() % 4, 0u)
+                << sparc.instrToString(*mi);
+        }
+}
+
+TEST(Codegen, X86EncodingIsVariableWidth)
+{
+    auto m = parse(kLoopFn);
+    Target &x86 = *getTarget("x86");
+    auto mf = translateFunction(*m->getFunction("sum"), x86);
+    std::set<size_t> sizes;
+    for (const auto &mbb : mf->blocks())
+        for (const auto &mi : mbb->instrs())
+            sizes.insert(x86.encode(*mi).size());
+    EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(Codegen, SparcLargeImmediatesNeedSethiOr)
+{
+    // The RISC fixed-width property the paper's sparc ratios come
+    // from: a large immediate costs extra instructions (sethi/or)
+    // on sparc but zero extra instructions on x86 (imm32 field).
+    auto src = [](const char *imm) {
+        return std::string(R"(
+long %f(long %v) {
+entry:
+    %b = add long %v, )") +
+               imm + "\n    ret long %b\n}\n";
+    };
+    auto smallM = parse(src("7"));
+    auto bigM = parse(src("123456789"));
+    Function *fs = smallM->getFunction("f");
+    Function *fb = bigM->getFunction("f");
+
+    auto sparcSmall = translateFunction(*fs, *getTarget("sparc"));
+    auto sparcBig = translateFunction(*fb, *getTarget("sparc"));
+    EXPECT_GT(sparcBig->instructionCount(),
+              sparcSmall->instructionCount());
+
+    auto x86Small = translateFunction(*fs, *getTarget("x86"));
+    auto x86Big = translateFunction(*fb, *getTarget("x86"));
+    EXPECT_EQ(x86Big->instructionCount(),
+              x86Small->instructionCount());
+}
+
+TEST(Codegen, FrameHoldsAllocasAndSpills)
+{
+    auto m = parse(R"(
+int %f(int %x) {
+entry:
+    %slot = alloca int
+    %arr = alloca [10 x long]
+    store int %x, int* %slot
+    %v = load int* %slot
+    ret int %v
+}
+)");
+    auto mf = translateFunction(*m->getFunction("f"),
+                                *getTarget("sparc"));
+    // At least 4 (int) + 80 (array) bytes of frame.
+    EXPECT_GE(mf->frameSize(), 84u);
+    // 16-byte aligned.
+    EXPECT_EQ(mf->frameSize() % 16, 0u);
+}
+
+TEST(Codegen, FallthroughJumpsElided)
+{
+    auto m = parse(kLoopFn);
+    auto mf = translateFunction(*m->getFunction("sum"),
+                                *getTarget("sparc"));
+    // Count unconditional branches to the lexically next block:
+    // there must be none after elision.
+    auto &blocks = mf->blocks();
+    for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+        if (blocks[i]->instrs().empty())
+            continue;
+        const MachineInstr &last = *blocks[i]->instrs().back();
+        if (last.ops.size() == 1 &&
+            last.ops[0].kind == MOperand::Block)
+            EXPECT_NE(last.ops[0].block, blocks[i + 1].get());
+    }
+}
+
+TEST(Codegen, CalleeSavedRegistersGetPrologueSaves)
+{
+    // A function with many values live across a call forces
+    // callee-saved register use under linear scan.
+    auto m = parse(R"(
+declare void %ext()
+long %f(long %a, long %b, long %c) {
+entry:
+    %x = add long %a, %b
+    %y = add long %b, %c
+    %z = add long %a, %c
+    call void %ext()
+    %s1 = add long %x, %y
+    %s2 = add long %s1, %z
+    ret long %s2
+}
+)");
+    Target &sparc = *getTarget("sparc");
+    auto mf = translateFunction(*m->getFunction("f"), sparc);
+    auto saved = usedCalleeSaved(*mf, sparc);
+    EXPECT_FALSE(saved.empty());
+}
+
+TEST(Codegen, PhiEliminationInsertsCopiesInPreds)
+{
+    auto m = parse(kLoopFn);
+    CodeGenStats stats;
+    translateFunction(*m->getFunction("sum"), *getTarget("sparc"),
+                      {}, &stats);
+    // Two phis, two predecessors each: 2*(2+1) = 6 copies inserted.
+    EXPECT_EQ(stats.phiCopiesInserted, 6u);
+}
+
+TEST(Codegen, MachineCodePrints)
+{
+    auto m = parse(kLoopFn);
+    Target &x86 = *getTarget("x86");
+    auto mf = translateFunction(*m->getFunction("sum"), x86);
+    std::string text = machineFunctionToString(*mf, x86);
+    EXPECT_NE(text.find("sum"), std::string::npos);
+    EXPECT_NE(text.find("cmp"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * LLEE tests (paper Section 4.1): the OS-independent storage API,
+ * machine-code serialization ("relocation" on load), offline
+ * caching of translations across executions, offline (idle-time)
+ * translation, operation without any storage API, staleness
+ * detection via content keys, and profile persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/bytecode.h"
+#include "llee/llee.h"
+#include "llee/mcode_io.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+#include "vm/machine_sim.h"
+
+using namespace llva;
+
+namespace {
+
+const char *kProgram = R"(
+declare void %putint(long %v)
+internal int %helper(int %x) {
+entry:
+    %r = mul int %x, 3
+    ret int %r
+}
+int %main() {
+entry:
+    %a = call int %helper(int 5)
+    %b = call int %helper(int 7)
+    %s = add int %a, %b
+    call void %putint(long 11)
+    ret int %s
+}
+)";
+
+std::vector<uint8_t>
+program()
+{
+    auto m = parseAssembly(kProgram);
+    verifyOrDie(*m);
+    return writeBytecode(*m);
+}
+
+} // namespace
+
+TEST(Storage, MemoryStorageBasics)
+{
+    MemoryStorage s;
+    EXPECT_TRUE(s.createCache("c"));
+    EXPECT_EQ(s.cacheSize("c"), 0u);
+    EXPECT_EQ(s.cacheSize("absent"), UINT64_MAX);
+
+    std::vector<uint8_t> data = {1, 2, 3};
+    EXPECT_TRUE(s.write("c", "a", data));
+    EXPECT_EQ(s.cacheSize("c"), 3u);
+    std::vector<uint8_t> back;
+    EXPECT_TRUE(s.read("c", "a", back));
+    EXPECT_EQ(back, data);
+    EXPECT_FALSE(s.read("c", "missing", back));
+
+    uint64_t t1 = s.timestamp("c", "a");
+    EXPECT_NE(t1, 0u);
+    EXPECT_EQ(s.timestamp("c", "missing"), 0u);
+    s.write("c", "a", data);
+    EXPECT_GT(s.timestamp("c", "a"), t1); // newer write, newer stamp
+
+    EXPECT_EQ(s.list("c").size(), 1u);
+    EXPECT_TRUE(s.deleteCache("c"));
+    EXPECT_EQ(s.cacheSize("c"), UINT64_MAX);
+}
+
+TEST(Storage, FileStorageBasics)
+{
+    std::string root =
+        ::testing::TempDir() + "/llva_storage_test";
+    FileStorage s(root);
+    EXPECT_TRUE(s.createCache("c"));
+    std::vector<uint8_t> data = {9, 8, 7, 6};
+    EXPECT_TRUE(s.write("c", "prog.fn.x86", data));
+    std::vector<uint8_t> back;
+    EXPECT_TRUE(s.read("c", "prog.fn.x86", back));
+    EXPECT_EQ(back, data);
+    EXPECT_NE(s.timestamp("c", "prog.fn.x86"), 0u);
+    EXPECT_EQ(s.cacheSize("c"), 4u);
+    EXPECT_TRUE(s.deleteCache("c"));
+}
+
+TEST(MCodeIO, RoundTripsTranslation)
+{
+    auto m = parseAssembly(kProgram);
+    Function *f = m->getFunction("helper");
+    auto mf = translateFunction(*f, *getTarget("sparc"));
+    auto bytes = writeMachineFunction(*mf);
+    auto back = readMachineFunction(bytes, *m, f);
+
+    EXPECT_EQ(back->frameSize(), mf->frameSize());
+    EXPECT_EQ(back->blocks().size(), mf->blocks().size());
+    EXPECT_EQ(back->instructionCount(), mf->instructionCount());
+    // Deep equality: re-serialization is byte-identical.
+    EXPECT_EQ(writeMachineFunction(*back), bytes);
+}
+
+TEST(MCodeIO, CachedCodeStillRuns)
+{
+    auto m = parseAssembly(kProgram);
+    verifyOrDie(*m);
+    Target &t = *getTarget("x86");
+
+    // Translate everything, serialize, reload into a fresh manager.
+    CodeManager cm1(t);
+    cm1.translateAll(*m);
+    CodeManager cm2(t);
+    for (const auto &f : m->functions()) {
+        if (f->isDeclaration())
+            continue;
+        auto bytes = writeMachineFunction(*cm1.get(f.get()));
+        cm2.install(f.get(),
+                    readMachineFunction(bytes, *m, f.get()));
+    }
+    ExecutionContext ctx(*m);
+    MachineSimulator sim(ctx, cm2);
+    auto r = sim.run(m->getFunction("main"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(static_cast<int64_t>(r.value.i), 36);
+    EXPECT_EQ(cm2.functionsTranslated(), 0u); // all from "cache"
+}
+
+TEST(MCodeIO, RejectsWrongFunction)
+{
+    auto m = parseAssembly(kProgram);
+    auto mf = translateFunction(*m->getFunction("helper"),
+                                *getTarget("sparc"));
+    auto bytes = writeMachineFunction(*mf);
+    EXPECT_THROW(
+        readMachineFunction(bytes, *m, m->getFunction("main")),
+        FatalError);
+}
+
+TEST(LLEE, ColdRunTranslatesWarmRunHitsCache)
+{
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+
+    LLEEResult cold = llee.execute(bc);
+    ASSERT_TRUE(cold.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(cold.exec.value.i), 36);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, 2u); // main + helper
+    EXPECT_EQ(cold.functionsTranslatedOnline, 2u);
+
+    LLEEResult warm = llee.execute(bc);
+    ASSERT_TRUE(warm.exec.ok());
+    EXPECT_EQ(warm.exec.value.i, cold.exec.value.i);
+    EXPECT_EQ(warm.output, cold.output);
+    EXPECT_EQ(warm.cacheHits, 2u);
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(warm.functionsTranslatedOnline, 0u);
+}
+
+TEST(LLEE, WorksWithoutStorageAPI)
+{
+    // "they are strictly optional and the system will operate
+    // correctly in their absence."
+    auto bc = program();
+    LLEE llee(*getTarget("x86"), nullptr);
+    LLEEResult r1 = llee.execute(bc);
+    LLEEResult r2 = llee.execute(bc);
+    ASSERT_TRUE(r1.exec.ok());
+    EXPECT_EQ(r1.exec.value.i, r2.exec.value.i);
+    // Every run translates online (the DAISY/Crusoe situation).
+    EXPECT_EQ(r2.functionsTranslatedOnline, 2u);
+    EXPECT_EQ(r2.cacheHits, 0u);
+}
+
+TEST(LLEE, OfflineTranslationPrimesTheCache)
+{
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+
+    // Idle-time translation without execution.
+    EXPECT_EQ(llee.offlineTranslate(bc), 2u);
+    EXPECT_EQ(llee.offlineTranslate(bc), 0u); // already current
+
+    LLEEResult run = llee.execute(bc);
+    ASSERT_TRUE(run.exec.ok());
+    EXPECT_EQ(run.cacheHits, 2u);
+    EXPECT_EQ(run.functionsTranslatedOnline, 0u);
+}
+
+TEST(LLEE, ModifiedProgramMissesStaleCache)
+{
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+    auto bc1 = program();
+    llee.execute(bc1);
+
+    // A different program (content hash differs) must not reuse the
+    // old translations — the timestamp/validity check of §4.1.
+    auto m = parseAssembly(R"(
+int %main() {
+entry:
+    ret int 1
+}
+)");
+    auto bc2 = writeBytecode(*m);
+    LLEEResult r = llee.execute(bc2);
+    EXPECT_EQ(r.cacheHits, 0u);
+    EXPECT_EQ(static_cast<int64_t>(r.exec.value.i), 1);
+}
+
+TEST(LLEE, SeparateCachesPerTargetAndAllocator)
+{
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE sparc(*getTarget("sparc"), &storage);
+    sparc.execute(bc);
+
+    // Same storage, different target: no sharing.
+    LLEE x86(*getTarget("x86"), &storage);
+    LLEEResult r = x86.execute(bc);
+    EXPECT_EQ(r.cacheHits, 0u);
+
+    // Same target, different allocator: no sharing either.
+    CodeGenOptions local;
+    local.allocator = CodeGenOptions::Allocator::Local;
+    LLEE sparcLocal(*getTarget("sparc"), &storage, local);
+    LLEEResult r2 = sparcLocal.execute(bc);
+    EXPECT_EQ(r2.cacheHits, 0u);
+    EXPECT_EQ(r2.exec.value.i, r.exec.value.i);
+}
+
+TEST(LLEE, CachedAndFreshRunsAgreeOnWorkStatistics)
+{
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE llee(*getTarget("x86"), &storage);
+    LLEEResult cold = llee.execute(bc);
+    LLEEResult warm = llee.execute(bc);
+    // Same machine instructions executed either way.
+    EXPECT_EQ(cold.machineInstructionsExecuted,
+              warm.machineInstructionsExecuted);
+    EXPECT_EQ(cold.output, warm.output);
+}
+
+TEST(LLEE, ProfilePersistence)
+{
+    auto m = parseAssembly(kProgram);
+    verifyOrDie(*m);
+    auto bc = writeBytecode(*m);
+
+    EdgeProfile profile;
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    interp.setProfile(&profile);
+    interp.run(m->getFunction("main"));
+    EXPECT_FALSE(profile.blocks.empty());
+
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+    EXPECT_TRUE(llee.writeProfile(bc, profile, *m));
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(storage.read("llee-native-cache",
+                             LLEE::programKey(bc) + ".profile",
+                             bytes));
+    EXPECT_FALSE(bytes.empty());
+}

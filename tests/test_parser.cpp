@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Parser tests: the paper's Fig. 2 syntax, round-tripping through
+ * the printer, forward references, every instruction form, and
+ * error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/instructions.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+using namespace llva;
+
+namespace {
+
+std::unique_ptr<Module>
+parseOk(const std::string &src)
+{
+    auto m = parseAssembly(src, "test");
+    VerifyResult r = verifyModule(*m);
+    EXPECT_TRUE(r.ok()) << r.str();
+    return m;
+}
+
+/** Parse, print, reparse, print — both prints must agree. */
+void
+expectRoundTrip(const std::string &src)
+{
+    auto m1 = parseAssembly(src, "rt");
+    std::string p1 = m1->str();
+    auto m2 = parseAssembly(p1, "rt");
+    EXPECT_EQ(p1, m2->str());
+}
+
+} // namespace
+
+TEST(Parser, PaperFigure2)
+{
+    auto m = parseOk(R"(
+%struct.QuadTree = type { double, [4 x %struct.QuadTree*] }
+void %Sum3rdChildren(%struct.QuadTree* %T, double* %Result) {
+entry:
+    %V = alloca double
+    %tmp.0 = seteq %struct.QuadTree* %T, null
+    br bool %tmp.0, label %endif, label %else
+else:
+    %tmp.1 = getelementptr %struct.QuadTree* %T, long 0, ubyte 1, long 3
+    %Child3 = load %struct.QuadTree** %tmp.1
+    call void %Sum3rdChildren(%struct.QuadTree* %Child3, double* %V)
+    %tmp.2 = load double* %V
+    %tmp.3 = getelementptr %struct.QuadTree* %T, long 0, ubyte 0
+    %tmp.4 = load double* %tmp.3
+    %Ret.0 = add double %tmp.2, %tmp.4
+    br label %endif
+endif:
+    %Ret.1 = phi double [ %Ret.0, %else ], [ 0.0, %entry ]
+    store double %Ret.1, double* %Result
+    ret void
+}
+)");
+    Function *f = m->getFunction("Sum3rdChildren");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->size(), 3u);
+    EXPECT_EQ(f->numArgs(), 2u);
+    EXPECT_EQ(f->arg(0)->name(), "T");
+    // Phi resolved the forward reference to %Ret.0.
+    BasicBlock *endif = f->findBlock("endif");
+    ASSERT_NE(endif, nullptr);
+    auto *phi = dyn_cast<PhiNode>(endif->front());
+    ASSERT_NE(phi, nullptr);
+    EXPECT_EQ(phi->numIncoming(), 2u);
+    EXPECT_TRUE(isa<BinaryOperator>(phi->incomingValue(0)));
+}
+
+TEST(Parser, TargetFlags)
+{
+    auto m = parseOk("target pointersize = 32\n"
+                     "target endian = big\n");
+    EXPECT_EQ(m->pointerSize(), 4u);
+    EXPECT_TRUE(m->targetFlags().bigEndian);
+}
+
+TEST(Parser, AllBinaryOps)
+{
+    auto m = parseOk(R"(
+int %ops(int %a, int %b) {
+entry:
+    %1 = add int %a, %b
+    %2 = sub int %1, %b
+    %3 = mul int %2, %b
+    %4 = div int %3, 7
+    %5 = rem int %4, 5
+    %6 = and int %5, %b
+    %7 = or int %6, %b
+    %8 = xor int %7, %b
+    %9 = shl int %8, ubyte 2
+    %10 = shr int %9, ubyte 1
+    ret int %10
+}
+)");
+    EXPECT_EQ(m->getFunction("ops")->instructionCount(), 11u);
+}
+
+TEST(Parser, AllComparisons)
+{
+    parseOk(R"(
+bool %cmps(long %a, long %b) {
+entry:
+    %1 = seteq long %a, %b
+    %2 = setne long %a, %b
+    %3 = setlt long %a, %b
+    %4 = setgt long %a, %b
+    %5 = setle long %a, %b
+    %6 = setge long %a, %b
+    %7 = and bool %1, %2
+    %8 = and bool %3, %4
+    %9 = and bool %5, %6
+    %10 = and bool %7, %8
+    %11 = and bool %10, %9
+    ret bool %11
+}
+)");
+}
+
+TEST(Parser, MBrSyntax)
+{
+    auto m = parseOk(R"(
+int %sw(uint %v) {
+entry:
+    mbr uint %v, label %def [ uint 1, label %one, uint 2, label %two ]
+one:
+    ret int 1
+two:
+    ret int 2
+def:
+    ret int 0
+}
+)");
+    auto *mbr = dyn_cast<MBrInst>(
+        m->getFunction("sw")->entryBlock()->terminator());
+    ASSERT_NE(mbr, nullptr);
+    EXPECT_EQ(mbr->numCases(), 2u);
+}
+
+TEST(Parser, InvokeUnwind)
+{
+    auto m = parseOk(R"(
+void %thrower(int %x) {
+entry:
+    %c = setlt int %x, 0
+    br bool %c, label %bad, label %good
+bad:
+    unwind
+good:
+    ret void
+}
+int %catcher(int %x) {
+entry:
+    invoke void %thrower(int %x) to label %ok unwind label %err
+ok:
+    ret int 0
+err:
+    ret int 1
+}
+)");
+    auto *inv = dyn_cast<InvokeInst>(
+        m->getFunction("catcher")->entryBlock()->terminator());
+    ASSERT_NE(inv, nullptr);
+    EXPECT_EQ(inv->normalDest()->name(), "ok");
+    EXPECT_EQ(inv->unwindDest()->name(), "err");
+}
+
+TEST(Parser, ExceptionsAttributeSyntax)
+{
+    auto m = parseOk(R"(
+int %f(int* %p, int %d) {
+entry:
+    %v = load int* %p !ee(false)
+    %q = div int %v, %d !ee(false)
+    %r = add int %q, 1 !ee(true)
+    ret int %r
+}
+)");
+    BasicBlock *bb = m->getFunction("f")->entryBlock();
+    auto it = bb->begin();
+    EXPECT_FALSE((*it)->exceptionsEnabled()); // load overridden
+    ++it;
+    EXPECT_FALSE((*it)->exceptionsEnabled()); // div overridden
+    ++it;
+    EXPECT_TRUE((*it)->exceptionsEnabled()); // add overridden
+}
+
+TEST(Parser, GlobalsAndInitializers)
+{
+    auto m = parseOk(R"(
+%msg = constant [6 x ubyte] c"hello\00"
+%tab = global [3 x int] [ int 1, int 2, int 3 ]
+%pair = global { int, double } { int 4, double 2.5 }
+%gptr = global int* null
+%count = internal global long 9
+%zero = global int zeroinitializer
+)");
+    EXPECT_NE(m->getGlobal("msg"), nullptr);
+    EXPECT_TRUE(m->getGlobal("msg")->isConstant());
+    auto *tab =
+        dyn_cast<ConstantAggregate>(m->getGlobal("tab")->initializer());
+    ASSERT_NE(tab, nullptr);
+    EXPECT_EQ(tab->numElements(), 3u);
+    EXPECT_EQ(m->getGlobal("count")->linkage(), Linkage::Internal);
+    EXPECT_EQ(m->getGlobal("zero")->initializer(), nullptr);
+}
+
+TEST(Parser, FunctionPointerGlobals)
+{
+    auto m = parseOk(R"(
+int %inc(int %x) {
+entry:
+    %r = add int %x, 1
+    ret int %r
+}
+%fp = global int (int)* %inc
+int %callit(int %v) {
+entry:
+    %f = load int (int)** %fp
+    %r = call int %f(int %v)
+    ret int %r
+}
+)");
+    EXPECT_EQ(m->getGlobal("fp")->initializer(),
+              m->getFunction("inc"));
+}
+
+TEST(Parser, ForwardFunctionReference)
+{
+    // callee defined after the caller: pass 1 collects signatures.
+    parseOk(R"(
+int %a(int %x) {
+entry:
+    %r = call int %b(int %x)
+    ret int %r
+}
+int %b(int %x) {
+entry:
+    ret int %x
+}
+)");
+}
+
+TEST(Parser, VarArgsDeclaration)
+{
+    auto m = parseOk("declare int %printf(ubyte* %fmt, ...)\n");
+    Function *f = m->getFunction("printf");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->functionType()->isVarArg());
+    EXPECT_TRUE(f->isDeclaration());
+}
+
+TEST(Parser, MutuallyRecursiveTypes)
+{
+    auto m = parseOk(R"(
+%A = type { int, %B* }
+%B = type { double, %A* }
+%a = global %A* null
+)");
+    StructType *a = m->types().namedType("A");
+    StructType *bt = m->types().namedType("B");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(bt, nullptr);
+    EXPECT_EQ(cast<PointerType>(a->field(1))->pointee(), bt);
+    EXPECT_EQ(cast<PointerType>(bt->field(1))->pointee(), a);
+}
+
+TEST(Parser, RoundTripRich)
+{
+    expectRoundTrip(R"(
+target pointersize = 64
+%struct.Node = type { long, %struct.Node* }
+%lut = constant [4 x long] [ long 1, long -2, long 3, long 4 ]
+declare ubyte* %malloc(ulong %n)
+internal long %sum(%struct.Node* %head) {
+entry:
+    br label %loop
+loop:
+    %cur = phi %struct.Node* [ %head, %entry ], [ %nxt, %body ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %body ]
+    %done = seteq %struct.Node* %cur, null
+    br bool %done, label %out, label %body
+body:
+    %vp = getelementptr %struct.Node* %cur, long 0, ubyte 0
+    %v = load long* %vp
+    %acc2 = add long %acc, %v
+    %np = getelementptr %struct.Node* %cur, long 0, ubyte 1
+    %nxt = load %struct.Node** %np
+    br label %loop
+out:
+    ret long %acc
+}
+)");
+}
+
+TEST(Parser, NegativeAndFloatLiterals)
+{
+    auto m = parseOk(R"(
+double %lits() {
+entry:
+    %a = add double 1.5, -2.25
+    %b = mul double %a, 1.0e3
+    %c = add double %b, 0.001
+    ret double %c
+}
+int %negs() {
+entry:
+    %a = add int -5, -6
+    ret int %a
+}
+)");
+    (void)m;
+}
+
+TEST(Parser, ErrorUnknownValue)
+{
+    EXPECT_THROW(parseAssembly(R"(
+int %f() {
+entry:
+    ret int %nope
+}
+)"),
+                 FatalError);
+}
+
+TEST(Parser, ErrorUndefinedLabel)
+{
+    EXPECT_THROW(parseAssembly(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %missing
+a:
+    ret int 0
+}
+)"),
+                 FatalError);
+}
+
+TEST(Parser, ErrorSSARedefinition)
+{
+    EXPECT_THROW(parseAssembly(R"(
+int %f(int %x) {
+entry:
+    %v = add int %x, 1
+    %v = add int %x, 2
+    ret int %v
+}
+)"),
+                 FatalError);
+}
+
+TEST(Parser, ErrorTypeMismatch)
+{
+    EXPECT_THROW(parseAssembly(R"(
+int %f(long %x) {
+entry:
+    %v = add int %x, 1
+    ret int %v
+}
+)"),
+                 FatalError);
+}
+
+TEST(Parser, ErrorDuplicateFunction)
+{
+    EXPECT_THROW(parseAssembly(R"(
+int %f() {
+entry:
+    ret int 0
+}
+int %f() {
+entry:
+    ret int 1
+}
+)"),
+                 FatalError);
+}
+
+TEST(Parser, ErrorBadToken)
+{
+    EXPECT_THROW(parseAssembly("int %f() { entry: ret int #5 }"),
+                 FatalError);
+}
+
+TEST(Parser, StringEscapes)
+{
+    auto m = parseOk("%s = constant [4 x ubyte] c\"a\\00b\\FF\"\n");
+    auto *cs =
+        cast<ConstantString>(m->getGlobal("s")->initializer());
+    ASSERT_EQ(cs->data().size(), 4u);
+    EXPECT_EQ(static_cast<unsigned char>(cs->data()[1]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(cs->data()[3]), 0xffu);
+}
+
+TEST(Parser, CommentsAndWhitespace)
+{
+    parseOk(R"(
+; leading comment
+int %f() { ; trailing comment
+entry: ; block comment
+    ret int 0 ; done
+}
+)");
+}

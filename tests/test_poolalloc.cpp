@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Automatic Pool Allocation tests (paper Section 5.1): disjoint
+ * data-structure instances get separate pools, each pool's
+ * allocations are spatially contiguous (the locality property the
+ * transformation exists for), semantics are preserved across the
+ * whole workload suite, and shared structures share a pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alias_analysis.h"
+#include "ir/instructions.h"
+#include "parser/parser.h"
+#include "transforms/pass.h"
+#include "verifier/verifier.h"
+#include "vm/interpreter.h"
+#include "vm/machine_sim.h"
+#include "workloads/workloads.h"
+
+using namespace llva;
+
+namespace {
+
+// Two disjoint linked lists built with interleaved mallocs: without
+// pools, nodes of the two lists alternate in the heap; with pools,
+// each list is contiguous.
+const char *kTwoLists = R"(
+%N = type { long, %N* }
+declare ubyte* %malloc(ulong %n)
+declare void %free(ubyte* %p)
+declare void %putint(long %v)
+
+internal %N* %push(%N* %head, long %v) {
+entry:
+    %raw = call ubyte* %malloc(ulong 16)
+    %n = cast ubyte* %raw to %N*
+    %vp = getelementptr %N* %n, long 0, ubyte 0
+    store long %v, long* %vp
+    %np = getelementptr %N* %n, long 0, ubyte 1
+    store %N* %head, %N** %np
+    ret %N* %n
+}
+
+internal %N* %pushB(%N* %head, long %v) {
+entry:
+    %raw = call ubyte* %malloc(ulong 16)
+    %n = cast ubyte* %raw to %N*
+    %vp = getelementptr %N* %n, long 0, ubyte 0
+    store long %v, long* %vp
+    %np = getelementptr %N* %n, long 0, ubyte 1
+    store %N* %head, %N** %np
+    ret %N* %n
+}
+
+; Separate walkers per list: the unification-based points-to
+; analysis would merge both lists through a shared callee parameter
+; (the paper's context-sensitive DSA keeps them apart without this).
+internal long %sumA(%N* %head) {
+entry:
+    br label %walk
+walk:
+    %cur = phi %N* [ %head, %entry ], [ %next, %step ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %step ]
+    %done = seteq %N* %cur, null
+    br bool %done, label %out, label %step
+step:
+    %vp = getelementptr %N* %cur, long 0, ubyte 0
+    %v = load long* %vp
+    %acc2 = add long %acc, %v
+    %np = getelementptr %N* %cur, long 0, ubyte 1
+    %next = load %N** %np
+    br label %walk
+out:
+    ret long %acc
+}
+
+internal long %sumB(%N* %head) {
+entry:
+    br label %walk
+walk:
+    %cur = phi %N* [ %head, %entry ], [ %next, %step ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %step ]
+    %done = seteq %N* %cur, null
+    br bool %done, label %out, label %step
+step:
+    %vp = getelementptr %N* %cur, long 0, ubyte 0
+    %v = load long* %vp
+    %acc2 = add long %acc, %v
+    %np = getelementptr %N* %cur, long 0, ubyte 1
+    %next = load %N** %np
+    br label %walk
+out:
+    ret long %acc
+}
+
+int %main() {
+entry:
+    br label %build
+build:
+    %i = phi long [ 0, %entry ], [ %i2, %build ]
+    %a = phi %N* [ null, %entry ], [ %a2, %build ]
+    %b = phi %N* [ null, %entry ], [ %b2, %build ]
+    %a2 = call %N* %push(%N* %a, long %i)
+    %negi = sub long 0, %i
+    %b2 = call %N* %pushB(%N* %b, long %negi)
+    %i2 = add long %i, 1
+    %more = setlt long %i2, 32
+    br bool %more, label %build, label %use
+use:
+    %sa = call long %sumA(%N* %a2)
+    %sb = call long %sumB(%N* %b2)
+    %d = sub long %sa, %sb
+    call void %putint(long %d)
+    %r = cast long %d to int
+    ret int %r
+}
+)";
+
+} // namespace
+
+TEST(PoolAlloc, RewritesMallocsToPoolCalls)
+{
+    auto m = parseAssembly(kTwoLists);
+    verifyOrDie(*m);
+    PassManager pm;
+    pm.setVerifyEach(true);
+    pm.add(createPoolAllocationPass());
+    EXPECT_TRUE(pm.run(*m));
+
+    size_t pool_allocs = 0, plain_mallocs = 0;
+    for (const auto &f : m->functions())
+        for (const auto &bb : *f)
+            for (const auto &inst : *bb)
+                if (auto *c = dyn_cast<CallInst>(inst.get())) {
+                    if (c->calledFunction() &&
+                        c->calledFunction()->name() ==
+                            "llva.poolalloc")
+                        ++pool_allocs;
+                    if (c->calledFunction() &&
+                        c->calledFunction()->name() == "malloc")
+                        ++plain_mallocs;
+                }
+    EXPECT_EQ(pool_allocs, 2u);
+    EXPECT_EQ(plain_mallocs, 0u);
+    // One pool per disjoint list.
+    EXPECT_NE(m->getGlobal("pool.0"), nullptr);
+    EXPECT_NE(m->getGlobal("pool.1"), nullptr);
+}
+
+TEST(PoolAlloc, DisjointListsGetDisjointContiguousPools)
+{
+    auto m = parseAssembly(kTwoLists);
+    PassManager pm;
+    pm.add(createPoolAllocationPass());
+    pm.run(*m);
+    verifyOrDie(*m);
+
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    auto r = interp.run(m->getFunction("main"));
+    ASSERT_TRUE(r.ok());
+
+    ASSERT_EQ(ctx.pools().size(), 2u);
+    std::vector<ExecutionContext::PoolState> ps;
+    for (const auto &[addr, pool] : ctx.pools())
+        ps.push_back(pool);
+
+    // Each pool served exactly one list: 32 nodes x 16 bytes.
+    for (const auto &pool : ps) {
+        EXPECT_EQ(pool.totalAllocated, 32u * 16u);
+        // Contiguity: the address range equals the bytes allocated
+        // (a single bump-allocated run, no interleaving).
+        EXPECT_EQ(pool.hiAddr - pool.loAddr, pool.totalAllocated);
+    }
+    // And the two pools do not overlap.
+    EXPECT_TRUE(ps[0].hiAddr <= ps[1].loAddr ||
+                ps[1].hiAddr <= ps[0].loAddr);
+}
+
+TEST(PoolAlloc, WithoutPoolsTheListsInterleave)
+{
+    // The baseline the transformation improves on: interleaved
+    // mallocs spread each list across the whole allocation range.
+    auto m = parseAssembly(kTwoLists);
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    auto r = interp.run(m->getFunction("main"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ctx.pools().empty());
+    // 64 allocations of 16 bytes: the heap range spans both lists,
+    // i.e. each list's spread is ~2x its data size.
+    EXPECT_GE(ctx.memory().heapBytesAllocated(), 64u * 16u);
+}
+
+TEST(PoolAlloc, SemanticsPreservedOnAllEngines)
+{
+    auto plain = parseAssembly(kTwoLists);
+    ExecutionContext pctx(*plain);
+    Interpreter pi(pctx);
+    auto pref = pi.run(plain->getFunction("main"));
+    ASSERT_TRUE(pref.ok());
+
+    auto pooled = parseAssembly(kTwoLists);
+    PassManager pm;
+    pm.add(createPoolAllocationPass());
+    pm.run(*pooled);
+    verifyOrDie(*pooled);
+
+    ExecutionContext ictx(*pooled);
+    Interpreter interp(ictx);
+    auto r = interp.run(pooled->getFunction("main"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.i, pref.value.i);
+    EXPECT_EQ(ictx.output(), pctx.output());
+
+    for (const char *t : {"x86", "sparc"}) {
+        ExecutionContext ctx(*pooled);
+        CodeManager cm(*getTarget(t));
+        MachineSimulator sim(ctx, cm);
+        auto sr = sim.run(pooled->getFunction("main"));
+        ASSERT_TRUE(sr.ok()) << t;
+        EXPECT_EQ(sr.value.i, pref.value.i) << t;
+        EXPECT_EQ(ctx.output(), pctx.output()) << t;
+    }
+}
+
+TEST(PoolAlloc, SharedStructureSharesOnePool)
+{
+    // Two allocation sites linked into ONE list must share a pool.
+    auto m = parseAssembly(R"(
+%N = type { long, %N* }
+declare ubyte* %malloc(ulong %n)
+int %main() {
+entry:
+    %r1 = call ubyte* %malloc(ulong 16)
+    %a = cast ubyte* %r1 to %N*
+    %r2 = call ubyte* %malloc(ulong 16)
+    %b = cast ubyte* %r2 to %N*
+    %np = getelementptr %N* %a, long 0, ubyte 1
+    store %N* %b, %N** %np
+    ret int 0
+}
+)");
+    PassManager pm;
+    pm.add(createPoolAllocationPass());
+    pm.run(*m);
+    verifyOrDie(*m);
+    EXPECT_NE(m->getGlobal("pool.0"), nullptr);
+    EXPECT_EQ(m->getGlobal("pool.1"), nullptr);
+}
+
+TEST(PoolAlloc, WorkloadSuiteSurvivesPooling)
+{
+    // Heap-heavy workloads run identically after pool allocation.
+    for (const char *name :
+         {"ptrdist-ft", "255.vortex", "300.twolf"}) {
+        auto plain = buildWorkload(name, 1);
+        ExecutionContext pctx(*plain);
+        Interpreter pi(pctx);
+        pi.setInstructionLimit(100000000);
+        auto ref = pi.run(plain->getFunction("main"));
+        ASSERT_TRUE(ref.ok()) << name;
+
+        auto pooled = buildWorkload(name, 1);
+        PassManager pm;
+        pm.setVerifyEach(true);
+        pm.add(createPoolAllocationPass());
+        pm.run(*pooled);
+
+        ExecutionContext ctx(*pooled);
+        Interpreter interp(ctx);
+        interp.setInstructionLimit(100000000);
+        auto r = interp.run(pooled->getFunction("main"));
+        ASSERT_TRUE(r.ok()) << name;
+        EXPECT_EQ(r.value.i, ref.value.i) << name;
+        EXPECT_EQ(ctx.output(), pctx.output()) << name;
+    }
+}

@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Transform tests: each pass's core behaviour, pipeline-level
+ * verification after every pass, and semantic preservation
+ * (interpreter result equality) as a property check over the
+ * workload suite at every optimization level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/instructions.h"
+#include "parser/parser.h"
+#include "transforms/const_fold.h"
+#include "transforms/pass.h"
+#include "verifier/verifier.h"
+#include "vm/interpreter.h"
+#include "workloads/workloads.h"
+
+using namespace llva;
+
+namespace {
+
+std::unique_ptr<Module>
+runPass(const std::string &src, std::unique_ptr<FunctionPass> pass,
+        bool *changed = nullptr)
+{
+    auto m = parseAssembly(src);
+    verifyOrDie(*m);
+    PassManager pm;
+    pm.setVerifyEach(true);
+    pm.add(std::move(pass));
+    bool c = pm.run(*m);
+    if (changed)
+        *changed = c;
+    return m;
+}
+
+size_t
+countOpcode(const Function &f, Opcode op)
+{
+    size_t n = 0;
+    for (const auto &bb : f)
+        for (const auto &inst : *bb)
+            if (inst->opcode() == op)
+                ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Mem2Reg, PromotesScalarsToPhis)
+{
+    auto m = runPass(R"(
+int %sum(int %n) {
+entry:
+    %acc = alloca int
+    %i = alloca int
+    store int 0, int* %acc
+    store int 0, int* %i
+    br label %cond
+cond:
+    %iv = load int* %i
+    %c = setlt int %iv, %n
+    br bool %c, label %body, label %exit
+body:
+    %a = load int* %acc
+    %a2 = add int %a, %iv
+    store int %a2, int* %acc
+    %i2 = add int %iv, 1
+    store int %i2, int* %i
+    br label %cond
+exit:
+    %r = load int* %acc
+    ret int %r
+}
+)",
+                     createMem2RegPass());
+    Function *f = m->getFunction("sum");
+    EXPECT_EQ(countOpcode(*f, Opcode::Alloca), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Load), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Store), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Phi), 2u);
+}
+
+TEST(Mem2Reg, SkipsEscapingAllocas)
+{
+    auto m = runPass(R"(
+declare void %use(int* %p)
+int %f() {
+entry:
+    %a = alloca int
+    store int 5, int* %a
+    call void %use(int* %a)
+    %v = load int* %a
+    ret int %v
+}
+)",
+                     createMem2RegPass());
+    // %a's address escapes into a call: must not be promoted.
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Alloca), 1u);
+}
+
+TEST(Mem2Reg, SingleBlockPromotion)
+{
+    bool changed = false;
+    auto m = runPass(R"(
+int %f(int %x) {
+entry:
+    %t = alloca int
+    store int %x, int* %t
+    %v = load int* %t
+    %w = add int %v, 1
+    ret int %w
+}
+)",
+                     createMem2RegPass(), &changed);
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Alloca), 0u);
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Phi), 0u);
+}
+
+TEST(SCCP, FoldsConstantBranches)
+{
+    auto m = runPass(R"(
+int %f() {
+entry:
+    %a = add int 20, 22
+    %c = setgt int %a, 10
+    br bool %c, label %t, label %e
+t:
+    ret int %a
+e:
+    ret int 0
+}
+)",
+                     createSCCPPass());
+    // %a and %c become constants; the taken ret returns 42.
+    Function *f = m->getFunction("f");
+    auto *ret = dyn_cast<ReturnInst>(
+        f->findBlock("t")->terminator());
+    ASSERT_NE(ret, nullptr);
+    auto *c = dyn_cast<ConstantInt>(ret->returnValue());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->sext(), 42);
+}
+
+TEST(SCCP, PropagatesThroughPhis)
+{
+    auto m = runPass(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %b
+a:
+    br label %join
+b:
+    br label %join
+join:
+    %p = phi int [ 7, %a ], [ 7, %b ]
+    %q = mul int %p, 3
+    ret int %q
+}
+)",
+                     createSCCPPass());
+    auto *ret = dyn_cast<ReturnInst>(
+        m->getFunction("f")->findBlock("join")->terminator());
+    auto *c = dyn_cast<ConstantInt>(ret->returnValue());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->sext(), 21);
+}
+
+TEST(SCCP, NeverFoldsTrappingDivide)
+{
+    auto m = runPass(R"(
+int %f() {
+entry:
+    %d = div int 10, 0
+    ret int %d
+}
+)",
+                     createSCCPPass());
+    // Division by zero traps (ExceptionsEnabled default true) and
+    // must survive as an instruction.
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Div), 1u);
+}
+
+TEST(ConstFold, RespectsSignedness)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    // -1 < 0 signed, but 255 > 0 as ubyte.
+    Constant *a = m.constantInt(tc.sbyteTy(), 0xff);
+    Constant *b = m.constantInt(tc.sbyteTy(), 0);
+    auto *lt = cast<ConstantInt>(
+        foldBinary(m, Opcode::SetLT, a, b));
+    EXPECT_TRUE(lt->isOne());
+
+    Constant *ua = m.constantInt(tc.ubyteTy(), 0xff);
+    Constant *ub = m.constantInt(tc.ubyteTy(), 0);
+    auto *ult = cast<ConstantInt>(
+        foldBinary(m, Opcode::SetLT, ua, ub));
+    EXPECT_TRUE(ult->isZero());
+}
+
+TEST(ConstFold, WrapsAtWidth)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Constant *a = m.constantInt(tc.ubyteTy(), 200);
+    Constant *b = m.constantInt(tc.ubyteTy(), 100);
+    auto *sum =
+        cast<ConstantInt>(foldBinary(m, Opcode::Add, a, b));
+    EXPECT_EQ(sum->zext(), 44u); // 300 mod 256
+}
+
+TEST(ConstFold, ShiftSemantics)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    // shr on signed types is arithmetic; on unsigned, logical.
+    Constant *neg = m.constantInt(tc.intTy(), 0xfffffff0);
+    Constant *sh = m.constantInt(tc.ubyteTy(), 2);
+    auto *sar =
+        cast<ConstantInt>(foldBinary(m, Opcode::Shr, neg, sh));
+    EXPECT_EQ(sar->sext(), -4);
+
+    Constant *uneg = m.constantInt(tc.uintTy(), 0xfffffff0);
+    auto *shr =
+        cast<ConstantInt>(foldBinary(m, Opcode::Shr, uneg, sh));
+    EXPECT_EQ(shr->zext(), 0x3ffffffcu);
+}
+
+TEST(ConstFold, CastConversions)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    auto *trunc = cast<ConstantInt>(foldCast(
+        m, m.constantInt(tc.intTy(), 0x1ff), tc.ubyteTy()));
+    EXPECT_EQ(trunc->zext(), 0xffu);
+
+    auto *tofp = cast<ConstantFP>(
+        foldCast(m, m.constantInt(tc.intTy(), -3), tc.doubleTy()));
+    EXPECT_EQ(tofp->value(), -3.0);
+
+    auto *toint = cast<ConstantInt>(foldCast(
+        m, m.constantFP(tc.doubleTy(), 2.9), tc.intTy()));
+    EXPECT_EQ(toint->sext(), 2);
+
+    auto *toBool = cast<ConstantInt>(foldCast(
+        m, m.constantInt(tc.intTy(), 7), tc.boolTy()));
+    EXPECT_TRUE(toBool->isOne());
+}
+
+TEST(DCE, RemovesDeadPureCode)
+{
+    auto m = runPass(R"(
+int %f(int %x) {
+entry:
+    %dead1 = mul int %x, 100
+    %dead2 = add int %dead1, 5
+    %live = add int %x, 1
+    ret int %live
+}
+)",
+                     createDCEPass());
+    EXPECT_EQ(m->getFunction("f")->instructionCount(), 2u);
+}
+
+TEST(DCE, KeepsTrappingAndSideEffects)
+{
+    auto m = runPass(R"(
+declare void %ext()
+int %f(int %x, int* %p) {
+entry:
+    %dead_load = load int* %p
+    %quiet = div int %x, %x !ee(false)
+    call void %ext()
+    ret int %x
+}
+)",
+                     createDCEPass());
+    Function *f = m->getFunction("f");
+    // The trapping load stays; the ee(false) div dies; call stays.
+    EXPECT_EQ(countOpcode(*f, Opcode::Load), 1u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Div), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Call), 1u);
+}
+
+TEST(ADCE, RemovesDeadCycles)
+{
+    auto m = runPass(R"(
+int %f(int %n) {
+entry:
+    br label %loop
+loop:
+    %dead = phi int [ 0, %entry ], [ %dead2, %loop ]
+    %live = phi int [ 0, %entry ], [ %live2, %loop ]
+    %dead2 = add int %dead, 3
+    %live2 = add int %live, 1
+    %c = setlt int %live2, %n
+    br bool %c, label %loop, label %out
+out:
+    ret int %live2
+}
+)",
+                     createADCEPass());
+    Function *f = m->getFunction("f");
+    // The dead phi/add cycle is removed; simple DCE cannot do this.
+    EXPECT_EQ(countOpcode(*f, Opcode::Phi), 1u);
+}
+
+TEST(GVN, EliminatesCommonSubexpressions)
+{
+    auto m = runPass(R"(
+int %f(int %a, int %b) {
+entry:
+    %x = add int %a, %b
+    %y = add int %a, %b
+    %z = add int %x, %y
+    ret int %z
+}
+)",
+                     createGVNPass());
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Add), 2u);
+}
+
+TEST(GVN, CommutativeCanonicalization)
+{
+    auto m = runPass(R"(
+int %f(int %a, int %b) {
+entry:
+    %x = add int %a, %b
+    %y = add int %b, %a
+    %z = add int %x, %y
+    ret int %z
+}
+)",
+                     createGVNPass());
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Add), 2u);
+}
+
+TEST(GVN, DominatorScoped)
+{
+    bool changed = false;
+    auto m = runPass(R"(
+int %f(int %a, bool %c) {
+entry:
+    br bool %c, label %l, label %r
+l:
+    %x = mul int %a, %a
+    br label %join
+r:
+    %y = mul int %a, %a
+    br label %join
+join:
+    %p = phi int [ %x, %l ], [ %y, %r ]
+    ret int %p
+}
+)",
+                     createGVNPass(), &changed);
+    // Neither mul dominates the other: both must remain.
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Mul), 2u);
+}
+
+TEST(GVN, RedundantLoadElimination)
+{
+    auto m = runPass(R"(
+int %f(int* %p) {
+entry:
+    %a = load int* %p
+    %b = load int* %p
+    %s = add int %a, %b
+    ret int %s
+}
+)",
+                     createGVNPass());
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Load), 1u);
+}
+
+TEST(GVN, StoreToLoadForwarding)
+{
+    auto m = runPass(R"(
+int %f(int* %p, int %v) {
+entry:
+    store int %v, int* %p
+    %a = load int* %p
+    ret int %a
+}
+)",
+                     createGVNPass());
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Load), 0u);
+}
+
+TEST(GVN, ClobberedLoadNotForwarded)
+{
+    auto m = runPass(R"(
+int %f(int* %p, int* %q, int %v) {
+entry:
+    %a = load int* %p
+    store int %v, int* %q
+    %b = load int* %p
+    %s = add int %a, %b
+    ret int %s
+}
+)",
+                     createGVNPass());
+    // %q may alias %p (both arguments): the second load stays.
+    EXPECT_EQ(countOpcode(*m->getFunction("f"), Opcode::Load), 2u);
+}
+
+TEST(InstCombine, AlgebraicIdentities)
+{
+    auto m = runPass(R"(
+int %f(int %x) {
+entry:
+    %a = add int %x, 0
+    %b = mul int %a, 1
+    %c = sub int %b, 0
+    %d = or int %c, 0
+    %e = xor int %d, 0
+    ret int %e
+}
+)",
+                     createInstCombinePass());
+    // Everything folds to %x.
+    EXPECT_EQ(m->getFunction("f")->instructionCount(), 1u);
+}
+
+TEST(InstCombine, StrengthReduction)
+{
+    auto m = runPass(R"(
+uint %f(uint %x) {
+entry:
+    %a = mul uint %x, 8
+    %b = div uint %a, 4
+    ret uint %b
+}
+)",
+                     createInstCombinePass());
+    Function *f = m->getFunction("f");
+    EXPECT_EQ(countOpcode(*f, Opcode::Mul), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Div), 0u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Shl), 1u);
+    EXPECT_EQ(countOpcode(*f, Opcode::Shr), 1u);
+}
+
+TEST(InstCombine, SelfComparisons)
+{
+    auto m = runPass(R"(
+bool %f(int %x) {
+entry:
+    %a = seteq int %x, %x
+    %b = setlt int %x, %x
+    %c = xor bool %a, %b
+    ret bool %c
+}
+)",
+                     createInstCombinePass());
+    auto *ret = dyn_cast<ReturnInst>(
+        m->getFunction("f")->entryBlock()->terminator());
+    auto *c = dyn_cast<ConstantInt>(ret->returnValue());
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->isOne()); // true xor false
+}
+
+TEST(SimplifyCFG, FoldsConstantBranch)
+{
+    auto m = runPass(R"(
+int %f() {
+entry:
+    br bool true, label %a, label %b
+a:
+    ret int 1
+b:
+    ret int 2
+}
+)",
+                     createSimplifyCFGPass());
+    // entry+a merge; b is unreachable and removed.
+    EXPECT_EQ(m->getFunction("f")->size(), 1u);
+}
+
+TEST(SimplifyCFG, RemovesUnreachableAndMergesChains)
+{
+    auto m = runPass(R"(
+int %f(int %x) {
+entry:
+    br label %step1
+step1:
+    %a = add int %x, 1
+    br label %step2
+step2:
+    %b = mul int %a, 2
+    ret int %b
+dead1:
+    br label %dead2
+dead2:
+    br label %dead1
+}
+)",
+                     createSimplifyCFGPass());
+    Function *f = m->getFunction("f");
+    EXPECT_EQ(f->size(), 1u);
+    EXPECT_EQ(f->instructionCount(), 3u);
+}
+
+TEST(SimplifyCFG, FoldsConstantMBr)
+{
+    auto m = runPass(R"(
+int %f() {
+entry:
+    mbr int 2, label %def [ int 1, label %one, int 2, label %two ]
+one:
+    ret int 10
+two:
+    ret int 20
+def:
+    ret int 0
+}
+)",
+                     createSimplifyCFGPass());
+    Function *f = m->getFunction("f");
+    EXPECT_EQ(f->size(), 1u);
+    auto *ret =
+        dyn_cast<ReturnInst>(f->entryBlock()->terminator());
+    EXPECT_EQ(cast<ConstantInt>(ret->returnValue())->sext(), 20);
+}
+
+TEST(Inliner, InlinesSmallCallee)
+{
+    auto m = parseAssembly(R"(
+internal int %sq(int %x) {
+entry:
+    %r = mul int %x, %x
+    ret int %r
+}
+int %main(int %v) {
+entry:
+    %a = call int %sq(int %v)
+    %b = call int %sq(int %a)
+    ret int %b
+}
+)");
+    PassManager pm;
+    pm.setVerifyEach(true);
+    pm.add(createInlinerPass());
+    EXPECT_TRUE(pm.run(*m));
+    Function *main = m->getFunction("main");
+    EXPECT_EQ(countOpcode(*main, Opcode::Call), 0u);
+    EXPECT_EQ(countOpcode(*main, Opcode::Mul), 2u);
+}
+
+TEST(Inliner, MultiReturnCalleeGetsPhi)
+{
+    auto m = parseAssembly(R"(
+internal int %pick(bool %c) {
+entry:
+    br bool %c, label %a, label %b
+a:
+    ret int 1
+b:
+    ret int 2
+}
+int %main(bool %c) {
+entry:
+    %r = call int %pick(bool %c)
+    %s = add int %r, 10
+    ret int %s
+}
+)");
+    PassManager pm;
+    pm.setVerifyEach(true);
+    pm.add(createInlinerPass());
+    EXPECT_TRUE(pm.run(*m));
+    Function *main = m->getFunction("main");
+    EXPECT_EQ(countOpcode(*main, Opcode::Call), 0u);
+    EXPECT_GE(countOpcode(*main, Opcode::Phi), 1u);
+}
+
+TEST(Inliner, SkipsRecursiveCallee)
+{
+    auto m = parseAssembly(R"(
+internal int %fact(int %n) {
+entry:
+    %z = setle int %n, 1
+    br bool %z, label %base, label %rec
+base:
+    ret int 1
+rec:
+    %n1 = sub int %n, 1
+    %r = call int %fact(int %n1)
+    %p = mul int %r, %n
+    ret int %p
+}
+int %main() {
+entry:
+    %r = call int %fact(int 5)
+    ret int %r
+}
+)");
+    PassManager pm;
+    pm.add(createInlinerPass());
+    pm.run(*m);
+    EXPECT_EQ(countOpcode(*m->getFunction("main"), Opcode::Call),
+              1u);
+}
+
+// Property check: every optimization level preserves workload
+// semantics (checksum and output), with verification after every
+// pass. Parameterized over the suite.
+class OptSemantics
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, unsigned>>
+{};
+
+TEST_P(OptSemantics, PreservesChecksumAndOutput)
+{
+    const std::string &name = std::get<0>(GetParam());
+    unsigned level = std::get<1>(GetParam());
+    auto m0 = buildWorkload(name, 1);
+    ExecutionContext ctx0(*m0);
+    Interpreter i0(ctx0);
+    i0.setInstructionLimit(100000000);
+    auto r0 = i0.run(m0->getFunction("main"));
+    ASSERT_TRUE(r0.ok());
+
+    auto m1 = buildWorkload(name, 1);
+    PassManager pm;
+    pm.setVerifyEach(true);
+    addStandardPasses(pm, level);
+    pm.run(*m1);
+
+    ExecutionContext ctx1(*m1);
+    Interpreter i1(ctx1);
+    i1.setInstructionLimit(100000000);
+    auto r1 = i1.run(m1->getFunction("main"));
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(r1.value.i, r0.value.i);
+    EXPECT_EQ(ctx1.output(), ctx0.output());
+    if (level >= 1) {
+        // Optimization may duplicate code (inlining) but must stay
+        // within a small factor of the original.
+        EXPECT_LE(m1->instructionCount(),
+                  m0->instructionCount() * 3);
+    }
+}
+
+static std::vector<std::tuple<std::string, unsigned>>
+optSemanticsCases()
+{
+    std::vector<std::tuple<std::string, unsigned>> cases;
+    for (const auto &info : allWorkloads())
+        for (unsigned level : {1u, 2u})
+            cases.emplace_back(info.name, level);
+    return cases;
+}
+
+static std::string
+optSemanticsName(
+    const ::testing::TestParamInfo<std::tuple<std::string, unsigned>>
+        &info)
+{
+    std::string s = std::get<0>(info.param);
+    for (char &c : s)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s + "_O" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, OptSemantics,
+                         ::testing::ValuesIn(optSemanticsCases()),
+                         optSemanticsName);

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the LLVA type system: interning, layout (sizes,
+ * alignment, struct field offsets under both pointer sizes — the
+ * paper's Section 3.1 example expects T[0].Children[3] at offset 20
+ * with 32-bit pointers and 32 with 64-bit pointers), and printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/type.h"
+
+using namespace llva;
+
+class TypeTest : public ::testing::Test
+{
+  protected:
+    TypeContext tc;
+};
+
+TEST_F(TypeTest, PrimitivesAreInterned)
+{
+    EXPECT_EQ(tc.intTy(), tc.intTy());
+    EXPECT_EQ(tc.doubleTy(), tc.doubleTy());
+    EXPECT_NE(tc.intTy(), tc.uintTy());
+    EXPECT_NE(tc.floatTy(), tc.doubleTy());
+}
+
+TEST_F(TypeTest, PrimitiveProperties)
+{
+    EXPECT_TRUE(tc.intTy()->isInteger());
+    EXPECT_TRUE(tc.intTy()->isSignedInteger());
+    EXPECT_TRUE(tc.uintTy()->isUnsignedInteger());
+    EXPECT_FALSE(tc.uintTy()->isSignedInteger());
+    EXPECT_TRUE(tc.doubleTy()->isFloatingPoint());
+    EXPECT_TRUE(tc.boolTy()->isBool());
+    EXPECT_FALSE(tc.boolTy()->isInteger());
+    EXPECT_TRUE(tc.voidTy()->isVoid());
+    EXPECT_FALSE(tc.voidTy()->isScalar());
+    EXPECT_TRUE(tc.intTy()->isScalar());
+}
+
+TEST_F(TypeTest, PrimitiveSizes)
+{
+    EXPECT_EQ(tc.boolTy()->sizeInBytes(8), 1u);
+    EXPECT_EQ(tc.ubyteTy()->sizeInBytes(8), 1u);
+    EXPECT_EQ(tc.shortTy()->sizeInBytes(8), 2u);
+    EXPECT_EQ(tc.intTy()->sizeInBytes(8), 4u);
+    EXPECT_EQ(tc.longTy()->sizeInBytes(8), 8u);
+    EXPECT_EQ(tc.floatTy()->sizeInBytes(8), 4u);
+    EXPECT_EQ(tc.doubleTy()->sizeInBytes(8), 8u);
+}
+
+TEST_F(TypeTest, IntegerBitWidths)
+{
+    EXPECT_EQ(tc.boolTy()->integerBitWidth(), 1u);
+    EXPECT_EQ(tc.sbyteTy()->integerBitWidth(), 8u);
+    EXPECT_EQ(tc.ushortTy()->integerBitWidth(), 16u);
+    EXPECT_EQ(tc.intTy()->integerBitWidth(), 32u);
+    EXPECT_EQ(tc.ulongTy()->integerBitWidth(), 64u);
+    EXPECT_EQ(tc.doubleTy()->integerBitWidth(), 0u);
+}
+
+TEST_F(TypeTest, PointerSizeDependsOnTarget)
+{
+    PointerType *p = tc.pointerTo(tc.intTy());
+    EXPECT_EQ(p->sizeInBytes(4), 4u);
+    EXPECT_EQ(p->sizeInBytes(8), 8u);
+}
+
+TEST_F(TypeTest, PointersAreInterned)
+{
+    EXPECT_EQ(tc.pointerTo(tc.intTy()), tc.pointerTo(tc.intTy()));
+    EXPECT_NE(tc.pointerTo(tc.intTy()), tc.pointerTo(tc.uintTy()));
+    EXPECT_EQ(tc.pointerTo(tc.intTy())->pointee(), tc.intTy());
+}
+
+TEST_F(TypeTest, ArraysAreInterned)
+{
+    ArrayType *a = tc.arrayOf(tc.intTy(), 10);
+    EXPECT_EQ(a, tc.arrayOf(tc.intTy(), 10));
+    EXPECT_NE(a, tc.arrayOf(tc.intTy(), 11));
+    EXPECT_EQ(a->numElements(), 10u);
+    EXPECT_EQ(a->sizeInBytes(8), 40u);
+}
+
+TEST_F(TypeTest, AnonymousStructsInternStructurally)
+{
+    StructType *s1 = tc.structOf({tc.intTy(), tc.doubleTy()});
+    StructType *s2 = tc.structOf({tc.intTy(), tc.doubleTy()});
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, tc.structOf({tc.doubleTy(), tc.intTy()}));
+}
+
+TEST_F(TypeTest, NamedStructsAreNominal)
+{
+    StructType *a = tc.namedStruct("A", {tc.intTy()});
+    StructType *b = tc.namedStruct("B", {tc.intTy()});
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tc.namedType("A"), a);
+    EXPECT_EQ(tc.namedType("C"), nullptr);
+}
+
+TEST_F(TypeTest, StructFieldOffsetsRespectAlignment)
+{
+    // { ubyte, int, ubyte, double }
+    StructType *s = tc.structOf(
+        {tc.ubyteTy(), tc.intTy(), tc.ubyteTy(), tc.doubleTy()});
+    EXPECT_EQ(s->fieldOffset(0, 8), 0u);
+    EXPECT_EQ(s->fieldOffset(1, 8), 4u);  // int aligned to 4
+    EXPECT_EQ(s->fieldOffset(2, 8), 8u);
+    EXPECT_EQ(s->fieldOffset(3, 8), 16u); // double aligned to 8
+    EXPECT_EQ(s->sizeInBytes(8), 24u);
+    EXPECT_EQ(s->alignment(8), 8u);
+}
+
+TEST_F(TypeTest, PaperQuadTreeOffsets)
+{
+    // %struct.QuadTree = { double, [4 x %struct.QuadTree*] }
+    // The paper: &T[0].Children[3] is +20 bytes with 32-bit pointers
+    // and +32 bytes with 64-bit pointers.
+    StructType *qt = tc.namedStruct("struct.QuadTree", {});
+    qt->setBody({tc.doubleTy(), tc.arrayOf(tc.pointerTo(qt), 4)});
+
+    EXPECT_EQ(qt->fieldOffset(1, 4) + 3 * 4, 20u);
+    EXPECT_EQ(qt->fieldOffset(1, 8) + 3 * 8, 32u);
+    EXPECT_EQ(qt->sizeInBytes(4), 24u);
+    EXPECT_EQ(qt->sizeInBytes(8), 40u);
+}
+
+TEST_F(TypeTest, RecursiveStructSizeTerminates)
+{
+    StructType *node = tc.namedStruct("node", {});
+    node->setBody({tc.longTy(), tc.pointerTo(node)});
+    EXPECT_EQ(node->sizeInBytes(8), 16u);
+}
+
+TEST_F(TypeTest, FunctionTypesIntern)
+{
+    FunctionType *f1 =
+        tc.functionOf(tc.intTy(), {tc.intTy(), tc.doubleTy()});
+    FunctionType *f2 =
+        tc.functionOf(tc.intTy(), {tc.intTy(), tc.doubleTy()});
+    EXPECT_EQ(f1, f2);
+    EXPECT_NE(f1, tc.functionOf(tc.intTy(), {tc.intTy()}));
+    EXPECT_NE(f1, tc.functionOf(tc.intTy(),
+                                {tc.intTy(), tc.doubleTy()}, true));
+    EXPECT_EQ(f1->returnType(), tc.intTy());
+    EXPECT_EQ(f1->numParams(), 2u);
+}
+
+TEST_F(TypeTest, TypePrinting)
+{
+    EXPECT_EQ(tc.intTy()->str(), "int");
+    EXPECT_EQ(tc.pointerTo(tc.doubleTy())->str(), "double*");
+    EXPECT_EQ(tc.arrayOf(tc.ubyteTy(), 6)->str(), "[6 x ubyte]");
+    EXPECT_EQ(tc.structOf({tc.intTy(), tc.boolTy()})->str(),
+              "{ int, bool }");
+    StructType *named = tc.namedStruct("struct.T", {tc.intTy()});
+    EXPECT_EQ(named->str(), "%struct.T");
+    EXPECT_EQ(tc.pointerTo(named)->str(), "%struct.T*");
+    EXPECT_EQ(tc.functionOf(tc.voidTy(), {tc.intTy()})->str(),
+              "void (int)");
+    EXPECT_EQ(
+        tc.functionOf(tc.intTy(), {tc.intTy()}, true)->str(),
+        "int (int, ...)");
+}
+
+TEST_F(TypeTest, EmptyStruct)
+{
+    StructType *s = tc.structOf({});
+    EXPECT_EQ(s->sizeInBytes(8), 0u);
+    EXPECT_EQ(s->numFields(), 0u);
+}
+
+TEST_F(TypeTest, NestedArrays)
+{
+    ArrayType *grid = tc.arrayOf(tc.arrayOf(tc.intTy(), 4), 3);
+    EXPECT_EQ(grid->sizeInBytes(8), 48u);
+    EXPECT_EQ(grid->str(), "[3 x [4 x int]]");
+}
+
+TEST_F(TypeTest, PrimByName)
+{
+    EXPECT_EQ(tc.primByName("int"), tc.intTy());
+    EXPECT_EQ(tc.primByName("ulong"), tc.ulongTy());
+    EXPECT_EQ(tc.primByName("label"), tc.labelTy());
+    EXPECT_EQ(tc.primByName("quux"), nullptr);
+}

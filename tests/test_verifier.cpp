@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Verifier tests: each structural/type/SSA rule is violated via
+ * direct IR construction and must be diagnosed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/ir_builder.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+using namespace llva;
+
+namespace {
+
+/** Expect a verifier error whose text contains \p needle. */
+void
+expectError(const Module &m, const std::string &needle)
+{
+    VerifyResult r = verifyModule(m);
+    ASSERT_FALSE(r.ok()) << "expected error containing '" << needle
+                         << "'";
+    bool found = false;
+    for (const auto &e : r.errors)
+        if (e.find(needle) != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << "errors were:\n" << r.str();
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsValidModule)
+{
+    auto m = parseAssembly(R"(
+int %f(int %x) {
+entry:
+    %c = setlt int %x, 10
+    br bool %c, label %a, label %b
+a:
+    ret int 1
+b:
+    ret int 2
+}
+)");
+    EXPECT_TRUE(verifyModule(*m).ok());
+}
+
+TEST(Verifier, MissingTerminator)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.voidTy(), {}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    b.add(b.cInt(1), b.cInt(2), "x"); // no terminator
+    expectError(m, "terminator");
+}
+
+TEST(Verifier, TerminatorMidBlock)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.voidTy(), {}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    b.retVoid();
+    b.retVoid();
+    expectError(m, "terminator");
+}
+
+TEST(Verifier, EmptyBlock)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.voidTy(), {}), "f");
+    f->createBlock("entry");
+    expectError(m, "empty");
+}
+
+TEST(Verifier, BinaryTypeMismatch)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.intTy(), {tc.intTy(), tc.longTy()}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    // Force a mixed-type add via raw construction.
+    auto *bad = new BinaryOperator(Opcode::Add, f->arg(0),
+                                   f->arg(1));
+    bb->append(std::unique_ptr<Instruction>(bad));
+    b.ret(bad);
+    expectError(m, "differ");
+}
+
+TEST(Verifier, ShiftAmountMustBeUByte)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.intTy(), {tc.intTy()}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    auto *bad = new BinaryOperator(Opcode::Shl, f->arg(0),
+                                   b.cInt(2)); // int shift amount
+    bb->append(std::unique_ptr<Instruction>(bad));
+    b.ret(bad);
+    expectError(m, "ubyte");
+}
+
+TEST(Verifier, BranchConditionMustBeBool)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.voidTy(), {tc.intTy()}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    BasicBlock *a = f->createBlock("a");
+    BasicBlock *c = f->createBlock("c");
+    IRBuilder b(m, bb);
+    bb->append(std::make_unique<BranchInst>(tc, f->arg(0), a, c));
+    b.setInsertPoint(a);
+    b.retVoid();
+    b.setInsertPoint(c);
+    b.retVoid();
+    expectError(m, "bool");
+}
+
+TEST(Verifier, ReturnTypeMismatch)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.intTy(), {}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    bb->append(std::make_unique<ReturnInst>(tc)); // void ret
+    expectError(m, "return");
+}
+
+TEST(Verifier, UseNotDominatedByDef)
+{
+    auto m = parseAssembly(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %b
+a:
+    %x = add int 1, 2
+    br label %join
+b:
+    br label %join
+join:
+    %y = add int %x, 1
+    ret int %y
+}
+)");
+    expectError(*m, "dominated");
+}
+
+TEST(Verifier, PhiMissingPredecessor)
+{
+    auto m = parseAssembly(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %join
+a:
+    br label %join
+join:
+    %p = phi int [ 1, %a ]
+    ret int %p
+}
+)");
+    expectError(*m, "missing incoming");
+}
+
+TEST(Verifier, PhiFromNonPredecessor)
+{
+    auto m = parseAssembly(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %join
+a:
+    br label %join
+other:
+    br label %join
+join:
+    %p = phi int [ 1, %a ], [ 2, %entry ], [ 3, %other ]
+    ret int %p
+}
+)");
+    // %other is unreachable but still a CFG predecessor of %join, so
+    // the phi is fine there; make one from a true non-pred.
+    auto m2 = parseAssembly(R"(
+int %f(bool %c) {
+entry:
+    br bool %c, label %a, label %join
+a:
+    br label %join
+dead:
+    ret int 9
+join:
+    %p = phi int [ 1, %a ], [ 2, %entry ], [ 3, %dead ]
+    ret int %p
+}
+)");
+    (void)m;
+    expectError(*m2, "not a predecessor");
+}
+
+TEST(Verifier, PhiNotGrouped)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.intTy(), {tc.boolTy()}), "f");
+    BasicBlock *entry = f->createBlock("entry");
+    BasicBlock *a = f->createBlock("a");
+    BasicBlock *join = f->createBlock("join");
+    IRBuilder b(m, entry);
+    b.condBr(f->arg(0), a, join);
+    b.setInsertPoint(a);
+    b.br(join);
+    b.setInsertPoint(join);
+    Value *x = b.add(b.cInt(1), b.cInt(2), "x");
+    PhiNode *p = b.phi(tc.intTy(), "p"); // after a non-phi
+    p->addIncoming(x, a);
+    p->addIncoming(b.cInt(0), entry);
+    b.ret(p);
+    expectError(m, "grouped");
+}
+
+TEST(Verifier, PhiInEntryBlock)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.intTy(), {}), "f");
+    BasicBlock *entry = f->createBlock("entry");
+    IRBuilder b(m, entry);
+    PhiNode *p = b.phi(tc.intTy(), "p");
+    b.ret(p);
+    expectError(m, "entry");
+}
+
+TEST(Verifier, CallArgumentMismatch)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *callee = m.createFunction(
+        tc.functionOf(tc.intTy(), {tc.intTy()}), "callee");
+    Function *f =
+        m.createFunction(tc.functionOf(tc.intTy(), {}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    auto *call = new CallInst(tc.intTy(), callee, {});
+    bb->append(std::unique_ptr<Instruction>(call));
+    b.ret(call);
+    expectError(m, "argument count");
+}
+
+TEST(Verifier, MBrDuplicateCase)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.intTy(), {tc.intTy()}), "f");
+    BasicBlock *entry = f->createBlock("entry");
+    BasicBlock *d = f->createBlock("d");
+    IRBuilder b(m, entry);
+    MBrInst *mbr = b.mbr(f->arg(0), d);
+    mbr->addCase(m.constantInt(tc.intTy(), 3), d);
+    mbr->addCase(m.constantInt(tc.intTy(), 3), d);
+    b.setInsertPoint(d);
+    b.ret(b.cInt(0));
+    expectError(m, "duplicate case");
+}
+
+TEST(Verifier, StoreTypeMismatch)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.voidTy(), {tc.longTy()}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    Value *slot = b.alloca_(tc.intTy());
+    bb->append(std::make_unique<StoreInst>(f->arg(0), slot));
+    b.retVoid();
+    expectError(m, "stored value");
+}
+
+TEST(Verifier, LoadOfAggregateRejected)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f =
+        m.createFunction(tc.functionOf(tc.voidTy(), {}), "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    Value *arr = b.alloca_(tc.arrayOf(tc.intTy(), 4));
+    bb->append(std::make_unique<LoadInst>(arr));
+    b.retVoid();
+    expectError(m, "scalar");
+}
+
+TEST(Verifier, CastPointerToFPRejected)
+{
+    Module m("t");
+    TypeContext &tc = m.types();
+    Function *f = m.createFunction(
+        tc.functionOf(tc.doubleTy(),
+                      {tc.pointerTo(tc.intTy())}),
+        "f");
+    BasicBlock *bb = f->createBlock("entry");
+    IRBuilder b(m, bb);
+    Value *c = b.cast_(f->arg(0), tc.doubleTy());
+    b.ret(c);
+    expectError(m, "pointer and FP");
+}
+
+TEST(Verifier, EntryBlockWithPredecessorRejected)
+{
+    auto m = parseAssembly(R"(
+void %f() {
+entry:
+    br label %entry
+}
+)");
+    expectError(*m, "entry block has predecessors");
+}

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The LLVA command-line tool set, in one multiplexed binary (each
+ * tool is also installed under its own name via symlink-style CMake
+ * copies):
+ *
+ *   llva-as        assemble .llva text into virtual object code
+ *   llva-dis       disassemble virtual object code back to text
+ *   llva-opt       run optimization passes over virtual object code
+ *   llva-run       execute a virtual executable under LLEE
+ *   llva-translate translate to an I-ISA and print the machine code
+ *
+ * These mirror the workflow of the paper's Section 4/5 toolchain:
+ * static compilers produce virtual object code, LLEE executes it
+ * (with optional offline caching), and the translator's output can
+ * be inspected per target.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bytecode/bytecode.h"
+#include "codegen/codegen.h"
+#include "llee/llee.h"
+#include "parser/parser.h"
+#include "transforms/pass.h"
+#include "verifier/verifier.h"
+#include "vm/interpreter.h"
+
+using namespace llva;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, R"(usage:
+  llva-as  <input.llva> -o <out.bc>         assemble text to object code
+  llva-dis <input.bc>  [-o <out.llva>]      disassemble object code
+  llva-opt <input.bc>  -O<0|1|2> -o <out.bc> optimize object code
+  llva-run <input.bc>  [--target x86|sparc] [--cache DIR] [--interp]
+                       [--entry NAME]        execute under LLEE
+  llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
+                       [--no-coalesce]       print machine code
+)");
+    std::exit(2);
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::string s = readFileText(path);
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<uint8_t> &bytes)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Load a module from .llva text or .bc object code by sniffing. */
+std::unique_ptr<Module>
+loadModule(const std::string &path)
+{
+    auto bytes = readFileBytes(path);
+    if (bytes.size() >= 4 && bytes[0] == 'L' && bytes[1] == 'L' &&
+        bytes[2] == 'V' && bytes[3] == 'A')
+        return readBytecode(bytes);
+    return parseAssembly(std::string(bytes.begin(), bytes.end()),
+                         path);
+}
+
+int
+toolAs(const std::vector<std::string> &args)
+{
+    std::string input, output;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size())
+            output = args[++i];
+        else
+            input = args[i];
+    }
+    if (input.empty() || output.empty())
+        usage();
+    auto m = parseAssembly(readFileText(input), input);
+    verifyOrDie(*m);
+    auto bytes = writeBytecode(*m);
+    writeFileBytes(output, bytes);
+    std::printf("%s: %zu LLVA instructions -> %zu bytes\n",
+                output.c_str(), m->instructionCount(), bytes.size());
+    return 0;
+}
+
+int
+toolDis(const std::vector<std::string> &args)
+{
+    std::string input, output;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size())
+            output = args[++i];
+        else
+            input = args[i];
+    }
+    if (input.empty())
+        usage();
+    auto m = readBytecode(readFileBytes(input));
+    std::string text = m->str();
+    if (output.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream f(output);
+        f << text;
+    }
+    return 0;
+}
+
+int
+toolOpt(const std::vector<std::string> &args)
+{
+    std::string input, output;
+    unsigned level = 2;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size())
+            output = args[++i];
+        else if (args[i].rfind("-O", 0) == 0)
+            level = static_cast<unsigned>(
+                std::stoul(args[i].substr(2)));
+        else
+            input = args[i];
+    }
+    if (input.empty() || output.empty())
+        usage();
+    auto m = loadModule(input);
+    verifyOrDie(*m);
+    size_t before = m->instructionCount();
+    PassManager pm;
+    pm.setVerifyEach(true);
+    addStandardPasses(pm, level);
+    pm.run(*m);
+    auto bytes = writeBytecode(*m);
+    writeFileBytes(output, bytes);
+    std::printf("O%u: %zu -> %zu LLVA instructions;", level, before,
+                m->instructionCount());
+    for (const auto &p : pm.changedPasses())
+        std::printf(" %s", p.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+toolRun(const std::vector<std::string> &args)
+{
+    std::string input, target = "sparc", cache, entry = "main";
+    bool interp = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--target" && i + 1 < args.size())
+            target = args[++i];
+        else if (args[i] == "--cache" && i + 1 < args.size())
+            cache = args[++i];
+        else if (args[i] == "--entry" && i + 1 < args.size())
+            entry = args[++i];
+        else if (args[i] == "--interp")
+            interp = true;
+        else
+            input = args[i];
+    }
+    if (input.empty())
+        usage();
+
+    if (interp) {
+        auto m = loadModule(input);
+        verifyOrDie(*m);
+        ExecutionContext ctx(*m);
+        Interpreter engine(ctx);
+        auto r = engine.run(m->getFunction(entry));
+        std::fputs(ctx.output().c_str(), stdout);
+        if (r.trap != TrapKind::None) {
+            std::fprintf(stderr, "\nllva-run: trap: %s\n",
+                         trapKindName(r.trap));
+            return 100;
+        }
+        return static_cast<int>(r.value.i);
+    }
+
+    Target *t = getTarget(target);
+    if (!t)
+        fatal("unknown target '%s'", target.c_str());
+    std::unique_ptr<FileStorage> storage;
+    if (!cache.empty())
+        storage = std::make_unique<FileStorage>(cache);
+    LLEE llee(*t, storage.get());
+    auto bytes = readFileBytes(input);
+    if (!(bytes.size() >= 4 && bytes[0] == 'L'))
+        bytes = writeBytecode(*loadModule(input));
+    LLEEResult r = llee.execute(bytes, entry);
+    std::fputs(r.output.c_str(), stdout);
+    std::fprintf(stderr,
+                 "\nllva-run: %zu cache hits, %zu misses, "
+                 "%.3f ms online translation, %llu machine "
+                 "instructions\n",
+                 r.cacheHits, r.cacheMisses,
+                 r.onlineTranslateSeconds * 1000.0,
+                 (unsigned long long)r.machineInstructionsExecuted);
+    if (r.exec.trap != TrapKind::None) {
+        std::fprintf(stderr, "llva-run: trap: %s\n",
+                     trapKindName(r.exec.trap));
+        return 100;
+    }
+    return static_cast<int>(r.exec.value.i);
+}
+
+int
+toolTranslate(const std::vector<std::string> &args)
+{
+    std::string input, target = "sparc";
+    CodeGenOptions opts;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--target" && i + 1 < args.size())
+            target = args[++i];
+        else if (args[i] == "--local-alloc")
+            opts.allocator = CodeGenOptions::Allocator::Local;
+        else if (args[i] == "--no-coalesce")
+            opts.coalesce = false;
+        else
+            input = args[i];
+    }
+    if (input.empty())
+        usage();
+    Target *t = getTarget(target);
+    if (!t)
+        fatal("unknown target '%s'", target.c_str());
+    auto m = loadModule(input);
+    verifyOrDie(*m);
+
+    size_t llva_total = 0, native_total = 0, bytes_total = 0;
+    for (const auto &f : m->functions()) {
+        if (f->isDeclaration())
+            continue;
+        auto mf = translateFunction(*f, *t, opts);
+        auto enc = encodeFunction(*mf, *t);
+        std::fputs(machineFunctionToString(*mf, *t).c_str(),
+                   stdout);
+        std::printf("; %zu LLVA -> %zu %s instructions, %zu "
+                    "bytes\n\n",
+                    f->instructionCount(), mf->instructionCount(),
+                    target.c_str(), enc.size());
+        llva_total += f->instructionCount();
+        native_total += mf->instructionCount();
+        bytes_total += enc.size();
+    }
+    std::printf("total: %zu LLVA -> %zu %s instructions "
+                "(ratio %.2f), %zu bytes\n",
+                llva_total, native_total, target.c_str(),
+                llva_total
+                    ? static_cast<double>(native_total) / llva_total
+                    : 0.0,
+                bytes_total);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Tool selection: argv[0] basename, or first argument.
+    std::string name = argv[0];
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (name == "llva-tools" || name == "llva_tools") {
+        if (args.empty())
+            usage();
+        name = "llva-" + args.front();
+        args.erase(args.begin());
+    }
+
+    try {
+        if (name == "llva-as")
+            return toolAs(args);
+        if (name == "llva-dis")
+            return toolDis(args);
+        if (name == "llva-opt")
+            return toolOpt(args);
+        if (name == "llva-run")
+            return toolRun(args);
+        if (name == "llva-translate")
+            return toolTranslate(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: error: %s\n", name.c_str(),
+                     e.what());
+        return 1;
+    }
+    usage();
+}
