@@ -104,16 +104,26 @@ elideFallthroughJumps(MachineFunction &mf)
     auto &blocks = mf.blocks();
     for (size_t i = 0; i + 1 < blocks.size(); ++i) {
         auto &instrs = blocks[i]->instrs();
-        if (instrs.empty())
+        // The jump may be followed by delay-slot fillers (no
+        // operands, no effects); an elided branch takes its delay
+        // slot with it.
+        size_t j = instrs.size();
+        while (j > 0 && instrs[j - 1]->ops.empty() &&
+               instrs[j - 1]->numDefs == 0 &&
+               !instrs[j - 1]->isCall && !instrs[j - 1]->isRet)
+            --j;
+        if (j == 0)
             continue;
-        MachineInstr &last = *instrs.back();
+        MachineInstr &last = *instrs[j - 1];
         // An unconditional jump is a non-call, non-ret instruction
         // whose only operand is a block.
         if (last.isCall || last.isRet || last.ops.size() != 1 ||
             last.ops[0].kind != MOperand::Block)
             continue;
         if (last.ops[0].block == blocks[i + 1].get())
-            instrs.pop_back();
+            instrs.erase(instrs.begin() +
+                             static_cast<ptrdiff_t>(j - 1),
+                         instrs.end());
     }
 }
 

@@ -288,8 +288,11 @@ struct Interval
     int start = 0;
     int end = 0;
     bool crossesCall = false;
-    unsigned hint = 0; ///< preferred physical register (from copies)
     unsigned assigned = 0;
+    /** Whether \c assigned holds a register. Register numbers start
+     *  at 0 (x86 %rax is register 0), so the number alone cannot
+     *  double as a validity flag. */
+    bool hasReg = false;
     bool spilled = false;
 };
 
@@ -509,20 +512,34 @@ class LinearScanAllocator
             };
 
             unsigned chosen = 0;
-            // Try the coalescing hint first.
-            unsigned hint = hintFor(iv->vreg);
-            if (coalesce_ && hint && usable(hint))
+            bool found = false;
+            // Try the coalescing hint first. Copies to and from
+            // convention registers (arguments, return values) hint
+            // at physical registers outside the allocatable pool;
+            // binding a live range to one of those would let call
+            // marshalling code clobber it, so only in-pool hints
+            // are honored.
+            const auto &pool = target_.allocatable(rc);
+            unsigned hint = 0;
+            if (coalesce_ && hintFor(iv->vreg, hint) &&
+                usable(hint) &&
+                std::find(pool.begin(), pool.end(), hint) !=
+                    pool.end()) {
                 chosen = hint;
-            if (!chosen) {
-                for (unsigned phys : target_.allocatable(rc)) {
+                found = true;
+            }
+            if (!found) {
+                for (unsigned phys : pool) {
                     if (usable(phys)) {
                         chosen = phys;
+                        found = true;
                         break;
                     }
                 }
             }
-            if (chosen) {
+            if (found) {
                 iv->assigned = chosen;
+                iv->hasReg = true;
                 active.push_back(iv);
                 physInUse[chosen] = iv;
             } else {
@@ -536,11 +553,13 @@ class LinearScanAllocator
                         victim = a;
                 if (victim != iv) {
                     iv->assigned = victim->assigned;
+                    iv->hasReg = true;
                     physInUse[iv->assigned] = iv;
                     active.erase(std::find(active.begin(),
                                            active.end(), victim));
                     active.push_back(iv);
                     victim->assigned = 0;
+                    victim->hasReg = false;
                     victim->spilled = true;
                 } else {
                     iv->spilled = true;
@@ -549,26 +568,29 @@ class LinearScanAllocator
         }
     }
 
-    unsigned
-    hintFor(unsigned vreg)
+    bool
+    hintFor(unsigned vreg, unsigned &hint)
     {
         for (auto &[a, b] : copyPairs_) {
-            unsigned other = 0;
+            unsigned other;
             if (a == vreg)
                 other = b;
             else if (b == vreg)
                 other = a;
-            if (!other)
+            else
                 continue;
             if (isVirtualReg(other)) {
                 auto it = intervals_.find(other);
-                if (it != intervals_.end() && it->second.assigned)
-                    return it->second.assigned;
+                if (it != intervals_.end() && it->second.hasReg) {
+                    hint = it->second.assigned;
+                    return true;
+                }
             } else {
-                return other; // physical hint (arg/ret copies)
+                hint = other; // physical hint (arg/ret copies)
+                return true;
             }
         }
-        return 0;
+        return false;
     }
 
     void

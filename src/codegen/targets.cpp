@@ -1,5 +1,6 @@
 #include "codegen/target.h"
 
+#include "support/error.h"
 #include "target/sparc/sparc_target.h"
 #include "target/x86/x86_target.h"
 
@@ -14,7 +15,14 @@ getTarget(const std::string &name)
         return &x86;
     if (name == "sparc")
         return &sparc;
-    return nullptr;
+    std::string known;
+    for (const std::string &n : targetNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    fatal("unknown target '%s' (known targets: %s)", name.c_str(),
+          known.c_str());
 }
 
 std::vector<std::string>

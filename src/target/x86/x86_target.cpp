@@ -1,0 +1,971 @@
+/**
+ * @file
+ * The x86-like CISC evaluation machine. Two-address integer
+ * arithmetic over 8 registers with condition flags, variable-length
+ * encoding (reg/reg forms vs imm8/imm32/imm64 forms), and a fully
+ * stack-based calling convention: all arguments travel through the
+ * caller's outgoing area at sp+8i, so the default marshalling hooks
+ * in target_conv.cpp apply unchanged.
+ *
+ * Register numbering: 0=rax 1=rcx 2=rdx 3=rbx 4=rsi 5=rdi 6=rbp
+ * (7=rsp is the simulated stack pointer and never allocated);
+ * FP registers 32..39 are xmm0..xmm7.
+ */
+
+#include "target/x86/x86_target.h"
+
+#include <sstream>
+
+#include "codegen/isel.h"
+#include "ir/function.h"
+#include "target/target_util.h"
+
+namespace llva {
+
+namespace {
+
+using tgt::Alu;
+using tgt::Cond;
+
+enum X86Op : uint16_t {
+    // Two-address ALU: [def dst, use dst, use src(Reg|Imm)]. The
+    // dst-as-use operand keeps both register allocators honest about
+    // the read-modify-write semantics.
+    kX86Add = 0x100,
+    kX86Sub,
+    kX86IMul,
+    kX86Div,
+    kX86Rem,
+    kX86And,
+    kX86Or,
+    kX86Xor,
+    kX86Shl,
+    kX86Shr,
+    // FP two-address ALU: [def dst, use dst, use src].
+    kX86FAdd,
+    kX86FSub,
+    kX86FMul,
+    kX86FDiv,
+    kX86FRem,
+    // Flags: cmp records both signed and unsigned views; setcc picks
+    // one via signExt (or the FP view when the last compare was FP).
+    kX86Cmp,
+    kX86FCmp,
+    kX86SetEq,
+    kX86SetNe,
+    kX86SetLt,
+    kX86SetGt,
+    kX86SetLe,
+    kX86SetGe,
+    // Control flow. Jnz is the fused test+jnz on a register, so no
+    // flags survive across phi-copy insertion points.
+    kX86Jnz,
+    kX86Jmp,
+    kX86Call,
+    kX86Ret,
+    kX86Unwind,
+    // Memory.
+    kX86Load,
+    kX86Store,
+    kX86LoadStack,
+    kX86StoreStack,
+    // Conversions.
+    kX86Ext,
+    kX86CvtI2F,
+    kX86CvtF2I,
+    kX86CvtF2F,
+    kX86CvtI2B,
+    // Stack pointer adjustment (prologue/epilogue).
+    kX86SpAdj,
+};
+
+const char *const kIntRegNames[8] = {"rax", "rcx", "rdx", "rbx",
+                                     "rsi", "rdi", "rbp", "rsp"};
+
+Alu
+aluOfInt(uint16_t opc)
+{
+    return static_cast<Alu>(opc - kX86Add);
+}
+
+Alu
+aluOfFP(uint16_t opc)
+{
+    return static_cast<Alu>(opc - kX86FAdd);
+}
+
+Cond
+condOf(uint16_t opc)
+{
+    return static_cast<Cond>(opc - kX86SetEq);
+}
+
+uint16_t
+intAluOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return kX86Add;
+      case Opcode::Sub: return kX86Sub;
+      case Opcode::Mul: return kX86IMul;
+      case Opcode::Div: return kX86Div;
+      case Opcode::Rem: return kX86Rem;
+      case Opcode::And: return kX86And;
+      case Opcode::Or: return kX86Or;
+      case Opcode::Xor: return kX86Xor;
+      case Opcode::Shl: return kX86Shl;
+      case Opcode::Shr: return kX86Shr;
+      default: panic("not an integer ALU opcode");
+    }
+}
+
+uint16_t
+fpAluOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return kX86FAdd;
+      case Opcode::Sub: return kX86FSub;
+      case Opcode::Mul: return kX86FMul;
+      case Opcode::Div: return kX86FDiv;
+      case Opcode::Rem: return kX86FRem;
+      default: panic("not an FP ALU opcode");
+    }
+}
+
+uint16_t
+setOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::SetEQ: return kX86SetEq;
+      case Opcode::SetNE: return kX86SetNe;
+      case Opcode::SetLT: return kX86SetLt;
+      case Opcode::SetGT: return kX86SetGt;
+      case Opcode::SetLE: return kX86SetLe;
+      case Opcode::SetGE: return kX86SetGe;
+      default: panic("not a comparison opcode");
+    }
+}
+
+class X86ISel final : public ISelBase
+{
+  protected:
+    static MOperand
+    R(unsigned reg)
+    {
+        return MOperand::makeReg(reg);
+    }
+
+    uint8_t
+    widthOf(const Type *t) const
+    {
+        return static_cast<uint8_t>(
+            tgt::widthCodeOf(t, pointerSize_));
+    }
+
+    /** Inline a ConstantInt as an immediate; else a register. */
+    MOperand
+    intOperand(const Value *v)
+    {
+        if (auto *ci = dyn_cast<ConstantInt>(v))
+            return MOperand::makeImm(ci->sext());
+        return R(valueReg(v));
+    }
+
+    void
+    emitMove(unsigned dst, unsigned src, bool fp, bool fp32) override
+    {
+        (void)fp;
+        auto *mi = emit(kOpCopy, {R(dst), R(src)}, 1);
+        mi->fp32 = fp32;
+    }
+
+    void
+    emitMaterialize(unsigned dst, const MOperand &value, bool fp,
+                    bool fp32) override
+    {
+        (void)fp;
+        auto *mi = emit(kOpCopy, {R(dst), value}, 1);
+        mi->fp32 = fp32;
+    }
+
+    void
+    emitAdd(unsigned dst, unsigned a, unsigned b) override
+    {
+        emitMove(dst, a, false, false);
+        emit(kX86Add, {R(dst), R(dst), R(b)}, 1);
+    }
+
+    void
+    emitAddImm(unsigned dst, unsigned a, int64_t imm) override
+    {
+        emitMove(dst, a, false, false);
+        emit(kX86Add, {R(dst), R(dst), MOperand::makeImm(imm)}, 1);
+    }
+
+    void
+    emitMulImm(unsigned dst, unsigned a, int64_t imm) override
+    {
+        emitMove(dst, a, false, false);
+        emit(kX86IMul, {R(dst), R(dst), MOperand::makeImm(imm)}, 1);
+    }
+
+    void
+    emitDynAlloca(unsigned dst, unsigned size_reg) override
+    {
+        emit(kOpDynAlloca, {R(dst), R(size_reg)}, 1);
+    }
+
+    void
+    lowerArgs() override
+    {
+        // Stack convention: incoming argument i lives in the
+        // caller's outgoing area, reachable through the negative
+        // frame index -1-i (resolved during frame finalization).
+        for (unsigned i = 0; i < f_->numArgs(); ++i)
+            emit(kX86LoadStack,
+                 {R(vregFor(f_->arg(i))),
+                  MOperand::makeFrame(-1 - static_cast<int>(i))},
+                 1);
+    }
+
+    void
+    lowerBinary(const BinaryOperator &inst) override
+    {
+        const Type *t = inst.type();
+        unsigned dst = vregFor(&inst);
+        if (t->isFloatingPoint()) {
+            unsigned a = valueReg(inst.lhs());
+            unsigned b = valueReg(inst.rhs());
+            emitMove(dst, a, true, isFP32(t));
+            auto *mi = emit(fpAluOpcode(inst.opcode()),
+                            {R(dst), R(dst), R(b)}, 1);
+            mi->fp32 = isFP32(t);
+            return;
+        }
+        unsigned a = valueReg(inst.lhs());
+        MOperand b = intOperand(inst.rhs());
+        emitMove(dst, a, false, false);
+        auto *mi =
+            emit(intAluOpcode(inst.opcode()), {R(dst), R(dst), b}, 1);
+        mi->width = widthOf(t);
+        mi->signExt = t->isSignedInteger();
+        if (inst.opcode() == Opcode::Div ||
+            inst.opcode() == Opcode::Rem)
+            mi->trapEnabled = inst.exceptionsEnabled();
+    }
+
+    void
+    lowerCompare(const SetCondInst &inst) override
+    {
+        const Type *t = inst.lhs()->type();
+        unsigned dst = vregFor(&inst);
+        if (t->isFloatingPoint()) {
+            unsigned a = valueReg(inst.lhs());
+            unsigned b = valueReg(inst.rhs());
+            emit(kX86FCmp, {R(a), R(b)});
+            emit(setOpcode(inst.opcode()), {R(dst)}, 1);
+            return;
+        }
+        unsigned a = valueReg(inst.lhs());
+        MOperand b = intOperand(inst.rhs());
+        auto *cmp = emit(kX86Cmp, {R(a), b});
+        cmp->width = widthOf(t);
+        auto *set = emit(setOpcode(inst.opcode()), {R(dst)}, 1);
+        set->signExt = t->isSignedInteger();
+    }
+
+    void
+    lowerRet(const ReturnInst &inst) override
+    {
+        if (const Value *v = inst.returnValue()) {
+            bool fp = v->type()->isFloatingPoint();
+            unsigned r = valueReg(v);
+            auto *cp = emit(kOpCopy, {R(fp ? 32u : 0u), R(r)}, 1);
+            cp->fp32 = isFP32(v->type());
+        }
+        emit(kX86Ret, {})->isRet = true;
+    }
+
+    void
+    lowerBr(const BranchInst &inst) override
+    {
+        if (!inst.isConditional()) {
+            auto *t = blockMap_.at(inst.target(0));
+            emit(kX86Jmp, {MOperand::makeBlock(t)});
+            cur_->successors().push_back(t);
+            return;
+        }
+        unsigned c = valueReg(inst.condition());
+        auto *tb = blockMap_.at(inst.target(0));
+        auto *fb = blockMap_.at(inst.target(1));
+        emit(kX86Jnz, {R(c), MOperand::makeBlock(tb)});
+        emit(kX86Jmp, {MOperand::makeBlock(fb)});
+        cur_->successors().push_back(tb);
+        cur_->successors().push_back(fb);
+    }
+
+    void
+    lowerMBr(const MBrInst &inst) override
+    {
+        // Materialize one bool per case first, then dispatch with a
+        // branch chain. Keeping all the Block-carrying instructions
+        // in one trailing run lets phi elimination insert its copies
+        // on every outgoing path.
+        unsigned v = valueReg(inst.condition());
+        std::vector<unsigned> match;
+        for (unsigned i = 0; i < inst.numCases(); ++i) {
+            int64_t cv = inst.caseValue(i)->sext();
+            MOperand b = MOperand::makeImm(cv);
+            if (!tgt::fitsInt32(cv)) {
+                unsigned t = mf_->createVReg(RegClass::Int);
+                emitMaterialize(t, MOperand::makeImm(cv), false,
+                                false);
+                b = R(t);
+            }
+            // The interpreter matches on full canonical 64-bit
+            // values, so compare at width 8 unsigned.
+            emit(kX86Cmp, {R(v), b});
+            unsigned r = mf_->createVReg(RegClass::Int);
+            emit(kX86SetEq, {R(r)}, 1);
+            match.push_back(r);
+        }
+        for (unsigned i = 0; i < inst.numCases(); ++i) {
+            auto *bb = blockMap_.at(inst.caseDest(i));
+            emit(kX86Jnz, {R(match[i]), MOperand::makeBlock(bb)});
+            cur_->successors().push_back(bb);
+        }
+        auto *def = blockMap_.at(inst.defaultDest());
+        emit(kX86Jmp, {MOperand::makeBlock(def)});
+        cur_->successors().push_back(def);
+    }
+
+    void
+    lowerLoad(const LoadInst &inst) override
+    {
+        const Type *t = inst.type();
+        unsigned addr = valueReg(inst.pointer());
+        auto *mi = emit(kX86Load, {R(vregFor(&inst)), R(addr)}, 1);
+        mi->trapEnabled = inst.exceptionsEnabled();
+        if (t->isFloatingPoint()) {
+            mi->fp32 = isFP32(t);
+        } else {
+            mi->width = widthOf(t);
+            mi->signExt = t->isSignedInteger();
+        }
+    }
+
+    void
+    lowerStore(const StoreInst &inst) override
+    {
+        const Type *t = inst.value()->type();
+        unsigned src = valueReg(inst.value());
+        unsigned addr = valueReg(inst.pointer());
+        auto *mi = emit(kX86Store, {R(src), R(addr)});
+        mi->trapEnabled = inst.exceptionsEnabled();
+        if (t->isFloatingPoint())
+            mi->fp32 = isFP32(t);
+        else
+            mi->width = widthOf(t);
+    }
+
+    void
+    lowerCast(const CastInst &inst) override
+    {
+        const Type *src = inst.value()->type();
+        const Type *dst = inst.type();
+        unsigned d = vregFor(&inst);
+        unsigned s = valueReg(inst.value());
+        if (src->isFloatingPoint() && dst->isFloatingPoint()) {
+            auto *mi = emit(kX86CvtF2F, {R(d), R(s)}, 1);
+            mi->fp32 = isFP32(dst);
+        } else if (src->isFloatingPoint()) {
+            auto *mi = emit(kX86CvtF2I, {R(d), R(s)}, 1);
+            mi->width = widthOf(dst);
+            mi->signExt = dst->isSignedInteger();
+        } else if (dst->isFloatingPoint()) {
+            auto *mi = emit(kX86CvtI2F, {R(d), R(s)}, 1);
+            mi->signExt = src->isSignedInteger();
+            mi->fp32 = isFP32(dst);
+        } else if (dst->isBool()) {
+            emit(kX86CvtI2B, {R(d), R(s)}, 1);
+        } else {
+            auto *mi = emit(kX86Ext, {R(d), R(s)}, 1);
+            mi->width = widthOf(dst);
+            mi->signExt = dst->isSignedInteger();
+        }
+    }
+
+    void
+    storeOutgoingArgs(const Value *const *args, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            emit(kX86StoreStack,
+                 {R(valueReg(args[i])),
+                  MOperand::makeImm(8 * static_cast<int64_t>(i))});
+        mf_->noteOutgoingArgs(8ull * n);
+    }
+
+    MachineInstr *
+    emitCallInstr(const Value *callee, std::vector<MOperand> blocks)
+    {
+        std::vector<MOperand> ops;
+        if (auto *fn = dyn_cast<Function>(callee))
+            ops.push_back(MOperand::makeFunc(fn));
+        else
+            ops.push_back(R(valueReg(callee)));
+        for (auto &b : blocks)
+            ops.push_back(b);
+        auto *mi = emit(kX86Call, std::move(ops));
+        mi->isCall = true;
+        return mi;
+    }
+
+    void
+    emitResultCopy(const Instruction &inst)
+    {
+        const Type *t = inst.type();
+        if (t->kind() == TypeKind::Void)
+            return;
+        bool fp = t->isFloatingPoint();
+        auto *cp =
+            emit(kOpCopy, {R(vregFor(&inst)), R(fp ? 32u : 0u)}, 1);
+        cp->fp32 = isFP32(t);
+    }
+
+    void
+    lowerCall(const CallInst &inst) override
+    {
+        std::vector<const Value *> args;
+        for (unsigned i = 0; i < inst.numArgs(); ++i)
+            args.push_back(inst.arg(i));
+        storeOutgoingArgs(args.data(),
+                          static_cast<unsigned>(args.size()));
+        emitCallInstr(inst.callee(), {});
+        emitResultCopy(inst);
+    }
+
+    void
+    lowerInvoke(const InvokeInst &inst) override
+    {
+        std::vector<const Value *> args;
+        for (unsigned i = 0; i < inst.numArgs(); ++i)
+            args.push_back(inst.arg(i));
+        storeOutgoingArgs(args.data(),
+                          static_cast<unsigned>(args.size()));
+
+        // The simulator driver resumes at the first Block operand on
+        // normal return and at the second after an unwind. Each edge
+        // gets its own landing block so phi copies can distinguish
+        // the two paths.
+        auto *ret = mf_->createBlock(cur_->name() + ".invret");
+        auto *uw = mf_->createBlock(cur_->name() + ".invuw");
+        emitCallInstr(inst.callee(), {MOperand::makeBlock(ret),
+                                      MOperand::makeBlock(uw)});
+        cur_->successors().push_back(ret);
+        cur_->successors().push_back(uw);
+        edgeBlock_[{inst.parent(), inst.normalDest()}] = ret;
+        edgeBlock_[{inst.parent(), inst.unwindDest()}] = uw;
+
+        MachineBasicBlock *save = cur_;
+        cur_ = ret;
+        emitResultCopy(inst);
+        auto *nd = blockMap_.at(inst.normalDest());
+        emit(kX86Jmp, {MOperand::makeBlock(nd)});
+        ret->successors().push_back(nd);
+
+        cur_ = uw;
+        auto *ud = blockMap_.at(inst.unwindDest());
+        emit(kX86Jmp, {MOperand::makeBlock(ud)});
+        uw->successors().push_back(ud);
+        cur_ = save;
+    }
+
+    void
+    lowerUnwind(const UnwindInst &inst) override
+    {
+        (void)inst;
+        emit(kX86Unwind, {});
+    }
+};
+
+} // namespace
+
+X86Target::X86Target()
+{
+    // Preference order: caller-saved first so leaf code stays cheap;
+    // the linear-scan allocator reserves the last two per class as
+    // spill scratch (rdi/rbp and xmm6/xmm7).
+    allocInt_ = {0, 1, 2, 3, 4, 5, 6};
+    calleeInt_ = {3, 4, 5, 6}; // rbx rsi rdi rbp
+    allocFP_ = {32, 33, 34, 35, 36, 37, 38, 39};
+    calleeFP_ = {}; // xmm regs are caller-saved on x86
+}
+
+const std::vector<unsigned> &
+X86Target::allocatable(RegClass rc) const
+{
+    return rc == RegClass::Int ? allocInt_ : allocFP_;
+}
+
+const std::vector<unsigned> &
+X86Target::calleeSaved(RegClass rc) const
+{
+    return rc == RegClass::Int ? calleeInt_ : calleeFP_;
+}
+
+unsigned
+X86Target::returnReg(RegClass rc) const
+{
+    return rc == RegClass::Int ? 0u : 32u; // rax / xmm0
+}
+
+const char *
+X86Target::regName(unsigned reg) const
+{
+    static const char *const xmm[8] = {"xmm0", "xmm1", "xmm2",
+                                       "xmm3", "xmm4", "xmm5",
+                                       "xmm6", "xmm7"};
+    if (reg < 8)
+        return kIntRegNames[reg];
+    if (reg >= 32 && reg < 40)
+        return xmm[reg - 32];
+    return "?";
+}
+
+void
+X86Target::select(const Function &f, MachineFunction &mf)
+{
+    X86ISel isel;
+    isel.runOn(f, mf);
+}
+
+void
+X86Target::insertPrologueEpilogue(
+    MachineFunction &mf,
+    const std::vector<std::pair<unsigned, int64_t>> &saved)
+{
+    tgt::insertFrameCode(mf, saved, kX86SpAdj, kX86StoreStack,
+                         kX86LoadStack);
+}
+
+void
+X86Target::execute(const MachineInstr &mi, SimState &state) const
+{
+    using namespace tgt;
+    if (execGeneric(mi, state))
+        return;
+    switch (mi.opcode) {
+      case kX86Add:
+      case kX86Sub:
+      case kX86IMul:
+      case kX86Div:
+      case kX86Rem:
+      case kX86And:
+      case kX86Or:
+      case kX86Xor:
+      case kX86Shl:
+      case kX86Shr: {
+        uint64_t a = state.ireg[mi.ops[1].reg];
+        uint64_t b = operandIntValue(mi.ops[2], state);
+        uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
+                             mi.signExt, mi.trapEnabled, state);
+        if (state.next != SimState::Next::Trap)
+            state.ireg[mi.ops[0].reg] = r;
+        break;
+      }
+      case kX86FAdd:
+      case kX86FSub:
+      case kX86FMul:
+      case kX86FDiv:
+      case kX86FRem:
+        state.freg[mi.ops[0].reg - 32] =
+            evalFAlu(aluOfFP(mi.opcode),
+                     state.freg[mi.ops[1].reg - 32],
+                     state.freg[mi.ops[2].reg - 32], mi.fp32);
+        break;
+      case kX86Cmp:
+        recordCmp(state.ireg[mi.ops[0].reg],
+                  operandIntValue(mi.ops[1], state), mi.width, state);
+        break;
+      case kX86FCmp:
+        recordFCmp(state.freg[mi.ops[0].reg - 32],
+                   state.freg[mi.ops[1].reg - 32], state);
+        break;
+      case kX86SetEq:
+      case kX86SetNe:
+      case kX86SetLt:
+      case kX86SetGt:
+      case kX86SetLe:
+      case kX86SetGe:
+        state.ireg[mi.ops[0].reg] =
+            evalCondState(condOf(mi.opcode), mi.signExt, state) ? 1
+                                                                : 0;
+        break;
+      case kX86Jnz:
+        if (state.ireg[mi.ops[0].reg]) {
+            state.next = SimState::Next::Branch;
+            state.branchTarget = mi.ops[1].block;
+        }
+        break;
+      case kX86Jmp:
+        state.next = SimState::Next::Branch;
+        state.branchTarget = mi.ops[0].block;
+        break;
+      case kX86Call:
+        state.next = SimState::Next::Call;
+        if (mi.ops[0].kind == MOperand::Func)
+            state.callTarget = mi.ops[0].func;
+        else
+            state.callAddr = state.ireg[mi.ops[0].reg];
+        break;
+      case kX86Ret:
+        state.next = SimState::Next::Return;
+        break;
+      case kX86Unwind:
+        state.next = SimState::Next::Unwind;
+        break;
+      case kX86Load:
+        execLoad(mi, state.ireg[mi.ops[1].reg], state);
+        break;
+      case kX86Store:
+        execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
+        break;
+      case kX86LoadStack:
+        execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
+        break;
+      case kX86StoreStack:
+        execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
+        break;
+      case kX86Ext:
+        execExt(mi, state);
+        break;
+      case kX86CvtI2F:
+        execCvtI2F(mi, state);
+        break;
+      case kX86CvtF2I:
+        execCvtF2I(mi, state);
+        break;
+      case kX86CvtF2F:
+        execCvtF2F(mi, state);
+        break;
+      case kX86CvtI2B:
+        execCvtI2B(mi, state);
+        break;
+      case kX86SpAdj:
+        state.sp += static_cast<uint64_t>(mi.ops[0].imm);
+        break;
+      default:
+        panic("x86: cannot execute opcode");
+    }
+}
+
+std::vector<uint8_t>
+X86Target::encode(const MachineInstr &mi) const
+{
+    using namespace tgt;
+    size_t size = 0;
+    auto immSize = [](int64_t v) -> size_t {
+        return fitsInt8(v) ? 1 : 4;
+    };
+    switch (mi.opcode) {
+      case kOpCopy:
+        switch (mi.ops[1].kind) {
+          case MOperand::Reg:
+            size = isFPReg(mi.ops[0].reg) ? 4 : 3;
+            break;
+          case MOperand::Imm:
+            size = fitsInt32(mi.ops[1].imm) ? 5 : 10; // mov / movabs
+            break;
+          case MOperand::FPImm:
+            size = 8; // movsd xmm, [rip+disp32]
+            break;
+          default:
+            size = 10; // movabs $address
+            break;
+        }
+        break;
+      case kOpSpill:
+      case kOpReload:
+      case kX86LoadStack:
+      case kX86StoreStack:
+      case kOpFrameAddr:
+        // mod/rm with rsp base: disp8 or disp32 form.
+        size = mi.ops[1].kind == MOperand::Imm
+                   ? 4 + immSize(mi.ops[1].imm)
+                   : 8;
+        break;
+      case kOpDynAlloca:
+        size = 5; // call [runtime]
+        break;
+      case kX86Add:
+      case kX86Sub:
+      case kX86And:
+      case kX86Or:
+      case kX86Xor:
+        size = mi.ops[2].kind == MOperand::Imm
+                   ? 3 + immSize(mi.ops[2].imm)
+                   : 3;
+        break;
+      case kX86IMul:
+        size = mi.ops[2].kind == MOperand::Imm
+                   ? 3 + immSize(mi.ops[2].imm)
+                   : 4;
+        break;
+      case kX86Shl:
+      case kX86Shr:
+        size = mi.ops[2].kind == MOperand::Imm ? 4 : 3;
+        break;
+      case kX86Div:
+      case kX86Rem:
+        size = 3; // cqo implied
+        break;
+      case kX86FAdd:
+      case kX86FSub:
+      case kX86FMul:
+      case kX86FDiv:
+        size = 4;
+        break;
+      case kX86FRem:
+        size = 5; // runtime fmod thunk
+        break;
+      case kX86Cmp:
+        size = mi.ops[1].kind == MOperand::Imm
+                   ? 3 + immSize(mi.ops[1].imm)
+                   : 3;
+        break;
+      case kX86FCmp:
+        size = 4; // ucomisd
+        break;
+      case kX86SetEq:
+      case kX86SetNe:
+      case kX86SetLt:
+      case kX86SetGt:
+      case kX86SetLe:
+      case kX86SetGe:
+        size = 4; // setcc + movzx fold
+        break;
+      case kX86Jnz:
+        size = 9; // test r,r (3) + jnz rel32 (6)
+        break;
+      case kX86Jmp:
+        size = 5; // jmp rel32
+        break;
+      case kX86Call:
+        size = mi.ops[0].kind == MOperand::Func ? 5 : 3;
+        break;
+      case kX86Ret:
+        size = 1;
+        break;
+      case kX86Unwind:
+        size = 2; // int imm8 style trap to the runtime
+        break;
+      case kX86Load:
+      case kX86Store:
+        size = isFPReg(mi.ops[0].reg) ? 5 : (mi.width == 8 ? 4 : 3);
+        break;
+      case kX86Ext:
+      case kX86CvtF2F:
+        size = 4;
+        break;
+      case kX86CvtI2F:
+      case kX86CvtF2I:
+        size = 5;
+        break;
+      case kX86CvtI2B:
+        size = 6; // test + setne
+        break;
+      case kX86SpAdj:
+        size = 3 + immSize(mi.ops[0].imm);
+        break;
+      default:
+        panic("x86: cannot encode opcode");
+    }
+    return packEncoding(mi, size);
+}
+
+std::string
+X86Target::instrToString(const MachineInstr &mi) const
+{
+    using tgt::isFPReg;
+    std::ostringstream os;
+    auto reg = [&](const MOperand &op) -> std::string {
+        if (isVirtualReg(op.reg))
+            return "%v" + std::to_string(op.reg - kFirstVirtualReg);
+        return std::string("%") + regName(op.reg);
+    };
+    auto operand = [&](const MOperand &op) -> std::string {
+        switch (op.kind) {
+          case MOperand::Reg: return reg(op);
+          case MOperand::Imm: return "$" + std::to_string(op.imm);
+          case MOperand::FPImm:
+            return "$" + std::to_string(op.fpimm);
+          case MOperand::Frame:
+            return "frame[" + std::to_string(op.frameIndex) + "]";
+          case MOperand::Block: return "." + op.block->name();
+          case MOperand::Global: return "$" + op.global->name();
+          case MOperand::Func: return "$" + op.func->name();
+        }
+        return "?";
+    };
+    auto slot = [&](const MOperand &op) -> std::string {
+        if (op.kind != MOperand::Imm)
+            return "[" + operand(op) + "]";
+        return "[%rsp+" + std::to_string(op.imm) + "]";
+    };
+    auto widthName = [&]() -> const char * {
+        switch (mi.width) {
+          case 0:
+          case 1: return "byte";
+          case 2: return "word";
+          case 4: return "dword";
+          default: return "qword";
+        }
+    };
+    switch (mi.opcode) {
+      case kOpCopy:
+        os << (isFPReg(mi.ops[0].reg) ? (mi.fp32 ? "movss" : "movsd")
+                                      : "mov")
+           << " " << reg(mi.ops[0]) << ", " << operand(mi.ops[1]);
+        break;
+      case kOpSpill:
+        os << "mov " << slot(mi.ops[1]) << ", " << reg(mi.ops[0]);
+        break;
+      case kOpReload:
+        os << "mov " << reg(mi.ops[0]) << ", " << slot(mi.ops[1]);
+        break;
+      case kOpFrameAddr:
+        os << "lea " << reg(mi.ops[0]) << ", " << slot(mi.ops[1]);
+        break;
+      case kOpDynAlloca:
+        os << "call alloca, " << reg(mi.ops[0]) << ", "
+           << reg(mi.ops[1]);
+        break;
+      case kX86Add:
+      case kX86Sub:
+      case kX86IMul:
+      case kX86Div:
+      case kX86Rem:
+      case kX86And:
+      case kX86Or:
+      case kX86Xor:
+      case kX86Shl:
+      case kX86Shr: {
+        static const char *const sn[10] = {
+            "add", "sub", "imul", "idiv", "irem",
+            "and", "or",  "xor",  "shl",  "sar"};
+        static const char *const un[10] = {
+            "add", "sub", "imul", "div", "rem",
+            "and", "or",  "xor",  "shl", "shr"};
+        os << (mi.signExt ? sn : un)[mi.opcode - kX86Add] << " "
+           << reg(mi.ops[0]) << ", " << operand(mi.ops[2]);
+        break;
+      }
+      case kX86FAdd:
+      case kX86FSub:
+      case kX86FMul:
+      case kX86FDiv:
+      case kX86FRem: {
+        static const char *const fd[5] = {"addsd", "subsd", "mulsd",
+                                          "divsd", "fmodsd"};
+        static const char *const fs[5] = {"addss", "subss", "mulss",
+                                          "divss", "fmodss"};
+        os << (mi.fp32 ? fs : fd)[mi.opcode - kX86FAdd] << " "
+           << reg(mi.ops[0]) << ", " << reg(mi.ops[2]);
+        break;
+      }
+      case kX86Cmp:
+        os << "cmp " << reg(mi.ops[0]) << ", " << operand(mi.ops[1]);
+        break;
+      case kX86FCmp:
+        os << "ucomisd " << reg(mi.ops[0]) << ", " << reg(mi.ops[1]);
+        break;
+      case kX86SetEq:
+      case kX86SetNe:
+      case kX86SetLt:
+      case kX86SetGt:
+      case kX86SetLe:
+      case kX86SetGe: {
+        static const char *const sn[6] = {"sete",  "setne", "setl",
+                                          "setg",  "setle", "setge"};
+        static const char *const un[6] = {"sete",  "setne", "setb",
+                                          "seta",  "setbe", "setae"};
+        os << (mi.signExt ? sn : un)[mi.opcode - kX86SetEq] << " "
+           << reg(mi.ops[0]);
+        break;
+      }
+      case kX86Jnz:
+        os << "test " << reg(mi.ops[0]) << ", " << reg(mi.ops[0])
+           << " ; jnz " << operand(mi.ops[1]);
+        break;
+      case kX86Jmp:
+        os << "jmp " << operand(mi.ops[0]);
+        break;
+      case kX86Call:
+        if (mi.ops[0].kind == MOperand::Func)
+            os << "call " << mi.ops[0].func->name();
+        else
+            os << "call *" << reg(mi.ops[0]);
+        for (size_t i = 1; i < mi.ops.size(); ++i)
+            os << (i == 1 ? " -> " : ", ") << operand(mi.ops[i]);
+        break;
+      case kX86Ret:
+        os << "ret";
+        break;
+      case kX86Unwind:
+        os << "unwind";
+        break;
+      case kX86Load:
+        if (isFPReg(mi.ops[0].reg))
+            os << (mi.fp32 ? "movss " : "movsd ") << reg(mi.ops[0])
+               << ", [" << reg(mi.ops[1]) << "]";
+        else
+            os << (mi.signExt && mi.width < 8 ? "movsx " : "mov ")
+               << reg(mi.ops[0]) << ", " << widthName() << " ["
+               << reg(mi.ops[1]) << "]";
+        break;
+      case kX86Store:
+        if (isFPReg(mi.ops[0].reg))
+            os << (mi.fp32 ? "movss [" : "movsd [") << reg(mi.ops[1])
+               << "], " << reg(mi.ops[0]);
+        else
+            os << "mov " << widthName() << " [" << reg(mi.ops[1])
+               << "], " << reg(mi.ops[0]);
+        break;
+      case kX86LoadStack:
+        os << (isFPReg(mi.ops[0].reg) ? "movsd " : "mov ")
+           << reg(mi.ops[0]) << ", " << slot(mi.ops[1]);
+        break;
+      case kX86StoreStack:
+        os << (isFPReg(mi.ops[0].reg) ? "movsd " : "mov ")
+           << slot(mi.ops[1]) << ", " << reg(mi.ops[0]);
+        break;
+      case kX86Ext:
+        os << (mi.signExt ? "movsx " : "movzx ") << reg(mi.ops[0])
+           << ", " << reg(mi.ops[1]);
+        break;
+      case kX86CvtI2F:
+        os << (mi.fp32 ? "cvtsi2ss " : "cvtsi2sd ") << reg(mi.ops[0])
+           << ", " << reg(mi.ops[1]);
+        break;
+      case kX86CvtF2I:
+        os << "cvttsd2si " << reg(mi.ops[0]) << ", "
+           << reg(mi.ops[1]);
+        break;
+      case kX86CvtF2F:
+        os << (mi.fp32 ? "cvtsd2ss " : "cvtss2sd ") << reg(mi.ops[0])
+           << ", " << reg(mi.ops[1]);
+        break;
+      case kX86CvtI2B:
+        os << "test " << reg(mi.ops[1]) << " ; setne "
+           << reg(mi.ops[0]);
+        break;
+      case kX86SpAdj:
+        os << "add %rsp, " << mi.ops[0].imm;
+        break;
+      default:
+        os << "x86.op" << mi.opcode;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace llva

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Target-backend tests beyond test_codegen.cpp: golden disassembly
+ * snapshots (the exact instruction sequences both backends emit for
+ * a small function), encoder width properties (fixed 4-byte sparc
+ * words under both allocators, variable-length x86), and getTarget
+ * diagnostics for unknown target names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codegen/codegen.h"
+#include "parser/parser.h"
+#include "support/error.h"
+#include "verifier/verifier.h"
+
+using namespace llva;
+
+namespace {
+
+const char *kMAdd = R"(
+long %madd(long %a, long %b) {
+entry:
+    %m = mul long %a, %b
+    %s = add long %m, 7
+    ret long %s
+}
+)";
+
+const char *kLoopFn = R"(
+int %sum(int %n) {
+entry:
+    br label %cond
+cond:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %acc = phi int [ 0, %entry ], [ %a2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %a2 = add int %acc, %i
+    %i2 = add int %i, 1
+    br label %cond
+exit:
+    ret int %acc
+}
+)";
+
+std::unique_ptr<Module>
+parse(const std::string &src)
+{
+    auto m = parseAssembly(src);
+    verifyOrDie(*m);
+    return m;
+}
+
+} // namespace
+
+TEST(TargetGolden, X86MAddDisassembly)
+{
+    auto m = parse(kMAdd);
+    auto mf = translateFunction(*m->getFunction("madd"),
+                                *getTarget("x86"));
+    EXPECT_EQ(machineFunctionToString(*mf, *getTarget("x86")),
+              "madd:  ; x86, frame 0 bytes\n"
+              ".entry:\n"
+              "    mov %rax, [%rsp+0]\n"
+              "    mov %rcx, [%rsp+8]\n"
+              "    mov %rdx, %rax\n"
+              "    imul %rdx, %rcx\n"
+              "    mov %rax, %rdx\n"
+              "    add %rax, $7\n"
+              "    ret\n");
+}
+
+TEST(TargetGolden, SparcMAddDisassembly)
+{
+    auto m = parse(kMAdd);
+    auto mf = translateFunction(*m->getFunction("madd"),
+                                *getTarget("sparc"));
+    EXPECT_EQ(machineFunctionToString(*mf, *getTarget("sparc")),
+              "madd:  ; sparc, frame 0 bytes\n"
+              ".entry:\n"
+              "    mov %o0, %g1\n"
+              "    mov %o1, %g2\n"
+              "    mulx %g1, %g2, %g3\n"
+              "    add %g3, 7, %g1\n"
+              "    mov %g1, %o0\n"
+              "    ret\n"
+              "    nop\n");
+}
+
+TEST(TargetEncoding, SparcEveryInstructionIsExactlyFourBytes)
+{
+    auto m = parse(kLoopFn);
+    Target &sparc = *getTarget("sparc");
+    for (auto alloc : {CodeGenOptions::Allocator::Local,
+                       CodeGenOptions::Allocator::LinearScan}) {
+        CodeGenOptions opts;
+        opts.allocator = alloc;
+        auto mf = translateFunction(*m->getFunction("sum"), sparc,
+                                    opts);
+        for (const auto &mbb : mf->blocks())
+            for (const auto &mi : mbb->instrs())
+                EXPECT_EQ(sparc.encode(*mi).size(), 4u)
+                    << sparc.instrToString(*mi);
+    }
+}
+
+TEST(TargetEncoding, X86UsesAtLeastTwoInstructionLengths)
+{
+    auto m = parse(kLoopFn);
+    Target &x86 = *getTarget("x86");
+    for (auto alloc : {CodeGenOptions::Allocator::Local,
+                       CodeGenOptions::Allocator::LinearScan}) {
+        CodeGenOptions opts;
+        opts.allocator = alloc;
+        auto mf =
+            translateFunction(*m->getFunction("sum"), x86, opts);
+        std::set<size_t> sizes;
+        for (const auto &mbb : mf->blocks())
+            for (const auto &mi : mbb->instrs()) {
+                size_t n = x86.encode(*mi).size();
+                EXPECT_GE(n, 1u) << x86.instrToString(*mi);
+                sizes.insert(n);
+            }
+        EXPECT_GE(sizes.size(), 2u);
+    }
+}
+
+TEST(TargetEncoding, X86ImmediateWidthAffectsLength)
+{
+    // imm8 vs imm32 forms: the same add encodes shorter when the
+    // immediate fits a byte.
+    auto small = parse(R"(
+long %f(long %v) {
+entry:
+    %b = add long %v, 7
+    ret long %b
+}
+)");
+    auto big = parse(R"(
+long %f(long %v) {
+entry:
+    %b = add long %v, 123456789
+    ret long %b
+}
+)");
+    Target &x86 = *getTarget("x86");
+    auto encSize = [&](Module &m) {
+        auto mf = translateFunction(*m.getFunction("f"), x86);
+        return encodeFunction(*mf, x86).size();
+    };
+    EXPECT_LT(encSize(*small), encSize(*big));
+}
+
+TEST(TargetRegistry, KnownNamesRoundTrip)
+{
+    for (const std::string &name : targetNames()) {
+        Target *t = getTarget(name);
+        ASSERT_NE(t, nullptr);
+        EXPECT_EQ(t->name(), name);
+    }
+}
+
+TEST(TargetRegistry, UnknownTargetFailsWithKnownList)
+{
+    auto message = [](const std::string &name) {
+        try {
+            getTarget(name);
+        } catch (const FatalError &e) {
+            return std::string(e.what());
+        }
+        return std::string("no error");
+    };
+    EXPECT_EQ(message("vax"),
+              "unknown target 'vax' (known targets: x86, sparc)");
+    EXPECT_EQ(message(""),
+              "unknown target '' (known targets: x86, sparc)");
+}
