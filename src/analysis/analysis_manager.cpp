@@ -1,0 +1,93 @@
+#include "analysis/analysis_manager.h"
+
+#include "support/statistic.h"
+
+namespace llva {
+
+namespace {
+
+Statistic NumDomTreesComputed(
+    "analysis.domtree.computed",
+    "Dominator trees computed (analysis cache misses)");
+Statistic NumDomTreeHits("analysis.domtree.cache_hits",
+                         "Dominator tree requests served from cache");
+Statistic NumLoopInfosComputed(
+    "analysis.loopinfo.computed",
+    "Loop-info results computed (analysis cache misses)");
+Statistic NumLoopInfoHits("analysis.loopinfo.cache_hits",
+                          "Loop-info requests served from cache");
+
+} // namespace
+
+DominatorTree &
+AnalysisManager::dominators(const Function &f)
+{
+    Slot &slot = slots_[&f];
+    if (!slot.domtree) {
+        slot.domtree = std::make_unique<DominatorTree>(f);
+        ++NumDomTreesComputed;
+    } else {
+        ++NumDomTreeHits;
+    }
+    return *slot.domtree;
+}
+
+LoopInfo &
+AnalysisManager::loops(const Function &f)
+{
+    // Force dominators first: taking the reference before touching
+    // the slot again keeps the LoopInfo construction well-ordered.
+    DominatorTree &dt = dominators(f);
+    Slot &slot = slots_[&f];
+    if (!slot.loopinfo) {
+        slot.loopinfo = std::make_unique<LoopInfo>(f, dt);
+        ++NumLoopInfosComputed;
+    } else {
+        ++NumLoopInfoHits;
+    }
+    return *slot.loopinfo;
+}
+
+void
+AnalysisManager::invalidate(const Function &f,
+                            const PreservedAnalyses &pa)
+{
+    auto it = slots_.find(&f);
+    if (it == slots_.end())
+        return;
+    if (!pa.preserved(AnalysisID::DominatorTree))
+        it->second.domtree.reset();
+    if (!pa.preserved(AnalysisID::LoopInfo))
+        it->second.loopinfo.reset();
+    if (!it->second.domtree && !it->second.loopinfo)
+        slots_.erase(it);
+}
+
+void
+AnalysisManager::invalidate(const Function &f)
+{
+    slots_.erase(&f);
+}
+
+void
+AnalysisManager::clear()
+{
+    slots_.clear();
+}
+
+bool
+AnalysisManager::isCached(const Function &f, AnalysisID id) const
+{
+    auto it = slots_.find(&f);
+    if (it == slots_.end())
+        return false;
+    switch (id) {
+      case AnalysisID::DominatorTree:
+        return it->second.domtree != nullptr;
+      case AnalysisID::LoopInfo:
+        return it->second.loopinfo != nullptr;
+    }
+    return false;
+}
+
+} // namespace llva

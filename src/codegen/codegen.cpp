@@ -3,7 +3,39 @@
 #include <set>
 #include <sstream>
 
+#include "support/statistic.h"
+
 namespace llva {
+
+namespace {
+
+// Named pipeline counters, surfaced by `-stats` and the bench
+// harness. All atomic: parallel translation increments them from
+// worker threads.
+Statistic NumFunctionsTranslated(
+    "codegen.functions_translated",
+    "Functions translated to machine code");
+Statistic NumInstructionsSelected(
+    "codegen.instructions_selected",
+    "Machine instructions produced by instruction selection");
+Statistic NumPhiCopies("codegen.phi_copies",
+                       "Copies inserted by phi elimination");
+Statistic NumSpills("codegen.spills",
+                    "Spill stores inserted by register allocation");
+Statistic NumReloads("codegen.reloads",
+                     "Reloads inserted by register allocation");
+Statistic NumBytesEmitted("codegen.bytes_emitted",
+                          "Native bytes produced by the encoder");
+
+StageTimer IselTime("translate.isel", "instruction selection");
+StageTimer PhiElimTime("translate.phi_elim", "phi elimination");
+StageTimer RegAllocTime("translate.regalloc",
+                        "register allocation");
+StageTimer FrameTime("translate.frame",
+                     "frame layout + prologue/epilogue");
+StageTimer EncodeTime("translate.encode", "byte encoding");
+
+} // namespace
 
 void
 finalizeFrame(MachineFunction &mf)
@@ -72,15 +104,35 @@ translateFunction(const Function &f, Target &target,
     auto mf =
         std::make_unique<MachineFunction>(&f, target.name());
 
-    target.select(f, *mf);
-    eliminatePhis(*mf, stats);
+    // This is the self-contained, re-entrant translation unit: it
+    // reads shared immutable IR and a stateless target, and writes
+    // only its own MachineFunction plus atomic counters — safe to
+    // run on any worker thread.
+    CodeGenStats local;
+    CodeGenStats *s = stats ? stats : &local;
+    CodeGenStats before = *s;
 
-    if (opts.allocator == CodeGenOptions::Allocator::Local)
-        allocateRegistersLocal(*mf, target, stats);
-    else
-        allocateRegistersLinearScan(*mf, target, opts.coalesce,
-                                    stats);
+    {
+        ScopedStageTimer t(IselTime);
+        target.select(f, *mf);
+    }
+    NumInstructionsSelected += mf->instructionCount();
 
+    {
+        ScopedStageTimer t(PhiElimTime);
+        eliminatePhis(*mf, s);
+    }
+
+    {
+        ScopedStageTimer t(RegAllocTime);
+        if (opts.allocator == CodeGenOptions::Allocator::Local)
+            allocateRegistersLocal(*mf, target, s);
+        else
+            allocateRegistersLinearScan(*mf, target, opts.coalesce,
+                                        s);
+    }
+
+    ScopedStageTimer t(FrameTime);
     // Save slots for callee-saved registers the allocator used, then
     // final frame layout, then the concrete prologue/epilogue.
     std::vector<unsigned> saved = usedCalleeSaved(*mf, target);
@@ -95,6 +147,11 @@ translateFunction(const Function &f, Target &target,
             mf->frame()[static_cast<size_t>(save_slots[i])].offset);
     target.insertPrologueEpilogue(*mf, saved_offsets);
     elideFallthroughJumps(*mf);
+
+    ++NumFunctionsTranslated;
+    NumPhiCopies += s->phiCopiesInserted - before.phiCopiesInserted;
+    NumSpills += s->spillsInserted - before.spillsInserted;
+    NumReloads += s->reloadsInserted - before.reloadsInserted;
     return mf;
 }
 
@@ -130,6 +187,7 @@ elideFallthroughJumps(MachineFunction &mf)
 std::vector<uint8_t>
 encodeFunction(const MachineFunction &mf, const Target &target)
 {
+    ScopedStageTimer t(EncodeTime);
     std::vector<uint8_t> bytes;
     for (const auto &mbb : mf.blocks()) {
         for (const auto &mi : mbb->instrs()) {
@@ -137,6 +195,7 @@ encodeFunction(const MachineFunction &mf, const Target &target)
             bytes.insert(bytes.end(), enc.begin(), enc.end());
         }
     }
+    NumBytesEmitted += bytes.size();
     return bytes;
 }
 

@@ -3,9 +3,22 @@
 #include "bytecode/bytecode.h"
 #include "llee/mcode_io.h"
 #include "support/hashing.h"
+#include "support/statistic.h"
 #include "support/timer.h"
 
 namespace llva {
+
+namespace {
+
+Statistic NumCacheHits("llee.cache_hits",
+                       "Cached translations loaded from storage");
+Statistic NumCacheMisses("llee.cache_misses",
+                         "Functions with no valid cached translation");
+Statistic NumOfflineTranslations(
+    "llee.offline_translations",
+    "Functions translated during idle-time offline translation");
+
+} // namespace
 
 LLEE::LLEE(Target &target, StorageAPI *storage, CodeGenOptions opts)
     : target_(target), storage_(storage), opts_(opts)
@@ -23,6 +36,17 @@ LLEE::programKey(const std::vector<uint8_t> &bytecode)
     return buf;
 }
 
+std::string
+LLEE::translationKey(const std::string &programKey,
+                     const Function &f, const Target &target,
+                     const CodeGenOptions &opts)
+{
+    return programKey + "." + f.name() + "." + target.name() + "." +
+           (opts.allocator == CodeGenOptions::Allocator::Local
+                ? "local"
+                : "lscan");
+}
+
 LLEEResult
 LLEE::execute(const std::vector<uint8_t> &bytecode,
               const std::string &entry,
@@ -33,35 +57,43 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     // The module hash keys every cached artifact, which makes the
     // paper's timestamp check a content-validity check: a stale
     // translation simply never matches the new key.
-    std::string key = programKey(bytecode);
+    std::string progKey = programKey(bytecode);
     std::unique_ptr<Module> m = readBytecode(bytecode);
 
     CodeManager cm(target_, opts_);
 
     // Look for cached translations of every defined function.
+    std::vector<const Function *> missing;
     for (const auto &f : m->functions()) {
         if (f->isDeclaration())
             continue;
         if (!storage_) {
             ++result.cacheMisses;
+            ++NumCacheMisses;
+            missing.push_back(f.get());
             continue;
         }
-        std::string name = key + "." + f->name() + "." +
-                           target_.name() + "." +
-                           (opts_.allocator ==
-                                    CodeGenOptions::Allocator::Local
-                                ? "local"
-                                : "lscan");
+        std::string name = key(progKey, *f);
         std::vector<uint8_t> cached;
         if (storage_->read(kCacheName, name, cached) &&
             storage_->timestamp(kCacheName, name) != 0) {
             cm.install(f.get(),
                        readMachineFunction(cached, *m, f.get()));
             ++result.cacheHits;
+            ++NumCacheHits;
         } else {
             ++result.cacheMisses;
+            ++NumCacheMisses;
+            missing.push_back(f.get());
         }
     }
+
+    // With multiple workers, translate all cache misses eagerly
+    // before execution starts (batch "online translation"); serially
+    // we keep the lazy on-demand JIT behaviour, where unused code is
+    // never translated.
+    if (jobs_ > 1)
+        cm.translate(missing, jobs_);
 
     ExecutionContext ctx(*m);
     MachineSimulator sim(ctx, cm);
@@ -76,16 +108,12 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     result.functionsTranslatedOnline = cm.functionsTranslated();
     result.onlineTranslateSeconds = cm.totalTranslateSeconds();
 
-    // Write back any translations produced online.
+    // Write back any translations produced online, in module order.
     if (storage_) {
         for (const auto &f : m->functions()) {
             if (f->isDeclaration() || !cm.has(f.get()))
                 continue;
-            std::string name =
-                key + "." + f->name() + "." + target_.name() + "." +
-                (opts_.allocator == CodeGenOptions::Allocator::Local
-                     ? "local"
-                     : "lscan");
+            std::string name = key(progKey, *f);
             if (storage_->timestamp(kCacheName, name) == 0)
                 storage_->write(
                     kCacheName, name,
@@ -100,26 +128,36 @@ LLEE::offlineTranslate(const std::vector<uint8_t> &bytecode)
 {
     if (!storage_)
         return 0;
-    std::string key = programKey(bytecode);
+    std::string progKey = programKey(bytecode);
     std::unique_ptr<Module> m = readBytecode(bytecode);
 
-    CodeManager cm(target_, opts_);
-    size_t translated = 0;
+    // Incremental retranslation (Section 4.2): entries whose storage
+    // timestamp is already set are current — the content hash in the
+    // key guarantees it — and are skipped.
+    std::vector<const Function *> pending;
+    std::vector<std::string> names;
     for (const auto &f : m->functions()) {
         if (f->isDeclaration())
             continue;
-        std::string name =
-            key + "." + f->name() + "." + target_.name() + "." +
-            (opts_.allocator == CodeGenOptions::Allocator::Local
-                 ? "local"
-                 : "lscan");
+        std::string name = key(progKey, *f);
         if (storage_->timestamp(kCacheName, name) != 0)
             continue; // already translated and current
-        storage_->write(kCacheName, name,
-                        writeMachineFunction(*cm.get(f.get())));
-        ++translated;
+        pending.push_back(f.get());
+        names.push_back(std::move(name));
     }
-    return translated;
+    if (pending.empty())
+        return 0;
+
+    CodeManager cm(target_, opts_);
+    cm.translate(pending, jobs_);
+
+    // Serial write-back in module order: storage sees the same
+    // sequence of writes whether translation ran on 1 thread or N.
+    for (size_t i = 0; i < pending.size(); ++i)
+        storage_->write(kCacheName, names[i],
+                        writeMachineFunction(*cm.get(pending[i])));
+    NumOfflineTranslations += pending.size();
+    return pending.size();
 }
 
 bool

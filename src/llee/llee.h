@@ -49,6 +49,14 @@ class LLEE
          CodeGenOptions opts = {});
 
     /**
+     * Worker threads for translation (default 1 = serial). Parallel
+     * and serial translation produce byte-identical machine code;
+     * only the wall-clock cost changes.
+     */
+    void setJobs(unsigned jobs) { jobs_ = jobs ? jobs : 1; }
+    unsigned jobs() const { return jobs_; }
+
+    /**
      * Load a virtual executable (bytecode), then run \p entry.
      * Cached translations are used when valid; new translations are
      * written back if storage is available.
@@ -71,12 +79,32 @@ class LLEE
     /** Cache key prefix for a program (content hash). */
     static std::string programKey(const std::vector<uint8_t> &bytecode);
 
+    /**
+     * Storage name of one function's cached translation:
+     * "<program>.<function>.<target>.<allocator>". Every lookup and
+     * write-back uses this single helper, so the key scheme cannot
+     * silently drift between the read, write-back, and offline
+     * paths.
+     */
+    static std::string translationKey(const std::string &programKey,
+                                      const Function &f,
+                                      const Target &target,
+                                      const CodeGenOptions &opts);
+
   private:
     static constexpr const char *kCacheName = "llee-native-cache";
+
+    /** translationKey against this environment's target/options. */
+    std::string key(const std::string &programKey,
+                    const Function &f) const
+    {
+        return translationKey(programKey, f, target_, opts_);
+    }
 
     Target &target_;
     StorageAPI *storage_;
     CodeGenOptions opts_;
+    unsigned jobs_ = 1;
 };
 
 } // namespace llva

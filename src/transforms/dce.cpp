@@ -38,8 +38,8 @@ class DCE : public FunctionPass
   public:
     const char *name() const override { return "dce"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         bool changed = false;
         bool local_change = true;
@@ -57,7 +57,10 @@ class DCE : public FunctionPass
                 }
             }
         }
-        return changed;
+        // Deleting dead non-terminators never reshapes the CFG.
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::all())
+                   : PassResult::unchanged();
     }
 };
 
@@ -66,8 +69,8 @@ class ADCE : public FunctionPass
   public:
     const char *name() const override { return "adce"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         std::set<Instruction *> live;
         std::vector<Instruction *> work;
@@ -107,7 +110,9 @@ class ADCE : public FunctionPass
                 changed = true;
             }
         }
-        return changed;
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::all())
+                   : PassResult::unchanged();
     }
 };
 

@@ -73,14 +73,18 @@ class GVN : public FunctionPass
   public:
     const char *name() const override { return "gvn"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &am) override
     {
         changed_ = false;
-        DominatorTree dt(f);
+        DominatorTree &dt = am.dominators(f);
         BasicAliasAnalysis aa(*f.parent());
         processBlock(f.entryBlock(), dt, aa);
-        return changed_;
+        if (!changed_)
+            return PassResult::unchanged();
+        // Only pure instructions and redundant loads are deleted;
+        // the block structure is untouched.
+        return PassResult::modified(PreservedAnalyses::all());
     }
 
   private:

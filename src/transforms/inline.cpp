@@ -24,8 +24,8 @@ class Inliner : public ModulePass
 
     const char *name() const override { return "inline"; }
 
-    bool
-    run(Module &m) override
+    PassResult
+    run(Module &m, AnalysisManager &) override
     {
         CallGraph cg(m);
         bool changed = false;
@@ -33,7 +33,11 @@ class Inliner : public ModulePass
             Function *f = const_cast<Function *>(cf);
             changed |= processFunction(*f, cg);
         }
-        return changed;
+        // Inlining splices callee blocks into callers: the callers'
+        // CFGs change shape.
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::none())
+                   : PassResult::unchanged();
     }
 
   private:

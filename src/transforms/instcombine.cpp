@@ -49,8 +49,8 @@ class InstCombine : public FunctionPass
   public:
     const char *name() const override { return "instcombine"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         mod_ = f.parent();
         bool changed = false;
@@ -67,7 +67,11 @@ class InstCombine : public FunctionPass
                 }
             }
         }
-        return changed;
+        // Peepholes rewrite instructions in place; the CFG (and so
+        // dominators and loops) is preserved.
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::all())
+                   : PassResult::unchanged();
     }
 
   private:

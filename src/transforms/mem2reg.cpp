@@ -43,8 +43,8 @@ class Mem2Reg : public FunctionPass
   public:
     const char *name() const override { return "mem2reg"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &am) override
     {
         std::vector<AllocaInst *> allocas;
         for (auto &inst : *f.entryBlock())
@@ -52,12 +52,14 @@ class Mem2Reg : public FunctionPass
                 if (isPromotable(ai))
                     allocas.push_back(ai);
         if (allocas.empty())
-            return false;
+            return PassResult::unchanged();
 
-        DominatorTree dt(f);
+        DominatorTree &dt = am.dominators(f);
         for (AllocaInst *ai : allocas)
             promote(f, dt, ai);
-        return true;
+        // Promotion rewrites instructions but never blocks or
+        // edges: every CFG-derived analysis survives.
+        return PassResult::modified(PreservedAnalyses::all());
     }
 
   private:

@@ -1,35 +1,139 @@
 #include "transforms/pass.h"
 
+#include <algorithm>
+
+#include "support/statistic.h"
+#include "support/timer.h"
 #include "verifier/verifier.h"
 
 namespace llva {
 
+namespace {
+
+Statistic NumPassRuns("pass.applications",
+                      "Individual pass applications (pass x unit)");
+Statistic NumPassChanges("pass.changes",
+                         "Pass applications that modified the IR");
+
+} // namespace
+
 bool
 PassManager::run(Module &m)
 {
+    AnalysisManager am;
+    return run(m, am);
+}
+
+void
+PassManager::verifyAfter(Module &m, const Entry &e)
+{
+    VerifyResult r = verifyModule(m);
+    if (!r.ok())
+        fatal("verification failed after pass '%s':\n%s", e.name(),
+              r.str().c_str());
+}
+
+bool
+PassManager::run(Module &m, AnalysisManager &am)
+{
     changed_.clear();
+    timings_.clear();
+    timings_.resize(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i)
+        timings_[i].name = entries_[i].name();
+
+    size_t i = 0;
+    while (i < entries_.size()) {
+        if (entries_[i].mp) {
+            Entry &e = entries_[i];
+            Timer t;
+            PassResult r = e.mp->run(m, am);
+            timings_[i].seconds += t.seconds();
+            timings_[i].invocations += 1;
+            ++NumPassRuns;
+            if (r.changed) {
+                timings_[i].changed = true;
+                ++NumPassChanges;
+                // Interprocedural rewrites can touch any function;
+                // drop every cached analysis.
+                am.clear();
+            }
+            if (verifyEach_)
+                verifyAfter(m, e);
+            ++i;
+            continue;
+        }
+
+        // A stage: the maximal run of consecutive function passes.
+        // Drive it function-major so analyses computed for a
+        // function stay cached across the whole stage.
+        size_t stageEnd = i;
+        while (stageEnd < entries_.size() && entries_[stageEnd].fp)
+            ++stageEnd;
+
+        for (auto &f : m.functions()) {
+            if (f->isDeclaration())
+                continue;
+            for (size_t k = i; k < stageEnd; ++k) {
+                Entry &e = entries_[k];
+                Timer t;
+                PassResult r = e.fp->run(*f, am);
+                timings_[k].seconds += t.seconds();
+                timings_[k].invocations += 1;
+                ++NumPassRuns;
+                if (r.changed) {
+                    timings_[k].changed = true;
+                    ++NumPassChanges;
+                    am.invalidate(*f, r.preserved);
+                }
+                if (verifyEach_)
+                    verifyAfter(m, e);
+            }
+        }
+        i = stageEnd;
+    }
+
     bool any = false;
-    for (auto &e : entries_) {
-        bool changed = false;
-        if (e.mp) {
-            changed = e.mp->run(m);
-        } else {
-            for (auto &f : m.functions())
-                if (!f->isDeclaration())
-                    changed |= e.fp->run(*f);
-        }
-        if (changed)
-            changed_.push_back(e.mp ? e.mp->name() : e.fp->name());
-        any |= changed;
-        if (verifyEach_) {
-            VerifyResult r = verifyModule(m);
-            if (!r.ok())
-                fatal("verification failed after pass '%s':\n%s",
-                      e.mp ? e.mp->name() : e.fp->name(),
-                      r.str().c_str());
-        }
+    for (const PassTiming &t : timings_) {
+        if (!t.changed)
+            continue;
+        changed_.push_back(t.name);
+        any = true;
     }
     return any;
+}
+
+std::string
+PassManager::timingReport() const
+{
+    std::vector<const PassTiming *> rows;
+    double total = 0;
+    for (const PassTiming &t : timings_) {
+        rows.push_back(&t);
+        total += t.seconds;
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const PassTiming *a, const PassTiming *b) {
+                  return a->seconds > b->seconds;
+              });
+
+    std::string out = "=== Pass timings ===\n";
+    for (const PassTiming *t : rows) {
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "%10.3f ms  %5.1f%%  %-14s %zu applications%s\n",
+            t->seconds * 1000.0,
+            total > 0 ? 100.0 * t->seconds / total : 0.0,
+            t->name.c_str(), t->invocations,
+            t->changed ? "  (changed)" : "");
+        out += line;
+    }
+    char line[64];
+    std::snprintf(line, sizeof(line), "%10.3f ms  total\n",
+                  total * 1000.0);
+    out += line;
+    return out;
 }
 
 void

@@ -4,6 +4,14 @@
  * object code at compile-, link-, install-, run-, or idle-time
  * (paper Section 4.2's four optimization opportunities all operate
  * on this same representation).
+ *
+ * The pipeline is staged and per-function: consecutive function
+ * passes form a stage that is driven function-at-a-time over a
+ * shared AnalysisManager, so an analysis computed by one pass
+ * (e.g. the dominator tree mem2reg builds) is still hot when the
+ * next pass asks for it. Every pass reports what it preserved; the
+ * manager invalidates exactly the rest. Module passes are stage
+ * barriers.
  */
 
 #ifndef LLVA_TRANSFORMS_PASS_H
@@ -13,9 +21,36 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "ir/module.h"
 
 namespace llva {
+
+/**
+ * What one pass application did: whether the IR changed, and which
+ * cached analyses survived. The two are independent — GVN deletes
+ * instructions (changed) without touching the CFG (dominators
+ * preserved), while a no-op SimplifyCFG run preserves everything.
+ */
+struct PassResult
+{
+    bool changed = false;
+    PreservedAnalyses preserved = PreservedAnalyses::all();
+
+    /** IR untouched; everything stays cached. */
+    static PassResult
+    unchanged()
+    {
+        return {false, PreservedAnalyses::all()};
+    }
+
+    /** IR changed; \p pa says what is still valid. */
+    static PassResult
+    modified(PreservedAnalyses pa)
+    {
+        return {true, pa};
+    }
+};
 
 /** A transformation applied to one function at a time. */
 class FunctionPass
@@ -23,8 +58,13 @@ class FunctionPass
   public:
     virtual ~FunctionPass() = default;
 
-    /** Returns true if the function was modified. */
-    virtual bool run(Function &f) = 0;
+    /**
+     * Transform \p f, taking analyses from \p am instead of
+     * computing them locally. Implementations must not claim to
+     * preserve an analysis they invalidated (the verifying pass
+     * manager cross-checks this in tests).
+     */
+    virtual PassResult run(Function &f, AnalysisManager &am) = 0;
 
     virtual const char *name() const = 0;
 };
@@ -35,15 +75,29 @@ class ModulePass
   public:
     virtual ~ModulePass() = default;
 
-    virtual bool run(Module &m) = 0;
+    virtual PassResult run(Module &m, AnalysisManager &am) = 0;
 
     virtual const char *name() const = 0;
 };
 
+/** Wall-clock cost of one pipeline entry across the last run. */
+struct PassTiming
+{
+    std::string name;
+    double seconds = 0;
+    /** Individual applications (functions visited, or 1 per module
+     *  pass). */
+    size_t invocations = 0;
+    bool changed = false;
+};
+
 /**
- * Runs a sequence of passes. Function passes are applied to every
- * defined function; module passes to the whole module. Optionally
- * verifies after each pass (used heavily in tests).
+ * Runs a sequence of passes as a staged per-function pipeline.
+ * Consecutive function passes are applied function-major (all
+ * stage passes to one function before moving to the next) so the
+ * AnalysisManager cache stays hot; module passes act as barriers
+ * and flush the cache when they change anything. Optionally
+ * verifies after each pass application (used heavily in tests).
  */
 class PassManager
 {
@@ -65,20 +119,42 @@ class PassManager
     /** Run all passes; returns true if anything changed. */
     bool run(Module &m);
 
+    /** Run with an external AnalysisManager (tests, pipelining). */
+    bool run(Module &m, AnalysisManager &am);
+
     /** Names of passes that reported changes in the last run. */
     const std::vector<std::string> &changedPasses() const
     {
         return changed_;
     }
 
+    /** Per-pass wall-clock timing of the last run, pipeline order. */
+    const std::vector<PassTiming> &timings() const
+    {
+        return timings_;
+    }
+
+    /** The `-time-passes` report for the last run. */
+    std::string timingReport() const;
+
   private:
     struct Entry
     {
         std::unique_ptr<FunctionPass> fp;
         std::unique_ptr<ModulePass> mp;
+
+        const char *
+        name() const
+        {
+            return fp ? fp->name() : mp->name();
+        }
     };
+
+    void verifyAfter(Module &m, const Entry &e);
+
     std::vector<Entry> entries_;
     std::vector<std::string> changed_;
+    std::vector<PassTiming> timings_;
     bool verifyEach_ = false;
 };
 

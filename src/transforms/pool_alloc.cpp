@@ -32,12 +32,12 @@ class PoolAllocation : public ModulePass
   public:
     const char *name() const override { return "poolalloc"; }
 
-    bool
-    run(Module &m) override
+    PassResult
+    run(Module &m, AnalysisManager &) override
     {
         Function *mallocFn = m.getFunction("malloc");
         if (!mallocFn)
-            return false;
+            return PassResult::unchanged();
         Function *freeFn = m.getFunction("free");
 
         SteensgaardAnalysis dsa(m);
@@ -58,7 +58,7 @@ class PoolAllocation : public ModulePass
             }
         }
         if (classes.empty())
-            return false;
+            return PassResult::unchanged();
 
         TypeContext &tc = m.types();
         auto *bytePtr = tc.pointerTo(tc.ubyteTy());
@@ -123,7 +123,10 @@ class PoolAllocation : public ModulePass
                 call, std::unique_ptr<Instruction>(repl));
             call->eraseFromParent();
         }
-        return true;
+        // Call rewriting keeps every CFG intact, but as a module
+        // pass the conservative contract (manager-wide flush on
+        // change) applies anyway.
+        return PassResult::modified(PreservedAnalyses::all());
     }
 };
 

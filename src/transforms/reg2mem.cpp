@@ -20,8 +20,8 @@ class Reg2Mem : public FunctionPass
   public:
     const char *name() const override { return "reg2mem"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         std::vector<PhiNode *> phis;
         for (auto &bb : f)
@@ -42,7 +42,7 @@ class Reg2Mem : public FunctionPass
                     phis.push_back(phi);
             }
         if (phis.empty())
-            return false;
+            return PassResult::unchanged();
 
         BasicBlock *entry = f.entryBlock();
         for (PhiNode *phi : phis) {
@@ -70,7 +70,8 @@ class Reg2Mem : public FunctionPass
             phi->replaceAllUsesWith(load);
             phi->eraseFromParent();
         }
-        return true;
+        // Demotion adds allocas/loads/stores but no blocks.
+        return PassResult::modified(PreservedAnalyses::all());
     }
 };
 

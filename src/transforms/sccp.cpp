@@ -29,8 +29,8 @@ class SCCP : public FunctionPass
   public:
     const char *name() const override { return "sccp"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         values_.clear();
         executableBlocks_.clear();
@@ -85,7 +85,11 @@ class SCCP : public FunctionPass
                 }
             }
         }
-        return changed;
+        // SCCP proves constants but leaves branch folding to
+        // SimplifyCFG, so the block graph is intact.
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::all())
+                   : PassResult::unchanged();
     }
 
   private:

@@ -32,8 +32,8 @@ class SimplifyCFG : public FunctionPass
   public:
     const char *name() const override { return "simplifycfg"; }
 
-    bool
-    run(Function &f) override
+    PassResult
+    run(Function &f, AnalysisManager &) override
     {
         bool changed = false;
         bool local = true;
@@ -45,7 +45,11 @@ class SimplifyCFG : public FunctionPass
             local |= simplifyTrivialPhis(f);
             changed |= local;
         }
-        return changed;
+        // Any change here is a CFG change: blocks were deleted or
+        // merged, so cached dominators and loops are stale.
+        return changed
+                   ? PassResult::modified(PreservedAnalyses::none())
+                   : PassResult::unchanged();
     }
 
   private:

@@ -1,5 +1,6 @@
 #include "vm/code_manager.h"
 
+#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace llva {
@@ -32,12 +33,52 @@ CodeManager::invalidate(const Function *f)
     cache_.erase(f);
 }
 
-void
-CodeManager::translateAll(const Module &m)
+size_t
+CodeManager::translate(const std::vector<const Function *> &fns,
+                       unsigned jobs)
 {
+    std::vector<const Function *> work;
+    for (const Function *f : fns)
+        if (f && !f->isDeclaration() && !cache_.count(f))
+            work.push_back(f);
+    if (work.empty())
+        return 0;
+
+    // Workers fill index-addressed slots; nothing shared is
+    // mutated until the serial install loop below.
+    std::vector<std::unique_ptr<MachineFunction>> results(
+        work.size());
+    std::vector<CodeGenStats> stats(work.size());
+    std::vector<double> seconds(work.size(), 0.0);
+    parallelFor(work.size(), jobs, [&](size_t i) {
+        Timer timer;
+        results[i] =
+            translateFunction(*work[i], target_, opts_, &stats[i]);
+        seconds[i] = timer.seconds();
+    });
+
+    for (size_t i = 0; i < work.size(); ++i) {
+        cache_[work[i]] = std::move(results[i]);
+        ++translated_;
+        // Aggregate translator time: the sum of per-function costs,
+        // not elapsed wall time (matching the serial accounting).
+        seconds_ += seconds[i];
+        stats_.phiCopiesInserted += stats[i].phiCopiesInserted;
+        stats_.phiCopiesCoalesced += stats[i].phiCopiesCoalesced;
+        stats_.spillsInserted += stats[i].spillsInserted;
+        stats_.reloadsInserted += stats[i].reloadsInserted;
+    }
+    return work.size();
+}
+
+void
+CodeManager::translateAll(const Module &m, unsigned jobs)
+{
+    std::vector<const Function *> fns;
     for (const auto &f : m.functions())
         if (!f->isDeclaration())
-            get(f.get());
+            fns.push_back(f.get());
+    translate(fns, jobs);
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "codegen/codegen.h"
 
@@ -43,8 +44,19 @@ class CodeManager
     /** Drop a translation (SMC invalidation). */
     void invalidate(const Function *f);
 
+    /**
+     * Translate every not-yet-cached function in \p fns on up to
+     * \p jobs threads. Declarations and cached entries are skipped.
+     * Each translation is an independent, re-entrant unit; results
+     * are installed serially in input order afterwards, so the
+     * cache contents (and all downstream byte output) are identical
+     * for any \p jobs. Returns the number translated.
+     */
+    size_t translate(const std::vector<const Function *> &fns,
+                     unsigned jobs = 1);
+
     /** Eagerly translate every defined function in \p m. */
-    void translateAll(const Module &m);
+    void translateAll(const Module &m, unsigned jobs = 1);
 
     /** Install an externally produced translation (LLEE cache). */
     void install(const Function *f,

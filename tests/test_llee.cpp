@@ -193,6 +193,40 @@ TEST(LLEE, OfflineTranslationPrimesTheCache)
     EXPECT_EQ(run.functionsTranslatedOnline, 0u);
 }
 
+TEST(LLEE, OfflineTranslationSkipsCurrentEntries)
+{
+    // Regression test for §4.2 incremental retranslation: an entry
+    // whose storage timestamp is already set is current (the content
+    // hash in its key guarantees validity) and must be skipped, not
+    // retranslated or overwritten.
+    auto bc = program();
+    auto m = readBytecode(bc);
+    MemoryStorage storage;
+    Target &t = *getTarget("sparc");
+    LLEE llee(t, &storage);
+
+    // Pre-populate main's slot with sentinel bytes; its timestamp is
+    // now nonzero, so offline translation must leave it alone.
+    std::string mainKey = LLEE::translationKey(
+        LLEE::programKey(bc), *m->getFunction("main"), t, {});
+    std::vector<uint8_t> sentinel = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_TRUE(storage.createCache("llee-native-cache"));
+    ASSERT_TRUE(storage.write("llee-native-cache", mainKey, sentinel));
+    uint64_t stamp = storage.timestamp("llee-native-cache", mainKey);
+    ASSERT_NE(stamp, 0u);
+
+    // Only %helper is missing, so exactly one function translates.
+    EXPECT_EQ(llee.offlineTranslate(bc), 1u);
+
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(storage.read("llee-native-cache", mainKey, back));
+    EXPECT_EQ(back, sentinel); // untouched
+    EXPECT_EQ(storage.timestamp("llee-native-cache", mainKey), stamp);
+
+    // A second pass now finds every entry current and does nothing.
+    EXPECT_EQ(llee.offlineTranslate(bc), 0u);
+}
+
 TEST(LLEE, ModifiedProgramMissesStaleCache)
 {
     MemoryStorage storage;

@@ -26,6 +26,8 @@
 #include "codegen/codegen.h"
 #include "llee/llee.h"
 #include "parser/parser.h"
+#include "support/statistic.h"
+#include "support/thread_pool.h"
 #include "transforms/pass.h"
 #include "verifier/verifier.h"
 #include "vm/interpreter.h"
@@ -41,12 +43,28 @@ usage()
   llva-as  <input.llva> -o <out.bc>         assemble text to object code
   llva-dis <input.bc>  [-o <out.llva>]      disassemble object code
   llva-opt <input.bc>  -O<0|1|2> -o <out.bc> optimize object code
+                       [-time-passes] [-stats]
   llva-run <input.bc>  [--target x86|sparc] [--cache DIR] [--interp]
-                       [--entry NAME]        execute under LLEE
+                       [--entry NAME] [-j N] [-stats]
+                                             execute under LLEE
   llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
-                       [--no-coalesce]       print machine code
+                       [--no-coalesce] [-j N] [-stats]
+                                             print machine code
+
+  -j N          translate with N worker threads (0 = all cores);
+                parallel output is byte-identical to serial
+  -stats        print pipeline statistic counters to stderr
+  -time-passes  print per-pass wall-clock timing to stderr
 )");
     std::exit(2);
+}
+
+/** Parse `-j N`-style worker counts (0 means every core). */
+unsigned
+parseJobs(const std::string &arg)
+{
+    unsigned n = static_cast<unsigned>(std::stoul(arg));
+    return n == 0 ? defaultJobs() : n;
 }
 
 std::string
@@ -139,9 +157,14 @@ toolOpt(const std::vector<std::string> &args)
 {
     std::string input, output;
     unsigned level = 2;
+    bool timePasses = false, printStats = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "-o" && i + 1 < args.size())
             output = args[++i];
+        else if (args[i] == "-time-passes")
+            timePasses = true;
+        else if (args[i] == "-stats")
+            printStats = true;
         else if (args[i].rfind("-O", 0) == 0)
             level = static_cast<unsigned>(
                 std::stoul(args[i].substr(2)));
@@ -164,6 +187,10 @@ toolOpt(const std::vector<std::string> &args)
     for (const auto &p : pm.changedPasses())
         std::printf(" %s", p.c_str());
     std::printf("\n");
+    if (timePasses)
+        std::fputs(pm.timingReport().c_str(), stderr);
+    if (printStats)
+        std::fputs(stats::report().c_str(), stderr);
     return 0;
 }
 
@@ -171,7 +198,8 @@ int
 toolRun(const std::vector<std::string> &args)
 {
     std::string input, target = "sparc", cache, entry = "main";
-    bool interp = false;
+    bool interp = false, printStats = false;
+    unsigned jobs = 1;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
             target = args[++i];
@@ -181,6 +209,10 @@ toolRun(const std::vector<std::string> &args)
             entry = args[++i];
         else if (args[i] == "--interp")
             interp = true;
+        else if (args[i] == "-j" && i + 1 < args.size())
+            jobs = parseJobs(args[++i]);
+        else if (args[i] == "-stats")
+            printStats = true;
         else
             input = args[i];
     }
@@ -209,6 +241,7 @@ toolRun(const std::vector<std::string> &args)
     if (!cache.empty())
         storage = std::make_unique<FileStorage>(cache);
     LLEE llee(*t, storage.get());
+    llee.setJobs(jobs);
     auto bytes = readFileBytes(input);
     if (!(bytes.size() >= 4 && bytes[0] == 'L'))
         bytes = writeBytecode(*loadModule(input));
@@ -221,6 +254,8 @@ toolRun(const std::vector<std::string> &args)
                  r.cacheHits, r.cacheMisses,
                  r.onlineTranslateSeconds * 1000.0,
                  (unsigned long long)r.machineInstructionsExecuted);
+    if (printStats)
+        std::fputs(stats::report().c_str(), stderr);
     if (r.exec.trap != TrapKind::None) {
         std::fprintf(stderr, "llva-run: trap: %s\n",
                      trapKindName(r.exec.trap));
@@ -234,6 +269,8 @@ toolTranslate(const std::vector<std::string> &args)
 {
     std::string input, target = "sparc";
     CodeGenOptions opts;
+    unsigned jobs = 1;
+    bool printStats = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
             target = args[++i];
@@ -241,6 +278,10 @@ toolTranslate(const std::vector<std::string> &args)
             opts.allocator = CodeGenOptions::Allocator::Local;
         else if (args[i] == "--no-coalesce")
             opts.coalesce = false;
+        else if (args[i] == "-j" && i + 1 < args.size())
+            jobs = parseJobs(args[++i]);
+        else if (args[i] == "-stats")
+            printStats = true;
         else
             input = args[i];
     }
@@ -252,21 +293,41 @@ toolTranslate(const std::vector<std::string> &args)
     auto m = loadModule(input);
     verifyOrDie(*m);
 
-    size_t llva_total = 0, native_total = 0, bytes_total = 0;
-    for (const auto &f : m->functions()) {
-        if (f->isDeclaration())
-            continue;
-        auto mf = translateFunction(*f, *t, opts);
+    std::vector<const Function *> fns;
+    for (const auto &f : m->functions())
+        if (!f->isDeclaration())
+            fns.push_back(f.get());
+
+    // Translate on worker threads into index-addressed slots, then
+    // print serially in module order: `-j 8` output is
+    // byte-identical to `-j 1`.
+    struct Listing
+    {
+        std::string text;
+        size_t llvaCount = 0, nativeCount = 0, byteCount = 0;
+    };
+    std::vector<Listing> listings(fns.size());
+    parallelFor(fns.size(), jobs, [&](size_t i) {
+        const Function &f = *fns[i];
+        auto mf = translateFunction(f, *t, opts);
         auto enc = encodeFunction(*mf, *t);
-        std::fputs(machineFunctionToString(*mf, *t).c_str(),
-                   stdout);
+        Listing &l = listings[i];
+        l.text = machineFunctionToString(*mf, *t);
+        l.llvaCount = f.instructionCount();
+        l.nativeCount = mf->instructionCount();
+        l.byteCount = enc.size();
+    });
+
+    size_t llva_total = 0, native_total = 0, bytes_total = 0;
+    for (const Listing &l : listings) {
+        std::fputs(l.text.c_str(), stdout);
         std::printf("; %zu LLVA -> %zu %s instructions, %zu "
                     "bytes\n\n",
-                    f->instructionCount(), mf->instructionCount(),
-                    target.c_str(), enc.size());
-        llva_total += f->instructionCount();
-        native_total += mf->instructionCount();
-        bytes_total += enc.size();
+                    l.llvaCount, l.nativeCount, target.c_str(),
+                    l.byteCount);
+        llva_total += l.llvaCount;
+        native_total += l.nativeCount;
+        bytes_total += l.byteCount;
     }
     std::printf("total: %zu LLVA -> %zu %s instructions "
                 "(ratio %.2f), %zu bytes\n",
@@ -275,6 +336,8 @@ toolTranslate(const std::vector<std::string> &args)
                     ? static_cast<double>(native_total) / llva_total
                     : 0.0,
                 bytes_total);
+    if (printStats)
+        std::fputs(stats::report().c_str(), stderr);
     return 0;
 }
 
