@@ -23,6 +23,16 @@
  *   global variables  (name, type, flags, initializer)
  *   function table    (name, type, flags)
  *   function bodies   (constant pool + blocks of instruction words)
+ *   crc32 trailer     (4 bytes LE, over everything preceding it)
+ *
+ * Trust boundary: virtual object code is the *sole* persistent
+ * program representation (Section 3.1), so files cross an untrusted
+ * storage boundary on every load. The reader therefore (a) verifies
+ * the CRC-32 trailer before parsing a single record, (b) bounds-
+ * checks every declared count against the bytes actually remaining,
+ * and (c) reports malformed input as a recoverable Error rather
+ * than throwing, so an execution environment can degrade instead of
+ * dying.
  */
 
 #ifndef LLVA_BYTECODE_BYTECODE_H
@@ -34,17 +44,27 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "support/expected.h"
 
 namespace llva {
 
-/** Current bytecode format version. */
-constexpr uint8_t kBytecodeVersion = 1;
+/** Current bytecode format version (2 added the crc32 trailer). */
+constexpr uint8_t kBytecodeVersion = 2;
 
-/** Serialize \p m to virtual object code. */
+/** Bytes of the integrity trailer at the end of every object file. */
+constexpr size_t kBytecodeTrailerSize = 4;
+
+/** Serialize \p m to virtual object code (checksummed). */
 std::vector<uint8_t> writeBytecode(const Module &m);
 
-/** Deserialize a module; throws FatalError on malformed input. */
-std::unique_ptr<Module> readBytecode(const std::vector<uint8_t> &bytes);
+/**
+ * Deserialize a module. Malformed input — bad magic or version,
+ * checksum mismatch, truncation, any structurally invalid record —
+ * is reported as an Error; no exception escapes this API and no
+ * partial module is returned.
+ */
+Expected<std::unique_ptr<Module>>
+readBytecode(const std::vector<uint8_t> &bytes);
 
 /** Statistics about an encoded module (for the encoding ablation). */
 struct BytecodeStats

@@ -5,6 +5,7 @@
 #include "bytecode/bytecode.h"
 #include "ir/instructions.h"
 #include "support/byte_io.h"
+#include "support/hashing.h"
 
 namespace llva {
 
@@ -122,6 +123,10 @@ class ModuleWriter
         size_t globalEnd = out_.size();
         out_.writeBytes(funcTable.bytes().data(), funcTable.size());
         out_.writeBytes(bodies.bytes().data(), bodies.size());
+
+        // Integrity trailer: crc32 over every byte written so far.
+        // The reader verifies this before trusting any record.
+        out_.writeU32(crc32(out_.bytes()));
 
         if (stats) {
             stats->totalBytes = out_.size();

@@ -1,0 +1,140 @@
+#include "llee/envelope.h"
+
+#include "support/byte_io.h"
+#include "support/hashing.h"
+
+namespace llva {
+
+namespace {
+
+constexpr uint8_t kEnvelopeVersion = 1;
+constexpr char kMagic[4] = {'L', 'M', 'C', 'E'};
+constexpr size_t kCrcSize = 4;
+
+} // namespace
+
+std::vector<uint8_t>
+sealTranslation(const TranslationKey &key,
+                const std::vector<uint8_t> &payload)
+{
+    ByteWriter w;
+    for (char c : kMagic)
+        w.writeByte(static_cast<uint8_t>(c));
+    w.writeByte(kEnvelopeVersion);
+    w.writeU32(key.translatorVersion);
+    w.writeString(key.targetName);
+    w.writeByte(key.allocator);
+    w.writeByte(key.coalesce);
+    w.writeU64(key.sourceHash);
+    w.writeVaruint(payload.size());
+    w.writeBytes(payload.data(), payload.size());
+    w.writeU32(crc32(w.bytes()));
+    return w.takeBytes();
+}
+
+EnvelopeStatus
+openTranslation(const std::vector<uint8_t> &envelope,
+                const TranslationKey &expected,
+                std::vector<uint8_t> &payload)
+{
+    // Integrity first: a damaged entry must classify as Corrupt even
+    // if the damage happens to land in the compatibility key, so the
+    // CRC over the whole envelope is checked before any field is
+    // interpreted.
+    if (envelope.size() < sizeof(kMagic) + 1 + kCrcSize)
+        return EnvelopeStatus::Corrupt;
+    size_t body = envelope.size() - kCrcSize;
+    uint32_t stored = 0;
+    for (size_t i = 0; i < kCrcSize; ++i)
+        stored |= static_cast<uint32_t>(envelope[body + i]) << (8 * i);
+    if (crc32(envelope.data(), body) != stored)
+        return EnvelopeStatus::Corrupt;
+
+    try {
+        ByteReader r(envelope.data(), body);
+        for (char c : kMagic)
+            if (r.readByte() != static_cast<uint8_t>(c))
+                return EnvelopeStatus::Corrupt;
+        if (r.readByte() != kEnvelopeVersion)
+            return EnvelopeStatus::Incompatible;
+        uint32_t version = r.readU32();
+        std::string target = r.readString();
+        uint8_t allocator = r.readByte();
+        uint8_t coalesce = r.readByte();
+        uint64_t source = r.readU64();
+        if (version != expected.translatorVersion ||
+            target != expected.targetName ||
+            allocator != expected.allocator ||
+            coalesce != expected.coalesce)
+            return EnvelopeStatus::Incompatible;
+        if (source != expected.sourceHash)
+            return EnvelopeStatus::Stale;
+        uint64_t n = r.readVaruint();
+        if (n != r.remaining())
+            return EnvelopeStatus::Corrupt;
+        payload.resize(n);
+        r.readBytes(payload.data(), n);
+        return EnvelopeStatus::Ok;
+    } catch (const FatalError &) {
+        // Structurally impossible under a matching CRC unless the
+        // producer itself was broken; treat as corruption either way.
+        return EnvelopeStatus::Corrupt;
+    }
+}
+
+EnvelopeStatus
+inspectTranslation(const std::vector<uint8_t> &envelope,
+                   TranslationKey *key)
+{
+    if (envelope.size() < sizeof(kMagic) + 1 + kCrcSize)
+        return EnvelopeStatus::Corrupt;
+    size_t body = envelope.size() - kCrcSize;
+    uint32_t stored = 0;
+    for (size_t i = 0; i < kCrcSize; ++i)
+        stored |= static_cast<uint32_t>(envelope[body + i]) << (8 * i);
+    if (crc32(envelope.data(), body) != stored)
+        return EnvelopeStatus::Corrupt;
+
+    try {
+        ByteReader r(envelope.data(), body);
+        for (char c : kMagic)
+            if (r.readByte() != static_cast<uint8_t>(c))
+                return EnvelopeStatus::Corrupt;
+        if (r.readByte() != kEnvelopeVersion)
+            return EnvelopeStatus::Incompatible;
+        TranslationKey k;
+        k.translatorVersion = r.readU32();
+        k.targetName = r.readString();
+        k.allocator = r.readByte();
+        k.coalesce = r.readByte();
+        k.sourceHash = r.readU64();
+        uint64_t n = r.readVaruint();
+        if (n != r.remaining())
+            return EnvelopeStatus::Corrupt;
+        bool compatible = k.translatorVersion == kTranslatorVersion;
+        if (key)
+            *key = std::move(k);
+        return compatible ? EnvelopeStatus::Ok
+                          : EnvelopeStatus::Incompatible;
+    } catch (const FatalError &) {
+        return EnvelopeStatus::Corrupt;
+    }
+}
+
+const char *
+envelopeStatusName(EnvelopeStatus status)
+{
+    switch (status) {
+      case EnvelopeStatus::Ok:
+        return "ok";
+      case EnvelopeStatus::Corrupt:
+        return "corrupt";
+      case EnvelopeStatus::Incompatible:
+        return "incompatible";
+      case EnvelopeStatus::Stale:
+        return "stale";
+    }
+    return "?";
+}
+
+} // namespace llva

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Integrity envelope for cached native translations.
+ *
+ * A cached translation read back from OS storage (paper Section 4.1)
+ * is untrusted input: the file may be torn by a crash, flipped by a
+ * bad disk, produced by a different translator version, or produced
+ * for a different target or codegen configuration. Every entry is
+ * therefore wrapped in a versioned envelope carrying (a) a
+ * compatibility key identifying exactly which translator state
+ * produced it and which source bytecode it belongs to, and (b) a
+ * CRC-32 over the whole envelope. openTranslation() classifies an
+ * entry before a single payload byte is trusted:
+ *
+ *   Corrupt       damaged bytes (bad magic, short file, CRC mismatch)
+ *   Incompatible  intact, but from a different translator version,
+ *                 target, or codegen configuration
+ *   Stale         intact and compatible, but derived from different
+ *                 source bytecode
+ *   Ok            payload is exactly what a compatible translator
+ *                 wrote for this source
+ *
+ * Anything but Ok means "retranslate": the entry is evicted, a
+ * statistic is bumped, and execution proceeds as a cache miss.
+ *
+ * Layout (all integers little-endian; strings length-prefixed):
+ *   magic "LMCE" | envelope version u8
+ *   translator version u32 | target name | allocator u8 | coalesce u8
+ *   source hash u64 (fnv1a of the function name seeded with the
+ *                    fnv1a of the producing module's object code)
+ *   payload length varuint | payload bytes
+ *   crc32 u32 over every preceding byte
+ */
+
+#ifndef LLVA_LLEE_ENVELOPE_H
+#define LLVA_LLEE_ENVELOPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llva {
+
+/**
+ * Version of the translation pipeline whose output lives in the
+ * cache. Bump whenever the mcode serialization format or the
+ * semantics of translated code change; old entries then classify as
+ * Incompatible and are retranslated instead of misinterpreted.
+ */
+constexpr uint32_t kTranslatorVersion = 1;
+
+/** Identifies what produced a cached translation, and from what. */
+struct TranslationKey
+{
+    uint32_t translatorVersion = kTranslatorVersion;
+    std::string targetName;
+    uint8_t allocator = 0;
+    uint8_t coalesce = 0;
+    uint64_t sourceHash = 0;
+};
+
+enum class EnvelopeStatus { Ok, Corrupt, Incompatible, Stale };
+
+/** Wrap \p payload in an integrity envelope under \p key. */
+std::vector<uint8_t> sealTranslation(const TranslationKey &key,
+                                     const std::vector<uint8_t> &payload);
+
+/**
+ * Verify \p envelope against \p expected. On Ok, \p payload receives
+ * the enclosed bytes; on any other status \p payload is untouched
+ * and no byte of the entry should be trusted.
+ */
+EnvelopeStatus openTranslation(const std::vector<uint8_t> &envelope,
+                               const TranslationKey &expected,
+                               std::vector<uint8_t> &payload);
+
+/**
+ * Structural scan without a source program (llva-translate
+ * --verify-cache): Ok means the entry is intact and was produced by
+ * this translator version; staleness cannot be judged without the
+ * source bytecode and is not reported. \p key, when non-null,
+ * receives the embedded compatibility key of intact entries.
+ */
+EnvelopeStatus inspectTranslation(const std::vector<uint8_t> &envelope,
+                                  TranslationKey *key = nullptr);
+
+/** Human-readable status name (for tool output and logs). */
+const char *envelopeStatusName(EnvelopeStatus status);
+
+} // namespace llva
+
+#endif // LLVA_LLEE_ENVELOPE_H

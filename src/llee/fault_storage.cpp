@@ -1,0 +1,163 @@
+#include "llee/fault_storage.h"
+
+namespace llva {
+
+/** splitmix64: tiny, well-distributed, and fully deterministic. */
+uint64_t
+FaultInjectingStorage::next()
+{
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+bool
+FaultInjectingStorage::roll(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    // 53 random bits -> uniform double in [0, 1).
+    double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+/**
+ * Damage a payload the way real storage does: flip a bit, truncate
+ * (torn write / short read), zero a span (unwritten page), or
+ * append garbage (stale tail after a shrinking rewrite).
+ */
+void
+FaultInjectingStorage::damage(std::vector<uint8_t> &bytes)
+{
+    ++payloads_damaged_;
+    if (bytes.empty()) {
+        bytes.push_back(static_cast<uint8_t>(next()));
+        return;
+    }
+    switch (next() & 3) {
+      case 0: { // single bit flip
+        size_t pos = next() % bytes.size();
+        bytes[pos] ^= static_cast<uint8_t>(1u << (next() & 7));
+        break;
+      }
+      case 1: // truncation to a strict prefix
+        bytes.resize(next() % bytes.size());
+        break;
+      case 2: { // zeroed span
+        size_t pos = next() % bytes.size();
+        size_t len = 1 + next() % 16;
+        for (size_t i = pos; i < bytes.size() && i < pos + len; ++i)
+            bytes[i] = 0;
+        break;
+      }
+      default: { // appended garbage
+        size_t len = 1 + next() % 16;
+        for (size_t i = 0; i < len; ++i)
+            bytes.push_back(static_cast<uint8_t>(next()));
+        break;
+      }
+    }
+}
+
+bool
+FaultInjectingStorage::createCache(const std::string &cache)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return false;
+    }
+    return inner_.createCache(cache);
+}
+
+bool
+FaultInjectingStorage::deleteCache(const std::string &cache)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return false;
+    }
+    return inner_.deleteCache(cache);
+}
+
+uint64_t
+FaultInjectingStorage::cacheSize(const std::string &cache)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return UINT64_MAX;
+    }
+    return inner_.cacheSize(cache);
+}
+
+bool
+FaultInjectingStorage::write(const std::string &cache,
+                             const std::string &name,
+                             const std::vector<uint8_t> &bytes)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return false;
+    }
+    if (roll(config_.corruptRate)) {
+        // Torn write: damaged bytes land in storage, and the write
+        // still *reports success* — the worst case the integrity
+        // envelope exists to catch.
+        std::vector<uint8_t> torn = bytes;
+        damage(torn);
+        return inner_.write(cache, name, torn);
+    }
+    return inner_.write(cache, name, bytes);
+}
+
+bool
+FaultInjectingStorage::read(const std::string &cache,
+                            const std::string &name,
+                            std::vector<uint8_t> &bytes)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return false;
+    }
+    if (!inner_.read(cache, name, bytes))
+        return false;
+    if (roll(config_.corruptRate))
+        damage(bytes);
+    return true;
+}
+
+uint64_t
+FaultInjectingStorage::timestamp(const std::string &cache,
+                                 const std::string &name)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return 0;
+    }
+    return inner_.timestamp(cache, name);
+}
+
+bool
+FaultInjectingStorage::remove(const std::string &cache,
+                              const std::string &name)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return false;
+    }
+    return inner_.remove(cache, name);
+}
+
+std::vector<std::string>
+FaultInjectingStorage::list(const std::string &cache)
+{
+    if (roll(config_.failRate)) {
+        ++ops_failed_;
+        return {};
+    }
+    return inner_.list(cache);
+}
+
+} // namespace llva

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fault-injecting storage decorator for robustness testing.
+ *
+ * Wraps any StorageAPI and, driven by a seeded deterministic PRNG,
+ * makes operations fail outright or silently damages the payloads
+ * that flow through read() and write() — bit flips, truncations,
+ * zeroed spans, appended garbage, torn (partial) writes. This is the
+ * adversary the persistent-input boundary is hardened against:
+ * under any fault schedule LLEE must produce the same program output
+ * as with no storage at all, never crash, and never install a
+ * damaged translation (see DESIGN.md section 8).
+ *
+ * Determinism: the fault schedule is a pure function of the seed and
+ * the sequence of calls, so any failure a test run finds is
+ * reproducible by rerunning with the same seed.
+ */
+
+#ifndef LLVA_LLEE_FAULT_STORAGE_H
+#define LLVA_LLEE_FAULT_STORAGE_H
+
+#include "llee/storage.h"
+
+namespace llva {
+
+/** Probabilities and seed for a fault schedule. */
+struct FaultConfig
+{
+    uint64_t seed = 1;
+    /** Chance each operation reports failure (dead storage = 1.0). */
+    double failRate = 0.0;
+    /** Chance each payload crossing the API is damaged in place. */
+    double corruptRate = 0.0;
+};
+
+class FaultInjectingStorage : public StorageAPI
+{
+  public:
+    FaultInjectingStorage(StorageAPI &inner, FaultConfig config)
+        : inner_(inner), config_(config), state_(config.seed | 1)
+    {}
+
+    bool createCache(const std::string &cache) override;
+    bool deleteCache(const std::string &cache) override;
+    uint64_t cacheSize(const std::string &cache) override;
+    bool write(const std::string &cache, const std::string &name,
+               const std::vector<uint8_t> &bytes) override;
+    bool read(const std::string &cache, const std::string &name,
+              std::vector<uint8_t> &bytes) override;
+    uint64_t timestamp(const std::string &cache,
+                       const std::string &name) override;
+    bool remove(const std::string &cache,
+                const std::string &name) override;
+    std::vector<std::string> list(const std::string &cache) override;
+
+    /** Operations failed / payloads damaged so far (telemetry). */
+    size_t opsFailed() const { return ops_failed_; }
+    size_t payloadsDamaged() const { return payloads_damaged_; }
+
+  private:
+    uint64_t next();
+    bool roll(double p);
+    void damage(std::vector<uint8_t> &bytes);
+
+    StorageAPI &inner_;
+    FaultConfig config_;
+    uint64_t state_;
+    size_t ops_failed_ = 0;
+    size_t payloads_damaged_ = 0;
+};
+
+} // namespace llva
+
+#endif // LLVA_LLEE_FAULT_STORAGE_H

@@ -1,6 +1,7 @@
 #include "llee/llee.h"
 
 #include "bytecode/bytecode.h"
+#include "llee/envelope.h"
 #include "llee/mcode_io.h"
 #include "support/hashing.h"
 #include "support/statistic.h"
@@ -14,17 +15,51 @@ Statistic NumCacheHits("llee.cache_hits",
                        "Cached translations loaded from storage");
 Statistic NumCacheMisses("llee.cache_misses",
                          "Functions with no valid cached translation");
+Statistic NumCacheCorrupt(
+    "llee.cache_corrupt",
+    "Cached translations rejected: damaged bytes (checksum/decode)");
+Statistic NumCacheIncompatible(
+    "llee.cache_incompatible",
+    "Cached translations rejected: other translator/target/options");
+Statistic NumCacheStale(
+    "llee.cache_stale",
+    "Cached translations rejected: derived from different bytecode");
+Statistic NumCacheEvicted(
+    "llee.cache_evicted",
+    "Invalid cache entries deleted from storage");
+Statistic NumStorageFailures(
+    "llee.storage_failures",
+    "Storage API operations that failed (tolerated, non-fatal)");
 Statistic NumOfflineTranslations(
     "llee.offline_translations",
     "Functions translated during idle-time offline translation");
+
+/** The compatibility key this environment stamps on / expects from
+ *  every cache entry (see envelope.h). */
+TranslationKey
+compatKey(const Target &target, const CodeGenOptions &opts,
+          const std::string &fnName, uint64_t moduleHash)
+{
+    TranslationKey k;
+    k.targetName = target.name();
+    k.allocator = static_cast<uint8_t>(opts.allocator);
+    k.coalesce = opts.coalesce ? 1 : 0;
+    k.sourceHash =
+        fnv1a(reinterpret_cast<const uint8_t *>(fnName.data()),
+              fnName.size(), moduleHash);
+    return k;
+}
 
 } // namespace
 
 LLEE::LLEE(Target &target, StorageAPI *storage, CodeGenOptions opts)
     : target_(target), storage_(storage), opts_(opts)
 {
-    if (storage_)
-        storage_->createCache(kCacheName);
+    // Storage is strictly optional (paper Section 4.1); a cache that
+    // cannot even be created degrades every lookup to a miss and
+    // every write-back to a tolerated failure, never an error.
+    if (storage_ && !storage_->createCache(kCacheName))
+        ++NumStorageFailures;
 }
 
 std::string
@@ -57,31 +92,68 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     // The module hash keys every cached artifact, which makes the
     // paper's timestamp check a content-validity check: a stale
     // translation simply never matches the new key.
+    uint64_t moduleHash = fnv1a(bytecode);
     std::string progKey = programKey(bytecode);
-    std::unique_ptr<Module> m = readBytecode(bytecode);
+    std::unique_ptr<Module> m = readBytecode(bytecode).orDie();
 
     CodeManager cm(target_, opts_);
 
-    // Look for cached translations of every defined function.
+    // Look for cached translations of every defined function. An
+    // entry is installed only after it passes the full trust
+    // boundary: integrity envelope (checksum + compatibility key),
+    // structural decode, and validation against the current module.
+    // Anything less is evicted and counted, and execution proceeds
+    // as a plain cache miss.
     std::vector<const Function *> missing;
     for (const auto &f : m->functions()) {
         if (f->isDeclaration())
             continue;
-        if (!storage_) {
-            ++result.cacheMisses;
-            ++NumCacheMisses;
-            missing.push_back(f.get());
-            continue;
+        bool installed = false;
+        if (storage_) {
+            std::string name = key(progKey, *f);
+            std::vector<uint8_t> cached;
+            if (storage_->read(kCacheName, name, cached)) {
+                TranslationKey want = compatKey(target_, opts_,
+                                                f->name(), moduleHash);
+                std::vector<uint8_t> payload;
+                EnvelopeStatus st =
+                    openTranslation(cached, want, payload);
+                if (st == EnvelopeStatus::Ok) {
+                    auto mf = readMachineFunction(payload, *m, f.get());
+                    if (mf.ok()) {
+                        cm.install(f.get(), mf.take());
+                        installed = true;
+                        ++result.cacheHits;
+                        ++NumCacheHits;
+                    } else {
+                        // Sealed correctly but undecodable: damage
+                        // the checksum missed, or a buggy producer.
+                        st = EnvelopeStatus::Corrupt;
+                    }
+                }
+                if (!installed) {
+                    switch (st) {
+                      case EnvelopeStatus::Corrupt:
+                        ++NumCacheCorrupt;
+                        break;
+                      case EnvelopeStatus::Incompatible:
+                        ++NumCacheIncompatible;
+                        break;
+                      case EnvelopeStatus::Stale:
+                        ++NumCacheStale;
+                        break;
+                      case EnvelopeStatus::Ok:
+                        break;
+                    }
+                    ++result.cacheInvalid;
+                    if (storage_->remove(kCacheName, name))
+                        ++NumCacheEvicted;
+                    else
+                        ++NumStorageFailures;
+                }
+            }
         }
-        std::string name = key(progKey, *f);
-        std::vector<uint8_t> cached;
-        if (storage_->read(kCacheName, name, cached) &&
-            storage_->timestamp(kCacheName, name) != 0) {
-            cm.install(f.get(),
-                       readMachineFunction(cached, *m, f.get()));
-            ++result.cacheHits;
-            ++NumCacheHits;
-        } else {
+        if (!installed) {
             ++result.cacheMisses;
             ++NumCacheMisses;
             missing.push_back(f.get());
@@ -109,15 +181,19 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     result.onlineTranslateSeconds = cm.totalTranslateSeconds();
 
     // Write back any translations produced online, in module order.
+    // Failures are tolerated: the next run simply translates again.
     if (storage_) {
         for (const auto &f : m->functions()) {
             if (f->isDeclaration() || !cm.has(f.get()))
                 continue;
             std::string name = key(progKey, *f);
-            if (storage_->timestamp(kCacheName, name) == 0)
-                storage_->write(
-                    kCacheName, name,
-                    writeMachineFunction(*cm.get(f.get())));
+            if (storage_->timestamp(kCacheName, name) != 0)
+                continue; // valid entry already present
+            std::vector<uint8_t> sealed = sealTranslation(
+                compatKey(target_, opts_, f->name(), moduleHash),
+                writeMachineFunction(*cm.get(f.get())));
+            if (!storage_->write(kCacheName, name, sealed))
+                ++NumStorageFailures;
         }
     }
     return result;
@@ -128,12 +204,15 @@ LLEE::offlineTranslate(const std::vector<uint8_t> &bytecode)
 {
     if (!storage_)
         return 0;
+    uint64_t moduleHash = fnv1a(bytecode);
     std::string progKey = programKey(bytecode);
-    std::unique_ptr<Module> m = readBytecode(bytecode);
+    std::unique_ptr<Module> m = readBytecode(bytecode).orDie();
 
     // Incremental retranslation (Section 4.2): entries whose storage
     // timestamp is already set are current — the content hash in the
-    // key guarantees it — and are skipped.
+    // key guarantees it — and are skipped. Entries that turn out to
+    // be damaged anyway are caught at load time by execute()'s
+    // envelope check, evicted, and retranslated there.
     std::vector<const Function *> pending;
     std::vector<std::string> names;
     for (const auto &f : m->functions()) {
@@ -153,9 +232,13 @@ LLEE::offlineTranslate(const std::vector<uint8_t> &bytecode)
 
     // Serial write-back in module order: storage sees the same
     // sequence of writes whether translation ran on 1 thread or N.
-    for (size_t i = 0; i < pending.size(); ++i)
-        storage_->write(kCacheName, names[i],
-                        writeMachineFunction(*cm.get(pending[i])));
+    for (size_t i = 0; i < pending.size(); ++i) {
+        std::vector<uint8_t> sealed = sealTranslation(
+            compatKey(target_, opts_, pending[i]->name(), moduleHash),
+            writeMachineFunction(*cm.get(pending[i])));
+        if (!storage_->write(kCacheName, names[i], sealed))
+            ++NumStorageFailures;
+    }
     NumOfflineTranslations += pending.size();
     return pending.size();
 }

@@ -32,6 +32,9 @@ struct LLEEResult
     std::string output;
     size_t cacheHits = 0;
     size_t cacheMisses = 0;
+    /** Entries found but rejected (corrupt/incompatible/stale) and
+     *  evicted; each also counts as a miss. */
+    size_t cacheInvalid = 0;
     size_t functionsTranslatedOnline = 0;
     double onlineTranslateSeconds = 0;
     uint64_t machineInstructionsExecuted = 0;

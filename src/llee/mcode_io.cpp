@@ -4,12 +4,187 @@
 
 namespace llva {
 
+namespace {
+
+std::unique_ptr<MachineFunction>
+readMachineFunctionImpl(const std::vector<uint8_t> &bytes,
+                        const Module &m, const Function *source)
+{
+    ByteReader r(bytes);
+    std::string target_name = r.readString();
+    std::string fn_name = r.readString();
+    if (fn_name != source->name())
+        fatal("cached translation is for %%%s, not %%%s",
+              fn_name.c_str(), source->name().c_str());
+    // The signature check catches the subtle stale case: same module
+    // hash collision or hand-edited cache where the name matches but
+    // the function changed shape — installing such a body would
+    // corrupt the simulator's call frames.
+    std::string sig = r.readString();
+    if (sig != source->functionType()->str())
+        fatal("cached translation signature %s does not match %%%s "
+              "(%s)",
+              sig.c_str(), source->name().c_str(),
+              source->functionType()->str().c_str());
+
+    auto mf = std::make_unique<MachineFunction>(source, target_name);
+    mf->setFrameSize(r.readVaruint());
+
+    uint64_t num_blocks = r.readVaruint();
+    // Every block costs at least two stream bytes (successor count +
+    // instruction count); a larger claim is a corrupt length field.
+    if (num_blocks > r.remaining())
+        fatal("cached code block count %llu exceeds remaining %zu "
+              "bytes",
+              (unsigned long long)num_blocks, r.remaining());
+    std::vector<MachineBasicBlock *> blocks;
+    struct PendingInstr
+    {
+        MachineInstr *mi;
+        std::vector<std::pair<size_t, uint64_t>> blockRefs;
+    };
+
+    // Create shells up front; block payloads follow in order, and
+    // successor/branch references are patched by index afterwards.
+    for (uint64_t i = 0; i < num_blocks; ++i)
+        blocks.push_back(mf->createBlock("b" + std::to_string(i)));
+
+    std::vector<std::vector<uint64_t>> succIndexes(num_blocks);
+    std::vector<PendingInstr> pending;
+
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+        MachineBasicBlock *mbb = blocks[b];
+        uint64_t nsucc = r.readVaruint();
+        if (nsucc > num_blocks)
+            fatal("cached code successor count %llu exceeds %llu "
+                  "blocks",
+                  (unsigned long long)nsucc,
+                  (unsigned long long)num_blocks);
+        for (uint64_t s = 0; s < nsucc; ++s)
+            succIndexes[b].push_back(r.readVaruint());
+        uint64_t ninstr = r.readVaruint();
+        if (ninstr > r.remaining())
+            fatal("cached code instruction count %llu exceeds "
+                  "remaining %zu bytes",
+                  (unsigned long long)ninstr, r.remaining());
+        for (uint64_t k = 0; k < ninstr; ++k) {
+            uint64_t opcode = r.readVaruint();
+            if (opcode > UINT16_MAX)
+                fatal("bad machine opcode in cached code");
+            uint8_t defs = r.readByte();
+            uint8_t flags = r.readByte();
+            uint8_t width = r.readByte();
+            uint64_t nops = r.readVaruint();
+            if (nops > r.remaining())
+                fatal("cached code operand count %llu exceeds "
+                      "remaining %zu bytes",
+                      (unsigned long long)nops, r.remaining());
+            std::vector<MOperand> ops;
+            PendingInstr pend;
+            for (uint64_t o = 0; o < nops; ++o) {
+                auto kind =
+                    static_cast<MOperand::Kind>(r.readByte());
+                switch (kind) {
+                  case MOperand::Reg: {
+                    uint64_t reg = r.readVaruint();
+                    // Cached bodies are post-register-allocation; a
+                    // virtual register can only mean damage (or a
+                    // huge physical number that would index past the
+                    // simulator's register file).
+                    if (reg >= kFirstVirtualReg)
+                        fatal("virtual register %llu in cached code",
+                              (unsigned long long)reg);
+                    ops.push_back(MOperand::makeReg(
+                        static_cast<unsigned>(reg)));
+                    break;
+                  }
+                  case MOperand::Imm:
+                    ops.push_back(MOperand::makeImm(r.readVarint()));
+                    break;
+                  case MOperand::FPImm:
+                    ops.push_back(
+                        MOperand::makeFPImm(r.readDouble()));
+                    break;
+                  case MOperand::Frame:
+                    ops.push_back(MOperand::makeFrame(
+                        static_cast<int>(r.readVarint())));
+                    break;
+                  case MOperand::Block: {
+                    uint64_t idx = r.readVaruint();
+                    if (idx >= num_blocks)
+                        fatal("bad block index in cached code");
+                    pend.blockRefs.emplace_back(ops.size(), idx);
+                    ops.push_back(MOperand::makeBlock(nullptr));
+                    break;
+                  }
+                  case MOperand::Global: {
+                    std::string gname = r.readString();
+                    const GlobalVariable *g = m.getGlobal(gname);
+                    if (!g)
+                        fatal("cached code references unknown "
+                              "global %%%s",
+                              gname.c_str());
+                    ops.push_back(MOperand::makeGlobal(g));
+                    break;
+                  }
+                  case MOperand::Func: {
+                    std::string fname = r.readString();
+                    const Function *fn = m.getFunction(fname);
+                    if (!fn)
+                        fatal("cached code references unknown "
+                              "function %%%s",
+                              fname.c_str());
+                    ops.push_back(MOperand::makeFunc(fn));
+                    break;
+                  }
+                  default:
+                    fatal("bad operand kind in cached code");
+                }
+            }
+            if (defs > ops.size())
+                fatal("cached instruction defines %u of %zu operands",
+                      defs, ops.size());
+            MachineInstr *mi =
+                mbb->append(static_cast<uint16_t>(opcode),
+                            std::move(ops), defs);
+            mi->trapEnabled = flags & 1;
+            mi->isCall = (flags & 2) != 0;
+            mi->isRet = (flags & 4) != 0;
+            mi->signExt = (flags & 8) != 0;
+            mi->fp32 = (flags & 16) != 0;
+            mi->width = width;
+            if (!pend.blockRefs.empty()) {
+                pend.mi = mi;
+                pending.push_back(std::move(pend));
+            }
+        }
+    }
+    if (!r.atEnd())
+        fatal("%zu trailing bytes after cached code", r.remaining());
+
+    // Patch block references now that every block exists.
+    for (auto &pend : pending)
+        for (auto &[slot, idx] : pend.blockRefs)
+            pend.mi->ops[slot].block = blocks[idx];
+    for (uint64_t b = 0; b < num_blocks; ++b)
+        for (uint64_t idx : succIndexes[b]) {
+            if (idx >= blocks.size())
+                fatal("bad successor index in cached code");
+            blocks[b]->successors().push_back(blocks[idx]);
+        }
+
+    return mf;
+}
+
+} // namespace
+
 std::vector<uint8_t>
 writeMachineFunction(const MachineFunction &mf)
 {
     ByteWriter w;
     w.writeString(mf.targetName());
     w.writeString(mf.name());
+    w.writeString(mf.source()->functionType()->str());
     w.writeVaruint(mf.frameSize());
     w.writeVaruint(mf.blocks().size());
     // Block names are cosmetic and not serialized; blocks are
@@ -61,136 +236,15 @@ writeMachineFunction(const MachineFunction &mf)
     return w.takeBytes();
 }
 
-std::unique_ptr<MachineFunction>
+Expected<std::unique_ptr<MachineFunction>>
 readMachineFunction(const std::vector<uint8_t> &bytes, const Module &m,
                     const Function *source)
 {
-    ByteReader r(bytes);
-    std::string target_name = r.readString();
-    std::string fn_name = r.readString();
-    if (fn_name != source->name())
-        fatal("cached translation is for %%%s, not %%%s",
-              fn_name.c_str(), source->name().c_str());
-
-    auto mf = std::make_unique<MachineFunction>(source, target_name);
-    mf->setFrameSize(r.readVaruint());
-
-    uint64_t num_blocks = r.readVaruint();
-    std::vector<MachineBasicBlock *> blocks;
-    // Two passes are unnecessary if blocks are created up front; the
-    // stream interleaves block payloads, so pre-scan is impossible —
-    // instead create all blocks lazily by index with temporary names
-    // and fill payloads in order. Successor and branch references use
-    // indices, which are stable.
-    struct PendingInstr
-    {
-        MachineInstr *mi;
-        std::vector<std::pair<size_t, uint64_t>> blockRefs;
-    };
-
-    // First create shells (names read later would be nicer, but the
-    // format stores name at payload start — so do a single pass and
-    // patch block pointers afterwards).
-    for (uint64_t i = 0; i < num_blocks; ++i)
-        blocks.push_back(mf->createBlock("b" + std::to_string(i)));
-
-    std::vector<std::vector<uint64_t>> succIndexes(num_blocks);
-    std::vector<PendingInstr> pending;
-
-    for (uint64_t b = 0; b < num_blocks; ++b) {
-        MachineBasicBlock *mbb = blocks[b];
-        uint64_t nsucc = r.readVaruint();
-        for (uint64_t s = 0; s < nsucc; ++s)
-            succIndexes[b].push_back(r.readVaruint());
-        uint64_t ninstr = r.readVaruint();
-        for (uint64_t k = 0; k < ninstr; ++k) {
-            uint64_t opcode = r.readVaruint();
-            uint8_t defs = r.readByte();
-            uint8_t flags = r.readByte();
-            uint8_t width = r.readByte();
-            uint64_t nops = r.readVaruint();
-            std::vector<MOperand> ops;
-            PendingInstr pend;
-            for (uint64_t o = 0; o < nops; ++o) {
-                auto kind =
-                    static_cast<MOperand::Kind>(r.readByte());
-                switch (kind) {
-                  case MOperand::Reg:
-                    ops.push_back(MOperand::makeReg(
-                        static_cast<unsigned>(r.readVaruint())));
-                    break;
-                  case MOperand::Imm:
-                    ops.push_back(MOperand::makeImm(r.readVarint()));
-                    break;
-                  case MOperand::FPImm:
-                    ops.push_back(
-                        MOperand::makeFPImm(r.readDouble()));
-                    break;
-                  case MOperand::Frame:
-                    ops.push_back(MOperand::makeFrame(
-                        static_cast<int>(r.readVarint())));
-                    break;
-                  case MOperand::Block: {
-                    uint64_t idx = r.readVaruint();
-                    pend.blockRefs.emplace_back(ops.size(), idx);
-                    ops.push_back(MOperand::makeBlock(nullptr));
-                    break;
-                  }
-                  case MOperand::Global: {
-                    std::string gname = r.readString();
-                    const GlobalVariable *g = m.getGlobal(gname);
-                    if (!g)
-                        fatal("cached code references unknown "
-                              "global %%%s",
-                              gname.c_str());
-                    ops.push_back(MOperand::makeGlobal(g));
-                    break;
-                  }
-                  case MOperand::Func: {
-                    std::string fname = r.readString();
-                    const Function *fn = m.getFunction(fname);
-                    if (!fn)
-                        fatal("cached code references unknown "
-                              "function %%%s",
-                              fname.c_str());
-                    ops.push_back(MOperand::makeFunc(fn));
-                    break;
-                  }
-                  default:
-                    fatal("bad operand kind in cached code");
-                }
-            }
-            MachineInstr *mi =
-                mbb->append(static_cast<uint16_t>(opcode),
-                            std::move(ops), defs);
-            mi->trapEnabled = flags & 1;
-            mi->isCall = (flags & 2) != 0;
-            mi->isRet = (flags & 4) != 0;
-            mi->signExt = (flags & 8) != 0;
-            mi->fp32 = (flags & 16) != 0;
-            mi->width = width;
-            if (!pend.blockRefs.empty()) {
-                pend.mi = mi;
-                pending.push_back(std::move(pend));
-            }
-        }
+    try {
+        return readMachineFunctionImpl(bytes, m, source);
+    } catch (const FatalError &e) {
+        return Error(e.what());
     }
-
-    // Patch block references now that every block exists.
-    for (auto &pend : pending)
-        for (auto &[slot, idx] : pend.blockRefs) {
-            if (idx >= blocks.size())
-                fatal("bad block index in cached code");
-            pend.mi->ops[slot].block = blocks[idx];
-        }
-    for (uint64_t b = 0; b < num_blocks; ++b)
-        for (uint64_t idx : succIndexes[b]) {
-            if (idx >= blocks.size())
-                fatal("bad successor index in cached code");
-            blocks[b]->successors().push_back(blocks[idx]);
-        }
-
-    return mf;
 }
 
 } // namespace llva

@@ -4,6 +4,14 @@
  * Symbolic operands (globals, functions) are stored by name and
  * re-resolved against the module on load — the "relocation as
  * necessary on the native code" step of paper Section 4.1.
+ *
+ * The serialized form records the source function's name and type
+ * signature so that a reconstructed body is validated against the
+ * module it is about to be installed into, not just trusted by file
+ * name. Cached bytes are untrusted input (they normally arrive
+ * inside the integrity envelope of envelope.h, but the reader does
+ * not rely on that): every malformed shape is reported as a
+ * recoverable Error, never an escaping exception.
  */
 
 #ifndef LLVA_LLEE_MCODE_IO_H
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "codegen/machine.h"
+#include "support/expected.h"
 
 namespace llva {
 
@@ -21,10 +30,12 @@ std::vector<uint8_t> writeMachineFunction(const MachineFunction &mf);
 
 /**
  * Reconstruct a machine function for \p source from cached bytes,
- * resolving global/function names against \p m. Throws FatalError on
- * malformed or unresolvable input.
+ * resolving global/function names against \p m. Malformed input —
+ * truncation, bad counts or indices, a body recorded for a different
+ * function or signature, unresolvable names, virtual registers in
+ * what must be post-allocation code — yields an Error.
  */
-std::unique_ptr<MachineFunction>
+Expected<std::unique_ptr<MachineFunction>>
 readMachineFunction(const std::vector<uint8_t> &bytes, const Module &m,
                     const Function *source);
 

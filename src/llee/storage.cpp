@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 namespace llva {
 
 namespace fs = std::filesystem;
@@ -71,6 +74,16 @@ MemoryStorage::timestamp(const std::string &cache,
     return eit == it->second.end() ? 0 : eit->second.stamp;
 }
 
+bool
+MemoryStorage::remove(const std::string &cache,
+                      const std::string &name)
+{
+    auto it = caches_.find(cache);
+    if (it == caches_.end())
+        return false;
+    return it->second.erase(name) != 0;
+}
+
 std::vector<std::string>
 MemoryStorage::list(const std::string &cache)
 {
@@ -99,6 +112,17 @@ mangle(const std::string &name)
             out += '_';
     }
     return out;
+}
+
+/** Suffix of in-flight temp files; never a valid entry name (entry
+ *  names end in a key component, and list() filters the suffix). */
+constexpr const char *kTmpSuffix = ".tmp";
+
+bool
+hasTmpSuffix(const std::string &s)
+{
+    constexpr size_t n = 4;
+    return s.size() >= n && s.compare(s.size() - n, n, kTmpSuffix) == 0;
 }
 
 } // namespace
@@ -136,9 +160,15 @@ FileStorage::cacheSize(const std::string &cache)
     if (!fs::is_directory(path(cache), ec))
         return UINT64_MAX;
     uint64_t total = 0;
-    for (const auto &entry : fs::directory_iterator(path(cache), ec))
-        if (entry.is_regular_file())
-            total += entry.file_size();
+    for (const auto &entry :
+         fs::directory_iterator(path(cache), ec)) {
+        if (hasTmpSuffix(entry.path().filename().string()))
+            continue; // in-flight or abandoned partial write
+        if (entry.is_regular_file(ec) && !ec)
+            total += entry.file_size(ec);
+        if (ec)
+            ec.clear();
+    }
     return total;
 }
 
@@ -146,12 +176,45 @@ bool
 FileStorage::write(const std::string &cache, const std::string &name,
                    const std::vector<uint8_t> &bytes)
 {
-    std::ofstream f(path(cache, name), std::ios::binary);
-    if (!f)
+    // Crash-safe publish: write everything to a temp file in the
+    // same directory, fsync it, then rename over the target. A crash
+    // or failure at any point leaves either the old entry or no
+    // entry — never a torn one — plus at worst an orphaned .tmp that
+    // list()/cacheSize() ignore and the next write replaces.
+    std::string final_path = path(cache, name);
+    std::string tmp_path = final_path + kTmpSuffix;
+
+    // The cache directory may have been removed behind our back;
+    // recreate it on demand rather than failing permanently.
+    std::error_code ec;
+    if (!fs::is_directory(path(cache), ec))
+        if (!createCache(cache))
+            return false;
+
+    int fd = ::open(tmp_path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
         return false;
-    f.write(reinterpret_cast<const char *>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-    return f.good();
+    size_t done = 0;
+    while (done < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + done,
+                            bytes.size() - done);
+        if (n < 0) {
+            ::close(fd);
+            ::unlink(tmp_path.c_str());
+            return false;
+        }
+        done += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -163,6 +226,8 @@ FileStorage::read(const std::string &cache, const std::string &name,
     if (!f)
         return false;
     auto size = f.tellg();
+    if (size < 0)
+        return false;
     f.seekg(0);
     bytes.resize(static_cast<size_t>(size));
     f.read(reinterpret_cast<char *>(bytes.data()), size);
@@ -181,15 +246,29 @@ FileStorage::timestamp(const std::string &cache,
         t.time_since_epoch().count());
 }
 
+bool
+FileStorage::remove(const std::string &cache,
+                    const std::string &name)
+{
+    std::error_code ec;
+    return fs::remove(path(cache, name), ec) && !ec;
+}
+
 std::vector<std::string>
 FileStorage::list(const std::string &cache)
 {
     std::vector<std::string> out;
     std::error_code ec;
     for (const auto &entry :
-         fs::directory_iterator(path(cache), ec))
-        if (entry.is_regular_file())
-            out.push_back(entry.path().filename().string());
+         fs::directory_iterator(path(cache), ec)) {
+        std::string fname = entry.path().filename().string();
+        if (hasTmpSuffix(fname))
+            continue; // in-flight or abandoned partial write
+        if (entry.is_regular_file(ec) && !ec)
+            out.push_back(std::move(fname));
+        if (ec)
+            ec.clear();
+    }
     return out;
 }
 

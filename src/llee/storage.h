@@ -15,6 +15,14 @@
  * cached vector. Two implementations are provided — a POSIX
  * directory-backed store (the paper's own user-level implementation
  * used disk files) and an in-memory store for tests.
+ *
+ * Failure contract: storage is strictly optional ("the system will
+ * operate correctly in their absence"), so no method may throw — any
+ * I/O or permission problem is reported by the boolean/sentinel
+ * return value and the caller degrades to the no-storage path.
+ * FileStorage additionally guarantees that a write is atomic: a
+ * reader (or a crash) never observes a partially-written vector,
+ * only the old bytes, the new bytes, or absence.
  */
 
 #ifndef LLVA_LLEE_STORAGE_H
@@ -55,6 +63,14 @@ class StorageAPI
     virtual uint64_t timestamp(const std::string &cache,
                                const std::string &name) = 0;
 
+    /**
+     * Evict a single named vector (extension beyond the paper's
+     * API; LLEE uses it to drop cache entries that fail integrity
+     * validation). True if the entry existed and is now gone.
+     */
+    virtual bool remove(const std::string &cache,
+                        const std::string &name) = 0;
+
     /** Names stored in a cache (extension for enumeration). */
     virtual std::vector<std::string>
     list(const std::string &cache) = 0;
@@ -73,6 +89,8 @@ class MemoryStorage : public StorageAPI
               std::vector<uint8_t> &bytes) override;
     uint64_t timestamp(const std::string &cache,
                        const std::string &name) override;
+    bool remove(const std::string &cache,
+                const std::string &name) override;
     std::vector<std::string> list(const std::string &cache) override;
 
   private:
@@ -102,6 +120,8 @@ class FileStorage : public StorageAPI
               std::vector<uint8_t> &bytes) override;
     uint64_t timestamp(const std::string &cache,
                        const std::string &name) override;
+    bool remove(const std::string &cache,
+                const std::string &name) override;
     std::vector<std::string> list(const std::string &cache) override;
 
   private:

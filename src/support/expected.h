@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Recoverable-error vocabulary for the persistent-input boundary.
+ *
+ * fatal()/FatalError (error.h) reports user-caused conditions by
+ * throwing; that is the right tool for interactive drivers, but the
+ * APIs that consume *persistent* inputs — virtual object code files
+ * and cached native translations read back from OS storage — must
+ * let callers distinguish "this input is malformed, degrade
+ * gracefully" from "this library has a bug". Expected<T> carries
+ * either a value or an Error; readers catch their internal
+ * FatalError throws at the API boundary and return the error, so no
+ * exception escapes and LLEE can fall back to retranslation instead
+ * of dying.
+ */
+
+#ifndef LLVA_SUPPORT_EXPECTED_H
+#define LLVA_SUPPORT_EXPECTED_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/error.h"
+
+namespace llva {
+
+/** A recoverable failure: a message describing the bad input. */
+class Error
+{
+  public:
+    Error() = default;
+    explicit Error(std::string msg)
+        : msg_(std::move(msg))
+    {}
+
+    const std::string &message() const { return msg_; }
+
+  private:
+    std::string msg_;
+};
+
+/**
+ * Either a T or an Error. Implicitly constructible from both, so
+ * readers `return value;` on success and `return Error(...)` (or
+ * rethrow-free catch of FatalError) on malformed input.
+ */
+template <typename T> class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) // NOLINT: implicit by design
+        : value_(std::move(value))
+    {}
+    Expected(Error error) // NOLINT: implicit by design
+        : error_(std::move(error))
+    {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    operator*()
+    {
+        LLVA_ASSERT(ok(), "Expected: dereference of error state");
+        return *value_;
+    }
+    const T &
+    operator*() const
+    {
+        LLVA_ASSERT(ok(), "Expected: dereference of error state");
+        return *value_;
+    }
+    T *operator->() { return &**this; }
+    const T *operator->() const { return &**this; }
+
+    const Error &
+    error() const
+    {
+        LLVA_ASSERT(!ok(), "Expected: error() on success state");
+        return error_;
+    }
+
+    /** Move the value out (precondition: ok()). */
+    T
+    take()
+    {
+        LLVA_ASSERT(ok(), "Expected: take() of error state");
+        return std::move(*value_);
+    }
+
+    /**
+     * Bridge for callers that still want throwing semantics: the
+     * value, or a FatalError carrying the message. Keeps driver
+     * code (`catch (const FatalError &)`) working unchanged.
+     */
+    T
+    orDie()
+    {
+        if (!ok())
+            throw FatalError(error_.message());
+        return std::move(*value_);
+    }
+
+  private:
+    std::optional<T> value_;
+    Error error_;
+};
+
+} // namespace llva
+
+#endif // LLVA_SUPPORT_EXPECTED_H

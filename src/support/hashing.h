@@ -1,8 +1,12 @@
 /**
  * @file
- * FNV-1a hashing, used to key cached translations in the LLEE
- * offline storage (paper Section 4.1: cached vectors are validated
- * against the LLVA program they were produced from).
+ * Content hashing for the persistent-input boundary: FNV-1a keys
+ * cached translations in the LLEE offline storage (paper Section
+ * 4.1: cached vectors are validated against the LLVA program they
+ * were produced from), and CRC-32 is the integrity checksum carried
+ * by virtual object code files and the mcode cache envelope so a
+ * single flipped or missing bit is detected before any byte of the
+ * payload is trusted.
  */
 
 #ifndef LLVA_SUPPORT_HASHING_H
@@ -37,6 +41,32 @@ inline uint64_t
 fnv1a(const std::string &s)
 {
     return fnv1a(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. */
+inline uint32_t
+crc32(const uint8_t *data, size_t n, uint32_t seed = 0)
+{
+    static const uint32_t *table = [] {
+        static uint32_t t[256];
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+inline uint32_t
+crc32(const std::vector<uint8_t> &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
 }
 
 } // namespace llva

@@ -109,7 +109,7 @@ TEST_P(Fuzz, AllEnginesAndPipelinesAgree)
     }
 
     // (d) bytecode round trip.
-    auto m2 = readBytecode(writeBytecode(*m));
+    auto m2 = readBytecode(writeBytecode(*m)).orDie();
     EXPECT_TRUE(verifyModule(*m2).ok()) << "seed " << seed;
     Outcome rb = interpret(*m2);
     EXPECT_TRUE(rb == ref) << "seed " << seed << " bytecode";

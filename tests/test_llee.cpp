@@ -9,10 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "bytecode/bytecode.h"
+#include "llee/envelope.h"
+#include "llee/fault_storage.h"
 #include "llee/llee.h"
 #include "llee/mcode_io.h"
 #include "parser/parser.h"
+#include "support/statistic.h"
 #include "verifier/verifier.h"
 #include "vm/machine_sim.h"
 
@@ -69,6 +75,9 @@ TEST(Storage, MemoryStorageBasics)
     EXPECT_GT(s.timestamp("c", "a"), t1); // newer write, newer stamp
 
     EXPECT_EQ(s.list("c").size(), 1u);
+    EXPECT_TRUE(s.remove("c", "a"));
+    EXPECT_FALSE(s.remove("c", "a")); // already gone
+    EXPECT_EQ(s.timestamp("c", "a"), 0u);
     EXPECT_TRUE(s.deleteCache("c"));
     EXPECT_EQ(s.cacheSize("c"), UINT64_MAX);
 }
@@ -86,7 +95,74 @@ TEST(Storage, FileStorageBasics)
     EXPECT_EQ(back, data);
     EXPECT_NE(s.timestamp("c", "prog.fn.x86"), 0u);
     EXPECT_EQ(s.cacheSize("c"), 4u);
+    EXPECT_TRUE(s.remove("c", "prog.fn.x86"));
+    EXPECT_EQ(s.timestamp("c", "prog.fn.x86"), 0u);
     EXPECT_TRUE(s.deleteCache("c"));
+}
+
+TEST(Storage, FileStorageIgnoresTornTempFiles)
+{
+    // A crash mid-write leaves only a "<name>.tmp" partial; the
+    // published entry is written via temp-file + fsync + rename, so
+    // readers never see torn bytes and orphaned temps are invisible.
+    std::string root = ::testing::TempDir() + "/llva_torn_test";
+    std::filesystem::remove_all(root);
+    FileStorage s(root);
+    ASSERT_TRUE(s.createCache("c"));
+    {
+        std::ofstream torn(root + "/c/entry.tmp", std::ios::binary);
+        torn << "partial-garbage";
+    }
+    EXPECT_TRUE(s.list("c").empty());
+    EXPECT_EQ(s.cacheSize("c"), 0u);
+
+    // The next write of the same entry replaces the orphan and
+    // publishes atomically.
+    std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+    EXPECT_TRUE(s.write("c", "entry", data));
+    std::vector<uint8_t> back;
+    EXPECT_TRUE(s.read("c", "entry", back));
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(s.list("c").size(), 1u);
+    EXPECT_FALSE(
+        std::filesystem::exists(root + "/c/entry.tmp"));
+    std::filesystem::remove_all(root);
+}
+
+TEST(Storage, FileStorageFailsSoftlyOnBadRoot)
+{
+    // Root whose parent is a regular file: every directory creation
+    // fails. The API must report false, never throw.
+    std::string blocker = ::testing::TempDir() + "/llva_blocker";
+    std::filesystem::remove_all(blocker);
+    {
+        std::ofstream f(blocker);
+        f << "x";
+    }
+    FileStorage s(blocker + "/sub");
+    EXPECT_FALSE(s.createCache("c"));
+    EXPECT_FALSE(s.write("c", "a", {1, 2, 3}));
+    std::vector<uint8_t> back;
+    EXPECT_FALSE(s.read("c", "a", back));
+    EXPECT_EQ(s.timestamp("c", "a"), 0u);
+    EXPECT_EQ(s.cacheSize("c"), UINT64_MAX);
+    EXPECT_TRUE(s.list("c").empty());
+    EXPECT_FALSE(s.remove("c", "a"));
+    std::filesystem::remove_all(blocker);
+}
+
+TEST(Storage, FileStorageRecreatesDeletedCacheDirOnWrite)
+{
+    std::string root = ::testing::TempDir() + "/llva_recreate_test";
+    std::filesystem::remove_all(root);
+    FileStorage s(root);
+    ASSERT_TRUE(s.createCache("c"));
+    std::filesystem::remove_all(root); // rug pulled
+    EXPECT_TRUE(s.write("c", "a", {7, 8}));
+    std::vector<uint8_t> back;
+    EXPECT_TRUE(s.read("c", "a", back));
+    EXPECT_EQ(back, (std::vector<uint8_t>{7, 8}));
+    std::filesystem::remove_all(root);
 }
 
 TEST(MCodeIO, RoundTripsTranslation)
@@ -95,7 +171,7 @@ TEST(MCodeIO, RoundTripsTranslation)
     Function *f = m->getFunction("helper");
     auto mf = translateFunction(*f, *getTarget("sparc"));
     auto bytes = writeMachineFunction(*mf);
-    auto back = readMachineFunction(bytes, *m, f);
+    auto back = readMachineFunction(bytes, *m, f).orDie();
 
     EXPECT_EQ(back->frameSize(), mf->frameSize());
     EXPECT_EQ(back->blocks().size(), mf->blocks().size());
@@ -119,7 +195,7 @@ TEST(MCodeIO, CachedCodeStillRuns)
             continue;
         auto bytes = writeMachineFunction(*cm1.get(f.get()));
         cm2.install(f.get(),
-                    readMachineFunction(bytes, *m, f.get()));
+                    readMachineFunction(bytes, *m, f.get()).orDie());
     }
     ExecutionContext ctx(*m);
     MachineSimulator sim(ctx, cm2);
@@ -135,9 +211,35 @@ TEST(MCodeIO, RejectsWrongFunction)
     auto mf = translateFunction(*m->getFunction("helper"),
                                 *getTarget("sparc"));
     auto bytes = writeMachineFunction(*mf);
-    EXPECT_THROW(
-        readMachineFunction(bytes, *m, m->getFunction("main")),
-        FatalError);
+    auto r = readMachineFunction(bytes, *m, m->getFunction("main"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message().find("helper"), std::string::npos);
+}
+
+TEST(MCodeIO, EveryCorruptionRejectedOrDecodesNoCrash)
+{
+    // The mcode reader sits *behind* the envelope checksum in
+    // production, but must stand alone: no damaged input may crash,
+    // leak, or escape as an exception. (Unlike the bytecode reader
+    // there is no checksum here, so some flips decode successfully —
+    // that is fine; the envelope is the integrity layer.)
+    auto m = parseAssembly(kProgram);
+    Function *f = m->getFunction("helper");
+    auto mf = translateFunction(*f, *getTarget("sparc"));
+    auto bytes = writeMachineFunction(*mf);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        for (uint8_t delta : {uint8_t(0x01), uint8_t(0xff)}) {
+            std::vector<uint8_t> bad = bytes;
+            bad[i] ^= delta;
+            auto r = readMachineFunction(bad, *m, f);
+            (void)r; // Error or a decodable function — never a throw
+        }
+    }
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        std::vector<uint8_t> bad(bytes.begin(), bytes.begin() + len);
+        auto r = readMachineFunction(bad, *m, f);
+        EXPECT_FALSE(r.ok()) << "truncation to " << len;
+    }
 }
 
 TEST(LLEE, ColdRunTranslatesWarmRunHitsCache)
@@ -200,7 +302,7 @@ TEST(LLEE, OfflineTranslationSkipsCurrentEntries)
     // hash in its key guarantees validity) and must be skipped, not
     // retranslated or overwritten.
     auto bc = program();
-    auto m = readBytecode(bc);
+    auto m = readBytecode(bc).orDie();
     MemoryStorage storage;
     Target &t = *getTarget("sparc");
     LLEE llee(t, &storage);
@@ -303,4 +405,238 @@ TEST(LLEE, ProfilePersistence)
                              LLEE::programKey(bc) + ".profile",
                              bytes));
     EXPECT_FALSE(bytes.empty());
+}
+
+// --- Trust boundary: the cache is untrusted input --------------------
+
+namespace {
+
+constexpr const char *kCache = "llee-native-cache";
+
+/** Cache entry names of translations (profiles excluded). */
+std::vector<std::string>
+translationEntries(StorageAPI &s)
+{
+    std::vector<std::string> out;
+    for (const std::string &name : s.list(kCache))
+        if (name.find(".profile") == std::string::npos)
+            out.push_back(name);
+    return out;
+}
+
+} // namespace
+
+TEST(Envelope, SealOpenRoundTrip)
+{
+    TranslationKey key;
+    key.targetName = "sparc";
+    key.allocator = 1;
+    key.coalesce = 1;
+    key.sourceHash = 0xabcdef;
+    std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+    auto env = sealTranslation(key, payload);
+
+    std::vector<uint8_t> back;
+    EXPECT_EQ(openTranslation(env, key, back), EnvelopeStatus::Ok);
+    EXPECT_EQ(back, payload);
+
+    // Any single-byte damage -> Corrupt, payload untouched.
+    for (size_t i = 0; i < env.size(); ++i) {
+        auto bad = env;
+        bad[i] ^= 0x40;
+        std::vector<uint8_t> out = {9};
+        EXPECT_EQ(openTranslation(bad, key, out),
+                  EnvelopeStatus::Corrupt)
+            << "byte " << i;
+        EXPECT_EQ(out, (std::vector<uint8_t>{9}));
+    }
+    // Any truncation -> Corrupt.
+    for (size_t len = 0; len < env.size(); ++len) {
+        std::vector<uint8_t> bad(env.begin(), env.begin() + len);
+        std::vector<uint8_t> out;
+        EXPECT_EQ(openTranslation(bad, key, out),
+                  EnvelopeStatus::Corrupt)
+            << "length " << len;
+    }
+
+    // Intact but mismatched key -> Incompatible / Stale.
+    TranslationKey other = key;
+    other.targetName = "x86";
+    std::vector<uint8_t> out;
+    EXPECT_EQ(openTranslation(env, other, out),
+              EnvelopeStatus::Incompatible);
+    other = key;
+    other.allocator = 0;
+    EXPECT_EQ(openTranslation(env, other, out),
+              EnvelopeStatus::Incompatible);
+    other = key;
+    other.sourceHash = 0x1234;
+    EXPECT_EQ(openTranslation(env, other, out),
+              EnvelopeStatus::Stale);
+
+    EXPECT_EQ(inspectTranslation(env), EnvelopeStatus::Ok);
+    TranslationKey seen;
+    inspectTranslation(env, &seen);
+    EXPECT_EQ(seen.targetName, "sparc");
+    EXPECT_EQ(seen.sourceHash, 0xabcdefu);
+}
+
+TEST(LLEE, CorruptedCacheEntryIsEvictedAndRepaired)
+{
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+    llee.execute(bc);
+    auto entries = translationEntries(storage);
+    ASSERT_EQ(entries.size(), 2u);
+
+    // Flip a byte in the middle of one cached translation.
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(storage.read(kCache, entries[0], bytes));
+    bytes[bytes.size() / 2] ^= 0x10;
+    ASSERT_TRUE(storage.write(kCache, entries[0], bytes));
+
+    uint64_t corruptBefore = stats::value("llee.cache_corrupt");
+    LLEEResult r = llee.execute(bc);
+    ASSERT_TRUE(r.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(r.exec.value.i), 36);
+    EXPECT_EQ(r.cacheHits, 1u);
+    EXPECT_EQ(r.cacheMisses, 1u);
+    EXPECT_EQ(r.cacheInvalid, 1u);
+    EXPECT_EQ(stats::value("llee.cache_corrupt"), corruptBefore + 1);
+
+    // The damaged entry was evicted and rewritten: full hit now.
+    LLEEResult healed = llee.execute(bc);
+    EXPECT_EQ(healed.cacheHits, 2u);
+    EXPECT_EQ(healed.cacheInvalid, 0u);
+    EXPECT_EQ(static_cast<int64_t>(healed.exec.value.i), 36);
+}
+
+TEST(LLEE, TruncatedCacheEntryIsEvictedAndRepaired)
+{
+    // A torn write that somehow landed (storage without atomic
+    // publish): the envelope rejects it, LLEE retranslates.
+    auto bc = program();
+    MemoryStorage storage;
+    LLEE llee(*getTarget("sparc"), &storage);
+    llee.execute(bc);
+    auto entries = translationEntries(storage);
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto &name : entries) {
+        std::vector<uint8_t> bytes;
+        ASSERT_TRUE(storage.read(kCache, name, bytes));
+        bytes.resize(bytes.size() / 3);
+        ASSERT_TRUE(storage.write(kCache, name, bytes));
+    }
+
+    LLEEResult r = llee.execute(bc);
+    ASSERT_TRUE(r.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(r.exec.value.i), 36);
+    EXPECT_EQ(r.cacheHits, 0u);
+    EXPECT_EQ(r.cacheInvalid, 2u);
+    LLEEResult healed = llee.execute(bc);
+    EXPECT_EQ(healed.cacheHits, 2u);
+}
+
+TEST(LLEE, IncompatibleAndStaleEntriesAreRejected)
+{
+    auto bc = program();
+    auto m = readBytecode(bc).orDie();
+    MemoryStorage storage;
+    Target &t = *getTarget("sparc");
+    LLEE llee(t, &storage);
+
+    // Plant intact envelopes under main's key whose compatibility
+    // keys are wrong: one from an "other translator" (allocator
+    // byte differs), one derived from different source bytecode.
+    std::string mainKey = LLEE::translationKey(
+        LLEE::programKey(bc), *m->getFunction("main"), t, {});
+    ASSERT_TRUE(storage.createCache(kCache));
+
+    TranslationKey alien;
+    alien.targetName = "sparc";
+    alien.allocator = 0x7f; // no such configuration
+    alien.coalesce = 1;
+    std::vector<uint8_t> payload = {1, 2, 3};
+    ASSERT_TRUE(storage.write(kCache, mainKey,
+                              sealTranslation(alien, payload)));
+
+    uint64_t incompatBefore =
+        stats::value("llee.cache_incompatible");
+    LLEEResult r1 = llee.execute(bc);
+    ASSERT_TRUE(r1.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(r1.exec.value.i), 36);
+    EXPECT_GE(r1.cacheInvalid, 1u);
+    EXPECT_EQ(stats::value("llee.cache_incompatible"),
+              incompatBefore + 1);
+
+    // Now a stale one: right configuration, wrong source hash.
+    CodeGenOptions defaults;
+    TranslationKey stale;
+    stale.targetName = "sparc";
+    stale.allocator = static_cast<uint8_t>(defaults.allocator);
+    stale.coalesce = defaults.coalesce ? 1 : 0;
+    stale.sourceHash = 0xdeadbeef; // not this program
+    ASSERT_TRUE(storage.write(kCache, mainKey,
+                              sealTranslation(stale, payload)));
+    uint64_t staleBefore = stats::value("llee.cache_stale");
+    LLEEResult r2 = llee.execute(bc);
+    ASSERT_TRUE(r2.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(r2.exec.value.i), 36);
+    EXPECT_EQ(stats::value("llee.cache_stale"), staleBefore + 1);
+}
+
+TEST(LLEE, DeadStorageDegradesToNoStorageBehaviour)
+{
+    // failRate 1.0: every storage call fails. Must behave exactly
+    // like the no-storage configuration — correct output, online
+    // translation every run, no crash.
+    auto bc = program();
+    LLEE baseline(*getTarget("sparc"), nullptr);
+    LLEEResult want = baseline.execute(bc);
+
+    MemoryStorage inner;
+    FaultConfig cfg;
+    cfg.failRate = 1.0;
+    FaultInjectingStorage dead(inner, cfg);
+    LLEE llee(*getTarget("sparc"), &dead);
+    for (int run = 0; run < 2; ++run) {
+        LLEEResult r = llee.execute(bc);
+        ASSERT_TRUE(r.exec.ok());
+        EXPECT_EQ(r.exec.value.i, want.exec.value.i);
+        EXPECT_EQ(r.output, want.output);
+        EXPECT_EQ(r.cacheHits, 0u);
+        EXPECT_EQ(r.functionsTranslatedOnline, 2u);
+    }
+    EXPECT_GT(dead.opsFailed(), 0u);
+}
+
+TEST(LLEE, MidWriteCrashSimulationOnDisk)
+{
+    // FileStorage end-to-end: a run populates the cache, then a
+    // "crash" leaves a torn temp file beside a valid entry. The
+    // next run must ignore the orphan and still hit both entries.
+    std::string root = ::testing::TempDir() + "/llva_llee_crash_test";
+    std::filesystem::remove_all(root);
+    {
+        FileStorage storage(root);
+        LLEE llee(*getTarget("x86"), &storage);
+        auto bc = program();
+        llee.execute(bc);
+
+        auto entries = translationEntries(storage);
+        ASSERT_EQ(entries.size(), 2u);
+        {
+            std::ofstream torn(root + "/" + std::string(kCache) +
+                                   "/" + entries[0] + ".tmp",
+                               std::ios::binary);
+            torn << "torn-mid-write";
+        }
+        LLEEResult r = llee.execute(bc);
+        ASSERT_TRUE(r.exec.ok());
+        EXPECT_EQ(static_cast<int64_t>(r.exec.value.i), 36);
+        EXPECT_EQ(r.cacheHits, 2u);
+        EXPECT_EQ(r.cacheInvalid, 0u);
+    }
+    std::filesystem::remove_all(root);
 }

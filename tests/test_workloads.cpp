@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "bytecode/bytecode.h"
+#include "llee/fault_storage.h"
+#include "llee/llee.h"
 #include "parser/parser.h"
 #include "transforms/pass.h"
 #include "verifier/verifier.h"
@@ -93,7 +95,7 @@ TEST_P(WorkloadSuite, BytecodeRoundTripPreservesBehaviour)
 {
     auto m = build();
     Ref ref = reference(*m);
-    auto m2 = readBytecode(writeBytecode(*m));
+    auto m2 = readBytecode(writeBytecode(*m)).orDie();
     verifyOrDie(*m2);
     Ref ref2 = reference(*m2);
     EXPECT_EQ(ref2.value, ref.value);
@@ -118,6 +120,42 @@ TEST_P(WorkloadSuite, OptimizationReducesWork)
     // (inlining may duplicate a little; dynamic count must not
     // regress materially).
     EXPECT_LE(opt.llvaInsts, ref.llvaInsts + ref.llvaInsts / 10);
+}
+
+TEST_P(WorkloadSuite, FaultInjectedStorageMatchesBaseline)
+{
+    // The persistent-input boundary guarantee, end to end: under
+    // any storage fault schedule — dead calls, torn writes, bit
+    // flips, truncations — LLEE's observable behaviour is byte-
+    // identical to running with no storage at all. Repeated runs
+    // against the same faulty storage also exercise the
+    // evict-and-retranslate path on entries damaged at rest.
+    auto m = build();
+    auto bc = writeBytecode(*m);
+
+    LLEE baseline(*getTarget("sparc"), nullptr);
+    LLEEResult want = baseline.execute(bc);
+    ASSERT_TRUE(want.exec.ok()) << trapKindName(want.exec.trap);
+
+    for (double rate : {0.0, 0.1, 0.5}) {
+        MemoryStorage inner;
+        FaultConfig cfg;
+        cfg.seed = 0x5eed + static_cast<uint64_t>(rate * 100);
+        cfg.failRate = rate;
+        cfg.corruptRate = rate;
+        FaultInjectingStorage faulty(inner, cfg);
+        LLEE llee(*getTarget("sparc"), &faulty);
+        for (int run = 0; run < 3; ++run) {
+            LLEEResult r = llee.execute(bc);
+            ASSERT_TRUE(r.exec.ok())
+                << GetParam() << " rate " << rate << " run " << run
+                << " trap=" << trapKindName(r.exec.trap);
+            EXPECT_EQ(r.exec.value.i, want.exec.value.i)
+                << GetParam() << " rate " << rate << " run " << run;
+            EXPECT_EQ(r.output, want.output)
+                << GetParam() << " rate " << rate << " run " << run;
+        }
+    }
 }
 
 TEST_P(WorkloadSuite, ExpansionRatioMatchesPaperShape)

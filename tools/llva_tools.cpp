@@ -24,6 +24,7 @@
 
 #include "bytecode/bytecode.h"
 #include "codegen/codegen.h"
+#include "llee/envelope.h"
 #include "llee/llee.h"
 #include "parser/parser.h"
 #include "support/statistic.h"
@@ -50,6 +51,10 @@ usage()
   llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
                        [--no-coalesce] [-j N] [-stats]
                                              print machine code
+  llva-translate --verify-cache <dir> [--repair]
+                                             audit a translation cache:
+                                             report corrupt/incompatible
+                                             entries; --repair deletes them
 
   -j N          translate with N worker threads (0 = all cores);
                 parallel output is byte-identical to serial
@@ -103,7 +108,7 @@ loadModule(const std::string &path)
     auto bytes = readFileBytes(path);
     if (bytes.size() >= 4 && bytes[0] == 'L' && bytes[1] == 'L' &&
         bytes[2] == 'V' && bytes[3] == 'A')
-        return readBytecode(bytes);
+        return readBytecode(bytes).orDie();
     return parseAssembly(std::string(bytes.begin(), bytes.end()),
                          path);
 }
@@ -141,7 +146,7 @@ toolDis(const std::vector<std::string> &args)
     }
     if (input.empty())
         usage();
-    auto m = readBytecode(readFileBytes(input));
+    auto m = readBytecode(readFileBytes(input)).orDie();
     std::string text = m->str();
     if (output.empty()) {
         std::fputs(text.c_str(), stdout);
@@ -264,16 +269,68 @@ toolRun(const std::vector<std::string> &args)
     return static_cast<int>(r.exec.value.i);
 }
 
+/**
+ * `llva-translate --verify-cache <dir> [--repair]`: audit every
+ * entry of an on-disk translation cache through the same envelope
+ * check LLEE applies at load time. Reports per-entry status; with
+ * --repair, corrupt and incompatible entries are deleted so the
+ * next run retranslates them. Exit status 1 if bad entries remain.
+ */
+int
+verifyCache(const std::string &dir, bool repair)
+{
+    FileStorage storage(dir);
+    const std::string cache = "llee-native-cache";
+    size_t ok = 0, bad = 0, repaired = 0, skipped = 0;
+    for (const std::string &name : storage.list(cache)) {
+        // Profiles are plain text keyed alongside translations, not
+        // enveloped machine code; they are not auditable here.
+        if (name.size() >= 8 &&
+            name.compare(name.size() - 8, 8, ".profile") == 0) {
+            ++skipped;
+            continue;
+        }
+        std::vector<uint8_t> bytes;
+        if (!storage.read(cache, name, bytes)) {
+            std::printf("%-12s %s\n", "unreadable", name.c_str());
+            ++bad;
+            continue;
+        }
+        EnvelopeStatus st = inspectTranslation(bytes);
+        if (st == EnvelopeStatus::Ok) {
+            ++ok;
+            continue;
+        }
+        if (repair && storage.remove(cache, name)) {
+            std::printf("%-12s %s (deleted)\n",
+                        envelopeStatusName(st), name.c_str());
+            ++repaired;
+        } else {
+            std::printf("%-12s %s\n", envelopeStatusName(st),
+                        name.c_str());
+            ++bad;
+        }
+    }
+    std::printf("verify-cache: %zu ok, %zu bad, %zu repaired, "
+                "%zu skipped\n",
+                ok, bad, repaired, skipped);
+    return bad ? 1 : 0;
+}
+
 int
 toolTranslate(const std::vector<std::string> &args)
 {
-    std::string input, target = "sparc";
+    std::string input, target = "sparc", verifyDir;
     CodeGenOptions opts;
     unsigned jobs = 1;
-    bool printStats = false;
+    bool printStats = false, repair = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
             target = args[++i];
+        else if (args[i] == "--verify-cache" && i + 1 < args.size())
+            verifyDir = args[++i];
+        else if (args[i] == "--repair")
+            repair = true;
         else if (args[i] == "--local-alloc")
             opts.allocator = CodeGenOptions::Allocator::Local;
         else if (args[i] == "--no-coalesce")
@@ -285,6 +342,8 @@ toolTranslate(const std::vector<std::string> &args)
         else
             input = args[i];
     }
+    if (!verifyDir.empty())
+        return verifyCache(verifyDir, repair);
     if (input.empty())
         usage();
     Target *t = getTarget(target);
