@@ -93,7 +93,7 @@ entry:
 int
 main()
 {
-    auto m = parseAssembly(kProgram, "mechanisms");
+    auto m = parseAssembly(kProgram, "mechanisms").orDie();
     verifyOrDie(*m);
 
     std::printf("=== exceptions, unwinding, traps, and SMC ===\n\n");
@@ -127,7 +127,7 @@ entry:
     ret int %v
 }
 )",
-                            "traps");
+                            "traps").orDie();
     verifyOrDie(*m2);
     ExecutionContext ctx(*m2);
     ctx.setTrapHandler(

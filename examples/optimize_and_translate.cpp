@@ -40,7 +40,7 @@ entry:
 int
 main()
 {
-    auto m = parseAssembly(kProgram, "pipeline");
+    auto m = parseAssembly(kProgram, "pipeline").orDie();
     verifyOrDie(*m);
 
     std::printf("=== virtual object code, as written ===\n%s\n",

@@ -86,7 +86,7 @@ main()
 {
     std::printf("=== LLVA quickstart: paper Fig. 2 ===\n\n");
 
-    auto m = parseAssembly(kProgram, "fig2");
+    auto m = parseAssembly(kProgram, "fig2").orDie();
     verifyOrDie(*m);
     std::printf("parsed & verified module with %zu functions, "
                 "%zu LLVA instructions\n\n",

@@ -61,7 +61,7 @@ main()
 {
     std::printf("=== trace-driven code layout ===\n\n");
 
-    auto m = parseAssembly(kProgram, "traced");
+    auto m = parseAssembly(kProgram, "traced").orDie();
     verifyOrDie(*m);
     uint64_t before = simulate(*m, "original layout:");
 

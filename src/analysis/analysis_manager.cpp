@@ -1,5 +1,6 @@
 #include "analysis/analysis_manager.h"
 
+#include "support/error.h"
 #include "support/statistic.h"
 
 namespace llva {
@@ -16,6 +17,21 @@ Statistic NumLoopInfosComputed(
     "Loop-info results computed (analysis cache misses)");
 Statistic NumLoopInfoHits("analysis.loopinfo.cache_hits",
                           "Loop-info requests served from cache");
+
+/**
+ * True if the two trees assign every block of \p f the same
+ * immediate dominator. Catches any CFG edit that survived a pass
+ * claiming to preserve the DominatorTree.
+ */
+bool
+sameIdoms(const Function &f, const DominatorTree &a,
+          const DominatorTree &b)
+{
+    for (const auto &bb : f)
+        if (a.idom(bb.get()) != b.idom(bb.get()))
+            return false;
+    return true;
+}
 
 } // namespace
 
@@ -55,6 +71,15 @@ AnalysisManager::invalidate(const Function &f,
     auto it = slots_.find(&f);
     if (it == slots_.end())
         return;
+    if (auditPreservation_ && it->second.domtree &&
+        pa.preserved(AnalysisID::DominatorTree) && !f.empty()) {
+        DominatorTree fresh(f);
+        if (!sameIdoms(f, *it->second.domtree, fresh))
+            fatal("pass lied about preserving DominatorTree for "
+                  "function '%s': cached tree disagrees with a "
+                  "fresh computation",
+                  f.name().c_str());
+    }
     if (!pa.preserved(AnalysisID::DominatorTree))
         it->second.domtree.reset();
     if (!pa.preserved(AnalysisID::LoopInfo))

@@ -88,6 +88,16 @@ class AnalysisManager
     /** Drop whatever \p pa does not claim to preserve for \p f. */
     void invalidate(const Function &f, const PreservedAnalyses &pa);
 
+    /**
+     * Preservation audit (debug builds, on by default there): when a
+     * pass claims to have preserved a cached DominatorTree, recompute
+     * one from scratch and fatal() if the idoms differ — i.e. the
+     * pass lied about what it preserved. Costs a full domtree build
+     * per audited claim, hence debug-only by default.
+     */
+    void setAuditPreservation(bool v) { auditPreservation_ = v; }
+    bool auditPreservation() const { return auditPreservation_; }
+
     /** Drop all cached results for \p f. */
     void invalidate(const Function &f);
 
@@ -105,6 +115,11 @@ class AnalysisManager
     };
 
     std::map<const Function *, Slot> slots_;
+#ifdef NDEBUG
+    bool auditPreservation_ = false;
+#else
+    bool auditPreservation_ = true;
+#endif
 };
 
 } // namespace llva

@@ -26,6 +26,15 @@ struct CodeGenOptions
     Allocator allocator = Allocator::LinearScan;
     /** Honor copy hints and delete coalesced copies (A5 ablation). */
     bool coalesce = true;
+    /**
+     * Requested optimization level for runtime translation (the top
+     * rung of the tier ladder; a faulting pipeline degrades from
+     * here toward 0 and finally the interpreter).
+     */
+    uint8_t optLevel = 0;
+    /** Run the verifier after every optimization pass (diagnosis);
+     *  not part of the cache compatibility key. */
+    bool verifyEach = false;
 };
 
 /** Statistics from one function translation. */

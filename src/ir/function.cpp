@@ -103,6 +103,22 @@ Function::findBlock(const std::string &name) const
     return nullptr;
 }
 
+Function::BlockList
+Function::takeBlocks()
+{
+    BlockList out;
+    out.swap(blocks_); // guarantees blocks_ is left empty
+    return out;
+}
+
+BasicBlock *
+Function::adoptBlock(std::unique_ptr<BasicBlock> bb)
+{
+    bb->setParent(this);
+    blocks_.push_back(std::move(bb));
+    return blocks_.back().get();
+}
+
 size_t
 Function::instructionCount() const
 {

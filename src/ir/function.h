@@ -95,6 +95,17 @@ class Function : public Constant
     /** Find a block by name (nullptr if absent). */
     BasicBlock *findBlock(const std::string &name) const;
 
+    /**
+     * Detach and return the whole block list (body surgery; see
+     * FunctionSnapshot). The caller must have severed any def-use
+     * edges it wants to survive; dropping the returned list destroys
+     * the body.
+     */
+    BlockList takeBlocks();
+
+    /** Append a detached block, taking ownership. */
+    BasicBlock *adoptBlock(std::unique_ptr<BasicBlock> bb);
+
     /** Total instruction count across all blocks. */
     size_t instructionCount() const;
 

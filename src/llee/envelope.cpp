@@ -7,7 +7,7 @@ namespace llva {
 
 namespace {
 
-constexpr uint8_t kEnvelopeVersion = 1;
+constexpr uint8_t kEnvelopeVersion = 2;
 constexpr char kMagic[4] = {'L', 'M', 'C', 'E'};
 constexpr size_t kCrcSize = 4;
 
@@ -25,6 +25,8 @@ sealTranslation(const TranslationKey &key,
     w.writeString(key.targetName);
     w.writeByte(key.allocator);
     w.writeByte(key.coalesce);
+    w.writeByte(key.optLevel);
+    w.writeByte(key.tier);
     w.writeU64(key.sourceHash);
     w.writeVaruint(payload.size());
     w.writeBytes(payload.data(), payload.size());
@@ -35,7 +37,7 @@ sealTranslation(const TranslationKey &key,
 EnvelopeStatus
 openTranslation(const std::vector<uint8_t> &envelope,
                 const TranslationKey &expected,
-                std::vector<uint8_t> &payload)
+                std::vector<uint8_t> &payload, uint8_t *tier)
 {
     // Integrity first: a damaged entry must classify as Corrupt even
     // if the damage happens to land in the compatibility key, so the
@@ -61,11 +63,14 @@ openTranslation(const std::vector<uint8_t> &envelope,
         std::string target = r.readString();
         uint8_t allocator = r.readByte();
         uint8_t coalesce = r.readByte();
+        uint8_t optLevel = r.readByte();
+        uint8_t achieved = r.readByte();
         uint64_t source = r.readU64();
         if (version != expected.translatorVersion ||
             target != expected.targetName ||
             allocator != expected.allocator ||
-            coalesce != expected.coalesce)
+            coalesce != expected.coalesce ||
+            optLevel != expected.optLevel)
             return EnvelopeStatus::Incompatible;
         if (source != expected.sourceHash)
             return EnvelopeStatus::Stale;
@@ -74,6 +79,8 @@ openTranslation(const std::vector<uint8_t> &envelope,
             return EnvelopeStatus::Corrupt;
         payload.resize(n);
         r.readBytes(payload.data(), n);
+        if (tier)
+            *tier = achieved;
         return EnvelopeStatus::Ok;
     } catch (const FatalError &) {
         // Structurally impossible under a matching CRC unless the
@@ -107,6 +114,8 @@ inspectTranslation(const std::vector<uint8_t> &envelope,
         k.targetName = r.readString();
         k.allocator = r.readByte();
         k.coalesce = r.readByte();
+        k.optLevel = r.readByte();
+        k.tier = r.readByte();
         k.sourceHash = r.readU64();
         uint64_t n = r.readVaruint();
         if (n != r.remaining())

@@ -23,13 +23,22 @@
  * Anything but Ok means "retranslate": the entry is evicted, a
  * statistic is bumped, and execution proceeds as a cache miss.
  *
- * Layout (all integers little-endian; strings length-prefixed):
+ * Layout v2 (all integers little-endian; strings length-prefixed):
  *   magic "LMCE" | envelope version u8
  *   translator version u32 | target name | allocator u8 | coalesce u8
+ *   opt level u8 | tier u8
  *   source hash u64 (fnv1a of the function name seeded with the
  *                    fnv1a of the producing module's object code)
  *   payload length varuint | payload bytes
  *   crc32 u32 over every preceding byte
+ *
+ * `opt level` is the *requested* level and part of the compatibility
+ * key (an -O0 cache must not satisfy an -O2 run). `tier` is the
+ * level the translator actually *achieved* for this function after
+ * fault-driven degradation; it is carried, not compatibility-
+ * checked, so a downgraded function is not re-attempted at the
+ * failing tier on every run. tier == kTierInterpreter with an empty
+ * payload marks a function pinned to the interpreter.
  */
 
 #ifndef LLVA_LLEE_ENVELOPE_H
@@ -49,6 +58,9 @@ namespace llva {
  */
 constexpr uint32_t kTranslatorVersion = 1;
 
+/** Tier value marking a function pinned to the interpreter. */
+constexpr uint8_t kTierInterpreter = 0xff;
+
 /** Identifies what produced a cached translation, and from what. */
 struct TranslationKey
 {
@@ -56,6 +68,10 @@ struct TranslationKey
     std::string targetName;
     uint8_t allocator = 0;
     uint8_t coalesce = 0;
+    /** Requested optimization level (compatibility-checked). */
+    uint8_t optLevel = 0;
+    /** Achieved tier (carried, not compatibility-checked). */
+    uint8_t tier = 0;
     uint64_t sourceHash = 0;
 };
 
@@ -67,12 +83,14 @@ std::vector<uint8_t> sealTranslation(const TranslationKey &key,
 
 /**
  * Verify \p envelope against \p expected. On Ok, \p payload receives
- * the enclosed bytes; on any other status \p payload is untouched
- * and no byte of the entry should be trusted.
+ * the enclosed bytes and \p tier (when non-null) the achieved tier;
+ * on any other status \p payload is untouched and no byte of the
+ * entry should be trusted. `expected.tier` is ignored.
  */
 EnvelopeStatus openTranslation(const std::vector<uint8_t> &envelope,
                                const TranslationKey &expected,
-                               std::vector<uint8_t> &payload);
+                               std::vector<uint8_t> &payload,
+                               uint8_t *tier = nullptr);
 
 /**
  * Structural scan without a source program (llva-translate

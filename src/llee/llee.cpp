@@ -44,6 +44,7 @@ compatKey(const Target &target, const CodeGenOptions &opts,
     k.targetName = target.name();
     k.allocator = static_cast<uint8_t>(opts.allocator);
     k.coalesce = opts.coalesce ? 1 : 0;
+    k.optLevel = opts.optLevel;
     k.sourceHash =
         fnv1a(reinterpret_cast<const uint8_t *>(fnName.data()),
               fnName.size(), moduleHash);
@@ -79,7 +80,8 @@ LLEE::translationKey(const std::string &programKey,
     return programKey + "." + f.name() + "." + target.name() + "." +
            (opts.allocator == CodeGenOptions::Allocator::Local
                 ? "local"
-                : "lscan");
+                : "lscan") +
+           ".O" + std::to_string(opts.optLevel);
 }
 
 LLEEResult
@@ -97,6 +99,7 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     std::unique_ptr<Module> m = readBytecode(bytecode).orDie();
 
     CodeManager cm(target_, opts_);
+    cm.setHooks(hooks_);
 
     // Look for cached translations of every defined function. An
     // entry is installed only after it passes the full trust
@@ -116,19 +119,33 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
                 TranslationKey want = compatKey(target_, opts_,
                                                 f->name(), moduleHash);
                 std::vector<uint8_t> payload;
+                uint8_t tier = 0;
                 EnvelopeStatus st =
-                    openTranslation(cached, want, payload);
+                    openTranslation(cached, want, payload, &tier);
                 if (st == EnvelopeStatus::Ok) {
-                    auto mf = readMachineFunction(payload, *m, f.get());
-                    if (mf.ok()) {
-                        cm.install(f.get(), mf.take());
+                    if (tier == kTierInterpreter && payload.empty()) {
+                        // Cached knowledge that every native tier
+                        // failed for this function: pin it to the
+                        // interpreter instead of re-attempting (and
+                        // re-faulting) the whole ladder each run.
+                        cm.markInterpreted(f.get());
                         installed = true;
                         ++result.cacheHits;
                         ++NumCacheHits;
                     } else {
-                        // Sealed correctly but undecodable: damage
-                        // the checksum missed, or a buggy producer.
-                        st = EnvelopeStatus::Corrupt;
+                        auto mf =
+                            readMachineFunction(payload, *m, f.get());
+                        if (mf.ok()) {
+                            cm.install(f.get(), mf.take(), tier);
+                            installed = true;
+                            ++result.cacheHits;
+                            ++NumCacheHits;
+                        } else {
+                            // Sealed correctly but undecodable:
+                            // damage the checksum missed, or a buggy
+                            // producer.
+                            st = EnvelopeStatus::Corrupt;
+                        }
                     }
                 }
                 if (!installed) {
@@ -179,19 +196,32 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     result.machineInstructionsExecuted = sim.instructionsExecuted();
     result.functionsTranslatedOnline = cm.functionsTranslated();
     result.onlineTranslateSeconds = cm.totalTranslateSeconds();
+    result.tierDowngrades = cm.tierDowngrades();
+    for (const auto &f : m->functions())
+        if (!f->isDeclaration() && cm.isInterpreted(f.get()))
+            ++result.functionsInterpreted;
 
     // Write back any translations produced online, in module order.
     // Failures are tolerated: the next run simply translates again.
+    // Interpreter-pinned functions get an empty marker entry so the
+    // next run does not re-walk (and re-fault) the whole tier
+    // ladder for them.
     if (storage_) {
         for (const auto &f : m->functions()) {
-            if (f->isDeclaration() || !cm.has(f.get()))
+            if (f->isDeclaration())
+                continue;
+            const bool interp = cm.isInterpreted(f.get());
+            if (!interp && !cm.has(f.get()))
                 continue;
             std::string name = key(progKey, *f);
             if (storage_->timestamp(kCacheName, name) != 0)
                 continue; // valid entry already present
+            TranslationKey k =
+                compatKey(target_, opts_, f->name(), moduleHash);
+            k.tier = interp ? kTierInterpreter : cm.tierOf(f.get());
             std::vector<uint8_t> sealed = sealTranslation(
-                compatKey(target_, opts_, f->name(), moduleHash),
-                writeMachineFunction(*cm.get(f.get())));
+                k, interp ? std::vector<uint8_t>{}
+                          : writeMachineFunction(*cm.get(f.get())));
             if (!storage_->write(kCacheName, name, sealed))
                 ++NumStorageFailures;
         }
@@ -228,14 +258,19 @@ LLEE::offlineTranslate(const std::vector<uint8_t> &bytecode)
         return 0;
 
     CodeManager cm(target_, opts_);
+    cm.setHooks(hooks_);
     cm.translate(pending, jobs_);
 
     // Serial write-back in module order: storage sees the same
     // sequence of writes whether translation ran on 1 thread or N.
     for (size_t i = 0; i < pending.size(); ++i) {
+        const bool interp = cm.isInterpreted(pending[i]);
+        TranslationKey k =
+            compatKey(target_, opts_, pending[i]->name(), moduleHash);
+        k.tier = interp ? kTierInterpreter : cm.tierOf(pending[i]);
         std::vector<uint8_t> sealed = sealTranslation(
-            compatKey(target_, opts_, pending[i]->name(), moduleHash),
-            writeMachineFunction(*cm.get(pending[i])));
+            k, interp ? std::vector<uint8_t>{}
+                      : writeMachineFunction(*cm.get(pending[i])));
         if (!storage_->write(kCacheName, names[i], sealed))
             ++NumStorageFailures;
     }

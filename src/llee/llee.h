@@ -38,6 +38,11 @@ struct LLEEResult
     size_t functionsTranslatedOnline = 0;
     double onlineTranslateSeconds = 0;
     uint64_t machineInstructionsExecuted = 0;
+    /** Translation tiers abandoned after contained faults (one per
+     *  demotion step on the -O2 → -O1 → -O0 → interpreter ladder). */
+    size_t tierDowngrades = 0;
+    /** Functions executed by the interpreter tier of last resort. */
+    size_t functionsInterpreted = 0;
 };
 
 class LLEE
@@ -58,6 +63,10 @@ class LLEE
      */
     void setJobs(unsigned jobs) { jobs_ = jobs ? jobs : 1; }
     unsigned jobs() const { return jobs_; }
+
+    /** Test seams into the translation pipeline (fault injection);
+     *  forwarded to every CodeManager this environment creates. */
+    void setHooks(TranslationHooks hooks) { hooks_ = std::move(hooks); }
 
     /**
      * Load a virtual executable (bytecode), then run \p entry.
@@ -84,10 +93,10 @@ class LLEE
 
     /**
      * Storage name of one function's cached translation:
-     * "<program>.<function>.<target>.<allocator>". Every lookup and
-     * write-back uses this single helper, so the key scheme cannot
-     * silently drift between the read, write-back, and offline
-     * paths.
+     * "<program>.<function>.<target>.<allocator>.O<level>". Every
+     * lookup and write-back uses this single helper, so the key
+     * scheme cannot silently drift between the read, write-back, and
+     * offline paths.
      */
     static std::string translationKey(const std::string &programKey,
                                       const Function &f,
@@ -107,6 +116,7 @@ class LLEE
     Target &target_;
     StorageAPI *storage_;
     CodeGenOptions opts_;
+    TranslationHooks hooks_;
     unsigned jobs_ = 1;
 };
 

@@ -33,6 +33,7 @@ Lexer::advance()
         if (c == '\n') {
             ++line_;
             ++pos_;
+            lineStart_ = pos_;
         } else if (isspace(static_cast<unsigned char>(c))) {
             ++pos_;
         } else if (c == ';') {
@@ -45,6 +46,7 @@ Lexer::advance()
 
     tok_ = Token();
     tok_.line = line_;
+    tok_.col = static_cast<int>(pos_ - lineStart_) + 1;
     if (pos_ >= src_.size()) {
         tok_.kind = TokKind::Eof;
         return;
@@ -84,7 +86,7 @@ Lexer::advance()
         while (pos_ < src_.size() && isNameChar(src_[pos_]))
             name += src_[pos_++];
         if (name.empty())
-            fatal("line %d: empty %% identifier", line_);
+            fatal("line %d:%d: empty %% identifier", line_, curCol());
         tok_.kind = TokKind::Var;
         tok_.text = name;
         return;
@@ -99,12 +101,12 @@ Lexer::advance()
             if (ch == '\\') {
                 // Two hex digits.
                 if (pos_ + 1 >= src_.size())
-                    fatal("line %d: truncated string escape", line_);
+                    fatal("line %d:%d: truncated string escape", line_, curCol());
                 auto hex = [&](char h) -> int {
                     if (h >= '0' && h <= '9') return h - '0';
                     if (h >= 'a' && h <= 'f') return h - 'a' + 10;
                     if (h >= 'A' && h <= 'F') return h - 'A' + 10;
-                    fatal("line %d: bad hex digit in string", line_);
+                    fatal("line %d:%d: bad hex digit in string", line_, curCol());
                 };
                 int hi = hex(src_[pos_++]);
                 int lo = hex(src_[pos_++]);
@@ -114,7 +116,7 @@ Lexer::advance()
             }
         }
         if (pos_ >= src_.size())
-            fatal("line %d: unterminated string", line_);
+            fatal("line %d:%d: unterminated string", line_, curCol());
         ++pos_; // closing quote
         tok_.kind = TokKind::StringLit;
         tok_.text = bytes;
@@ -172,7 +174,7 @@ Lexer::advance()
         return;
     }
 
-    fatal("line %d: unexpected character '%c'", line_, c);
+    fatal("line %d:%d: unexpected character '%c'", line_, curCol(), c);
 }
 
 } // namespace llva

@@ -40,6 +40,7 @@ struct Token
     bool intNegative = false;
     double fpValue = 0.0;
     int line = 0;
+    int col = 0; ///< 1-based column of the token's first character.
 };
 
 /** One-token-lookahead lexer over an in-memory buffer. */
@@ -68,9 +69,15 @@ class Lexer
   private:
     void advance();
     char peek(size_t ahead = 0) const;
+    /** 1-based column of pos_ on the current line. */
+    int curCol() const
+    {
+        return static_cast<int>(pos_ - lineStart_) + 1;
+    }
 
     const std::string &src_;
     size_t pos_ = 0;
+    size_t lineStart_ = 0;
     int line_ = 1;
     Token tok_;
 };

@@ -25,6 +25,20 @@ class Parser
         : src_(src), m_(m)
     {}
 
+    /**
+     * Failure cleanup: forward-reference placeholders are owned by
+     * the parser until resolution, so an abandoned parse must free
+     * the ones still outstanding. Only safe once the module (whose
+     * instructions may hold operand edges to them) is destroyed.
+     */
+    void
+    freeForwardPlaceholders()
+    {
+        for (auto &[name, fwd] : forwards_)
+            delete fwd;
+        forwards_.clear();
+    }
+
     void
     run()
     {
@@ -64,14 +78,14 @@ class Parser
     expectWord(const char *w)
     {
         if (!acceptWord(w))
-            fatal("line %d: expected '%s'", cur().line, w);
+            fatal("line %d:%d: expected '%s'", cur().line, cur().col, w);
     }
 
     Token
     expect(TokKind kind, const char *what)
     {
         if (cur().kind != kind)
-            fatal("line %d: expected %s", cur().line, what);
+            fatal("line %d:%d: expected %s", cur().line, cur().col, what);
         return take();
     }
 
@@ -137,7 +151,7 @@ class Parser
         if (cur().kind == TokKind::Word) {
             Type *prim = m_.types().primByName(cur().text);
             if (!prim)
-                fatal("line %d: unknown type '%s'", cur().line,
+                fatal("line %d:%d: unknown type '%s'", cur().line, cur().col,
                       cur().text.c_str());
             take();
             return prim;
@@ -165,7 +179,7 @@ class Parser
             expect(TokKind::RBracket, "']'");
             return m_.types().arrayOf(elem, n.intBits);
         }
-        fatal("line %d: expected type", cur().line);
+        fatal("line %d:%d: expected type", cur().line, cur().col);
     }
 
     // --- Module level ----------------------------------------------------
@@ -207,8 +221,8 @@ class Parser
             if (v == 32 || v == 64)
                 v /= 8;
             if (v != 4 && v != 8)
-                fatal("line %d: pointer size must be 32 or 64 bits",
-                      n.line);
+                fatal("line %d:%d: pointer size must be 32 or 64 bits",
+                      n.line, n.col);
             flags.pointerSize = static_cast<unsigned>(v);
         } else if (acceptWord("endian")) {
             expect(TokKind::Equal, "'='");
@@ -217,9 +231,9 @@ class Parser
             else if (acceptWord("big"))
                 flags.bigEndian = true;
             else
-                fatal("line %d: expected 'little' or 'big'", cur().line);
+                fatal("line %d:%d: expected 'little' or 'big'", cur().line, cur().col);
         } else {
-            fatal("line %d: unknown target property", cur().line);
+            fatal("line %d:%d: unknown target property", cur().line, cur().col);
         }
         if (signaturesOnly_)
             m_.setTargetFlags(flags);
@@ -252,8 +266,8 @@ class Parser
         else if (acceptWord("constant"))
             is_constant = true;
         else
-            fatal("line %d: expected 'global' or 'constant'",
-                  cur().line);
+            fatal("line %d:%d: expected 'global' or 'constant'",
+                  cur().line, cur().col);
 
         Type *contained = parseType();
         if (signaturesOnly_) {
@@ -308,7 +322,7 @@ class Parser
             return;
           }
           default:
-            fatal("line %d: malformed initializer", cur().line);
+            fatal("line %d:%d: malformed initializer", cur().line, cur().col);
         }
     }
 
@@ -320,14 +334,14 @@ class Parser
           case TokKind::IntLit: {
             Token t = take();
             if (!type->isInteger() && !type->isBool())
-                fatal("line %d: integer constant for non-integer type",
-                      t.line);
+                fatal("line %d:%d: integer constant for non-integer type",
+                      t.line, t.col);
             return m_.constantInt(type, t.intBits);
           }
           case TokKind::FPLit: {
             Token t = take();
             if (!type->isFloatingPoint())
-                fatal("line %d: FP constant for non-FP type", t.line);
+                fatal("line %d:%d: FP constant for non-FP type", t.line, t.col);
             return m_.constantFP(type, t.fpValue);
           }
           case TokKind::StringLit: {
@@ -335,12 +349,12 @@ class Parser
             auto *at = dyn_cast<ArrayType>(type);
             if (!at || !at->element()->isInteger() ||
                 at->element()->sizeInBytes(8) != 1)
-                fatal("line %d: string constant needs [N x ubyte] type",
-                      t.line);
+                fatal("line %d:%d: string constant needs [N x ubyte] type",
+                      t.line, t.col);
             auto *ty = m_.types().arrayOf(at->element(), t.text.size());
             if (ty != type)
-                fatal("line %d: string length %zu does not match type",
-                      t.line, t.text.size());
+                fatal("line %d:%d: string length %zu does not match type",
+                      t.line, t.col, t.text.size());
             // The token bytes already include any NUL terminator.
             return m_.constantString(t.text, /*nul=*/false);
           }
@@ -358,8 +372,8 @@ class Parser
                 return m_.constantBool(false);
             if (acceptWord("undef"))
                 return m_.constantUndef(type);
-            fatal("line %d: unexpected word '%s' in constant",
-                  cur().line, cur().text.c_str());
+            fatal("line %d:%d: unexpected word '%s' in constant",
+                  cur().line, cur().col, cur().text.c_str());
           }
           case TokKind::Var: {
             // Reference to a global or function.
@@ -368,7 +382,7 @@ class Parser
                 return f;
             if (GlobalVariable *g = m_.getGlobal(t.text))
                 return g;
-            fatal("line %d: unknown global %%%s in constant", t.line,
+            fatal("line %d:%d: unknown global %%%s in constant", t.line, t.col,
                   t.text.c_str());
           }
           case TokKind::LBracket: {
@@ -418,7 +432,7 @@ class Parser
             return m_.constantAggregate(type, std::move(elems));
           }
           default:
-            fatal("line %d: expected constant", cur().line);
+            fatal("line %d:%d: expected constant", cur().line, cur().col);
         }
     }
 
@@ -500,7 +514,8 @@ class Parser
         Function *f = m_.getFunction(name.text);
         LLVA_ASSERT(f, "function vanished between passes");
         if (!f->isDeclaration())
-            fatal("function %%%s defined twice", name.text.c_str());
+            fatal("line %d:%d: function %%%s defined twice",
+                  name.line, name.col, name.text.c_str());
         parseBody(f, param_names);
     }
 
@@ -514,6 +529,8 @@ class Parser
         blocks_.clear();
         blockOrder_.clear();
         forwards_.clear();
+        fwdLoc_.clear();
+        blockRefLoc_.clear();
 
         for (size_t i = 0; i < f->numArgs(); ++i) {
             if (!param_names[i].empty()) {
@@ -539,8 +556,8 @@ class Parser
                 }
             }
             if (!curBlock_)
-                fatal("line %d: instruction before first label",
-                      cur().line);
+                fatal("line %d:%d: instruction before first label",
+                      cur().line, cur().col);
             parseInstruction();
         }
 
@@ -548,19 +565,28 @@ class Parser
         for (BasicBlock *bb : blockOrder_)
             f->moveBlockBefore(bb, nullptr);
         for (const auto &[name, bb] : blocks_)
-            if (!definedBlocks_.count(bb))
-                fatal("label %%%s referenced but not defined in %%%s",
-                      name.c_str(), f->name().c_str());
+            if (!definedBlocks_.count(bb)) {
+                auto loc = blockRefLoc_[name];
+                fatal("line %d:%d: label %%%s referenced but not "
+                      "defined in %%%s",
+                      loc.first, loc.second, name.c_str(),
+                      f->name().c_str());
+            }
 
         // Resolve forward value references.
         for (auto &[name, fwd] : forwards_) {
+            auto loc = fwdLoc_[name];
             auto it = locals_.find(name);
             if (it == locals_.end())
-                fatal("value %%%s used but never defined in %%%s",
-                      name.c_str(), f->name().c_str());
+                fatal("line %d:%d: value %%%s used but never "
+                      "defined in %%%s",
+                      loc.first, loc.second, name.c_str(),
+                      f->name().c_str());
             if (it->second->type() != fwd->type())
-                fatal("value %%%s used with type %s but defined as %s",
-                      name.c_str(), fwd->type()->str().c_str(),
+                fatal("line %d:%d: value %%%s used with type %s "
+                      "but defined as %s",
+                      loc.first, loc.second, name.c_str(),
+                      fwd->type()->str().c_str(),
                       it->second->type()->str().c_str());
             fwd->replaceAllUsesWith(it->second);
         }
@@ -585,37 +611,43 @@ class Parser
     }
 
     BasicBlock *
-    getBlock(const std::string &name)
+    getBlock(const std::string &name, int line = 0, int col = 0)
     {
         auto it = blocks_.find(name);
         if (it != blocks_.end())
             return it->second;
         BasicBlock *bb = func_->createBlock(name);
         blocks_[name] = bb;
+        // Remember where the label was first mentioned so the
+        // "referenced but not defined" diagnostic at end of body
+        // can point at the reference.
+        if (line && !blockRefLoc_.count(name))
+            blockRefLoc_[name] = {line, col};
         return bb;
     }
 
     /** Resolve %name as a local value of expected type \p type. */
     Value *
-    lookupValue(const std::string &name, Type *type, int line)
+    lookupValue(const std::string &name, Type *type, int line,
+                int col)
     {
         auto it = locals_.find(name);
         if (it != locals_.end()) {
             if (it->second->type() != type)
-                fatal("line %d: %%%s has type %s, expected %s", line,
+                fatal("line %d:%d: %%%s has type %s, expected %s", line, col,
                       name.c_str(), it->second->type()->str().c_str(),
                       type->str().c_str());
             return it->second;
         }
         if (Function *f = m_.getFunction(name)) {
             if (f->type() != type)
-                fatal("line %d: function %%%s type mismatch", line,
+                fatal("line %d:%d: function %%%s type mismatch", line, col,
                       name.c_str());
             return f;
         }
         if (GlobalVariable *g = m_.getGlobal(name)) {
             if (g->type() != type)
-                fatal("line %d: global %%%s type mismatch", line,
+                fatal("line %d:%d: global %%%s type mismatch", line, col,
                       name.c_str());
             return g;
         }
@@ -623,13 +655,15 @@ class Parser
         auto fit = forwards_.find(name);
         if (fit != forwards_.end()) {
             if (fit->second->type() != type)
-                fatal("line %d: forward ref %%%s type mismatch", line,
+                fatal("line %d:%d: forward ref %%%s type mismatch", line, col,
                       name.c_str());
             return fit->second;
         }
         auto *placeholder = new ConstantUndef(type);
         placeholder->setName(name);
         forwards_[name] = placeholder;
+        if (!fwdLoc_.count(name))
+            fwdLoc_[name] = {line, col};
         return placeholder;
     }
 
@@ -638,22 +672,23 @@ class Parser
     parseValueRef(Type *type)
     {
         int line = cur().line;
+        int col = cur().col;
         switch (cur().kind) {
           case TokKind::Var: {
             Token t = take();
-            return lookupValue(t.text, type, line);
+            return lookupValue(t.text, type, line, col);
           }
           case TokKind::IntLit: {
             Token t = take();
             if (!type->isInteger() && !type->isBool())
-                fatal("line %d: integer literal for type %s", line,
+                fatal("line %d:%d: integer literal for type %s", line, col,
                       type->str().c_str());
             return m_.constantInt(type, t.intBits);
           }
           case TokKind::FPLit: {
             Token t = take();
             if (!type->isFloatingPoint())
-                fatal("line %d: FP literal for type %s", line,
+                fatal("line %d:%d: FP literal for type %s", line, col,
                       type->str().c_str());
             return m_.constantFP(type, t.fpValue);
           }
@@ -661,24 +696,24 @@ class Parser
             if (acceptWord("null")) {
                 auto *pt = dyn_cast<PointerType>(type);
                 if (!pt)
-                    fatal("line %d: 'null' for non-pointer", line);
+                    fatal("line %d:%d: 'null' for non-pointer", line, col);
                 return m_.constantNull(const_cast<PointerType *>(pt));
             }
             if (acceptWord("true")) {
                 if (!type->isBool())
-                    fatal("line %d: 'true' for non-bool", line);
+                    fatal("line %d:%d: 'true' for non-bool", line, col);
                 return m_.constantBool(true);
             }
             if (acceptWord("false")) {
                 if (!type->isBool())
-                    fatal("line %d: 'false' for non-bool", line);
+                    fatal("line %d:%d: 'false' for non-bool", line, col);
                 return m_.constantBool(false);
             }
             if (acceptWord("undef"))
                 return m_.constantUndef(type);
-            fatal("line %d: expected value", line);
+            fatal("line %d:%d: expected value", line, col);
           default:
-            fatal("line %d: expected value", line);
+            fatal("line %d:%d: expected value", line, col);
         }
     }
 
@@ -695,17 +730,18 @@ class Parser
     {
         expectWord("label");
         Token t = expect(TokKind::Var, "label name");
-        return getBlock(t.text);
+        return getBlock(t.text, t.line, t.col);
     }
 
     void
-    define(const std::string &name, Value *v)
+    define(const std::string &name, Value *v, int line, int col)
     {
         if (name.empty())
             return;
         v->setName(name);
         if (locals_.count(name))
-            fatal("value %%%s redefined (SSA violation)", name.c_str());
+            fatal("line %d:%d: value %%%s redefined (SSA violation)",
+                  line, col, name.c_str());
         locals_[name] = v;
     }
 
@@ -719,13 +755,17 @@ class Parser
     parseInstruction()
     {
         std::string result;
+        int rline = 0, rcol = 0;
         if (cur().kind == TokKind::Var) {
-            result = take().text;
+            Token r = take();
+            result = r.text;
+            rline = r.line;
+            rcol = r.col;
             expect(TokKind::Equal, "'='");
         }
         Token op = expect(TokKind::Word, "opcode");
-        Instruction *inst = parseInstructionBody(op.text, op.line);
-        define(result, inst);
+        Instruction *inst = parseInstructionBody(op.text, op.line, op.col);
+        define(result, inst, rline, rcol);
 
         // Optional !ee(true/false) attribute.
         if (cur().kind == TokKind::Bang) {
@@ -737,13 +777,13 @@ class Parser
             else if (acceptWord("false"))
                 inst->setExceptionsEnabled(false);
             else
-                fatal("line %d: expected true/false", cur().line);
+                fatal("line %d:%d: expected true/false", cur().line, cur().col);
             expect(TokKind::RParen, "')'");
         }
     }
 
     Instruction *
-    parseInstructionBody(const std::string &op, int line)
+    parseInstructionBody(const std::string &op, int line, int col)
     {
         auto &tc = m_.types();
 
@@ -807,8 +847,8 @@ class Parser
                     Value *cv = parseTypedValue();
                     auto *ci = dyn_cast<ConstantInt>(cv);
                     if (!ci)
-                        fatal("line %d: mbr case must be constant",
-                              line);
+                        fatal("line %d:%d: mbr case must be constant",
+                              line, col);
                     expect(TokKind::Comma, "','");
                     BasicBlock *dest = parseLabelRef();
                     mbr->addCase(const_cast<ConstantInt *>(ci), dest);
@@ -823,7 +863,7 @@ class Parser
             Type *ret = parseType();
             Token callee_tok = expect(TokKind::Var, "callee");
             auto [callee, args] = parseCallSuffix(callee_tok.text, ret,
-                                                  line);
+                                                  line, col);
             expectWord("to");
             BasicBlock *normal = parseLabelRef();
             expectWord("unwind");
@@ -836,7 +876,7 @@ class Parser
         if (op == "load") {
             Value *ptr = parseTypedValue();
             if (!ptr->type()->isPointer())
-                fatal("line %d: load needs a pointer", line);
+                fatal("line %d:%d: load needs a pointer", line, col);
             return append(new LoadInst(ptr));
         }
         if (op == "store") {
@@ -844,7 +884,7 @@ class Parser
             expect(TokKind::Comma, "','");
             Value *ptr = parseTypedValue();
             if (!ptr->type()->isPointer())
-                fatal("line %d: store needs a pointer", line);
+                fatal("line %d:%d: store needs a pointer", line, col);
             return append(new StoreInst(v, ptr));
         }
         if (op == "getelementptr") {
@@ -871,7 +911,7 @@ class Parser
             Type *ret = parseType();
             Token callee_tok = expect(TokKind::Var, "callee");
             auto [callee, args] = parseCallSuffix(callee_tok.text, ret,
-                                                  line);
+                                                  line, col);
             return append(new CallInst(ret, callee, args));
         }
         if (op == "phi") {
@@ -883,14 +923,14 @@ class Parser
                 Value *v = parseValueRef(t);
                 expect(TokKind::Comma, "','");
                 Token b = expect(TokKind::Var, "block name");
-                phi->addIncoming(v, getBlock(b.text));
+                phi->addIncoming(v, getBlock(b.text, b.line, b.col));
                 expect(TokKind::RBracket, "']'");
                 if (!accept(TokKind::Comma))
                     break;
             }
             return phi;
         }
-        fatal("line %d: unknown opcode '%s'", line, op.c_str());
+        fatal("line %d:%d: unknown opcode '%s'", line, col, op.c_str());
     }
 
     /**
@@ -898,7 +938,8 @@ class Parser
      * callee value (function or function-pointer local) and args.
      */
     std::pair<Value *, std::vector<Value *>>
-    parseCallSuffix(const std::string &callee_name, Type *ret, int line)
+    parseCallSuffix(const std::string &callee_name, Type *ret, int line,
+                    int col)
     {
         expect(TokKind::LParen, "'('");
         std::vector<Value *> args;
@@ -918,15 +959,15 @@ class Parser
         else if (Function *f = m_.getFunction(callee_name))
             callee = f;
         if (!callee)
-            fatal("line %d: unknown callee %%%s", line,
+            fatal("line %d:%d: unknown callee %%%s", line, col,
                   callee_name.c_str());
         auto *pt = dyn_cast<PointerType>(callee->type());
         auto *ft = pt ? dyn_cast<FunctionType>(pt->pointee()) : nullptr;
         if (!ft)
-            fatal("line %d: callee %%%s is not a function", line,
+            fatal("line %d:%d: callee %%%s is not a function", line, col,
                   callee_name.c_str());
         if (ft->returnType() != ret)
-            fatal("line %d: call return type mismatch for %%%s", line,
+            fatal("line %d:%d: call return type mismatch for %%%s", line, col,
                   callee_name.c_str());
         return {callee, args};
     }
@@ -944,16 +985,31 @@ class Parser
     std::vector<BasicBlock *> blockOrder_;
     std::set<BasicBlock *> definedBlocks_;
     std::map<std::string, ConstantUndef *> forwards_;
+    /** First-reference source location of each forward value /
+     *  forward label, for end-of-body diagnostics. */
+    std::map<std::string, std::pair<int, int>> fwdLoc_;
+    std::map<std::string, std::pair<int, int>> blockRefLoc_;
     std::set<std::string> definedTypes_;
 };
 
 } // namespace
 
-std::unique_ptr<Module>
+Expected<std::unique_ptr<Module>>
 parseAssembly(const std::string &source, const std::string &module_name)
 {
     auto m = std::make_unique<Module>(module_name);
-    Parser(source, *m).run();
+    Parser p(source, *m);
+    try {
+        p.run();
+    } catch (const FatalError &e) {
+        // Destruction order matters: instructions in the half-built
+        // module may still hold operand edges to the parser's
+        // forward-reference placeholders. Destroy the module first
+        // (severing those edges), then free the placeholders.
+        m.reset();
+        p.freeForwardPlaceholders();
+        return Error(std::string("parse error: ") + e.what());
+    }
     return m;
 }
 

@@ -11,16 +11,22 @@
 #include <string>
 
 #include "ir/module.h"
+#include "support/expected.h"
 
 namespace llva {
 
 /**
  * Parse a complete module from LLVA assembly text.
- * Throws FatalError on syntax or semantic errors.
+ *
+ * Assembly text is untrusted input like any other persistent form:
+ * malformed source yields an Error whose message carries the
+ * "line L:C" location of the offending token — never an exception
+ * and never a partially-built module. Trusted callers (tests,
+ * drivers that want to die on bad input) bridge with `.orDie()`.
  */
-std::unique_ptr<Module> parseAssembly(const std::string &source,
-                                      const std::string &module_name =
-                                          "module");
+Expected<std::unique_ptr<Module>>
+parseAssembly(const std::string &source,
+              const std::string &module_name = "module");
 
 } // namespace llva
 

@@ -1,7 +1,12 @@
 #include "transforms/pass.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
 
+#include "ir/clone.h"
 #include "support/statistic.h"
 #include "support/timer.h"
 #include "verifier/verifier.h"
@@ -14,8 +19,104 @@ Statistic NumPassRuns("pass.applications",
                       "Individual pass applications (pass x unit)");
 Statistic NumPassChanges("pass.changes",
                          "Pass applications that modified the IR");
+Statistic NumContained("passes.contained_failures",
+                       "Pass applications contained by the sandbox");
+Statistic NumBudgetExceeded(
+    "passes.budget_exceeded",
+    "Pass applications rolled back for blowing their budget");
+
+/** CI hook: LLVA_VERIFY_EACH=1 turns on verify-each everywhere. */
+bool
+envVerifyEach()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("LLVA_VERIFY_EACH");
+        return e && *e && std::string(e) != "0";
+    }();
+    return on;
+}
+
+/** Process-wide -opt-bisect-limit state. */
+struct BisectState
+{
+    std::mutex mu;
+    int64_t limit = -1;
+    int64_t counter = 0;
+    std::vector<std::string> decisions;
+};
+
+BisectState &
+bisectState()
+{
+    static BisectState s;
+    return s;
+}
 
 } // namespace
+
+// --- OptBisect ---------------------------------------------------------
+
+void
+OptBisect::setLimit(int64_t limit)
+{
+    BisectState &s = bisectState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.limit = limit < 0 ? -1 : limit;
+    s.counter = 0;
+    s.decisions.clear();
+}
+
+int64_t
+OptBisect::limit()
+{
+    BisectState &s = bisectState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.limit;
+}
+
+bool
+OptBisect::enabled()
+{
+    return limit() >= 0;
+}
+
+int64_t
+OptBisect::count()
+{
+    BisectState &s = bisectState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.counter;
+}
+
+bool
+OptBisect::shouldRun(const char *pass, const std::string &unit)
+{
+    BisectState &s = bisectState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.limit < 0)
+        return true;
+    const int64_t index = ++s.counter;
+    const bool run = index <= s.limit;
+    std::string desc =
+        std::string(pass) + " on " + (unit.empty() ? "<module>" : unit);
+    s.decisions.push_back(desc);
+    std::fprintf(stderr, "BISECT: %srunning pass (%lld) %s\n",
+                 run ? "" : "NOT ", static_cast<long long>(index),
+                 desc.c_str());
+    return run;
+}
+
+std::string
+OptBisect::description(int64_t index)
+{
+    BisectState &s = bisectState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (index < 1 || static_cast<size_t>(index) > s.decisions.size())
+        return "";
+    return s.decisions[static_cast<size_t>(index) - 1];
+}
+
+// --- PassManager -------------------------------------------------------
 
 bool
 PassManager::run(Module &m)
@@ -33,10 +134,214 @@ PassManager::verifyAfter(Module &m, const Entry &e)
               r.str().c_str());
 }
 
+PassResult
+PassManager::applyFunctionPass(const Entry &e, Function &f,
+                               AnalysisManager &am)
+{
+    ++NumPassRuns;
+    if (OptBisect::enabled() && !OptBisect::shouldRun(e.name(), f.name()))
+        return PassResult::unchanged();
+
+    const bool verify = verifyEach_ || envVerifyEach();
+
+    if (!sandbox_) {
+        PassResult r = e.fp->run(f, am);
+        if (r.changed) {
+            ++NumPassChanges;
+            am.invalidate(f, r.preserved);
+        }
+        if (verify) {
+            VerifyResult vr = verifyFunction(f);
+            if (!vr.ok())
+                fatal("verification failed after pass '%s' on "
+                      "function '%s':\n%s",
+                      e.name(), f.name().c_str(), vr.str().c_str());
+        }
+        return r;
+    }
+
+    // Sandboxed: snapshot, guard, enforce the budget, and on any
+    // failure put the function back exactly as it was.
+    FunctionSnapshot snap = FunctionSnapshot::capture(f);
+    const size_t before = snap.instructionCount();
+    Timer t;
+    std::string failure;
+    bool budgetBlown = false;
+    PassResult r = PassResult::unchanged();
+    try {
+        r = e.fp->run(f, am);
+    } catch (const FatalError &err) {
+        failure = std::string("pass fault: ") + err.what();
+    } catch (const std::exception &err) {
+        failure = std::string("pass exception: ") + err.what();
+    }
+
+    if (failure.empty()) {
+        const double secs = t.seconds();
+        const size_t limit = std::max(
+            budget_.growthFloor,
+            static_cast<size_t>(static_cast<double>(before) *
+                                budget_.maxGrowth));
+        if (secs > budget_.maxSeconds) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "budget exceeded: %.3fs > %.3fs wall clock",
+                          secs, budget_.maxSeconds);
+            failure = buf;
+            budgetBlown = true;
+        } else if (f.instructionCount() > limit) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "budget exceeded: grew %zu -> %zu "
+                          "instructions (limit %zu)",
+                          before, f.instructionCount(), limit);
+            failure = buf;
+            budgetBlown = true;
+        }
+    }
+
+    // Invalidation runs outside the guard on purpose: the analysis
+    // manager's preservation audit flags a pass-declaration bug, not
+    // an input-dependent fault, and must never be swallowed here.
+    if (failure.empty() && r.changed)
+        am.invalidate(f, r.preserved);
+
+    if (failure.empty() && verify) {
+        VerifyResult vr = verifyFunction(f);
+        if (!vr.ok())
+            failure = "verification failed: " + vr.str();
+    }
+
+    if (!failure.empty()) {
+        snap.restoreInto(f);
+        // The restore replaced every block, so anything cached for
+        // this function points at freed IR.
+        am.invalidate(f);
+        containedFailures_.push_back({e.name(), f.name(), failure});
+        ++NumContained;
+        if (budgetBlown)
+            ++NumBudgetExceeded;
+        warn("contained pass '%s' on function '%s': %s", e.name(),
+             f.name().c_str(), failure.c_str());
+        return PassResult::unchanged();
+    }
+    if (r.changed)
+        ++NumPassChanges;
+    return r;
+}
+
+PassResult
+PassManager::applyModulePass(const Entry &e, Module &m,
+                             AnalysisManager &am)
+{
+    ++NumPassRuns;
+    if (OptBisect::enabled() && !OptBisect::shouldRun(e.name(), m.name()))
+        return PassResult::unchanged();
+
+    const bool verify = verifyEach_ || envVerifyEach();
+
+    if (!sandbox_) {
+        PassResult r = e.mp->run(m, am);
+        if (r.changed) {
+            ++NumPassChanges;
+            // Interprocedural rewrites can touch any function;
+            // drop every cached analysis.
+            am.clear();
+        }
+        if (verify)
+            verifyAfter(m, e);
+        return r;
+    }
+
+    // Sandboxed module pass: snapshot every defined body plus the
+    // set of functions, so a faulting interprocedural pass can be
+    // unwound (bodies restored, functions it minted removed).
+    std::vector<std::pair<Function *, FunctionSnapshot>> snaps;
+    std::set<const Function *> preexisting;
+    size_t before = 0;
+    for (const auto &f : m.functions()) {
+        preexisting.insert(f.get());
+        if (f->isDeclaration())
+            continue;
+        snaps.emplace_back(f.get(), FunctionSnapshot::capture(*f));
+        before += snaps.back().second.instructionCount();
+    }
+
+    Timer t;
+    std::string failure;
+    bool budgetBlown = false;
+    PassResult r = PassResult::unchanged();
+    try {
+        r = e.mp->run(m, am);
+    } catch (const FatalError &err) {
+        failure = std::string("pass fault: ") + err.what();
+    } catch (const std::exception &err) {
+        failure = std::string("pass exception: ") + err.what();
+    }
+
+    if (failure.empty()) {
+        const double secs = t.seconds();
+        const size_t limit = std::max(
+            budget_.growthFloor,
+            static_cast<size_t>(static_cast<double>(before) *
+                                budget_.maxGrowth));
+        if (secs > budget_.maxSeconds) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "budget exceeded: %.3fs > %.3fs wall clock",
+                          secs, budget_.maxSeconds);
+            failure = buf;
+            budgetBlown = true;
+        } else if (m.instructionCount() > limit) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "budget exceeded: module grew %zu -> %zu "
+                          "instructions (limit %zu)",
+                          before, m.instructionCount(), limit);
+            failure = buf;
+            budgetBlown = true;
+        }
+    }
+
+    if (failure.empty() && r.changed)
+        am.clear();
+
+    if (failure.empty() && verify) {
+        VerifyResult vr = verifyModule(m);
+        if (!vr.ok())
+            failure = "verification failed: " + vr.str();
+    }
+
+    if (!failure.empty()) {
+        for (auto &[f, snap] : snaps)
+            snap.restoreInto(*f);
+        // With every pre-existing body restored, nothing can
+        // reference functions the pass created; drop them.
+        std::vector<Function *> minted;
+        for (const auto &f : m.functions())
+            if (!preexisting.count(f.get()) && !f->hasUses())
+                minted.push_back(f.get());
+        for (Function *f : minted)
+            m.eraseFunction(f);
+        am.clear();
+        containedFailures_.push_back({e.name(), "", failure});
+        ++NumContained;
+        if (budgetBlown)
+            ++NumBudgetExceeded;
+        warn("contained module pass '%s': %s", e.name(),
+             failure.c_str());
+        return PassResult::unchanged();
+    }
+    if (r.changed)
+        ++NumPassChanges;
+    return r;
+}
+
 bool
 PassManager::run(Module &m, AnalysisManager &am)
 {
     changed_.clear();
+    containedFailures_.clear();
     timings_.clear();
     timings_.resize(entries_.size());
     for (size_t i = 0; i < entries_.size(); ++i)
@@ -47,19 +352,11 @@ PassManager::run(Module &m, AnalysisManager &am)
         if (entries_[i].mp) {
             Entry &e = entries_[i];
             Timer t;
-            PassResult r = e.mp->run(m, am);
+            PassResult r = applyModulePass(e, m, am);
             timings_[i].seconds += t.seconds();
             timings_[i].invocations += 1;
-            ++NumPassRuns;
-            if (r.changed) {
+            if (r.changed)
                 timings_[i].changed = true;
-                ++NumPassChanges;
-                // Interprocedural rewrites can touch any function;
-                // drop every cached analysis.
-                am.clear();
-            }
-            if (verifyEach_)
-                verifyAfter(m, e);
             ++i;
             continue;
         }
@@ -77,20 +374,48 @@ PassManager::run(Module &m, AnalysisManager &am)
             for (size_t k = i; k < stageEnd; ++k) {
                 Entry &e = entries_[k];
                 Timer t;
-                PassResult r = e.fp->run(*f, am);
+                PassResult r = applyFunctionPass(e, *f, am);
                 timings_[k].seconds += t.seconds();
                 timings_[k].invocations += 1;
-                ++NumPassRuns;
-                if (r.changed) {
+                if (r.changed)
                     timings_[k].changed = true;
-                    ++NumPassChanges;
-                    am.invalidate(*f, r.preserved);
-                }
-                if (verifyEach_)
-                    verifyAfter(m, e);
             }
         }
         i = stageEnd;
+    }
+
+    bool any = false;
+    for (const PassTiming &t : timings_) {
+        if (!t.changed)
+            continue;
+        changed_.push_back(t.name);
+        any = true;
+    }
+    return any;
+}
+
+bool
+PassManager::runOnFunction(Function &f, AnalysisManager &am)
+{
+    changed_.clear();
+    containedFailures_.clear();
+    timings_.clear();
+    timings_.resize(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        timings_[i].name = entries_[i].name();
+        if (entries_[i].mp)
+            panic("runOnFunction: pipeline contains module pass '%s'",
+                  entries_[i].name());
+    }
+
+    for (size_t k = 0; k < entries_.size(); ++k) {
+        Entry &e = entries_[k];
+        Timer t;
+        PassResult r = applyFunctionPass(e, f, am);
+        timings_[k].seconds += t.seconds();
+        timings_[k].invocations += 1;
+        if (r.changed)
+            timings_[k].changed = true;
     }
 
     bool any = false;
@@ -150,6 +475,27 @@ addStandardPasses(PassManager &pm, unsigned level)
     pm.add(createSimplifyCFGPass());
     if (level >= 2) {
         pm.add(createInlinerPass());
+        pm.add(createInstCombinePass());
+        pm.add(createSCCPPass());
+        pm.add(createGVNPass());
+        pm.add(createADCEPass());
+        pm.add(createSimplifyCFGPass());
+    }
+}
+
+void
+addFunctionPasses(PassManager &pm, unsigned level)
+{
+    if (level == 0)
+        return;
+    pm.add(createMem2RegPass());
+    pm.add(createInstCombinePass());
+    pm.add(createSCCPPass());
+    pm.add(createSimplifyCFGPass());
+    pm.add(createGVNPass());
+    pm.add(createADCEPass());
+    pm.add(createSimplifyCFGPass());
+    if (level >= 2) {
         pm.add(createInstCombinePass());
         pm.add(createSCCPPass());
         pm.add(createGVNPass());

@@ -92,6 +92,63 @@ struct PassTiming
 };
 
 /**
+ * Resource ceiling for one sandboxed pass application. A pass that
+ * exceeds it is treated exactly like a faulting pass: the unit is
+ * restored from its snapshot and the pipeline continues without
+ * that application. Wall clock is necessarily checked after the
+ * pass returns (passes are not preemptible), so the budget bounds
+ * damage per application, not the absolute latency of one.
+ */
+struct PassBudget
+{
+    /** Max wall-clock seconds for a single application. */
+    double maxSeconds = 5.0;
+    /** Max IR instruction growth factor for a single application. */
+    double maxGrowth = 8.0;
+    /** Functions smaller than this may always grow up to it (a
+     *  3-instruction function legitimately triples). */
+    size_t growthFloor = 512;
+};
+
+/** Identity of one contained pass failure (sandbox telemetry). */
+struct ContainedFailure
+{
+    std::string pass;
+    std::string unit; ///< function name; empty for a module pass
+    std::string reason;
+};
+
+/**
+ * Deterministic global pass-application counter (LLVM-style
+ * -opt-bisect-limit). When a limit is set, every pass application
+ * process-wide draws the next index; applications whose index
+ * exceeds the limit are skipped. Because pipelines run passes in a
+ * deterministic serial order, an output difference can be
+ * binary-searched over the limit to the exact application — and
+ * description() names it.
+ */
+class OptBisect
+{
+  public:
+    /** Enable with a limit (>= 0); negative disables. Resets the
+     *  counter and the recorded decisions. */
+    static void setLimit(int64_t limit);
+    static int64_t limit();
+    static bool enabled();
+
+    /** Applications drawn since the limit was set. */
+    static int64_t count();
+
+    /** Draw the next index for (pass, unit); true = run it. Records
+     *  the decision and echoes it to stderr, like LLVM. */
+    static bool shouldRun(const char *pass, const std::string &unit);
+
+    /** "pass on unit" for a 1-based application index ("" if out of
+     *  range or bisect disabled). */
+    static std::string description(int64_t index);
+};
+
+/**
  * Runs a sequence of passes as a staged per-function pipeline.
  * Consecutive function passes are applied function-major (all
  * stage passes to one function before moving to the next) so the
@@ -116,11 +173,38 @@ class PassManager
 
     void setVerifyEach(bool v) { verifyEach_ = v; }
 
+    /**
+     * Fault containment: snapshot each unit before a pass runs, and
+     * if the pass throws, breaks the verifier (under verify-each), or
+     * blows its budget, restore the snapshot and continue the
+     * pipeline without that application. Off by default — batch
+     * tools want a faulting pass to be loud; the runtime translator
+     * wants it contained.
+     */
+    void setSandbox(bool v) { sandbox_ = v; }
+    bool sandbox() const { return sandbox_; }
+
+    void setBudget(const PassBudget &b) { budget_ = b; }
+    const PassBudget &budget() const { return budget_; }
+
+    /** Failures contained by the sandbox in the last run. */
+    const std::vector<ContainedFailure> &containedFailures() const
+    {
+        return containedFailures_;
+    }
+
     /** Run all passes; returns true if anything changed. */
     bool run(Module &m);
 
     /** Run with an external AnalysisManager (tests, pipelining). */
     bool run(Module &m, AnalysisManager &am);
+
+    /**
+     * Run only the function passes over a single function (the tier
+     * ladder retranslates one function at a time). Panics if the
+     * pipeline contains a module pass.
+     */
+    bool runOnFunction(Function &f, AnalysisManager &am);
 
     /** Names of passes that reported changes in the last run. */
     const std::vector<std::string> &changedPasses() const
@@ -152,10 +236,20 @@ class PassManager
 
     void verifyAfter(Module &m, const Entry &e);
 
+    /** One sandboxed/bisected function-pass application. */
+    PassResult applyFunctionPass(const Entry &e, Function &f,
+                                 AnalysisManager &am);
+    /** One sandboxed/bisected module-pass application. */
+    PassResult applyModulePass(const Entry &e, Module &m,
+                               AnalysisManager &am);
+
     std::vector<Entry> entries_;
     std::vector<std::string> changed_;
     std::vector<PassTiming> timings_;
+    std::vector<ContainedFailure> containedFailures_;
+    PassBudget budget_;
     bool verifyEach_ = false;
+    bool sandbox_ = false;
 };
 
 // Factory functions for the standard passes.
@@ -184,6 +278,13 @@ std::unique_ptr<ModulePass> createPoolAllocationPass();
  *    (the "link-time interprocedural" configuration of Section 4.2).
  */
 void addStandardPasses(PassManager &pm, unsigned level);
+
+/**
+ * The function-pass subset of the standard pipeline (no inliner; the
+ * tier ladder retranslates one function at a time, so module passes
+ * cannot apply). Level 2 adds the second scalar round.
+ */
+void addFunctionPasses(PassManager &pm, unsigned level);
 
 } // namespace llva
 

@@ -123,10 +123,11 @@ class PoolAllocation : public ModulePass
                 call, std::unique_ptr<Instruction>(repl));
             call->eraseFromParent();
         }
-        // Call rewriting keeps every CFG intact, but as a module
-        // pass the conservative contract (manager-wide flush on
-        // change) applies anyway.
-        return PassResult::modified(PreservedAnalyses::all());
+        // Call rewriting keeps every CFG intact, but this pass also
+        // rewrites entry blocks (pool descriptors) and creates
+        // functions; claim nothing rather than rely on the module-
+        // pass cache flush masking an over-broad declaration.
+        return PassResult::modified(PreservedAnalyses::none());
     }
 };
 

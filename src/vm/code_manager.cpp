@@ -1,9 +1,23 @@
 #include "vm/code_manager.h"
 
+#include "analysis/analysis_manager.h"
+#include "ir/clone.h"
+#include "support/statistic.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace llva {
+
+namespace {
+
+Statistic NumTierDowngrades(
+    "llee.tier_downgrades",
+    "Translation tiers abandoned after a contained fault");
+Statistic NumInterpFallbacks(
+    "llee.interp_fallbacks",
+    "Functions pinned to the interpreter (all native tiers failed)");
+
+} // namespace
 
 const MachineFunction *
 CodeManager::get(const Function *f)
@@ -11,26 +25,98 @@ CodeManager::get(const Function *f)
     auto it = cache_.find(f);
     if (it != cache_.end())
         return it->second.get();
+    if (isInterpreted(f))
+        return nullptr;
 
-    Timer timer;
-    CodeGenStats stats;
-    auto mf = translateFunction(*f, target_, opts_, &stats);
-    seconds_ += timer.seconds();
-    ++translated_;
-    stats_.phiCopiesInserted += stats.phiCopiesInserted;
-    stats_.phiCopiesCoalesced += stats.phiCopiesCoalesced;
-    stats_.spillsInserted += stats.spillsInserted;
-    stats_.reloadsInserted += stats.reloadsInserted;
+    // The ladder optimizes the body in place (and restores it); the
+    // cache API stays const because callers never observe a change.
+    return translateWithLadder(*const_cast<Function *>(f));
+}
 
-    const MachineFunction *raw = mf.get();
-    cache_[f] = std::move(mf);
-    return raw;
+const MachineFunction *
+CodeManager::translateWithLadder(Function &f)
+{
+    const unsigned top = opts_.optLevel;
+    for (int level = static_cast<int>(top); level >= 0; --level) {
+        Timer timer;
+        auto mf = translateAtTier(f, static_cast<unsigned>(level));
+        if (mf) {
+            seconds_ += timer.seconds();
+            ++translated_;
+            const MachineFunction *raw = mf.get();
+            cache_[&f] = std::move(mf);
+            tiers_[&f] = static_cast<uint8_t>(level);
+            return raw;
+        }
+        // This rung failed; drop one level (or fall off the end).
+        ++tierDowngrades_;
+        ++NumTierDowngrades;
+        warn("translation of '%s' failed at -O%d; %s", f.name().c_str(),
+             level,
+             level > 0 ? "retrying one tier lower"
+                       : "falling back to the interpreter");
+    }
+    markInterpreted(&f);
+    ++NumInterpFallbacks;
+    return nullptr;
+}
+
+std::unique_ptr<MachineFunction>
+CodeManager::translateAtTier(Function &f, unsigned level)
+{
+    // Optimize a copy-on-write style: snapshot the pristine body,
+    // optimize in place under the sandbox, codegen, then restore.
+    // The original bytecode stays the single source of truth (lower
+    // tiers and the interpreter must see the unoptimized body).
+    FunctionSnapshot pristine;
+    const bool mutates = level > 0 || bool(hooks_);
+    if (mutates) {
+        pristine = FunctionSnapshot::capture(f);
+        PassManager pm;
+        pm.setSandbox(true);
+        pm.setVerifyEach(opts_.verifyEach);
+        addFunctionPasses(pm, level);
+        if (hooks_.extendPipeline)
+            hooks_.extendPipeline(pm, level);
+        AnalysisManager am;
+        bool failed = false;
+        try {
+            pm.runOnFunction(f, am);
+            // The sandbox restored any individual failing pass, but
+            // a tier that faulted at all is not trusted: degrade.
+            failed = !pm.containedFailures().empty();
+        } catch (const std::exception &) {
+            failed = true;
+        }
+        if (failed) {
+            pristine.restoreInto(f);
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<MachineFunction> mf;
+    try {
+        if (hooks_.beforeCodegen)
+            hooks_.beforeCodegen(f, level);
+        CodeGenStats stats;
+        mf = translateFunction(f, target_, opts_, &stats);
+        stats_.phiCopiesInserted += stats.phiCopiesInserted;
+        stats_.phiCopiesCoalesced += stats.phiCopiesCoalesced;
+        stats_.spillsInserted += stats.spillsInserted;
+        stats_.reloadsInserted += stats.reloadsInserted;
+    } catch (const std::exception &) {
+        mf.reset();
+    }
+    if (mutates)
+        pristine.restoreInto(f);
+    return mf;
 }
 
 void
 CodeManager::invalidate(const Function *f)
 {
     cache_.erase(f);
+    tiers_.erase(f);
 }
 
 size_t
@@ -39,10 +125,20 @@ CodeManager::translate(const std::vector<const Function *> &fns,
 {
     std::vector<const Function *> work;
     for (const Function *f : fns)
-        if (f && !f->isDeclaration() && !cache_.count(f))
+        if (f && !f->isDeclaration() && !cache_.count(f) &&
+            !isInterpreted(f))
             work.push_back(f);
     if (work.empty())
         return 0;
+
+    // Tiered translation optimizes bodies in place and interns
+    // constants through the shared module: not re-entrant. Run the
+    // ladder serially instead of the parallel fast path.
+    if (opts_.optLevel > 0 || hooks_) {
+        for (const Function *f : work)
+            get(f);
+        return work.size();
+    }
 
     // Workers fill index-addressed slots; nothing shared is
     // mutated until the serial install loop below.
@@ -59,6 +155,7 @@ CodeManager::translate(const std::vector<const Function *> &fns,
 
     for (size_t i = 0; i < work.size(); ++i) {
         cache_[work[i]] = std::move(results[i]);
+        tiers_[work[i]] = 0;
         ++translated_;
         // Aggregate translator time: the sum of per-function costs,
         // not elapsed wall time (matching the serial accounting).
@@ -85,7 +182,22 @@ void
 CodeManager::install(const Function *f,
                      std::unique_ptr<MachineFunction> mf)
 {
+    install(f, std::move(mf), opts_.optLevel);
+}
+
+void
+CodeManager::install(const Function *f,
+                     std::unique_ptr<MachineFunction> mf, uint8_t tier)
+{
     cache_[f] = std::move(mf);
+    tiers_[f] = tier;
+}
+
+void
+CodeManager::markInterpreted(const Function *f)
+{
+    cache_.erase(f);
+    tiers_[f] = kTierInterpreter;
 }
 
 size_t

@@ -9,18 +9,49 @@
  * SMC support (Section 3.4): invalidating a function simply drops
  * its translation, "forcing it to be regenerated the next time the
  * function is invoked."
+ *
+ * Tiered degradation: when options request an optimization level,
+ * each function is optimized (under the pass sandbox) and code-
+ * generated at that level; a tier whose pipeline contains a failure
+ * or whose codegen faults is abandoned and the function is
+ * retranslated one level lower, down to -O0 and finally the
+ * interpreter (get() returns nullptr for interpreter-pinned
+ * functions). A fault in one function's translation therefore never
+ * takes down the program — it costs that one function performance.
  */
 
 #ifndef LLVA_VM_CODE_MANAGER_H
 #define LLVA_VM_CODE_MANAGER_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "codegen/codegen.h"
+#include "llee/envelope.h"
+#include "transforms/pass.h"
 
 namespace llva {
+
+/**
+ * Test seams into the per-tier translation pipeline (mirrors the
+ * storage layer's FaultInjectingStorage): extendPipeline may append
+ * extra (e.g. deliberately faulting) passes per tier; beforeCodegen
+ * runs just before instruction selection and may throw to simulate
+ * a codegen fault at a given tier.
+ */
+struct TranslationHooks
+{
+    std::function<void(PassManager &, unsigned level)> extendPipeline;
+    std::function<void(const Function &, unsigned level)> beforeCodegen;
+
+    explicit operator bool() const
+    {
+        return static_cast<bool>(extendPipeline) ||
+               static_cast<bool>(beforeCodegen);
+    }
+};
 
 class CodeManager
 {
@@ -32,7 +63,14 @@ class CodeManager
     Target &target() { return target_; }
     const CodeGenOptions &options() const { return opts_; }
 
-    /** Translation for \p f, translating now if needed. */
+    void setHooks(TranslationHooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Translation for \p f, translating now if needed — possibly at
+     * a degraded tier. Returns nullptr when \p f is pinned to the
+     * interpreter (every native tier failed): the caller must
+     * interpret it.
+     */
     const MachineFunction *get(const Function *f);
 
     bool
@@ -51,6 +89,10 @@ class CodeManager
      * are installed serially in input order afterwards, so the
      * cache contents (and all downstream byte output) are identical
      * for any \p jobs. Returns the number translated.
+     *
+     * With an optimization level (or hooks) set, translation
+     * optimizes function bodies in place and is forced serial —
+     * passes intern constants through the shared module.
      */
     size_t translate(const std::vector<const Function *> &fns,
                      unsigned jobs = 1);
@@ -61,6 +103,37 @@ class CodeManager
     /** Install an externally produced translation (LLEE cache). */
     void install(const Function *f,
                  std::unique_ptr<MachineFunction> mf);
+
+    /** Install with an explicitly known achieved tier. */
+    void install(const Function *f,
+                 std::unique_ptr<MachineFunction> mf, uint8_t tier);
+
+    // --- Tier ladder ------------------------------------------------------
+
+    /** Pin \p f to the interpreter (tier of last resort). */
+    void markInterpreted(const Function *f);
+
+    bool
+    isInterpreted(const Function *f) const
+    {
+        auto it = tiers_.find(f);
+        return it != tiers_.end() && it->second == kTierInterpreter;
+    }
+
+    /**
+     * Tier actually achieved for \p f: the requested level, lower
+     * after degradation, kTierInterpreter when pinned. Only
+     * meaningful once \p f has been translated or marked.
+     */
+    uint8_t
+    tierOf(const Function *f) const
+    {
+        auto it = tiers_.find(f);
+        return it != tiers_.end() ? it->second : opts_.optLevel;
+    }
+
+    /** Tier demotions taken (one per abandoned level). */
+    size_t tierDowngrades() const { return tierDowngrades_; }
 
     // --- Statistics -------------------------------------------------------
 
@@ -75,10 +148,24 @@ class CodeManager
     size_t totalEncodedBytes() const;
 
   private:
+    /** Walk the ladder from opts_.optLevel down; installs the result
+     *  or pins \p f to the interpreter. Returns the translation
+     *  (nullptr when pinned). */
+    const MachineFunction *translateWithLadder(Function &f);
+
+    /** One rung: optimize (sandboxed) + codegen at \p level.
+     *  Returns nullptr if this tier failed. Leaves the function body
+     *  exactly as found. */
+    std::unique_ptr<MachineFunction> translateAtTier(Function &f,
+                                                     unsigned level);
+
     Target &target_;
     CodeGenOptions opts_;
+    TranslationHooks hooks_;
     std::map<const Function *, std::unique_ptr<MachineFunction>>
         cache_;
+    std::map<const Function *, uint8_t> tiers_;
+    size_t tierDowngrades_ = 0;
     double seconds_ = 0;
     size_t translated_ = 0;
     CodeGenStats stats_;

@@ -57,6 +57,22 @@ Interpreter::run(const Function *f, const std::vector<RtValue> &args)
     return result;
 }
 
+ExecResult
+Interpreter::invoke(const Function *f, const std::vector<RtValue> &args,
+                    uint64_t stackBase)
+{
+    executed_ = 0;
+    stackBrk_ = stackBase ? stackBase : ctx_.memory().stackTop();
+
+    CallOutcome out = call(f, args, 0);
+    ExecResult result;
+    result.value = out.value;
+    result.unwound = out.unwound;
+    result.trap = out.trap;
+    result.instructionsExecuted = executed_;
+    return result;
+}
+
 Interpreter::CallOutcome
 Interpreter::call(const Function *f, const std::vector<RtValue> &args,
                   unsigned depth)

@@ -65,6 +65,17 @@ class Interpreter
     ExecResult run(const Function *f,
                    const std::vector<RtValue> &args = {});
 
+    /**
+     * Execute one function as a fallback from native execution (the
+     * tier of last resort): allocas carve down from \p stackBase
+     * (the caller's native stack pointer; 0 = top of stack), and
+     * traps are returned to the caller undispatched — the machine
+     * simulator owns trap-handler policy.
+     */
+    ExecResult invoke(const Function *f,
+                      const std::vector<RtValue> &args,
+                      uint64_t stackBase = 0);
+
     /** Cap on interpreted instructions (0 = unlimited). */
     void setInstructionLimit(size_t limit) { limit_ = limit; }
 

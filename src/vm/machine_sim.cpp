@@ -59,6 +59,25 @@ MachineSimulator::run(const Function *f,
 }
 
 ExecResult
+MachineSimulator::interpretFallback(const Function *f,
+                                    const std::vector<RtValue> &args,
+                                    uint64_t stackBase)
+{
+    Interpreter interp(ctx_);
+    if (limit_)
+        interp.setInstructionLimit(
+            limit_ > executed_ ? limit_ - executed_ : 1);
+    ExecResult r = interp.invoke(f, args, stackBase);
+    executed_ += r.instructionsExecuted;
+    interpreted_ += r.instructionsExecuted;
+    // The interpreted code may have requested SMC invalidations;
+    // apply them before native dispatch resumes.
+    for (const Function *inv : ctx_.takeInvalidations())
+        code_.invalidate(inv);
+    return r;
+}
+
+ExecResult
 MachineSimulator::runInternal(const Function *f,
                               const std::vector<RtValue> &args)
 {
@@ -79,9 +98,34 @@ MachineSimulator::runInternal(const Function *f,
     target.writeArgs(state, f->functionType(), args);
 
     const MachineFunction *mf = code_.get(f);
+    if (!mf) {
+        // The entry function itself is pinned to the interpreter
+        // tier; run it there with the default stack base.
+        ExecResult r = interpretFallback(f, args, 0);
+        r.instructionsExecuted = executed_;
+        return r;
+    }
     MachineBasicBlock *block = mf->blocks().front().get();
     size_t index = 0;
     std::vector<Frame> frames;
+
+    // Pop machine frames to the nearest invoke-style call site and
+    // resume at its handler block; false if the unwind escapes.
+    auto unwindFrames = [&]() -> bool {
+        while (!frames.empty()) {
+            Frame fr = frames.back();
+            frames.pop_back();
+            const MachineInstr &site = *fr.block->instrs()[fr.index];
+            if (isInvokeSite(site)) {
+                mf = fr.mf;
+                state.sp = fr.spAtCall;
+                block = invokeBlockOperand(site, 1);
+                index = 0;
+                return true;
+            }
+        }
+        return false;
+    };
 
     uint64_t start_count = executed_;
     (void)start_count;
@@ -188,8 +232,44 @@ MachineSimulator::runInternal(const Function *f,
                 return result;
             }
 
+            const MachineFunction *cmf = code_.get(callee);
+            if (!cmf) {
+                // Callee is pinned to the interpreter tier: bridge
+                // the call — read the arguments the native caller
+                // set up, interpret with allocas below the caller's
+                // stack pointer, and write the return back into the
+                // native calling convention.
+                std::vector<RtValue> cargs =
+                    target.readArgs(state, callee->functionType());
+                ExecResult r =
+                    interpretFallback(callee, cargs, state.sp);
+                if (r.trap != TrapKind::None) {
+                    result.trap = r.trap;
+                    result.instructionsExecuted = executed_;
+                    return result;
+                }
+                if (r.unwound) {
+                    if (!unwindFrames()) {
+                        result.unwound = true;
+                        result.instructionsExecuted = executed_;
+                        return result;
+                    }
+                    break;
+                }
+                target.writeReturn(
+                    state, callee->functionType()->returnType(),
+                    r.value);
+                if (isInvokeSite(mi)) {
+                    block = invokeBlockOperand(mi, 0);
+                    index = 0;
+                } else {
+                    ++index;
+                }
+                break;
+            }
+
             frames.push_back({mf, block, index, state.sp});
-            mf = code_.get(callee);
+            mf = cmf;
             block = mf->blocks().front().get();
             index = 0;
             break;
@@ -197,22 +277,7 @@ MachineSimulator::runInternal(const Function *f,
 
           case SimState::Next::Unwind: {
             // Pop frames to the nearest invoke-style call site.
-            bool handled = false;
-            while (!frames.empty()) {
-                Frame fr = frames.back();
-                frames.pop_back();
-                const MachineInstr &site =
-                    *fr.block->instrs()[fr.index];
-                if (isInvokeSite(site)) {
-                    mf = fr.mf;
-                    state.sp = fr.spAtCall;
-                    block = invokeBlockOperand(site, 1);
-                    index = 0;
-                    handled = true;
-                    break;
-                }
-            }
-            if (!handled) {
+            if (!unwindFrames()) {
                 result.unwound = true;
                 result.instructionsExecuted = executed_;
                 return result;

@@ -28,8 +28,13 @@ class MachineSimulator
     ExecResult run(const Function *f,
                    const std::vector<RtValue> &args = {});
 
-    /** Machine instructions executed across all run() calls. */
+    /** Machine instructions executed across all run() calls
+     *  (includes instructions interpreted via tier fallback). */
     uint64_t instructionsExecuted() const { return executed_; }
+
+    /** Instructions executed by the interpreter tier of last resort
+     *  on behalf of functions with no native translation. */
+    uint64_t instructionsInterpreted() const { return interpreted_; }
 
     /** Cap on executed machine instructions (0 = unlimited). */
     void setInstructionLimit(uint64_t limit) { limit_ = limit; }
@@ -46,9 +51,16 @@ class MachineSimulator
     ExecResult runInternal(const Function *f,
                            const std::vector<RtValue> &args);
 
+    /** Interpret \p f (no native translation) with allocas carved
+     *  below \p stackBase; merges instruction accounting. */
+    ExecResult interpretFallback(const Function *f,
+                                 const std::vector<RtValue> &args,
+                                 uint64_t stackBase);
+
     ExecutionContext &ctx_;
     CodeManager &code_;
     uint64_t executed_ = 0;
+    uint64_t interpreted_ = 0;
     uint64_t limit_ = 0;
 };
 

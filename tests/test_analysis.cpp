@@ -57,7 +57,7 @@ exit:
 
 TEST(Dominators, DiamondStructure)
 {
-    auto m = parseAssembly(kDiamond);
+    auto m = parseAssembly(kDiamond).orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
 
@@ -77,7 +77,7 @@ TEST(Dominators, DiamondStructure)
 
 TEST(Dominators, FrontiersAtJoins)
 {
-    auto m = parseAssembly(kDiamond);
+    auto m = parseAssembly(kDiamond).orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
     BasicBlock *a = f->findBlock("a");
@@ -90,7 +90,7 @@ TEST(Dominators, FrontiersAtJoins)
 
 TEST(Dominators, ReversePostOrderStartsAtEntry)
 {
-    auto m = parseAssembly(kLoopNest);
+    auto m = parseAssembly(kLoopNest).orDie();
     Function *f = m->getFunction("f");
     auto rpo = reversePostOrder(*f);
     ASSERT_FALSE(rpo.empty());
@@ -100,7 +100,7 @@ TEST(Dominators, ReversePostOrderStartsAtEntry)
 
 TEST(Dominators, InstructionLevelDominance)
 {
-    auto m = parseAssembly(kDiamond);
+    auto m = parseAssembly(kDiamond).orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
     BasicBlock *join = f->findBlock("join");
@@ -121,7 +121,7 @@ entry:
 dead:
     ret int 1
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
     EXPECT_TRUE(dt.reachable(f->findBlock("entry")));
@@ -130,7 +130,7 @@ dead:
 
 TEST(LoopInfo, FindsNestedLoops)
 {
-    auto m = parseAssembly(kLoopNest);
+    auto m = parseAssembly(kLoopNest).orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
     LoopInfo li(*f, dt);
@@ -155,7 +155,7 @@ TEST(LoopInfo, FindsNestedLoops)
 
 TEST(LoopInfo, LatchesAndExits)
 {
-    auto m = parseAssembly(kLoopNest);
+    auto m = parseAssembly(kLoopNest).orDie();
     Function *f = m->getFunction("f");
     DominatorTree dt(*f);
     LoopInfo li(*f, dt);
@@ -181,7 +181,7 @@ entry:
     store int 2, int* %b
     ret void
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     BasicAliasAnalysis aa(*m);
     auto it = f->entryBlock()->begin();
@@ -205,7 +205,7 @@ entry:
     store long 2, long* %f1
     ret void
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     BasicAliasAnalysis aa(*m);
     auto it = f->entryBlock()->begin();
@@ -229,7 +229,7 @@ entry:
     store long 2, long* %c
     ret void
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     BasicAliasAnalysis aa(*m);
     auto it = f->entryBlock()->begin();
@@ -253,7 +253,7 @@ entry:
     store long 1, long* %b
     ret void
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     BasicAliasAnalysis aa(*m);
     auto it = f->entryBlock()->begin();
@@ -274,7 +274,7 @@ entry:
     store long 2, long* %g
     ret void
 }
-)");
+)").orDie();
     Function *f = m->getFunction("f");
     BasicAliasAnalysis aa(*m);
     Value *a = f->entryBlock()->front();
@@ -301,7 +301,7 @@ entry:
     store %N* null, %N** %bn
     ret void
 }
-)");
+)").orDie();
     SteensgaardAnalysis sa(*m);
     Function *f = m->getFunction("f");
     auto it = f->entryBlock()->begin();
@@ -336,7 +336,7 @@ entry:
     store %N* null, %N** %an
     ret void
 }
-)");
+)").orDie();
     SteensgaardAnalysis sa(*m);
     Function *f = m->getFunction("f");
     auto it = f->entryBlock()->begin();
@@ -370,7 +370,7 @@ entry:
     %r = call int %mid(int 1)
     ret int %r
 }
-)");
+)").orDie();
     CallGraph cg(*m);
     Function *leaf = m->getFunction("leaf");
     Function *mid = m->getFunction("mid");
@@ -416,7 +416,7 @@ rec:
     %r = call int %even(int %n1)
     ret int %r
 }
-)");
+)").orDie();
     CallGraph cg(*m);
     EXPECT_TRUE(cg.isRecursive(m->getFunction("even")));
     EXPECT_TRUE(cg.isRecursive(m->getFunction("odd")));
@@ -443,7 +443,7 @@ entry:
     %r = call int %apply(int (int)* %cb)
     ret int %r
 }
-)");
+)").orDie();
     CallGraph cg(*m);
     Function *cb = m->getFunction("cb");
     Function *other = m->getFunction("other");

@@ -55,7 +55,7 @@ entry:
 
 TEST(Bytecode, RoundTripIsStable)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     verifyOrDie(*m);
     auto bytes = writeBytecode(*m);
     auto m2 = readBytecode(bytes).orDie();
@@ -67,7 +67,8 @@ TEST(Bytecode, RoundTripIsStable)
 TEST(Bytecode, HeaderCarriesTargetFlags)
 {
     auto m = parseAssembly("target pointersize = 32\n"
-                           "target endian = big\n");
+                           "target endian = big\n")
+                 .orDie();
     auto bytes = writeBytecode(*m);
     EXPECT_EQ(bytes[0], 'L');
     EXPECT_EQ(bytes[1], 'L');
@@ -80,7 +81,7 @@ TEST(Bytecode, HeaderCarriesTargetFlags)
 
 TEST(Bytecode, PreservesSemanticsAcrossRoundTrip)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     auto m2 = readBytecode(writeBytecode(*m)).orDie();
     // Same structure: functions, globals, instruction counts.
     EXPECT_EQ(m2->functions().size(), m->functions().size());
@@ -101,7 +102,7 @@ entry:
     %w = add int %v, 1 !ee(true)
     ret int %w
 }
-)");
+)").orDie();
     auto m2 = readBytecode(writeBytecode(*m)).orDie();
     BasicBlock *bb = m2->getFunction("f")->entryBlock();
     auto it = bb->begin();
@@ -126,7 +127,7 @@ TEST(Bytecode, MostInstructionsFitOneWord)
 
 TEST(Bytecode, StatsAccountTotalSize)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     BytecodeStats stats = measureBytecode(*m);
     auto bytes = writeBytecode(*m);
     EXPECT_EQ(stats.totalBytes, bytes.size());
@@ -194,7 +195,7 @@ TEST(Bytecode, RejectsBadMagic)
 
 TEST(Bytecode, RejectsTruncatedFile)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     auto bytes = writeBytecode(*m);
     bytes.resize(bytes.size() / 2);
     auto r = readBytecode(bytes);
@@ -203,7 +204,7 @@ TEST(Bytecode, RejectsTruncatedFile)
 
 TEST(Bytecode, RejectsBadVersion)
 {
-    auto m = parseAssembly("target pointersize = 64\n");
+    auto m = parseAssembly("target pointersize = 64\n").orDie();
     auto bytes = writeBytecode(*m);
     // Patch the version byte and re-seal with a correct checksum so
     // the version check itself is exercised.
@@ -316,7 +317,7 @@ TEST(Bytecode, RejectsIntegerConstantWithFPType)
 
 TEST(Bytecode, RejectsTrailingGarbage)
 {
-    auto m = parseAssembly("target pointersize = 64\n");
+    auto m = parseAssembly("target pointersize = 64\n").orDie();
     auto bytes = writeBytecode(*m);
     bytes.resize(bytes.size() - kBytecodeTrailerSize);
     ByteWriter w;
@@ -333,7 +334,7 @@ TEST(Bytecode, RejectsTrailingGarbage)
 
 TEST(Bytecode, EverySingleByteCorruptionIsRejected)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     auto bytes = writeBytecode(*m);
     ASSERT_GT(bytes.size(), 100u);
     for (size_t i = 0; i < bytes.size(); ++i) {
@@ -350,7 +351,7 @@ TEST(Bytecode, EverySingleByteCorruptionIsRejected)
 
 TEST(Bytecode, EveryTruncationIsRejected)
 {
-    auto m = parseAssembly(kRichModule, "rich");
+    auto m = parseAssembly(kRichModule, "rich").orDie();
     auto bytes = writeBytecode(*m);
     for (size_t len = 0; len < bytes.size(); ++len) {
         std::vector<uint8_t> bad(bytes.begin(), bytes.begin() + len);
@@ -366,7 +367,7 @@ TEST(Bytecode, RecursiveTypesRoundTrip)
 %A = type { int, %B* }
 %B = type { double, %A* }
 %root = global %A* null
-)");
+)").orDie();
     auto m2 = readBytecode(writeBytecode(*m)).orDie();
     StructType *a = m2->types().namedType("A");
     StructType *bt = m2->types().namedType("B");

@@ -19,7 +19,7 @@ namespace {
 std::unique_ptr<Module>
 parse(const std::string &src)
 {
-    auto m = parseAssembly(src);
+    auto m = parseAssembly(src).orDie();
     verifyOrDie(*m);
     return m;
 }

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential execution harness over the translation tiers: every
+ * workload runs through the interpreter (the semantic oracle) and
+ * then under LLEE at each optimization tier on each target backend.
+ * All observable behaviour — the checksum value and every byte of
+ * captured output — must be identical in every configuration. This
+ * is the safety net under the tier-degradation ladder: whichever
+ * rung a function lands on, the program means the same thing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/bytecode.h"
+#include "llee/llee.h"
+#include "verifier/verifier.h"
+#include "vm/interpreter.h"
+#include "vm/machine_sim.h"
+#include "workloads/workloads.h"
+
+using namespace llva;
+
+namespace {
+
+struct Observed
+{
+    uint64_t value;
+    std::string output;
+};
+
+Observed
+oracle(Module &m)
+{
+    ExecutionContext ctx(m);
+    Interpreter interp(ctx);
+    interp.setInstructionLimit(200000000);
+    auto r = interp.run(m.getFunction("main"));
+    EXPECT_TRUE(r.ok()) << trapKindName(r.trap);
+    return {r.value.i, ctx.output()};
+}
+
+} // namespace
+
+class DifferentialSuite
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(DifferentialSuite, AllTiersMatchTheInterpreter)
+{
+    auto m = buildWorkload(GetParam(), 1);
+    verifyOrDie(*m);
+    Observed ref = oracle(*m);
+    auto bytecode = writeBytecode(*m);
+
+    for (const char *target : {"x86", "sparc"}) {
+        for (uint8_t level : {0, 1, 2}) {
+            CodeGenOptions opts;
+            opts.optLevel = level;
+            LLEE llee(*getTarget(target), nullptr, opts);
+            LLEEResult r = llee.execute(bytecode);
+            ASSERT_TRUE(r.exec.ok())
+                << target << " -O" << int(level) << " trap="
+                << trapKindName(r.exec.trap);
+            EXPECT_EQ(r.exec.value.i, ref.value)
+                << target << " -O" << int(level);
+            EXPECT_EQ(r.output, ref.output)
+                << target << " -O" << int(level);
+            EXPECT_EQ(r.tierDowngrades, 0u)
+                << target << " -O" << int(level);
+        }
+    }
+}
+
+static std::vector<std::string>
+names()
+{
+    std::vector<std::string> n;
+    for (const auto &w : allWorkloads())
+        n.push_back(w.name);
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DifferentialSuite, ::testing::ValuesIn(names()),
+    [](const auto &info) {
+        std::string s = info.param;
+        for (char &c : s)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return s;
+    });

@@ -54,7 +54,7 @@ simulate(Module &m, const std::string &target,
 int64_t
 differential(const std::string &src)
 {
-    auto m = parseAssembly(src);
+    auto m = parseAssembly(src).orDie();
     verifyOrDie(*m);
     RunOutcome ref = interpret(*m);
     EXPECT_TRUE(ref.ok);
@@ -348,7 +348,7 @@ entry:
     call void %putdouble(double 2.5)
     ret int 0
 }
-)");
+)").orDie();
     verifyOrDie(*m);
     RunOutcome ref = interpret(*m);
     EXPECT_EQ(ref.output, "llva says hi!\n-422.5");
@@ -410,7 +410,7 @@ entry:
     %r = call int %used()
     ret int %r
 }
-)");
+)").orDie();
     verifyOrDie(*m);
     ExecutionContext ctx(*m);
     CodeManager cm(*getTarget("sparc"));
@@ -433,7 +433,7 @@ entry:
     %b = add int %a, 3
     ret int %b
 }
-)");
+)").orDie();
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
     auto r = interp.run(m->getFunction("main"));
@@ -463,8 +463,8 @@ out:
     ret int %r
 }
 )";
-    auto m0 = parseAssembly(src);
-    auto m1 = parseAssembly(src);
+    auto m0 = parseAssembly(src).orDie();
+    auto m1 = parseAssembly(src).orDie();
     PassManager pm;
     addStandardPasses(pm, 1);
     pm.run(*m1);

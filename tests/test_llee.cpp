@@ -46,7 +46,7 @@ entry:
 std::vector<uint8_t>
 program()
 {
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     verifyOrDie(*m);
     return writeBytecode(*m);
 }
@@ -167,7 +167,7 @@ TEST(Storage, FileStorageRecreatesDeletedCacheDirOnWrite)
 
 TEST(MCodeIO, RoundTripsTranslation)
 {
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     Function *f = m->getFunction("helper");
     auto mf = translateFunction(*f, *getTarget("sparc"));
     auto bytes = writeMachineFunction(*mf);
@@ -182,7 +182,7 @@ TEST(MCodeIO, RoundTripsTranslation)
 
 TEST(MCodeIO, CachedCodeStillRuns)
 {
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     verifyOrDie(*m);
     Target &t = *getTarget("x86");
 
@@ -207,7 +207,7 @@ TEST(MCodeIO, CachedCodeStillRuns)
 
 TEST(MCodeIO, RejectsWrongFunction)
 {
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     auto mf = translateFunction(*m->getFunction("helper"),
                                 *getTarget("sparc"));
     auto bytes = writeMachineFunction(*mf);
@@ -223,7 +223,7 @@ TEST(MCodeIO, EveryCorruptionRejectedOrDecodesNoCrash)
     // leak, or escape as an exception. (Unlike the bytecode reader
     // there is no checksum here, so some flips decode successfully —
     // that is fine; the envelope is the integrity layer.)
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     Function *f = m->getFunction("helper");
     auto mf = translateFunction(*f, *getTarget("sparc"));
     auto bytes = writeMachineFunction(*mf);
@@ -343,7 +343,7 @@ int %main() {
 entry:
     ret int 1
 }
-)");
+)").orDie();
     auto bc2 = writeBytecode(*m);
     LLEEResult r = llee.execute(bc2);
     EXPECT_EQ(r.cacheHits, 0u);
@@ -386,7 +386,7 @@ TEST(LLEE, CachedAndFreshRunsAgreeOnWorkStatistics)
 
 TEST(LLEE, ProfilePersistence)
 {
-    auto m = parseAssembly(kProgram);
+    auto m = parseAssembly(kProgram).orDie();
     verifyOrDie(*m);
     auto bc = writeBytecode(*m);
 

@@ -18,7 +18,7 @@ namespace {
 std::unique_ptr<Module>
 parseOk(const std::string &src)
 {
-    auto m = parseAssembly(src, "test");
+    auto m = parseAssembly(src, "test").orDie();
     VerifyResult r = verifyModule(*m);
     EXPECT_TRUE(r.ok()) << r.str();
     return m;
@@ -28,9 +28,9 @@ parseOk(const std::string &src)
 void
 expectRoundTrip(const std::string &src)
 {
-    auto m1 = parseAssembly(src, "rt");
+    auto m1 = parseAssembly(src, "rt").orDie();
     std::string p1 = m1->str();
-    auto m2 = parseAssembly(p1, "rt");
+    auto m2 = parseAssembly(p1, "rt").orDie();
     EXPECT_EQ(p1, m2->str());
 }
 
@@ -319,58 +319,70 @@ entry:
     (void)m;
 }
 
+/** Parse source expected to fail; return the diagnostic. */
+static std::string
+parseErr(const std::string &src)
+{
+    auto r = parseAssembly(src);
+    EXPECT_FALSE(r.ok()) << "source parsed unexpectedly";
+    return r.ok() ? std::string() : r.error().message();
+}
+
 TEST(Parser, ErrorUnknownValue)
 {
-    EXPECT_THROW(parseAssembly(R"(
+    std::string e = parseErr(R"(
 int %f() {
 entry:
     ret int %nope
 }
-)"),
-                 FatalError);
+)");
+    // Diagnostics carry the exact line:column of the bad token.
+    EXPECT_NE(e.find("line 4:13:"), std::string::npos) << e;
+    EXPECT_NE(e.find("nope"), std::string::npos) << e;
 }
 
 TEST(Parser, ErrorUndefinedLabel)
 {
-    EXPECT_THROW(parseAssembly(R"(
+    std::string e = parseErr(R"(
 int %f(bool %c) {
 entry:
     br bool %c, label %a, label %missing
 a:
     ret int 0
 }
-)"),
-                 FatalError);
+)");
+    EXPECT_NE(e.find("line "), std::string::npos) << e;
+    EXPECT_NE(e.find("missing"), std::string::npos) << e;
 }
 
 TEST(Parser, ErrorSSARedefinition)
 {
-    EXPECT_THROW(parseAssembly(R"(
+    std::string e = parseErr(R"(
 int %f(int %x) {
 entry:
     %v = add int %x, 1
     %v = add int %x, 2
     ret int %v
 }
-)"),
-                 FatalError);
+)");
+    EXPECT_NE(e.find("line 5:"), std::string::npos) << e;
 }
 
 TEST(Parser, ErrorTypeMismatch)
 {
-    EXPECT_THROW(parseAssembly(R"(
+    std::string e = parseErr(R"(
 int %f(long %x) {
 entry:
     %v = add int %x, 1
     ret int %v
 }
-)"),
-                 FatalError);
+)");
+    EXPECT_NE(e.find("line 4:"), std::string::npos) << e;
 }
 
 TEST(Parser, ErrorDuplicateFunction)
 {
-    EXPECT_THROW(parseAssembly(R"(
+    std::string e = parseErr(R"(
 int %f() {
 entry:
     ret int 0
@@ -379,14 +391,24 @@ int %f() {
 entry:
     ret int 1
 }
-)"),
-                 FatalError);
+)");
+    EXPECT_NE(e.find("line "), std::string::npos) << e;
 }
 
 TEST(Parser, ErrorBadToken)
 {
-    EXPECT_THROW(parseAssembly("int %f() { entry: ret int #5 }"),
-                 FatalError);
+    std::string e =
+        parseErr("int %f() { entry: ret int #5 }");
+    EXPECT_NE(e.find("line 1:27:"), std::string::npos) << e;
+}
+
+TEST(Parser, ErrorsAreValues)
+{
+    // The boundary never throws on malformed input and trusted
+    // callers can still opt back into throwing via orDie().
+    auto r = parseAssembly("garbage !!");
+    ASSERT_FALSE(r.ok());
+    EXPECT_THROW(parseAssembly("garbage !!").orDie(), FatalError);
 }
 
 TEST(Parser, StringEscapes)

@@ -67,7 +67,7 @@ domtreeHits()
 
 TEST(Pipeline, DomTreeComputedOnceAcrossPreservingPasses)
 {
-    auto m = parseAssembly(kFoldable);
+    auto m = parseAssembly(kFoldable).orDie();
     verifyOrDie(*m);
 
     // Mem2Reg and GVN both request the dominator tree and both
@@ -86,7 +86,7 @@ TEST(Pipeline, DomTreeComputedOnceAcrossPreservingPasses)
 
 TEST(Pipeline, SimplifyCFGInvalidatesDomTree)
 {
-    auto m = parseAssembly(kFoldable);
+    auto m = parseAssembly(kFoldable).orDie();
     verifyOrDie(*m);
 
     // Mem2Reg computes the tree; SimplifyCFG folds the constant
@@ -116,7 +116,7 @@ int %b(int %x) {
 entry:
     ret int %x
 }
-)");
+)").orDie();
     verifyOrDie(*m);
 
     AnalysisManager am;
@@ -136,7 +136,7 @@ entry:
 
 TEST(Pipeline, LoopInfoInvalidatedWithCFG)
 {
-    auto m = parseAssembly(kFoldable);
+    auto m = parseAssembly(kFoldable).orDie();
     verifyOrDie(*m);
     Function *f = m->getFunction("f");
 
@@ -165,7 +165,7 @@ entry:
     %v = call int %callee(int 4)
     ret int %v
 }
-)");
+)").orDie();
     verifyOrDie(*m);
 
     // Inlining rewrites callers module-wide, so every cached
@@ -235,7 +235,7 @@ TEST(Pipeline, ParallelTranslationIsByteIdentical)
                "    ret int %a\n"
                "}\n";
     }
-    auto m = parseAssembly(src);
+    auto m = parseAssembly(src).orDie();
     verifyOrDie(*m);
     Target &t = *getTarget("x86");
 

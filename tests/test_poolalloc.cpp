@@ -121,7 +121,7 @@ use:
 
 TEST(PoolAlloc, RewritesMallocsToPoolCalls)
 {
-    auto m = parseAssembly(kTwoLists);
+    auto m = parseAssembly(kTwoLists).orDie();
     verifyOrDie(*m);
     PassManager pm;
     pm.setVerifyEach(true);
@@ -150,7 +150,7 @@ TEST(PoolAlloc, RewritesMallocsToPoolCalls)
 
 TEST(PoolAlloc, DisjointListsGetDisjointContiguousPools)
 {
-    auto m = parseAssembly(kTwoLists);
+    auto m = parseAssembly(kTwoLists).orDie();
     PassManager pm;
     pm.add(createPoolAllocationPass());
     pm.run(*m);
@@ -182,7 +182,7 @@ TEST(PoolAlloc, WithoutPoolsTheListsInterleave)
 {
     // The baseline the transformation improves on: interleaved
     // mallocs spread each list across the whole allocation range.
-    auto m = parseAssembly(kTwoLists);
+    auto m = parseAssembly(kTwoLists).orDie();
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
     auto r = interp.run(m->getFunction("main"));
@@ -195,13 +195,13 @@ TEST(PoolAlloc, WithoutPoolsTheListsInterleave)
 
 TEST(PoolAlloc, SemanticsPreservedOnAllEngines)
 {
-    auto plain = parseAssembly(kTwoLists);
+    auto plain = parseAssembly(kTwoLists).orDie();
     ExecutionContext pctx(*plain);
     Interpreter pi(pctx);
     auto pref = pi.run(plain->getFunction("main"));
     ASSERT_TRUE(pref.ok());
 
-    auto pooled = parseAssembly(kTwoLists);
+    auto pooled = parseAssembly(kTwoLists).orDie();
     PassManager pm;
     pm.add(createPoolAllocationPass());
     pm.run(*pooled);
@@ -241,7 +241,7 @@ entry:
     store %N* %b, %N** %np
     ret int 0
 }
-)");
+)").orDie();
     PassManager pm;
     pm.add(createPoolAllocationPass());
     pm.run(*m);

@@ -50,7 +50,7 @@ exit:
 std::unique_ptr<Module>
 parse(const std::string &src)
 {
-    auto m = parseAssembly(src);
+    auto m = parseAssembly(src).orDie();
     verifyOrDie(*m);
     return m;
 }

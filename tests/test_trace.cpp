@@ -52,7 +52,7 @@ out:
 
 TEST(Trace, ProfileCountsEdges)
 {
-    auto m = parseAssembly(kBiasedLoop);
+    auto m = parseAssembly(kBiasedLoop).orDie();
     verifyOrDie(*m);
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -73,7 +73,7 @@ TEST(Trace, ProfileCountsEdges)
 
 TEST(Trace, FormsHotTraceFollowingBias)
 {
-    auto m = parseAssembly(kBiasedLoop);
+    auto m = parseAssembly(kBiasedLoop).orDie();
     Function *f = m->getFunction("main");
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -107,7 +107,7 @@ entry:
     %a = add int 1, 2
     ret int %a
 }
-)");
+)").orDie();
     Function *f = m->getFunction("main");
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -120,7 +120,7 @@ entry:
 
 TEST(Trace, CacheLookupAndCoverage)
 {
-    auto m = parseAssembly(kBiasedLoop);
+    auto m = parseAssembly(kBiasedLoop).orDie();
     Function *f = m->getFunction("main");
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -143,7 +143,7 @@ TEST(Trace, CacheLookupAndCoverage)
 
 TEST(Trace, LayoutKeepsSemanticsAndEntryBlock)
 {
-    auto m = parseAssembly(kBiasedLoop);
+    auto m = parseAssembly(kBiasedLoop).orDie();
     Function *f = m->getFunction("main");
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -177,10 +177,10 @@ TEST(Trace, LayoutReducesExecutedBranches)
                               static_cast<int64_t>(r.value.i));
     };
 
-    auto m1 = parseAssembly(kBiasedLoop);
+    auto m1 = parseAssembly(kBiasedLoop).orDie();
     auto [base_insts, base_val] = run(*m1);
 
-    auto m2 = parseAssembly(kBiasedLoop);
+    auto m2 = parseAssembly(kBiasedLoop).orDie();
     Function *f = m2->getFunction("main");
     {
         ExecutionContext ctx(*m2);
@@ -199,7 +199,7 @@ TEST(Trace, LayoutReducesExecutedBranches)
 
 TEST(Trace, OptionsControlFormation)
 {
-    auto m = parseAssembly(kBiasedLoop);
+    auto m = parseAssembly(kBiasedLoop).orDie();
     Function *f = m->getFunction("main");
     ExecutionContext ctx(*m);
     Interpreter interp(ctx);
@@ -240,7 +240,7 @@ loop:
 out:
     ret int %i2
 }
-)");
+)").orDie();
     Function *main = m->getFunction("main");
     Function *callee = m->getFunction("callee");
     ExecutionContext ctx(*m);

@@ -24,7 +24,7 @@ std::unique_ptr<Module>
 runPass(const std::string &src, std::unique_ptr<FunctionPass> pass,
         bool *changed = nullptr)
 {
-    auto m = parseAssembly(src);
+    auto m = parseAssembly(src).orDie();
     verifyOrDie(*m);
     PassManager pm;
     pm.setVerifyEach(true);
@@ -539,7 +539,7 @@ entry:
     %b = call int %sq(int %a)
     ret int %b
 }
-)");
+)").orDie();
     PassManager pm;
     pm.setVerifyEach(true);
     pm.add(createInlinerPass());
@@ -566,7 +566,7 @@ entry:
     %s = add int %r, 10
     ret int %s
 }
-)");
+)").orDie();
     PassManager pm;
     pm.setVerifyEach(true);
     pm.add(createInlinerPass());
@@ -596,7 +596,7 @@ entry:
     %r = call int %fact(int 5)
     ret int %r
 }
-)");
+)").orDie();
     PassManager pm;
     pm.add(createInlinerPass());
     pm.run(*m);

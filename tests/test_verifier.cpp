@@ -42,7 +42,7 @@ a:
 b:
     ret int 2
 }
-)");
+)").orDie();
     EXPECT_TRUE(verifyModule(*m).ok());
 }
 
@@ -156,7 +156,7 @@ join:
     %y = add int %x, 1
     ret int %y
 }
-)");
+)").orDie();
     expectError(*m, "dominated");
 }
 
@@ -172,7 +172,7 @@ join:
     %p = phi int [ 1, %a ]
     ret int %p
 }
-)");
+)").orDie();
     expectError(*m, "missing incoming");
 }
 
@@ -190,7 +190,7 @@ join:
     %p = phi int [ 1, %a ], [ 2, %entry ], [ 3, %other ]
     ret int %p
 }
-)");
+)").orDie();
     // %other is unreachable but still a CFG predecessor of %join, so
     // the phi is fine there; make one from a true non-pred.
     auto m2 = parseAssembly(R"(
@@ -205,7 +205,7 @@ join:
     %p = phi int [ 1, %a ], [ 2, %entry ], [ 3, %dead ]
     ret int %p
 }
-)");
+)").orDie();
     (void)m;
     expectError(*m2, "not a predecessor");
 }
@@ -328,6 +328,6 @@ void %f() {
 entry:
     br label %entry
 }
-)");
+)").orDie();
     expectError(*m, "entry block has predecessors");
 }

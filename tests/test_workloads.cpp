@@ -65,7 +65,7 @@ TEST_P(WorkloadSuite, PrintsAndReparses)
 {
     auto m = build();
     std::string text = m->str();
-    auto m2 = parseAssembly(text, GetParam());
+    auto m2 = parseAssembly(text, GetParam()).orDie();
     EXPECT_EQ(m2->str(), text);
 }
 

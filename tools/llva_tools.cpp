@@ -44,12 +44,14 @@ usage()
   llva-as  <input.llva> -o <out.bc>         assemble text to object code
   llva-dis <input.bc>  [-o <out.llva>]      disassemble object code
   llva-opt <input.bc>  -O<0|1|2> -o <out.bc> optimize object code
-                       [-time-passes] [-stats]
+                       [-time-passes] [-stats] [-opt-bisect-limit=N]
   llva-run <input.bc>  [--target x86|sparc] [--cache DIR] [--interp]
-                       [--entry NAME] [-j N] [-stats]
+                       [--entry NAME] [-O<0|1|2>] [-j N] [-stats]
+                       [-verify-each] [-opt-bisect-limit=N]
                                              execute under LLEE
   llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
-                       [--no-coalesce] [-j N] [-stats]
+                       [--no-coalesce] [-O<0|1|2>] [-j N] [-stats]
+                       [-verify-each] [-opt-bisect-limit=N]
                                              print machine code
   llva-translate --verify-cache <dir> [--repair]
                                              audit a translation cache:
@@ -60,6 +62,12 @@ usage()
                 parallel output is byte-identical to serial
   -stats        print pipeline statistic counters to stderr
   -time-passes  print per-pass wall-clock timing to stderr
+  -verify-each  run the IR verifier after every pass and name the
+                first pass that broke the module
+  -opt-bisect-limit=N
+                run only the first N passes (a deterministic global
+                counter, printed per pass to stderr); bisect N to
+                localize a miscompiling pass. -1 = no limit
 )");
     std::exit(2);
 }
@@ -70,6 +78,17 @@ parseJobs(const std::string &arg)
 {
     unsigned n = static_cast<unsigned>(std::stoul(arg));
     return n == 0 ? defaultJobs() : n;
+}
+
+/** Recognize `-opt-bisect-limit=N` and arm the global bisector. */
+bool
+acceptBisectLimit(const std::string &arg)
+{
+    const std::string prefix = "-opt-bisect-limit=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    OptBisect::setLimit(std::stoi(arg.substr(prefix.size())));
+    return true;
 }
 
 std::string
@@ -110,7 +129,8 @@ loadModule(const std::string &path)
         bytes[2] == 'V' && bytes[3] == 'A')
         return readBytecode(bytes).orDie();
     return parseAssembly(std::string(bytes.begin(), bytes.end()),
-                         path);
+                         path)
+        .orDie();
 }
 
 int
@@ -125,7 +145,7 @@ toolAs(const std::vector<std::string> &args)
     }
     if (input.empty() || output.empty())
         usage();
-    auto m = parseAssembly(readFileText(input), input);
+    auto m = parseAssembly(readFileText(input), input).orDie();
     verifyOrDie(*m);
     auto bytes = writeBytecode(*m);
     writeFileBytes(output, bytes);
@@ -170,6 +190,8 @@ toolOpt(const std::vector<std::string> &args)
             timePasses = true;
         else if (args[i] == "-stats")
             printStats = true;
+        else if (acceptBisectLimit(args[i]))
+            ;
         else if (args[i].rfind("-O", 0) == 0)
             level = static_cast<unsigned>(
                 std::stoul(args[i].substr(2)));
@@ -204,6 +226,7 @@ toolRun(const std::vector<std::string> &args)
 {
     std::string input, target = "sparc", cache, entry = "main";
     bool interp = false, printStats = false;
+    CodeGenOptions opts;
     unsigned jobs = 1;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
@@ -218,6 +241,13 @@ toolRun(const std::vector<std::string> &args)
             jobs = parseJobs(args[++i]);
         else if (args[i] == "-stats")
             printStats = true;
+        else if (args[i] == "-verify-each")
+            opts.verifyEach = true;
+        else if (acceptBisectLimit(args[i]))
+            ;
+        else if (args[i].rfind("-O", 0) == 0)
+            opts.optLevel = static_cast<uint8_t>(
+                std::stoul(args[i].substr(2)));
         else
             input = args[i];
     }
@@ -245,7 +275,7 @@ toolRun(const std::vector<std::string> &args)
     std::unique_ptr<FileStorage> storage;
     if (!cache.empty())
         storage = std::make_unique<FileStorage>(cache);
-    LLEE llee(*t, storage.get());
+    LLEE llee(*t, storage.get(), opts);
     llee.setJobs(jobs);
     auto bytes = readFileBytes(input);
     if (!(bytes.size() >= 4 && bytes[0] == 'L'))
@@ -259,6 +289,11 @@ toolRun(const std::vector<std::string> &args)
                  r.cacheHits, r.cacheMisses,
                  r.onlineTranslateSeconds * 1000.0,
                  (unsigned long long)r.machineInstructionsExecuted);
+    if (r.tierDowngrades || r.functionsInterpreted)
+        std::fprintf(stderr,
+                     "llva-run: %zu tier downgrades, %zu functions "
+                     "pinned to the interpreter\n",
+                     r.tierDowngrades, r.functionsInterpreted);
     if (printStats)
         std::fputs(stats::report().c_str(), stderr);
     if (r.exec.trap != TrapKind::None) {
@@ -339,6 +374,13 @@ toolTranslate(const std::vector<std::string> &args)
             jobs = parseJobs(args[++i]);
         else if (args[i] == "-stats")
             printStats = true;
+        else if (args[i] == "-verify-each")
+            opts.verifyEach = true;
+        else if (acceptBisectLimit(args[i]))
+            ;
+        else if (args[i].rfind("-O", 0) == 0)
+            opts.optLevel = static_cast<uint8_t>(
+                std::stoul(args[i].substr(2)));
         else
             input = args[i];
     }
@@ -351,6 +393,17 @@ toolTranslate(const std::vector<std::string> &args)
         fatal("unknown target '%s'", target.c_str());
     auto m = loadModule(input);
     verifyOrDie(*m);
+
+    // Apply the per-function optimization pipeline the online
+    // translator would run at this -O level, with the same
+    // localization aids (-verify-each, -opt-bisect-limit).
+    if (opts.optLevel > 0 || opts.verifyEach ||
+        OptBisect::enabled()) {
+        PassManager pm;
+        pm.setVerifyEach(opts.verifyEach);
+        addFunctionPasses(pm, opts.optLevel);
+        pm.run(*m);
+    }
 
     std::vector<const Function *> fns;
     for (const auto &f : m->functions())
