@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation A6: adaptive profile-guided reoptimization (paper
+ * Section 4.2 under LLEE). A cold launch profiles translated code,
+ * promotes hot functions to the -O2+traces tier mid-run, and
+ * persists both the profile and the promoted translations through
+ * the offline cache; a warm launch reloads the trace-tier code and
+ * starts at the top rung without re-profiling. This bench measures
+ * the cold/warm asymmetry per workload: promotions performed, trace
+ * coverage of the profile, online translation cost, and simulated
+ * run time with and without the adaptive tier.
+ *
+ * Results land in BENCH_adaptive.json (see JsonReport) so CI can
+ * archive and diff them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "llee/llee.h"
+
+using namespace llva;
+using namespace llva::bench;
+
+namespace {
+
+CodeGenOptions
+adaptiveOpts()
+{
+    CodeGenOptions opts;
+    opts.optLevel = 2;
+    opts.adaptive = true;
+    opts.promoteWatermark = 500;
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Ablation A6: adaptive reoptimization — cold "
+                "profiling run vs warm trace-tier restart\n");
+    hr('=');
+    std::printf("%-18s %6s %6s %9s %9s %10s %10s %9s\n", "Program",
+                "promo", "reload", "cov(%)", "cold(ms)", "base(Mi)",
+                "warm(Mi)", "d-instr%");
+    hr();
+
+    Target &target = *getTarget("x86");
+    JsonReport report("adaptive");
+    for (const auto &info : allWorkloads()) {
+        auto m = prepared(info);
+        auto bc = writeBytecode(*m);
+
+        // Baseline: plain -O2, no profiling, no promotion.
+        CodeGenOptions base;
+        base.optLevel = 2;
+        LLEE baseline(target, nullptr, base);
+        LLEEResult b = baseline.execute(bc);
+
+        // Cold adaptive launch: profile, promote, persist.
+        MemoryStorage storage;
+        LLEE cold(target, &storage, adaptiveOpts());
+        LLEEResult c = cold.execute(bc);
+
+        // Warm restart against the same store: the promoted
+        // trace-tier translations and the profile come back from
+        // the cache; no re-profiling, no online translation.
+        LLEE warm(target, &storage, adaptiveOpts());
+        LLEEResult w = warm.execute(bc);
+
+        if (!b.exec.ok() || c.exec.value.i != b.exec.value.i ||
+            w.exec.value.i != b.exec.value.i ||
+            c.output != b.output || w.output != b.output)
+            fatal("adaptive-tier divergence in %s",
+                  info.name.c_str());
+
+        double d_instr =
+            b.machineInstructionsExecuted
+                ? 100.0 *
+                      (static_cast<double>(
+                           b.machineInstructionsExecuted) -
+                       static_cast<double>(
+                           w.machineInstructionsExecuted)) /
+                      static_cast<double>(
+                          b.machineInstructionsExecuted)
+                : 0.0;
+        std::printf("%-18s %6zu %6zu %9.1f %9.3f %10.3f %10.3f "
+                    "%8.2f%%\n",
+                    info.name.c_str(), c.promotions,
+                    w.traceTierLoaded, c.traceCoverage * 100.0,
+                    c.onlineTranslateSeconds * 1000.0,
+                    b.machineInstructionsExecuted / 1e6,
+                    w.machineInstructionsExecuted / 1e6, d_instr);
+        report.beginRow()
+            .field("program", info.name)
+            .field("cold_promotions", double(c.promotions))
+            .field("cold_promotion_failures",
+                   double(c.promotionFailures))
+            .field("cold_trace_coverage", c.traceCoverage)
+            .field("cold_profile_samples",
+                   double(c.profileSamples))
+            .field("cold_online_translate_s",
+                   c.onlineTranslateSeconds)
+            .field("warm_trace_tier_loaded",
+                   double(w.traceTierLoaded))
+            .field("warm_promotions", double(w.promotions))
+            .field("warm_profile_loaded",
+                   double(w.profileLoaded))
+            .field("warm_online_translate_s",
+                   w.onlineTranslateSeconds)
+            .field("warm_online_functions",
+                   double(w.functionsTranslatedOnline))
+            .field("baseline_machine_instructions",
+                   double(b.machineInstructionsExecuted))
+            .field("warm_machine_instructions",
+                   double(w.machineInstructionsExecuted))
+            .field("instruction_delta_pct", d_instr);
+    }
+    hr();
+    report.write();
+    std::printf("warm restarts reload the promoted -O2+traces code "
+                "and skip both re-profiling and online "
+                "translation; d-instr is the simulated instruction "
+                "reduction of trace-first layout over plain -O2.\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+// Timed: one full cold adaptive launch (profile + promote) vs the
+// warm restart that reuses everything, on the first workload.
+static void
+BM_AdaptiveColdLaunch(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0]);
+    auto bc = writeBytecode(*m);
+    for (auto _ : state) {
+        MemoryStorage storage;
+        LLEE llee(*getTarget("x86"), &storage, adaptiveOpts());
+        benchmark::DoNotOptimize(llee.execute(bc).promotions);
+    }
+}
+BENCHMARK(BM_AdaptiveColdLaunch);
+
+static void
+BM_AdaptiveWarmRestart(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0]);
+    auto bc = writeBytecode(*m);
+    MemoryStorage storage;
+    {
+        LLEE seed(*getTarget("x86"), &storage, adaptiveOpts());
+        seed.execute(bc);
+    }
+    for (auto _ : state) {
+        LLEE llee(*getTarget("x86"), &storage, adaptiveOpts());
+        benchmark::DoNotOptimize(
+            llee.execute(bc).traceTierLoaded);
+    }
+}
+BENCHMARK(BM_AdaptiveWarmRestart);

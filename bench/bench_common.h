@@ -9,8 +9,11 @@
 #define LLVA_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bytecode/bytecode.h"
 #include "support/timer.h"
@@ -62,6 +65,99 @@ hr(char c = '-', int width = 100)
 
 /** Simulated nominal clock for converting cycles to seconds. */
 constexpr double kSimHz = 1.0e9;
+
+/**
+ * Machine-readable companion to the printed tables: accumulate rows
+ * of key/value fields and write them as `BENCH_<name>.json` so CI
+ * can archive benchmark results as artifacts and diff them across
+ * commits. The output directory is `$LLVA_BENCH_DIR` when set, the
+ * working directory otherwise. Numeric fields are stored as doubles
+ * (every counter we emit fits exactly below 2^53).
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    JsonReport &beginRow()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    JsonReport &field(const std::string &key, const std::string &v)
+    {
+        rows_.back().emplace_back(key,
+                                  "\"" + escape(v) + "\"");
+        return *this;
+    }
+
+    JsonReport &field(const std::string &key, const char *v)
+    {
+        return field(key, std::string(v));
+    }
+
+    JsonReport &field(const std::string &key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.12g", v);
+        rows_.back().emplace_back(key, buf);
+        return *this;
+    }
+
+    /** Write `BENCH_<name>.json`; reports the path on stderr. */
+    bool write() const
+    {
+        std::string dir = ".";
+        if (const char *env = std::getenv("LLVA_BENCH_DIR"))
+            if (*env)
+                dir = env;
+        std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                     escape(name_).c_str());
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s\n    {", i ? "," : "");
+            for (size_t j = 0; j < rows_[i].size(); ++j)
+                std::fprintf(f, "%s\"%s\": %s", j ? ", " : "",
+                             escape(rows_[i][j].first).c_str(),
+                             rows_[i][j].second.c_str());
+            std::fputc('}', f);
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "bench: wrote %s (%zu rows)\n",
+                     path.c_str(), rows_.size());
+        return true;
+    }
+
+  private:
+    static std::string escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    using Row = std::vector<std::pair<std::string, std::string>>;
+    std::string name_;
+    std::vector<Row> rows_;
+};
 
 } // namespace bench
 } // namespace llva

@@ -31,6 +31,7 @@ main(int argc, char **argv)
     hr();
 
     stats::reset();
+    JsonReport report("table2");
     for (const auto &info : allWorkloads()) {
         // Larger inputs than the other benches: translation cost is
         // per-instruction (static) while run time scales with the
@@ -78,8 +79,18 @@ main(int argc, char **argv)
                     best_par > 0 ? best / best_par : 0.0,
                     run_seconds,
                     run_seconds > 0 ? best / run_seconds : 0.0);
+        report.beginRow()
+            .field("program", info.name)
+            .field("translate_s", best)
+            .field("translate_par4_s", best_par)
+            .field("parallel_speedup",
+                   best_par > 0 ? best / best_par : 0.0)
+            .field("run_s", run_seconds)
+            .field("translate_run_ratio",
+                   run_seconds > 0 ? best / run_seconds : 0.0);
     }
     hr();
+    report.write();
     std::printf("(run time = simulated instructions at 1 GHz, "
                 "1 IPC; ratios > 1 correspond to the paper's "
                 "short-running codes)\n\n");

@@ -35,6 +35,19 @@ struct CodeGenOptions
     /** Run the verifier after every optimization pass (diagnosis);
      *  not part of the cache compatibility key. */
     bool verifyEach = false;
+    /**
+     * Adaptive reoptimization (paper Section 4.2): profile
+     * translated code at runtime and promote hot functions to the
+     * trace tier (`-O<level>+traces`). Like verifyEach, none of the
+     * adaptive knobs joins the cache compatibility key — the tier a
+     * body was *achieved* at travels in the envelope instead.
+     */
+    bool adaptive = false;
+    /** Profiled block executions in one function before it is
+     *  promoted to the trace tier. */
+    uint64_t promoteWatermark = 5000;
+    /** Dump formed traces to stderr on promotion (-print-traces). */
+    bool printTraces = false;
 };
 
 /** Statistics from one function translation. */

@@ -7,7 +7,7 @@ namespace llva {
 
 namespace {
 
-constexpr uint8_t kEnvelopeVersion = 2;
+constexpr uint8_t kEnvelopeVersion = 3;
 constexpr char kMagic[4] = {'L', 'M', 'C', 'E'};
 constexpr size_t kCrcSize = 4;
 
@@ -28,6 +28,7 @@ sealTranslation(const TranslationKey &key,
     w.writeByte(key.optLevel);
     w.writeByte(key.tier);
     w.writeU64(key.sourceHash);
+    w.writeU64(key.profileHash);
     w.writeVaruint(payload.size());
     w.writeBytes(payload.data(), payload.size());
     w.writeU32(crc32(w.bytes()));
@@ -37,7 +38,8 @@ sealTranslation(const TranslationKey &key,
 EnvelopeStatus
 openTranslation(const std::vector<uint8_t> &envelope,
                 const TranslationKey &expected,
-                std::vector<uint8_t> &payload, uint8_t *tier)
+                std::vector<uint8_t> &payload, uint8_t *tier,
+                uint64_t *profileHash)
 {
     // Integrity first: a damaged entry must classify as Corrupt even
     // if the damage happens to land in the compatibility key, so the
@@ -66,6 +68,7 @@ openTranslation(const std::vector<uint8_t> &envelope,
         uint8_t optLevel = r.readByte();
         uint8_t achieved = r.readByte();
         uint64_t source = r.readU64();
+        uint64_t profile = r.readU64();
         if (version != expected.translatorVersion ||
             target != expected.targetName ||
             allocator != expected.allocator ||
@@ -81,6 +84,8 @@ openTranslation(const std::vector<uint8_t> &envelope,
         r.readBytes(payload.data(), n);
         if (tier)
             *tier = achieved;
+        if (profileHash)
+            *profileHash = profile;
         return EnvelopeStatus::Ok;
     } catch (const FatalError &) {
         // Structurally impossible under a matching CRC unless the
@@ -117,6 +122,7 @@ inspectTranslation(const std::vector<uint8_t> &envelope,
         k.optLevel = r.readByte();
         k.tier = r.readByte();
         k.sourceHash = r.readU64();
+        k.profileHash = r.readU64();
         uint64_t n = r.readVaruint();
         if (n != r.remaining())
             return EnvelopeStatus::Corrupt;

@@ -23,22 +23,29 @@
  * Anything but Ok means "retranslate": the entry is evicted, a
  * statistic is bumped, and execution proceeds as a cache miss.
  *
- * Layout v2 (all integers little-endian; strings length-prefixed):
+ * Layout v3 (all integers little-endian; strings length-prefixed):
  *   magic "LMCE" | envelope version u8
  *   translator version u32 | target name | allocator u8 | coalesce u8
  *   opt level u8 | tier u8
  *   source hash u64 (fnv1a of the function name seeded with the
  *                    fnv1a of the producing module's object code)
+ *   profile hash u64 (fnv1a of the serialized edge profile the
+ *                     translation was optimized against; 0 = none)
  *   payload length varuint | payload bytes
  *   crc32 u32 over every preceding byte
  *
  * `opt level` is the *requested* level and part of the compatibility
  * key (an -O0 cache must not satisfy an -O2 run). `tier` is the
  * level the translator actually *achieved* for this function after
- * fault-driven degradation; it is carried, not compatibility-
- * checked, so a downgraded function is not re-attempted at the
- * failing tier on every run. tier == kTierInterpreter with an empty
- * payload marks a function pinned to the interpreter.
+ * fault-driven degradation or profile-guided promotion; it is
+ * carried, not compatibility-checked, so a downgraded function is
+ * not re-attempted at the failing tier on every run and a promoted
+ * function starts at the trace tier without re-profiling. tier ==
+ * kTierInterpreter with an empty payload marks a function pinned to
+ * the interpreter; tier == kTierTrace marks a trace-laid-out
+ * translation, with `profile hash` identifying the profile that
+ * drove it (also carried, not checked — a stale profile only costs
+ * layout quality, never correctness).
  */
 
 #ifndef LLVA_LLEE_ENVELOPE_H
@@ -56,10 +63,13 @@ namespace llva {
  * semantics of translated code change; old entries then classify as
  * Incompatible and are retranslated instead of misinterpreted.
  */
-constexpr uint32_t kTranslatorVersion = 1;
+constexpr uint32_t kTranslatorVersion = 2;
 
 /** Tier value marking a function pinned to the interpreter. */
 constexpr uint8_t kTierInterpreter = 0xff;
+
+/** Tier value marking a trace-laid-out (promoted) translation. */
+constexpr uint8_t kTierTrace = 0xfe;
 
 /** Identifies what produced a cached translation, and from what. */
 struct TranslationKey
@@ -73,6 +83,9 @@ struct TranslationKey
     /** Achieved tier (carried, not compatibility-checked). */
     uint8_t tier = 0;
     uint64_t sourceHash = 0;
+    /** Hash of the edge profile a trace-tier translation was laid
+     *  out against; 0 when unprofiled (carried, not checked). */
+    uint64_t profileHash = 0;
 };
 
 enum class EnvelopeStatus { Ok, Corrupt, Incompatible, Stale };
@@ -83,14 +96,17 @@ std::vector<uint8_t> sealTranslation(const TranslationKey &key,
 
 /**
  * Verify \p envelope against \p expected. On Ok, \p payload receives
- * the enclosed bytes and \p tier (when non-null) the achieved tier;
- * on any other status \p payload is untouched and no byte of the
- * entry should be trusted. `expected.tier` is ignored.
+ * the enclosed bytes, \p tier (when non-null) the achieved tier, and
+ * \p profileHash (when non-null) the embedded profile hash; on any
+ * other status \p payload is untouched and no byte of the entry
+ * should be trusted. `expected.tier` and `expected.profileHash` are
+ * ignored.
  */
 EnvelopeStatus openTranslation(const std::vector<uint8_t> &envelope,
                                const TranslationKey &expected,
                                std::vector<uint8_t> &payload,
-                               uint8_t *tier = nullptr);
+                               uint8_t *tier = nullptr,
+                               uint64_t *profileHash = nullptr);
 
 /**
  * Structural scan without a source program (llva-translate

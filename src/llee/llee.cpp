@@ -5,7 +5,9 @@
 #include "llee/mcode_io.h"
 #include "support/hashing.h"
 #include "support/statistic.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
+#include "trace/profile.h"
 
 namespace llva {
 
@@ -33,6 +35,16 @@ Statistic NumStorageFailures(
 Statistic NumOfflineTranslations(
     "llee.offline_translations",
     "Functions translated during idle-time offline translation");
+Statistic NumTraceTierLoaded(
+    "llee.trace_tier_loaded",
+    "Cached translations loaded already at the trace tier (warm "
+    "restart skipped re-profiling and re-promotion)");
+Statistic NumProfileLoads(
+    "llee.profile_loads",
+    "Persisted edge profiles loaded intact from storage");
+Statistic NumProfileRejected(
+    "llee.profile_rejected",
+    "Persisted edge profiles rejected as damaged and evicted");
 
 /** The compatibility key this environment stamps on / expects from
  *  every cache entry (see envelope.h). */
@@ -101,6 +113,20 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     CodeManager cm(target_, opts_);
     cm.setHooks(hooks_);
 
+    // Adaptive reoptimization: resume from the persisted profile if
+    // one survives intact in storage (a warm restart then starts
+    // already knowing what is hot), and arm the promotion watermark.
+    // The single-worker pool is the dedicated translation worker the
+    // dispatch loop hands promotion jobs to.
+    EdgeProfile profile;
+    std::unique_ptr<ThreadPool> promotionPool;
+    if (opts_.adaptive) {
+        result.profileLoaded = readProfile(bytecode, profile);
+        promotionPool = std::make_unique<ThreadPool>(1);
+        cm.setAdaptive(&profile, opts_.promoteWatermark,
+                       promotionPool.get());
+    }
+
     // Look for cached translations of every defined function. An
     // entry is installed only after it passes the full trust
     // boundary: integrity envelope (checksum + compatibility key),
@@ -108,6 +134,7 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     // Anything less is evicted and counted, and execution proceeds
     // as a plain cache miss.
     std::vector<const Function *> missing;
+    std::map<const Function *, uint8_t> loadedTier;
     for (const auto &f : m->functions()) {
         if (f->isDeclaration())
             continue;
@@ -138,6 +165,11 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
                         if (mf.ok()) {
                             cm.install(f.get(), mf.take(), tier);
                             installed = true;
+                            loadedTier[f.get()] = tier;
+                            if (tier == kTierTrace) {
+                                ++result.traceTierLoaded;
+                                ++NumTraceTierLoaded;
+                            }
                             ++result.cacheHits;
                             ++NumCacheHits;
                         } else {
@@ -186,6 +218,8 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
 
     ExecutionContext ctx(*m);
     MachineSimulator sim(ctx, cm);
+    if (opts_.adaptive)
+        sim.setProfile(&profile);
 
     const Function *entry_fn = m->getFunction(entry);
     if (!entry_fn || entry_fn->isDeclaration())
@@ -200,12 +234,21 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
     for (const auto &f : m->functions())
         if (!f->isDeclaration() && cm.isInterpreted(f.get()))
             ++result.functionsInterpreted;
+    if (opts_.adaptive) {
+        result.promotions = cm.promotions();
+        result.promotionFailures = cm.promotionFailures();
+        result.profileSamples = profile.samples;
+        result.traceCoverage = cm.lastTraceCoverage();
+    }
 
     // Write back any translations produced online, in module order.
     // Failures are tolerated: the next run simply translates again.
     // Interpreter-pinned functions get an empty marker entry so the
     // next run does not re-walk (and re-fault) the whole tier
-    // ladder for them.
+    // ladder for them. A function promoted to the trace tier this
+    // run *overwrites* its existing entry — that is the whole point
+    // of promotion: the next (warm) start loads the trace-tier body
+    // directly and skips re-profiling.
     if (storage_) {
         for (const auto &f : m->functions()) {
             if (f->isDeclaration())
@@ -213,18 +256,31 @@ LLEE::execute(const std::vector<uint8_t> &bytecode,
             const bool interp = cm.isInterpreted(f.get());
             if (!interp && !cm.has(f.get()))
                 continue;
+            uint8_t achieved =
+                interp ? kTierInterpreter : cm.tierOf(f.get());
+            auto lt = loadedTier.find(f.get());
+            const bool promoted =
+                achieved == kTierTrace &&
+                (lt == loadedTier.end() || lt->second != kTierTrace);
             std::string name = key(progKey, *f);
-            if (storage_->timestamp(kCacheName, name) != 0)
+            if (!promoted &&
+                storage_->timestamp(kCacheName, name) != 0)
                 continue; // valid entry already present
             TranslationKey k =
                 compatKey(target_, opts_, f->name(), moduleHash);
-            k.tier = interp ? kTierInterpreter : cm.tierOf(f.get());
+            k.tier = achieved;
+            if (achieved == kTierTrace)
+                k.profileHash = profileHash(profile);
             std::vector<uint8_t> sealed = sealTranslation(
                 k, interp ? std::vector<uint8_t>{}
                           : writeMachineFunction(*cm.get(f.get())));
             if (!storage_->write(kCacheName, name, sealed))
                 ++NumStorageFailures;
         }
+        // Persist the accumulated profile alongside the code so the
+        // next run resumes with this run's knowledge of what is hot.
+        if (opts_.adaptive && !profile.empty())
+            writeProfile(bytecode, profile, *m);
     }
     return result;
 }
@@ -284,23 +340,37 @@ LLEE::writeProfile(const std::vector<uint8_t> &bytecode,
 {
     if (!storage_)
         return false;
-    (void)m;
-    // Profiles are persisted as block-count and edge-count rows
-    // keyed by the program hash.
-    std::string text;
-    for (const auto &[bb, count] : profile.blocks)
-        text += "block " + bb->parent()->name() + " " + bb->name() +
-                " " + std::to_string(count) + "\n";
-    for (const auto &[edge, count] : profile.edges) {
-        const BasicBlock *from = edge.first;
-        const BasicBlock *to = edge.second;
-        text += "edge " + from->parent()->name() + " " +
-                from->name() + " " + to->name() + " " +
-                std::to_string(count) + "\n";
-    }
-    std::vector<uint8_t> bytes(text.begin(), text.end());
+    (void)m; // keys are stable block IDs; no module needed
     return storage_->write(kCacheName,
-                           programKey(bytecode) + ".profile", bytes);
+                           programKey(bytecode) + ".profile",
+                           writeEdgeProfile(profile));
+}
+
+bool
+LLEE::readProfile(const std::vector<uint8_t> &bytecode,
+                  EdgeProfile &profile)
+{
+    if (!storage_)
+        return false;
+    std::string name = programKey(bytecode) + ".profile";
+    std::vector<uint8_t> bytes;
+    if (!storage_->read(kCacheName, name, bytes))
+        return false;
+    // Persisted profiles cross the same trust boundary as cached
+    // translations: damage costs the profile (re-profile from
+    // scratch), never the run.
+    Expected<EdgeProfile> parsed = readEdgeProfile(bytes);
+    if (!parsed.ok()) {
+        ++NumProfileRejected;
+        if (storage_->remove(kCacheName, name))
+            ++NumCacheEvicted;
+        else
+            ++NumStorageFailures;
+        return false;
+    }
+    profile = parsed.take();
+    ++NumProfileLoads;
+    return true;
 }
 
 } // namespace llva

@@ -43,6 +43,23 @@ struct LLEEResult
     size_t tierDowngrades = 0;
     /** Functions executed by the interpreter tier of last resort. */
     size_t functionsInterpreted = 0;
+    // --- Adaptive reoptimization (opts.adaptive) --------------------------
+    /** Functions promoted to the trace tier during this run. */
+    size_t promotions = 0;
+    /** Trace-tier promotions that failed (previous tier kept). */
+    size_t promotionFailures = 0;
+    /** Block executions recorded into the edge profile (this run's
+     *  contribution plus any profile loaded from storage). */
+    uint64_t profileSamples = 0;
+    /** Coverage of the last promotion's trace set (0..1). */
+    double traceCoverage = 0;
+    /** Cached translations loaded already at the trace tier — a warm
+     *  restart after a profiled run starts here, skipping both
+     *  re-profiling and re-promotion. */
+    size_t traceTierLoaded = 0;
+    /** True when a persisted profile was found, intact, and loaded
+     *  (re-profiling from zero was not needed). */
+    bool profileLoaded = false;
 };
 
 class LLEE
@@ -84,9 +101,19 @@ class LLEE
      */
     size_t offlineTranslate(const std::vector<uint8_t> &bytecode);
 
-    /** Persist an edge profile for idle-time PGO. */
+    /** Persist an edge profile for idle-time PGO (binary format of
+     *  trace/profile.h, integrity-checked on load). */
     bool writeProfile(const std::vector<uint8_t> &bytecode,
                       const EdgeProfile &profile, const Module &m);
+
+    /**
+     * Load the persisted edge profile for \p bytecode into
+     * \p profile. False when storage is absent, the entry is
+     * missing, or its bytes are damaged (damage also evicts the
+     * entry) — the caller simply profiles from scratch.
+     */
+    bool readProfile(const std::vector<uint8_t> &bytecode,
+                     EdgeProfile &profile);
 
     /** Cache key prefix for a program (content hash). */
     static std::string programKey(const std::vector<uint8_t> &bytecode);

@@ -46,20 +46,28 @@ readMachineFunctionImpl(const std::vector<uint8_t> &bytes,
 
     // Create shells up front; block payloads follow in order, and
     // successor/branch references are patched by index afterwards.
+    // Names come from the stream: the adaptive tier keys runtime
+    // profiles by block name, so a cached body must keep the block
+    // identities the profiler will report against.
     for (uint64_t i = 0; i < num_blocks; ++i)
-        blocks.push_back(mf->createBlock("b" + std::to_string(i)));
+        blocks.push_back(mf->createBlock(r.readString()));
 
     std::vector<std::vector<uint64_t>> succIndexes(num_blocks);
     std::vector<PendingInstr> pending;
 
     for (uint64_t b = 0; b < num_blocks; ++b) {
         MachineBasicBlock *mbb = blocks[b];
+        // A successor list may be longer than the block count: a
+        // folded multiway compare chain legitimately lists the same
+        // target many times (197.parser's digit dispatch has 12
+        // successors over 11 blocks). The corruption bound is the
+        // stream — every successor costs at least one byte — and
+        // each index is still range-checked when patched below.
         uint64_t nsucc = r.readVaruint();
-        if (nsucc > num_blocks)
-            fatal("cached code successor count %llu exceeds %llu "
-                  "blocks",
-                  (unsigned long long)nsucc,
-                  (unsigned long long)num_blocks);
+        if (nsucc > r.remaining())
+            fatal("cached code successor count %llu exceeds "
+                  "remaining %zu bytes",
+                  (unsigned long long)nsucc, r.remaining());
         for (uint64_t s = 0; s < nsucc; ++s)
             succIndexes[b].push_back(r.readVaruint());
         uint64_t ninstr = r.readVaruint();
@@ -187,8 +195,11 @@ writeMachineFunction(const MachineFunction &mf)
     w.writeString(mf.source()->functionType()->str());
     w.writeVaruint(mf.frameSize());
     w.writeVaruint(mf.blocks().size());
-    // Block names are cosmetic and not serialized; blocks are
-    // identified by index.
+    // Cross-references use block indexes, but names are serialized
+    // too: stable block identity is what lets a profile gathered
+    // over a cached body drive trace formation on the IR.
+    for (const auto &mbb : mf.blocks())
+        w.writeString(mbb->name());
     for (const auto &mbb : mf.blocks()) {
         w.writeVaruint(mbb->successors().size());
         for (const MachineBasicBlock *succ : mbb->successors())

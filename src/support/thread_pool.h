@@ -14,8 +14,11 @@
 #define LLVA_SUPPORT_THREAD_POOL_H
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -72,6 +75,78 @@ parallelFor(size_t n, unsigned jobs,
     if (error)
         std::rethrow_exception(error);
 }
+
+/**
+ * A persistent worker pool for work that arrives over time — the
+ * adaptive reoptimizer's retranslation jobs, as opposed to the
+ * fixed-size batches parallelFor serves. Jobs are queued and run
+ * FIFO; enqueue() returns a future the caller may wait on. An
+ * exception thrown by a job is captured into its future, never lost.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned workers = 1)
+    {
+        if (workers == 0)
+            workers = 1;
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { work(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::future<void>
+    enqueue(std::function<void()> job)
+    {
+        auto task = std::make_shared<std::packaged_task<void()>>(
+            std::move(job));
+        std::future<void> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.push_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+  private:
+    void
+    work()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty())
+                    return;
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+};
 
 /** Default worker count for a `-j 0` / "auto" request. */
 inline unsigned

@@ -1,0 +1,96 @@
+#include "trace/profile.h"
+
+#include "support/byte_io.h"
+
+namespace llva {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'P', 'R', 'F'};
+constexpr uint8_t kProfileVersion = 1;
+constexpr size_t kCrcSize = 4;
+
+} // namespace
+
+std::vector<uint8_t>
+writeEdgeProfile(const EdgeProfile &profile)
+{
+    ByteWriter w;
+    for (char c : kMagic)
+        w.writeByte(static_cast<uint8_t>(c));
+    w.writeByte(kProfileVersion);
+    w.writeVaruint(profile.blocks.size());
+    for (const auto &[id, count] : profile.blocks) {
+        w.writeU64(id.fn);
+        w.writeU64(id.block);
+        w.writeVaruint(count);
+    }
+    w.writeVaruint(profile.edges.size());
+    for (const auto &[edge, count] : profile.edges) {
+        w.writeU64(edge.first.fn);
+        w.writeU64(edge.first.block);
+        w.writeU64(edge.second.fn);
+        w.writeU64(edge.second.block);
+        w.writeVaruint(count);
+    }
+    w.writeU32(crc32(w.bytes()));
+    return w.takeBytes();
+}
+
+Expected<EdgeProfile>
+readEdgeProfile(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < sizeof(kMagic) + 1 + kCrcSize)
+        return Error("profile too short");
+    size_t body = bytes.size() - kCrcSize;
+    uint32_t stored = 0;
+    for (size_t i = 0; i < kCrcSize; ++i)
+        stored |= static_cast<uint32_t>(bytes[body + i]) << (8 * i);
+    if (crc32(bytes.data(), body) != stored)
+        return Error("profile checksum mismatch");
+
+    try {
+        ByteReader r(bytes.data(), body);
+        for (char c : kMagic)
+            if (r.readByte() != static_cast<uint8_t>(c))
+                return Error("bad profile magic");
+        if (r.readByte() != kProfileVersion)
+            return Error("unsupported profile version");
+
+        EdgeProfile p;
+        uint64_t nblocks = r.readVaruint();
+        // Each block row costs at least 17 stream bytes; a larger
+        // claim is a corrupt length field.
+        if (nblocks > r.remaining())
+            return Error("profile block count exceeds data");
+        for (uint64_t i = 0; i < nblocks; ++i) {
+            BlockId id{r.readU64(), r.readU64()};
+            uint64_t count = r.readVaruint();
+            p.blocks[id] += count;
+            p.fnSamples[id.fn] += count;
+            p.samples += count;
+        }
+        uint64_t nedges = r.readVaruint();
+        if (nedges > r.remaining())
+            return Error("profile edge count exceeds data");
+        for (uint64_t i = 0; i < nedges; ++i) {
+            BlockId from{r.readU64(), r.readU64()};
+            BlockId to{r.readU64(), r.readU64()};
+            p.edges[{from, to}] += r.readVaruint();
+        }
+        if (!r.atEnd())
+            return Error("trailing bytes after profile");
+        return p;
+    } catch (const FatalError &e) {
+        return Error(e.what());
+    }
+}
+
+uint64_t
+profileHash(const EdgeProfile &profile)
+{
+    std::vector<uint8_t> bytes = writeEdgeProfile(profile);
+    return fnv1a(bytes);
+}
+
+} // namespace llva

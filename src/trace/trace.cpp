@@ -11,15 +11,35 @@ std::vector<Trace>
 formTraces(Function &f, const EdgeProfile &profile,
            const TraceOptions &opts)
 {
+    // Resolve the stable profile rows against the function's current
+    // blocks. Rows whose block was deleted by a pass since the
+    // profile was gathered simply fail to resolve and are ignored;
+    // blocks created since have no row and count as never executed.
+    const uint64_t fnHash = functionId(f.name());
+    std::map<uint64_t, BasicBlock *> byName;
+    for (const auto &bb : f)
+        byName[fnv1a(bb->name())] = bb.get();
+
+    auto blockCount = [&](const BasicBlock *bb) -> uint64_t {
+        auto it = profile.blocks.find({fnHash, fnv1a(bb->name())});
+        return it == profile.blocks.end() ? 0 : it->second;
+    };
+    auto edgeCount = [&](const BasicBlock *from,
+                         const BasicBlock *to) -> uint64_t {
+        auto it = profile.edges.find(
+            {{fnHash, fnv1a(from->name())},
+             {fnHash, fnv1a(to->name())}});
+        return it == profile.edges.end() ? 0 : it->second;
+    };
+
     // Candidate seeds: hot blocks of this function, hottest first;
     // ties broken by layout order so loop headers win over their
     // equally-hot latches.
     std::vector<std::pair<uint64_t, BasicBlock *>> seeds;
     for (const auto &bb : f) {
-        auto it = profile.blocks.find(bb.get());
-        if (it != profile.blocks.end() &&
-            it->second >= opts.hotThreshold)
-            seeds.emplace_back(it->second, bb.get());
+        uint64_t count = blockCount(bb.get());
+        if (count >= opts.hotThreshold)
+            seeds.emplace_back(count, bb.get());
     }
     std::stable_sort(seeds.begin(), seeds.end(),
                      [](const auto &a, const auto &b) {
@@ -28,12 +48,6 @@ formTraces(Function &f, const EdgeProfile &profile,
 
     std::set<const BasicBlock *> taken;
     std::vector<Trace> traces;
-
-    auto edgeCount = [&](const BasicBlock *from,
-                         const BasicBlock *to) -> uint64_t {
-        auto it = profile.edges.find({from, to});
-        return it == profile.edges.end() ? 0 : it->second;
-    };
 
     for (auto &[count, seed] : seeds) {
         if (taken.count(seed))
@@ -64,10 +78,22 @@ formTraces(Function &f, const EdgeProfile &profile,
                 break;
             cur = best;
         }
-        if (trace.blocks.size() >= 2)
+        if (trace.blocks.size() >= 2) {
             traces.push_back(std::move(trace));
-        else
-            taken.erase(seed); // singleton: leave it for others
+        } else {
+            // Rejected trace: release every block it claimed so a
+            // later (colder) seed can still absorb them. Growth only
+            // stops after at least one block is appended, so a
+            // rejected trace holds exactly the seed — but release by
+            // iteration, not by assumption, so a future change to
+            // the growth loop cannot silently strand blocks in
+            // `taken` forever.
+            LLVA_ASSERT(trace.blocks.size() <= 1,
+                        "rejected trace claimed %zu blocks",
+                        trace.blocks.size());
+            for (BasicBlock *bb : trace.blocks)
+                taken.erase(bb);
+        }
     }
     return traces;
 }
@@ -75,6 +101,15 @@ formTraces(Function &f, const EdgeProfile &profile,
 void
 TraceCache::insert(Trace trace)
 {
+    // Replace in place on a duplicate head: the previous behaviour
+    // overwrote the index entry but left the stale trace in order_,
+    // so coverage() double-counted its blocks and the cache grew
+    // without bound under repeated reoptimization.
+    auto it = traces_.find(trace.head());
+    if (it != traces_.end()) {
+        order_[it->second] = std::move(trace);
+        return;
+    }
     traces_[trace.head()] = order_.size();
     order_.push_back(std::move(trace));
 }
@@ -89,15 +124,21 @@ TraceCache::lookup(const BasicBlock *head) const
 double
 TraceCache::coverage(const EdgeProfile &profile) const
 {
-    std::set<const BasicBlock *> inTrace;
+    std::set<BlockId> inTrace;
+    std::set<uint64_t> fns;
     for (const Trace &t : order_)
-        for (const BasicBlock *bb : t.blocks)
-            inTrace.insert(bb);
+        for (const BasicBlock *bb : t.blocks) {
+            BlockId id = blockId(bb);
+            inTrace.insert(id);
+            fns.insert(id.fn);
+        }
 
     uint64_t total = 0, covered = 0;
-    for (const auto &[bb, count] : profile.blocks) {
+    for (const auto &[id, count] : profile.blocks) {
+        if (!fns.count(id.fn))
+            continue;
         total += count;
-        if (inTrace.count(bb))
+        if (inTrace.count(id))
             covered += count;
     }
     return total ? static_cast<double>(covered) /

@@ -8,6 +8,11 @@
  * layout: blocks on a trace are emitted contiguously so the
  * translator's fallthrough elision removes the branches between
  * them (fewer executed instructions, smaller code).
+ *
+ * Profiles are keyed by stable BlockIds (trace/profile.h); trace
+ * formation resolves them against the function's *current* blocks by
+ * name, so a profile gathered before CFG-mutating passes (or in a
+ * previous process) still seeds traces on the optimized body.
  */
 
 #ifndef LLVA_TRACE_TRACE_H
@@ -16,7 +21,7 @@
 #include <map>
 #include <vector>
 
-#include "vm/interpreter.h" // EdgeProfile
+#include "trace/profile.h"
 
 namespace llva {
 
@@ -43,7 +48,10 @@ struct TraceOptions
 
 /**
  * Form traces for \p f from an edge profile, most-executed seeds
- * first. Each block joins at most one trace.
+ * first. Each block joins at most one trace. Profile rows are
+ * resolved against \p f's blocks through their stable IDs; rows for
+ * blocks that no longer exist (deleted by a pass since the profile
+ * was gathered) are ignored.
  */
 std::vector<Trace> formTraces(Function &f, const EdgeProfile &profile,
                               const TraceOptions &opts = {});
@@ -52,6 +60,8 @@ std::vector<Trace> formTraces(Function &f, const EdgeProfile &profile,
  * The software trace cache: traces indexed by head block, with hit
  * accounting. (The paper's cache stores native code for traces; here
  * the payload is the trace itself, consumed by the re-layout step.)
+ * Re-inserting a trace with the same head replaces the cached trace
+ * in place — the cache never holds two traces for one head.
  */
 class TraceCache
 {
@@ -65,8 +75,11 @@ class TraceCache
     const std::vector<Trace> &traces() const { return order_; }
 
     /**
-     * Fraction of profiled block executions that occur inside some
-     * cached trace — the coverage metric for ablation A3.
+     * Fraction of profiled block executions *of the functions
+     * represented in this cache* that occur inside some cached trace
+     * — the coverage metric for ablation A3 and the trace.coverage
+     * statistic. Rows for other functions are excluded so one
+     * function's cache is not judged against the whole program.
      */
     double coverage(const EdgeProfile &profile) const;
 

@@ -1,5 +1,7 @@
 #include "vm/code_manager.h"
 
+#include <cstdio>
+
 #include "analysis/analysis_manager.h"
 #include "ir/clone.h"
 #include "support/statistic.h"
@@ -16,6 +18,20 @@ Statistic NumTierDowngrades(
 Statistic NumInterpFallbacks(
     "llee.interp_fallbacks",
     "Functions pinned to the interpreter (all native tiers failed)");
+Statistic NumPromotions(
+    "llee.promotions",
+    "Functions promoted to the trace tier at runtime");
+Statistic NumPromotionFailures(
+    "llee.promotion_failures",
+    "Trace-tier promotions abandoned after a contained fault");
+Statistic TraceCoveragePct(
+    "trace.coverage",
+    "Profiled block executions inside formed traces, in percent "
+    "points accumulated per promotion");
+Statistic NumTraceCacheHits(
+    "trace.cache_hits",
+    "Trace formations or cached-translation loads that reused an "
+    "already-known hot trace head");
 
 } // namespace
 
@@ -115,8 +131,17 @@ CodeManager::translateAtTier(Function &f, unsigned level)
 void
 CodeManager::invalidate(const Function *f)
 {
-    cache_.erase(f);
+    // Retire rather than destroy: the simulator may be invalidating
+    // a function whose old body still sits in its call frames (SMC
+    // affects only *future* invocations, Section 3.4). A fresh
+    // translation may also be re-promoted later.
+    auto it = cache_.find(f);
+    if (it != cache_.end()) {
+        retired_.push_back(std::move(it->second));
+        cache_.erase(it);
+    }
     tiers_.erase(f);
+    promoteAttempted_.erase(f);
 }
 
 size_t
@@ -198,6 +223,158 @@ CodeManager::markInterpreted(const Function *f)
 {
     cache_.erase(f);
     tiers_[f] = kTierInterpreter;
+}
+
+void
+CodeManager::setAdaptive(const EdgeProfile *profile,
+                         uint64_t watermark, ThreadPool *pool)
+{
+    profile_ = profile;
+    watermark_ = watermark;
+    pool_ = pool;
+}
+
+bool
+CodeManager::maybePromote(const Function *f)
+{
+    if (!profile_ || !f || f->isDeclaration())
+        return false;
+    if (promoteAttempted_.count(f))
+        return false;
+    // Only a function holding a plain native translation is a
+    // candidate: interpreter-pinned functions have no body to relay
+    // out, and a trace-tier body is already at the top rung.
+    auto it = tiers_.find(f);
+    if (it != tiers_.end() && (it->second == kTierInterpreter ||
+                               it->second == kTierTrace))
+        return false;
+    if (!cache_.count(f))
+        return false;
+    if (profile_->functionSamples(functionId(f->name())) < watermark_)
+        return false;
+
+    // One attempt per function per manager: a failed promotion must
+    // not be retried on every subsequent profile event.
+    promoteAttempted_.insert(f);
+
+    Function &fn = *const_cast<Function *>(f);
+    std::unique_ptr<MachineFunction> mf;
+    Timer timer;
+    if (pool_) {
+        // The job runs on the pool's dedicated worker while this
+        // thread blocks: passes intern constants through the shared
+        // module, so translation must never overlap other pipeline
+        // work. The pool decouples promotion from the dispatch loop
+        // without introducing a data race.
+        pool_->enqueue([&] { mf = translateAtTraceTier(fn); }).get();
+    } else {
+        mf = translateAtTraceTier(fn);
+    }
+
+    if (!mf) {
+        ++promotionFailures_;
+        ++NumPromotionFailures;
+        warn("trace-tier promotion of '%s' failed; keeping tier -O%u",
+             f->name().c_str(), static_cast<unsigned>(tierOf(f)));
+        return false;
+    }
+    seconds_ += timer.seconds();
+    ++translated_;
+
+    // Atomic install with retirement: the executing activation keeps
+    // its (old) body; every future dispatch gets the promoted one.
+    auto old = cache_.find(f);
+    if (old != cache_.end()) {
+        retired_.push_back(std::move(old->second));
+        cache_.erase(old);
+    }
+    cache_[f] = std::move(mf);
+    tiers_[f] = kTierTrace;
+    ++promotions_;
+    ++NumPromotions;
+    return true;
+}
+
+std::unique_ptr<MachineFunction>
+CodeManager::translateAtTraceTier(Function &f)
+{
+    // Same copy-on-write discipline as every other rung: snapshot,
+    // optimize in place under the sandbox, lay out, codegen, restore.
+    FunctionSnapshot pristine = FunctionSnapshot::capture(f);
+    PassManager pm;
+    pm.setSandbox(true);
+    pm.setVerifyEach(opts_.verifyEach);
+    addFunctionPasses(pm, opts_.optLevel);
+    if (hooks_.extendPipeline)
+        hooks_.extendPipeline(pm, kTierTrace);
+    AnalysisManager am;
+    bool failed = false;
+    try {
+        pm.runOnFunction(f, am);
+        failed = !pm.containedFailures().empty();
+    } catch (const std::exception &) {
+        failed = true;
+    }
+
+    std::unique_ptr<MachineFunction> mf;
+    if (!failed) {
+        try {
+            // Form hot traces from the runtime profile. The profile
+            // was gathered over machine code produced by this same
+            // deterministic pipeline, so its stable block IDs
+            // resolve by name against the freshly optimized body.
+            // The trace cache is scoped to this promotion: it holds
+            // BasicBlock pointers into the optimized body, which
+            // dies when the snapshot is restored below. Only the
+            // stable head IDs outlive it (re-promotion accounting).
+            std::vector<Trace> traces =
+                formTraces(f, *profile_, TraceOptions{});
+            TraceCache cache;
+            for (Trace &t : traces) {
+                BlockId head = blockId(t.head());
+                if (cache.lookup(t.head()) || traceHeads_.count(head))
+                    ++NumTraceCacheHits;
+                traceHeads_.insert(head);
+                cache.insert(t);
+            }
+            lastCoverage_ = cache.coverage(*profile_);
+            TraceCoveragePct +=
+                static_cast<uint64_t>(lastCoverage_ * 100.0);
+            if (opts_.printTraces) {
+                for (const Trace &t : cache.traces()) {
+                    std::string line;
+                    for (const BasicBlock *bb : t.blocks) {
+                        if (!line.empty())
+                            line += " -> ";
+                        line += bb->name();
+                    }
+                    std::fprintf(stderr,
+                                 "trace: %s: %s (head count %llu)\n",
+                                 f.name().c_str(), line.c_str(),
+                                 (unsigned long long)t.headCount);
+                }
+                std::fprintf(stderr,
+                             "trace: %s: coverage %.2f over %zu "
+                             "trace(s)\n",
+                             f.name().c_str(), lastCoverage_,
+                             cache.size());
+            }
+            applyTraceLayout(f, cache.traces());
+
+            if (hooks_.beforeCodegen)
+                hooks_.beforeCodegen(f, kTierTrace);
+            CodeGenStats stats;
+            mf = translateFunction(f, target_, opts_, &stats);
+            stats_.phiCopiesInserted += stats.phiCopiesInserted;
+            stats_.phiCopiesCoalesced += stats.phiCopiesCoalesced;
+            stats_.spillsInserted += stats.spillsInserted;
+            stats_.reloadsInserted += stats.reloadsInserted;
+        } catch (const std::exception &) {
+            mf.reset();
+        }
+    }
+    pristine.restoreInto(f);
+    return mf;
 }
 
 size_t

@@ -18,6 +18,17 @@
  * interpreter (get() returns nullptr for interpreter-pinned
  * functions). A fault in one function's translation therefore never
  * takes down the program — it costs that one function performance.
+ *
+ * Adaptive promotion (Section 4.2): with a runtime profile attached
+ * (setAdaptive), a function whose profiled block executions cross
+ * the watermark is retranslated at the ladder's top rung —
+ * `-O<level>+traces` — which forms hot traces from the profile and
+ * applies trace-driven layout before instruction selection. The new
+ * body is installed through the same install path; the replaced one
+ * is retired, not destroyed, because the simulator may still be
+ * executing it (raw MachineFunction pointers live in its frames). A
+ * failed promotion keeps the existing translation — the trace tier
+ * degrades exactly like any other rung.
  */
 
 #ifndef LLVA_VM_CODE_MANAGER_H
@@ -26,10 +37,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "codegen/codegen.h"
 #include "llee/envelope.h"
+#include "support/thread_pool.h"
+#include "trace/trace.h"
 #include "transforms/pass.h"
 
 namespace llva {
@@ -135,6 +149,36 @@ class CodeManager
     /** Tier demotions taken (one per abandoned level). */
     size_t tierDowngrades() const { return tierDowngrades_; }
 
+    // --- Adaptive promotion -----------------------------------------------
+
+    /**
+     * Attach a runtime profile and arm the hotness watermark. \p
+     * pool, when non-null, runs promotion jobs (the caller blocks on
+     * the result — passes intern constants through the shared
+     * module, so translation work must never overlap other pipeline
+     * activity; the pool buys a dedicated, warm worker, not
+     * concurrency). \p profile must outlive this manager.
+     */
+    void setAdaptive(const EdgeProfile *profile, uint64_t watermark,
+                     ThreadPool *pool = nullptr);
+
+    /**
+     * Promote \p f to the trace tier if its profiled sample count
+     * has crossed the watermark. Safe to call from the simulator's
+     * dispatch loop on every profile event: each function is
+     * attempted at most once per manager, and the currently
+     * executing body stays valid (retired, not destroyed). Returns
+     * true if a promotion was installed now.
+     */
+    bool maybePromote(const Function *f);
+
+    /** Trace-tier promotions installed. */
+    size_t promotions() const { return promotions_; }
+    /** Promotions attempted but failed (existing tier kept). */
+    size_t promotionFailures() const { return promotionFailures_; }
+    /** Coverage of the last formed trace set (0 before any). */
+    double lastTraceCoverage() const { return lastCoverage_; }
+
     // --- Statistics -------------------------------------------------------
 
     double totalTranslateSeconds() const { return seconds_; }
@@ -159,6 +203,11 @@ class CodeManager
     std::unique_ptr<MachineFunction> translateAtTier(Function &f,
                                                      unsigned level);
 
+    /** The `-O<level>+traces` rung: optimize, form traces from the
+     *  attached profile, apply trace layout, codegen. Returns
+     *  nullptr if the tier failed; the body is left as found. */
+    std::unique_ptr<MachineFunction> translateAtTraceTier(Function &f);
+
     Target &target_;
     CodeGenOptions opts_;
     TranslationHooks hooks_;
@@ -169,6 +218,22 @@ class CodeManager
     double seconds_ = 0;
     size_t translated_ = 0;
     CodeGenStats stats_;
+
+    // Adaptive promotion state. Replaced translations are retired
+    // here (never destroyed mid-run): the simulator's call frames
+    // hold raw MachineFunction pointers into the old body. The
+    // TraceCache itself is scoped inside each promotion — it indexes
+    // BasicBlock pointers of the *optimized* body, which die when
+    // the snapshot is restored; only stable head IDs persist here.
+    const EdgeProfile *profile_ = nullptr;
+    uint64_t watermark_ = 0;
+    ThreadPool *pool_ = nullptr;
+    std::set<BlockId> traceHeads_;
+    std::set<const Function *> promoteAttempted_;
+    std::vector<std::unique_ptr<MachineFunction>> retired_;
+    size_t promotions_ = 0;
+    size_t promotionFailures_ = 0;
+    double lastCoverage_ = 0;
 };
 
 } // namespace llva

@@ -14,6 +14,7 @@
 #ifndef LLVA_VM_INTERPRETER_H
 #define LLVA_VM_INTERPRETER_H
 
+#include "trace/profile.h" // EdgeProfile
 #include "vm/runtime.h"
 
 namespace llva {
@@ -29,26 +30,10 @@ struct ExecResult
     bool ok() const { return !unwound && trap == TrapKind::None; }
 };
 
-/**
- * CFG edge execution counts gathered during interpretation — the
- * profile information the trace-formation machinery of Section 4.2
- * consumes, and what LLEE persists to offline storage.
- */
-struct EdgeProfile
-{
-    std::map<std::pair<const BasicBlock *, const BasicBlock *>,
-             uint64_t>
-        edges;
-    std::map<const BasicBlock *, uint64_t> blocks;
-
-    void
-    note(const BasicBlock *from, const BasicBlock *to)
-    {
-        if (from)
-            ++edges[{from, to}];
-        ++blocks[to];
-    }
-};
+// EdgeProfile — the profile information the trace-formation
+// machinery of Section 4.2 consumes, and what LLEE persists to
+// offline storage — lives in trace/profile.h, keyed by stable block
+// IDs so it survives CFG-mutating passes and process restarts.
 
 class Interpreter
 {

@@ -1,10 +1,16 @@
 #include "vm/machine_sim.h"
 
+#include "support/statistic.h"
+
 namespace llva {
 
 namespace {
 
 constexpr size_t kMaxCallDepth = 2048;
+
+Statistic NumProfileSamples(
+    "llee.profile_samples",
+    "Block executions recorded into the runtime edge profile");
 
 /** An invoke-style call site: a call with explicit handler blocks. */
 bool
@@ -109,6 +115,25 @@ MachineSimulator::runInternal(const Function *f,
     size_t index = 0;
     std::vector<Frame> frames;
 
+    // Profile hook: record a block entry (and, within one function,
+    // the edge taken into it). Machine block names mirror the source
+    // blocks' names, so these are the same stable IDs the trace
+    // formation resolves on the IR. `from == nullptr` marks entries
+    // with no intra-function predecessor (call dispatch, invoke
+    // resumption).
+    auto noteBlock = [&](const MachineFunction *in,
+                         const MachineBasicBlock *from,
+                         const MachineBasicBlock *to) {
+        if (!profile_)
+            return;
+        uint64_t fnHash = functionId(in->name());
+        profile_->noteId(from ? BlockId{fnHash, fnv1a(from->name())}
+                              : BlockId{},
+                         BlockId{fnHash, fnv1a(to->name())});
+        ++NumProfileSamples;
+    };
+    noteBlock(mf, nullptr, block);
+
     // Pop machine frames to the nearest invoke-style call site and
     // resume at its handler block; false if the unwind escapes.
     auto unwindFrames = [&]() -> bool {
@@ -121,6 +146,7 @@ MachineSimulator::runInternal(const Function *f,
                 state.sp = fr.spAtCall;
                 block = invokeBlockOperand(site, 1);
                 index = 0;
+                noteBlock(mf, nullptr, block);
                 return true;
             }
         }
@@ -138,8 +164,10 @@ MachineSimulator::runInternal(const Function *f,
             LLVA_ASSERT(next < mf->blocks().size(),
                         "machine function fell off the end (%s)",
                         mf->name().c_str());
+            MachineBasicBlock *prev = block;
             block = mf->blocks()[next].get();
             index = 0;
+            noteBlock(mf, prev, block);
             continue;
         }
         const MachineInstr &mi = *block->instrs()[index];
@@ -155,8 +183,15 @@ MachineSimulator::runInternal(const Function *f,
             break;
 
           case SimState::Next::Branch:
+            noteBlock(mf, block, state.branchTarget);
             block = state.branchTarget;
             index = 0;
+            // Branches carry the loop back-edges, so this is where a
+            // function's sample count can cross the watermark; the
+            // running activation keeps its body (the replaced
+            // translation is retired, not destroyed).
+            if (profile_)
+                code_.maybePromote(mf->source());
             break;
 
           case SimState::Next::Trap:
@@ -179,6 +214,7 @@ MachineSimulator::runInternal(const Function *f,
             if (isInvokeSite(site)) {
                 block = invokeBlockOperand(site, 0);
                 index = 0;
+                noteBlock(mf, nullptr, block);
             } else {
                 block = fr.block;
                 index = fr.index + 1;
@@ -219,6 +255,7 @@ MachineSimulator::runInternal(const Function *f,
                 if (isInvokeSite(mi)) {
                     block = invokeBlockOperand(mi, 0);
                     index = 0;
+                    noteBlock(mf, nullptr, block);
                 } else {
                     ++index;
                 }
@@ -262,6 +299,7 @@ MachineSimulator::runInternal(const Function *f,
                 if (isInvokeSite(mi)) {
                     block = invokeBlockOperand(mi, 0);
                     index = 0;
+                    noteBlock(mf, nullptr, block);
                 } else {
                     ++index;
                 }
@@ -272,6 +310,7 @@ MachineSimulator::runInternal(const Function *f,
             mf = cmf;
             block = mf->blocks().front().get();
             index = 0;
+            noteBlock(mf, nullptr, block);
             break;
           }
 

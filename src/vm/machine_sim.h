@@ -28,6 +28,17 @@ class MachineSimulator
     ExecResult run(const Function *f,
                    const std::vector<RtValue> &args = {});
 
+    /**
+     * Collect an edge profile of the *translated* code while
+     * executing (nullptr = off). Counts are keyed by stable block
+     * IDs — machine blocks carry their source blocks' names through
+     * instruction selection and the mcode cache — so the same
+     * profile can seed trace formation on the IR and be persisted
+     * across runs. Every profile event also gives the CodeManager a
+     * chance to promote the hot function to the trace tier.
+     */
+    void setProfile(EdgeProfile *profile) { profile_ = profile; }
+
     /** Machine instructions executed across all run() calls
      *  (includes instructions interpreted via tier fallback). */
     uint64_t instructionsExecuted() const { return executed_; }
@@ -62,6 +73,7 @@ class MachineSimulator
     uint64_t executed_ = 0;
     uint64_t interpreted_ = 0;
     uint64_t limit_ = 0;
+    EdgeProfile *profile_ = nullptr;
 };
 
 } // namespace llva

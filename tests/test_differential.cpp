@@ -71,6 +71,34 @@ TEST_P(DifferentialSuite, AllTiersMatchTheInterpreter)
     }
 }
 
+TEST_P(DifferentialSuite, TraceTierMatchesTheInterpreter)
+{
+    // The adaptive top rung (-O2+traces): profile at runtime with a
+    // low watermark so hot functions are promoted and re-laid-out
+    // mid-run, on both targets. Whatever gets promoted, every
+    // observable byte must still match the interpreter oracle.
+    auto m = buildWorkload(GetParam(), 1);
+    verifyOrDie(*m);
+    Observed ref = oracle(*m);
+    auto bytecode = writeBytecode(*m);
+
+    for (const char *target : {"x86", "sparc"}) {
+        CodeGenOptions opts;
+        opts.optLevel = 2;
+        opts.adaptive = true;
+        opts.promoteWatermark = 200;
+        LLEE llee(*getTarget(target), nullptr, opts);
+        LLEEResult r = llee.execute(bytecode);
+        ASSERT_TRUE(r.exec.ok())
+            << target << " -O2+traces trap="
+            << trapKindName(r.exec.trap);
+        EXPECT_EQ(r.exec.value.i, ref.value) << target << " -O2+traces";
+        EXPECT_EQ(r.output, ref.output) << target << " -O2+traces";
+        EXPECT_EQ(r.tierDowngrades, 0u) << target << " -O2+traces";
+        EXPECT_EQ(r.promotionFailures, 0u) << target << " -O2+traces";
+    }
+}
+
 static std::vector<std::string>
 names()
 {

@@ -180,6 +180,32 @@ TEST(MCodeIO, RoundTripsTranslation)
     EXPECT_EQ(writeMachineFunction(*back), bytes);
 }
 
+TEST(MCodeIO, RoundTripsSuccessorListLongerThanBlockList)
+{
+    // A folded multiway compare chain gives one block more successor
+    // entries than the function has blocks — the same target listed
+    // once per arm (197.parser's digit dispatch: 12 successors over
+    // 11 blocks). The reader used to treat successor-count >
+    // block-count as a corrupt length field and reject the valid
+    // entry at load time.
+    auto m = parseAssembly(kProgram).orDie();
+    Function *f = m->getFunction("helper");
+    auto mf = std::make_unique<MachineFunction>(f, "x86");
+    auto *dispatch = mf->createBlock("dispatch");
+    auto *hit = mf->createBlock("hit");
+    auto *miss = mf->createBlock("miss");
+    for (int i = 0; i < 10; ++i)
+        dispatch->successors().push_back(hit);
+    dispatch->successors().push_back(miss);
+    ASSERT_GT(dispatch->successors().size(), mf->blocks().size());
+
+    auto bytes = writeMachineFunction(*mf);
+    auto back = readMachineFunction(bytes, *m, f).orDie();
+    ASSERT_EQ(back->blocks().size(), 3u);
+    EXPECT_EQ(back->blocks()[0]->successors().size(), 11u);
+    EXPECT_EQ(writeMachineFunction(*back), bytes);
+}
+
 TEST(MCodeIO, CachedCodeStillRuns)
 {
     auto m = parseAssembly(kProgram).orDie();

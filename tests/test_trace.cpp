@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "ir/clone.h"
 #include "parser/parser.h"
 #include "trace/trace.h"
 #include "verifier/verifier.h"
@@ -64,11 +67,66 @@ TEST(Trace, ProfileCountsEdges)
     BasicBlock *head = f->findBlock("head");
     BasicBlock *hot = f->findBlock("hot");
     BasicBlock *cold = f->findBlock("cold");
-    EXPECT_EQ(profile.blocks.at(head), 1000u);
-    EXPECT_EQ(profile.blocks.at(hot), 990u);
-    EXPECT_EQ(profile.blocks.at(cold), 10u);
-    EXPECT_EQ((profile.edges.at({head, hot})), 990u);
-    EXPECT_EQ((profile.edges.at({head, cold})), 10u);
+    EXPECT_EQ(profile.blockCount(head), 1000u);
+    EXPECT_EQ(profile.blockCount(hot), 990u);
+    EXPECT_EQ(profile.blockCount(cold), 10u);
+    EXPECT_EQ(profile.edgeCount(head, hot), 990u);
+    EXPECT_EQ(profile.edgeCount(head, cold), 10u);
+    EXPECT_EQ(profile.functionSamples(functionId("main")),
+              profile.samples);
+}
+
+TEST(Trace, StableIdsSurviveSnapshotRestore)
+{
+    // The dangling-pointer hazard the stable IDs fix: a profile
+    // gathered before a FunctionSnapshot restore must still resolve
+    // afterwards, even though every BasicBlock it observed has been
+    // destroyed and replaced by a clone.
+    auto m = parseAssembly(kBiasedLoop).orDie();
+    Function *f = m->getFunction("main");
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    EdgeProfile profile;
+    interp.setProfile(&profile);
+    interp.run(f);
+
+    FunctionSnapshot snap = FunctionSnapshot::capture(*f);
+    snap.restoreInto(*f); // old blocks destroyed, clones adopted
+    verifyOrDie(*m);
+
+    EXPECT_EQ(profile.blockCount(f->findBlock("head")), 1000u);
+    EXPECT_EQ(profile.edgeCount(f->findBlock("head"),
+                                f->findBlock("hot")),
+              990u);
+    // And trace formation works against the restored body.
+    auto traces = formTraces(*f, profile);
+    ASSERT_FALSE(traces.empty());
+    EXPECT_EQ(traces.front().head(), f->findBlock("head"));
+}
+
+TEST(Trace, DeprecatedPointerApiIsChecked)
+{
+    auto m = parseAssembly(kBiasedLoop).orDie();
+    Function *f = m->getFunction("main");
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    EdgeProfile profile;
+    interp.setProfile(&profile);
+    interp.run(f);
+
+    // The deprecated shims still answer (through stable IDs)...
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EXPECT_EQ(profile.at(f->findBlock("head")), 1000u);
+    EXPECT_EQ(profile.at(f->findBlock("head"), f->findBlock("hot")),
+              990u);
+#pragma GCC diagnostic pop
+
+    // ...and asking for the ID of a detached block — the situation
+    // the pointer-keyed profile silently corrupted on — panics
+    // instead of reading freed memory.
+    BasicBlock detached(f->functionType()->context(), "orphan");
+    EXPECT_DEATH(blockId(&detached), "detached basic block");
 }
 
 TEST(Trace, FormsHotTraceFollowingBias)
@@ -139,6 +197,114 @@ TEST(Trace, CacheLookupAndCoverage)
     double cov = cache.coverage(profile);
     EXPECT_GT(cov, 0.9);
     EXPECT_LE(cov, 1.0);
+}
+
+TEST(Trace, CacheReplacesDuplicateHeadInPlace)
+{
+    // Regression: re-inserting a trace with the same head used to
+    // overwrite the index entry but leave the stale trace in the
+    // ordered store, so coverage() double-counted its blocks and
+    // the cache grew without bound under repeated reoptimization.
+    auto m = parseAssembly(kBiasedLoop).orDie();
+    Function *f = m->getFunction("main");
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    EdgeProfile profile;
+    interp.setProfile(&profile);
+    interp.run(f);
+
+    auto traces = formTraces(*f, profile);
+    ASSERT_FALSE(traces.empty());
+
+    TraceCache cache;
+    cache.insert(traces.front());
+    size_t size1 = cache.size();
+    size_t stored1 = cache.traces().size();
+    double cov1 = cache.coverage(profile);
+
+    // Re-optimization re-forms the same hot trace; insert it again
+    // (a shortened variant, so replacement is observable).
+    Trace shorter = traces.front();
+    shorter.blocks.resize(2);
+    cache.insert(shorter);
+
+    EXPECT_EQ(cache.size(), size1);
+    EXPECT_EQ(cache.traces().size(), stored1);
+    const Trace *hit = cache.lookup(traces.front().head());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->length(), 2u);
+    // Coverage reflects only the replacement, never the sum.
+    EXPECT_LE(cache.coverage(profile), cov1);
+
+    // Inserting the full trace again restores the original numbers.
+    cache.insert(traces.front());
+    EXPECT_EQ(cache.size(), size1);
+    EXPECT_DOUBLE_EQ(cache.coverage(profile), cov1);
+}
+
+TEST(Trace, RejectedSeedsAreReleasedForLaterTraces)
+{
+    // Regression for the seed-release bug. The hottest seeds here
+    // ('head' and 'p') have 50/50 successor splits, so both are
+    // rejected as singleton traces. Released (the fix), they are
+    // absorbed by the colder seeds that follow — [latch, head] and
+    // [q, p]; stranded in `taken` (the bug), no trace can form at
+    // all and the hot loop gets zero coverage.
+    auto m = parseAssembly(R"(
+int %main() {
+entry:
+    br label %head
+head:
+    %i = phi int [ 0, %entry ], [ %i2, %latch ]
+    %acc = phi int [ 0, %entry ], [ %acc2, %latch ]
+    %firsthalf = setlt int %i, 500
+    br bool %firsthalf, label %q, label %direct
+q:
+    %qv = add int %acc, 3
+    br label %p
+direct:
+    %dv = add int %acc, 5
+    br label %p
+p:
+    %pv = phi int [ %qv, %q ], [ %dv, %direct ]
+    %bit = rem int %i, 2
+    %odd = seteq int %bit, 1
+    br bool %odd, label %r, label %s
+r:
+    %rv = add int %pv, 1
+    br label %latch
+s:
+    %sv = mul int %pv, 1
+    br label %latch
+latch:
+    %acc2 = phi int [ %rv, %r ], [ %sv, %s ]
+    %i2 = add int %i, 1
+    %more = setlt int %i2, 1000
+    br bool %more, label %head, label %out
+out:
+    ret int %acc2
+}
+)").orDie();
+    verifyOrDie(*m);
+    Function *f = m->getFunction("main");
+    ExecutionContext ctx(*m);
+    Interpreter interp(ctx);
+    EdgeProfile profile;
+    interp.setProfile(&profile);
+    interp.run(f);
+
+    auto traces = formTraces(*f, profile);
+    ASSERT_FALSE(traces.empty());
+    std::set<const BasicBlock *> covered;
+    for (const Trace &t : traces)
+        for (const BasicBlock *bb : t.blocks)
+            covered.insert(bb);
+    // The rejected-then-released seeds must appear inside the
+    // colder seeds' traces.
+    EXPECT_TRUE(covered.count(f->findBlock("head")))
+        << "'head' stranded by its rejected singleton trace";
+    EXPECT_TRUE(covered.count(f->findBlock("p")))
+        << "'p' stranded by its rejected singleton trace";
 }
 
 TEST(Trace, LayoutKeepsSemanticsAndEntryBlock)

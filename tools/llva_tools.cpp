@@ -29,6 +29,7 @@
 #include "parser/parser.h"
 #include "support/statistic.h"
 #include "support/thread_pool.h"
+#include "trace/trace.h"
 #include "transforms/pass.h"
 #include "verifier/verifier.h"
 #include "vm/interpreter.h"
@@ -47,11 +48,13 @@ usage()
                        [-time-passes] [-stats] [-opt-bisect-limit=N]
   llva-run <input.bc>  [--target x86|sparc] [--cache DIR] [--interp]
                        [--entry NAME] [-O<0|1|2>] [-j N] [-stats]
+                       [--adaptive] [--watermark N] [-print-traces]
                        [-verify-each] [-opt-bisect-limit=N]
                                              execute under LLEE
   llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
                        [--no-coalesce] [-O<0|1|2>] [-j N] [-stats]
-                       [-verify-each] [-opt-bisect-limit=N]
+                       [-print-traces] [-verify-each]
+                       [-opt-bisect-limit=N]
                                              print machine code
   llva-translate --verify-cache <dir> [--repair]
                                              audit a translation cache:
@@ -68,6 +71,15 @@ usage()
                 run only the first N passes (a deterministic global
                 counter, printed per pass to stderr); bisect N to
                 localize a miscompiling pass. -1 = no limit
+  --adaptive    profile at runtime and promote hot functions to the
+                -O2+traces tier (with --cache the profile and the
+                promoted translations persist across runs)
+  --watermark N promote a function once its profile accumulates N
+                block samples (default 5000; implies nothing
+                without --adaptive)
+  -print-traces print formed hot traces to stderr (llva-run: at each
+                promotion; llva-translate: after a profiling
+                interpreter run, and lay blocks out trace-first)
 )");
     std::exit(2);
 }
@@ -237,6 +249,13 @@ toolRun(const std::vector<std::string> &args)
             entry = args[++i];
         else if (args[i] == "--interp")
             interp = true;
+        else if (args[i] == "--adaptive")
+            opts.adaptive = true;
+        else if (args[i] == "--watermark" && i + 1 < args.size())
+            opts.promoteWatermark =
+                std::strtoull(args[++i].c_str(), nullptr, 10);
+        else if (args[i] == "-print-traces")
+            opts.printTraces = true;
         else if (args[i] == "-j" && i + 1 < args.size())
             jobs = parseJobs(args[++i]);
         else if (args[i] == "-stats")
@@ -294,6 +313,16 @@ toolRun(const std::vector<std::string> &args)
                      "llva-run: %zu tier downgrades, %zu functions "
                      "pinned to the interpreter\n",
                      r.tierDowngrades, r.functionsInterpreted);
+    if (opts.adaptive)
+        std::fprintf(stderr,
+                     "llva-run: %zu promotions to -O%u+traces "
+                     "(%zu failed), %llu profile samples, %.1f%% "
+                     "trace coverage, %zu trace-tier translations "
+                     "reloaded\n",
+                     r.promotions, unsigned(opts.optLevel),
+                     r.promotionFailures,
+                     (unsigned long long)r.profileSamples,
+                     r.traceCoverage * 100.0, r.traceTierLoaded);
     if (printStats)
         std::fputs(stats::report().c_str(), stderr);
     if (r.exec.trap != TrapKind::None) {
@@ -370,6 +399,8 @@ toolTranslate(const std::vector<std::string> &args)
             opts.allocator = CodeGenOptions::Allocator::Local;
         else if (args[i] == "--no-coalesce")
             opts.coalesce = false;
+        else if (args[i] == "-print-traces")
+            opts.printTraces = true;
         else if (args[i] == "-j" && i + 1 < args.size())
             jobs = parseJobs(args[++i]);
         else if (args[i] == "-stats")
@@ -403,6 +434,36 @@ toolTranslate(const std::vector<std::string> &args)
         pm.setVerifyEach(opts.verifyEach);
         addFunctionPasses(pm, opts.optLevel);
         pm.run(*m);
+    }
+
+    // -print-traces: gather an edge profile by interpreting the
+    // (already optimized) module once, form hot traces per function,
+    // print them to stderr, and apply the trace-first layout so the
+    // listing below is the code the adaptive tier would install.
+    if (opts.printTraces) {
+        EdgeProfile profile;
+        {
+            ExecutionContext ctx(*m);
+            Interpreter profiler(ctx);
+            profiler.setProfile(&profile);
+            profiler.setInstructionLimit(100000000);
+            profiler.run(m->getFunction("main"));
+        }
+        for (const auto &f : m->functions()) {
+            if (f->isDeclaration())
+                continue;
+            auto traces = formTraces(*f, profile);
+            for (const Trace &tr : traces) {
+                std::fprintf(stderr, "trace: %s:",
+                             f->name().c_str());
+                for (const BasicBlock *bb : tr.blocks)
+                    std::fprintf(stderr, " %s",
+                                 bb->name().c_str());
+                std::fprintf(stderr, " (head count %llu)\n",
+                             (unsigned long long)tr.headCount);
+            }
+            applyTraceLayout(*f, traces);
+        }
     }
 
     std::vector<const Function *> fns;
