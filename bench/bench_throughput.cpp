@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Execution throughput: instructions per second of the simulated
+ * processor under the two dispatch engines — the legacy per-
+ * instruction switch (state reset + virtual execute + opcode
+ * switch, names rehashed on every profile event) and the direct-
+ * threaded engine (cached handler pointers, chained trace-tier
+ * superblocks, translation-time block IDs). Every configuration
+ * runs warm: an adaptive first pass promotes the hot functions to
+ * -O2+traces, then the timed runs execute from the same code cache
+ * with profiling left on — the whole point of making profiling
+ * cheap is never switching it off.
+ *
+ * The reference interpreter (itself computed-goto threaded) is
+ * timed alongside for scale. Results land in BENCH_throughput.json
+ * so CI can archive and diff them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "llee/llee.h"
+
+using namespace llva;
+using namespace llva::bench;
+
+namespace {
+
+CodeGenOptions
+adaptiveOpts()
+{
+    CodeGenOptions opts;
+    opts.optLevel = 2;
+    opts.adaptive = true;
+    opts.promoteWatermark = 500;
+    return opts;
+}
+
+struct Measured
+{
+    double ips = 0;        ///< instructions / second
+    uint64_t value = 0;    ///< program checksum (divergence check)
+    std::string output;    ///< captured output (divergence check)
+    size_t promotions = 0;
+    size_t chained = 0;    ///< chained functions after the runs
+};
+
+/** Keep timing until both floors are met. */
+constexpr double kMinSeconds = 0.2;
+constexpr int kMinRuns = 3;
+
+Measured
+measureSim(Module &m, Target &target,
+           MachineSimulator::Dispatch dispatch,
+           uint64_t sampleInterval = 1)
+{
+    CodeManager cm(target, adaptiveOpts());
+    EdgeProfile profile;
+    cm.setAdaptive(&profile, adaptiveOpts().promoteWatermark);
+
+    Measured out;
+    // Warm pass: profile, promote, translate — none of it timed.
+    {
+        ExecutionContext ctx(m);
+        MachineSimulator sim(ctx, cm);
+        sim.setDispatch(dispatch);
+        sim.setProfile(&profile);
+        auto r = sim.run(m.getFunction("main"));
+        if (!r.ok())
+            fatal("throughput warmup trapped: %s",
+                  trapKindName(r.trap));
+        out.value = r.value.i;
+        out.output = ctx.output();
+    }
+    // Timed passes from the warm cache, profiling still on.
+    uint64_t instrs = 0;
+    double secs = 0;
+    for (int runs = 0; runs < kMinRuns || secs < kMinSeconds;
+         ++runs) {
+        ExecutionContext ctx(m);
+        MachineSimulator sim(ctx, cm);
+        sim.setDispatch(dispatch);
+        sim.setProfile(&profile);
+        sim.setProfileSampleInterval(sampleInterval);
+        Timer t;
+        auto r = sim.run(m.getFunction("main"));
+        secs += t.seconds();
+        instrs += sim.instructionsExecuted();
+        if (!r.ok() || r.value.i != out.value)
+            fatal("throughput divergence across runs");
+    }
+    out.ips = secs > 0 ? instrs / secs : 0;
+    out.promotions = cm.promotions();
+    out.chained = cm.chainedFunctions();
+    return out;
+}
+
+Measured
+measureInterp(Module &m)
+{
+    Measured out;
+    uint64_t instrs = 0;
+    double secs = 0;
+    for (int runs = 0; runs < kMinRuns || secs < kMinSeconds;
+         ++runs) {
+        ExecutionContext ctx(m);
+        Interpreter interp(ctx);
+        Timer t;
+        auto r = interp.run(m.getFunction("main"));
+        secs += t.seconds();
+        instrs += r.instructionsExecuted;
+        if (!r.ok())
+            fatal("interpreter trapped in throughput bench");
+        out.value = r.value.i;
+        out.output = ctx.output();
+    }
+    out.ips = secs > 0 ? instrs / secs : 0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Execution throughput: switch dispatch vs direct-"
+                "threaded + chained superblocks (warm -O2+traces, "
+                "profiling on)\n");
+    hr('=');
+    std::printf("%-18s %11s %11s %11s %11s %8s %7s\n", "Program",
+                "interp(M/s)", "switch(M/s)", "thread(M/s)",
+                "+smpl(M/s)", "speedup", "chains");
+    hr();
+
+    // The full new engine samples its always-on profile (every Nth
+    // event, weight N — totals stay in execution units, so the
+    // promotion watermark needs no rescaling).
+    constexpr uint64_t kSampleInterval = 32;
+
+    Target &target = *getTarget("x86");
+    JsonReport report("throughput");
+    for (const auto &info : allWorkloads()) {
+        auto m = prepared(info);
+
+        Measured in = measureInterp(*m);
+        Measured sw = measureSim(
+            *m, target, MachineSimulator::Dispatch::Switch);
+        Measured th = measureSim(
+            *m, target, MachineSimulator::Dispatch::Threaded);
+        Measured ts = measureSim(
+            *m, target, MachineSimulator::Dispatch::Threaded,
+            kSampleInterval);
+        if (sw.value != th.value || sw.output != th.output ||
+            ts.value != th.value || ts.output != th.output)
+            fatal("dispatch divergence in %s", info.name.c_str());
+
+        double speedupExact = sw.ips > 0 ? th.ips / sw.ips : 0;
+        double speedup = sw.ips > 0 ? ts.ips / sw.ips : 0;
+        std::printf("%-18s %11.2f %11.2f %11.2f %11.2f %7.2fx "
+                    "%7zu\n",
+                    info.name.c_str(), in.ips / 1e6, sw.ips / 1e6,
+                    th.ips / 1e6, ts.ips / 1e6, speedup,
+                    ts.chained);
+        report.beginRow()
+            .field("program", info.name)
+            .field("interp_ips", in.ips)
+            .field("switch_ips", sw.ips)
+            .field("threaded_ips", th.ips)
+            .field("threaded_sampled_ips", ts.ips)
+            .field("speedup_exact_profile", speedupExact)
+            .field("speedup", speedup)
+            .field("promotions", double(ts.promotions))
+            .field("chained_functions", double(ts.chained));
+    }
+    hr();
+    report.write();
+    std::printf("IPS = simulated machine instructions per wall-"
+                "clock second, timed warm (translations cached, "
+                "hot functions already at -O2+traces), profiling "
+                "on. switch = legacy engine (exact counts, "
+                "rehashed IDs); thread = direct-threaded + chained "
+                "superblocks, exact counts; +smpl adds 1-in-%llu "
+                "sampled counters. speedup = +smpl/switch.\n",
+                (unsigned long long)kSampleInterval);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+// Timed: one warm run of the first workload under each dispatch
+// engine, for `--benchmark_filter` style comparisons.
+static void
+BM_SwitchDispatch(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0]);
+    CodeManager cm(*getTarget("x86"), adaptiveOpts());
+    EdgeProfile profile;
+    cm.setAdaptive(&profile, 500);
+    for (auto _ : state) {
+        ExecutionContext ctx(*m);
+        MachineSimulator sim(ctx, cm);
+        sim.setDispatch(MachineSimulator::Dispatch::Switch);
+        sim.setProfile(&profile);
+        benchmark::DoNotOptimize(
+            sim.run(m->getFunction("main")).value.i);
+    }
+}
+BENCHMARK(BM_SwitchDispatch);
+
+static void
+BM_ThreadedDispatch(benchmark::State &state)
+{
+    auto m = prepared(allWorkloads()[0]);
+    CodeManager cm(*getTarget("x86"), adaptiveOpts());
+    EdgeProfile profile;
+    cm.setAdaptive(&profile, 500);
+    for (auto _ : state) {
+        ExecutionContext ctx(*m);
+        MachineSimulator sim(ctx, cm);
+        sim.setDispatch(MachineSimulator::Dispatch::Threaded);
+        sim.setProfile(&profile);
+        benchmark::DoNotOptimize(
+            sim.run(m->getFunction("main")).value.i);
+    }
+}
+BENCHMARK(BM_ThreadedDispatch);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "support/hashing.h"
 
 namespace llva {
 
@@ -34,6 +35,17 @@ isVirtualReg(unsigned reg)
 }
 
 class MachineBasicBlock;
+struct MachineInstr;
+struct SimState;
+
+/**
+ * Resolved execution semantics of one machine instruction: the
+ * direct-threaded dispatch handler. The simulator caches the
+ * target's handler on the instruction the first time it executes,
+ * so steady-state dispatch is one indirect call — no virtual
+ * dispatch, no opcode switch.
+ */
+using ExecFn = void (*)(const MachineInstr &, SimState &);
 
 /** One operand of a machine instruction. */
 struct MOperand
@@ -142,6 +154,9 @@ struct MachineInstr
     /** FP operations: true for float (4-byte), false for double. */
     bool fp32 = false;
     std::vector<MOperand> ops;
+    /** Lazily resolved dispatch handler (owned by the executing
+     *  target; never serialized). */
+    mutable ExecFn exec = nullptr;
 
     MachineInstr(uint16_t opc, std::vector<MOperand> operands,
                  unsigned defs = 0)
@@ -158,12 +173,18 @@ class MachineBasicBlock
   public:
     MachineBasicBlock(MachineFunction *parent, std::string name,
                       unsigned index)
-        : parent_(parent), name_(std::move(name)), index_(index)
+        : parent_(parent), name_(std::move(name)), index_(index),
+          nameHash_(fnv1a(name_))
     {}
 
     MachineFunction *parent() const { return parent_; }
     const std::string &name() const { return name_; }
     unsigned index() const { return index_; }
+
+    /** fnv1a of the block name, computed once at creation — the
+     *  BlockId::block component, so profiling never rehashes the
+     *  name on a block entry. */
+    uint64_t nameHash() const { return nameHash_; }
 
     std::vector<std::unique_ptr<MachineInstr>> &instrs()
     {
@@ -193,6 +214,7 @@ class MachineBasicBlock
     MachineFunction *parent_;
     std::string name_;
     unsigned index_;
+    uint64_t nameHash_;
     std::vector<std::unique_ptr<MachineInstr>> instrs_;
     std::vector<MachineBasicBlock *> succs_;
 };
@@ -216,12 +238,17 @@ class MachineFunction
 {
   public:
     MachineFunction(const Function *source, std::string target_name)
-        : source_(source), targetName_(std::move(target_name))
+        : source_(source), targetName_(std::move(target_name)),
+          nameHash_(fnv1a(source_->name()))
     {}
 
     const Function *source() const { return source_; }
     const std::string &name() const { return source_->name(); }
     const std::string &targetName() const { return targetName_; }
+
+    /** fnv1a of the source function's name, computed once at
+     *  translation time — the BlockId::fn component. */
+    uint64_t nameHash() const { return nameHash_; }
 
     MachineBasicBlock *
     createBlock(const std::string &name)
@@ -297,6 +324,7 @@ class MachineFunction
   private:
     const Function *source_;
     std::string targetName_;
+    uint64_t nameHash_;
     std::vector<std::unique_ptr<MachineBasicBlock>> blocks_;
     std::vector<VRegInfo> vregs_;
     std::vector<FrameObject> frame_;

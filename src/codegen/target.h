@@ -164,6 +164,18 @@ class Target
     virtual void execute(const MachineInstr &mi, SimState &state)
         const = 0;
 
+    /**
+     * The direct-threaded dispatch handler for \p mi: a free
+     * function implementing exactly what execute() would do for
+     * this opcode. Handlers assume the driver set state.next =
+     * Fall before the call (no full reset()): every consumer field
+     * (branchTarget, callTarget/callAddr, trapKind) is written by
+     * the handler that requests the corresponding Next value, so
+     * stale values are never observed. The simulator caches the
+     * result on the instruction (MachineInstr::exec).
+     */
+    virtual ExecFn handlerFor(const MachineInstr &mi) const = 0;
+
     /** Disassembly for debugging and examples. */
     virtual std::string instrToString(const MachineInstr &mi)
         const = 0;

@@ -691,12 +691,169 @@ SparcTarget::readArgs(SimState &state, const FunctionType *ft) const
     return args;
 }
 
+namespace {
+
+// Direct-threaded dispatch handlers (Target::handlerFor): one free
+// function per opcode group, the single source of the execution
+// semantics — execute() routes through the same functions, so the
+// legacy switch dispatch and the threaded engine cannot diverge.
+// Handlers rely on the driver presetting state.next = Fall and must
+// write every consumer field of the Next value they request.
+
 void
-SparcTarget::execute(const MachineInstr &mi, SimState &state) const
+hSpAlu(const MachineInstr &mi, SimState &state)
 {
     using namespace tgt;
-    if (execGeneric(mi, state))
-        return;
+    uint64_t a = state.ireg[mi.ops[1].reg];
+    uint64_t b = operandIntValue(mi.ops[2], state);
+    uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
+                         mi.signExt, mi.trapEnabled, state);
+    if (state.next != SimState::Next::Trap)
+        state.ireg[mi.ops[0].reg] = r;
+}
+
+void
+hSpFAlu(const MachineInstr &mi, SimState &state)
+{
+    using namespace tgt;
+    state.freg[mi.ops[0].reg - 32] =
+        evalFAlu(aluOfFP(mi.opcode), state.freg[mi.ops[1].reg - 32],
+                 state.freg[mi.ops[2].reg - 32], mi.fp32);
+}
+
+void
+hSpSetCC(const MachineInstr &mi, SimState &state)
+{
+    using namespace tgt;
+    Cond c = condOf(mi.opcode);
+    bool r;
+    if (isFPReg(mi.ops[1].reg)) {
+        r = evalCond<double>(c, state.freg[mi.ops[1].reg - 32],
+                             state.freg[mi.ops[2].reg - 32]);
+    } else {
+        uint64_t a = state.ireg[mi.ops[1].reg];
+        uint64_t b = operandIntValue(mi.ops[2], state);
+        if (mi.signExt)
+            r = evalCond<int64_t>(
+                c, static_cast<int64_t>(normInt(a, mi.width, true)),
+                static_cast<int64_t>(normInt(b, mi.width, true)));
+        else
+            r = evalCond<uint64_t>(c, normInt(a, mi.width, false),
+                                   normInt(b, mi.width, false));
+    }
+    state.ireg[mi.ops[0].reg] = r ? 1 : 0;
+}
+
+void
+hSpSethi(const MachineInstr &mi, SimState &state)
+{
+    // An FPImm operand marks a constant-pool address pair; the
+    // simulated pool has no real location, so the base is zero
+    // (kSpLoadC carries the value itself).
+    uint64_t v = mi.ops[1].kind == MOperand::FPImm
+                     ? 0
+                     : tgt::operandIntValue(mi.ops[1], state);
+    state.ireg[mi.ops[0].reg] = v & ~0x3ffull;
+}
+
+void
+hSpOrLo(const MachineInstr &mi, SimState &state)
+{
+    state.ireg[mi.ops[0].reg] =
+        state.ireg[mi.ops[1].reg] |
+        (tgt::operandIntValue(mi.ops[2], state) & 0x3ffull);
+}
+
+void
+hSpLoadC(const MachineInstr &mi, SimState &state)
+{
+    state.freg[mi.ops[0].reg - 32] =
+        tgt::fpRound(mi.ops[2].fpimm, mi.fp32);
+}
+
+void
+hSpNop(const MachineInstr &, SimState &)
+{}
+
+void
+hSpBrnz(const MachineInstr &mi, SimState &state)
+{
+    if (state.ireg[mi.ops[0].reg]) {
+        state.next = SimState::Next::Branch;
+        state.branchTarget = mi.ops[1].block;
+    }
+}
+
+void
+hSpBa(const MachineInstr &mi, SimState &state)
+{
+    state.next = SimState::Next::Branch;
+    state.branchTarget = mi.ops[0].block;
+}
+
+void
+hSpCall(const MachineInstr &mi, SimState &state)
+{
+    state.next = SimState::Next::Call;
+    if (mi.ops[0].kind == MOperand::Func) {
+        state.callTarget = mi.ops[0].func;
+    } else {
+        // Without a full reset() a stale direct-call target would
+        // shadow the indirect address, so clear it explicitly.
+        state.callTarget = nullptr;
+        state.callAddr = state.ireg[mi.ops[0].reg];
+    }
+}
+
+void
+hSpRet(const MachineInstr &, SimState &state)
+{
+    state.next = SimState::Next::Return;
+}
+
+void
+hSpUnwind(const MachineInstr &, SimState &state)
+{
+    state.next = SimState::Next::Unwind;
+}
+
+void
+hSpLoad(const MachineInstr &mi, SimState &state)
+{
+    tgt::execLoad(mi, state.ireg[mi.ops[1].reg], state);
+}
+
+void
+hSpStore(const MachineInstr &mi, SimState &state)
+{
+    tgt::execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
+}
+
+void
+hSpLoadStack(const MachineInstr &mi, SimState &state)
+{
+    tgt::execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+void
+hSpStoreStack(const MachineInstr &mi, SimState &state)
+{
+    tgt::execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+void
+hSpSpAdj(const MachineInstr &mi, SimState &state)
+{
+    state.sp += static_cast<uint64_t>(mi.ops[0].imm);
+}
+
+} // namespace
+
+ExecFn
+SparcTarget::handlerFor(const MachineInstr &mi) const
+{
+    if (ExecFn fn = tgt::genericHandler(mi.opcode))
+        return fn;
     switch (mi.opcode) {
       case kSpAdd:
       case kSpSub:
@@ -707,131 +864,49 @@ SparcTarget::execute(const MachineInstr &mi, SimState &state) const
       case kSpOr:
       case kSpXor:
       case kSpSll:
-      case kSpSrl: {
-        uint64_t a = state.ireg[mi.ops[1].reg];
-        uint64_t b = operandIntValue(mi.ops[2], state);
-        uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
-                             mi.signExt, mi.trapEnabled, state);
-        if (state.next != SimState::Next::Trap)
-            state.ireg[mi.ops[0].reg] = r;
-        break;
-      }
+      case kSpSrl:
+        return hSpAlu;
       case kSpFAdd:
       case kSpFSub:
       case kSpFMul:
       case kSpFDiv:
       case kSpFRem:
-        state.freg[mi.ops[0].reg - 32] =
-            evalFAlu(aluOfFP(mi.opcode),
-                     state.freg[mi.ops[1].reg - 32],
-                     state.freg[mi.ops[2].reg - 32], mi.fp32);
-        break;
+        return hSpFAlu;
       case kSpSetEq:
       case kSpSetNe:
       case kSpSetLt:
       case kSpSetGt:
       case kSpSetLe:
-      case kSpSetGe: {
-        Cond c = condOf(mi.opcode);
-        bool r;
-        if (isFPReg(mi.ops[1].reg)) {
-            r = evalCond<double>(c, state.freg[mi.ops[1].reg - 32],
-                                 state.freg[mi.ops[2].reg - 32]);
-        } else {
-            uint64_t a = state.ireg[mi.ops[1].reg];
-            uint64_t b = operandIntValue(mi.ops[2], state);
-            if (mi.signExt)
-                r = evalCond<int64_t>(
-                    c,
-                    static_cast<int64_t>(
-                        normInt(a, mi.width, true)),
-                    static_cast<int64_t>(
-                        normInt(b, mi.width, true)));
-            else
-                r = evalCond<uint64_t>(c,
-                                       normInt(a, mi.width, false),
-                                       normInt(b, mi.width, false));
-        }
-        state.ireg[mi.ops[0].reg] = r ? 1 : 0;
-        break;
-      }
-      case kSpSethi: {
-        // An FPImm operand marks a constant-pool address pair; the
-        // simulated pool has no real location, so the base is zero
-        // (kSpLoadC carries the value itself).
-        uint64_t v = mi.ops[1].kind == MOperand::FPImm
-                         ? 0
-                         : operandIntValue(mi.ops[1], state);
-        state.ireg[mi.ops[0].reg] = v & ~0x3ffull;
-        break;
-      }
-      case kSpOrLo:
-        state.ireg[mi.ops[0].reg] =
-            state.ireg[mi.ops[1].reg] |
-            (operandIntValue(mi.ops[2], state) & 0x3ffull);
-        break;
-      case kSpLoadC:
-        state.freg[mi.ops[0].reg - 32] =
-            fpRound(mi.ops[2].fpimm, mi.fp32);
-        break;
-      case kSpNop:
-        break;
-      case kSpBrnz:
-        if (state.ireg[mi.ops[0].reg]) {
-            state.next = SimState::Next::Branch;
-            state.branchTarget = mi.ops[1].block;
-        }
-        break;
-      case kSpBa:
-        state.next = SimState::Next::Branch;
-        state.branchTarget = mi.ops[0].block;
-        break;
-      case kSpCall:
-        state.next = SimState::Next::Call;
-        if (mi.ops[0].kind == MOperand::Func)
-            state.callTarget = mi.ops[0].func;
-        else
-            state.callAddr = state.ireg[mi.ops[0].reg];
-        break;
-      case kSpRet:
-        state.next = SimState::Next::Return;
-        break;
-      case kSpUnwind:
-        state.next = SimState::Next::Unwind;
-        break;
-      case kSpLoad:
-        execLoad(mi, state.ireg[mi.ops[1].reg], state);
-        break;
-      case kSpStore:
-        execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
-        break;
-      case kSpLoadStack:
-        execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
-        break;
-      case kSpStoreStack:
-        execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
-        break;
-      case kSpExt:
-        execExt(mi, state);
-        break;
-      case kSpCvtI2F:
-        execCvtI2F(mi, state);
-        break;
-      case kSpCvtF2I:
-        execCvtF2I(mi, state);
-        break;
-      case kSpCvtF2F:
-        execCvtF2F(mi, state);
-        break;
-      case kSpCvtI2B:
-        execCvtI2B(mi, state);
-        break;
-      case kSpSpAdj:
-        state.sp += static_cast<uint64_t>(mi.ops[0].imm);
-        break;
+      case kSpSetGe:
+        return hSpSetCC;
+      case kSpSethi: return hSpSethi;
+      case kSpOrLo: return hSpOrLo;
+      case kSpLoadC: return hSpLoadC;
+      case kSpNop: return hSpNop;
+      case kSpBrnz: return hSpBrnz;
+      case kSpBa: return hSpBa;
+      case kSpCall: return hSpCall;
+      case kSpRet: return hSpRet;
+      case kSpUnwind: return hSpUnwind;
+      case kSpLoad: return hSpLoad;
+      case kSpStore: return hSpStore;
+      case kSpLoadStack: return hSpLoadStack;
+      case kSpStoreStack: return hSpStoreStack;
+      case kSpExt: return tgt::execExt;
+      case kSpCvtI2F: return tgt::execCvtI2F;
+      case kSpCvtF2I: return tgt::execCvtF2I;
+      case kSpCvtF2F: return tgt::execCvtF2F;
+      case kSpCvtI2B: return tgt::execCvtI2B;
+      case kSpSpAdj: return hSpSpAdj;
       default:
         panic("sparc: cannot execute opcode");
     }
+}
+
+void
+SparcTarget::execute(const MachineInstr &mi, SimState &state) const
+{
+    handlerFor(mi)(mi, state);
 }
 
 std::vector<uint8_t>

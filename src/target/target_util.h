@@ -424,6 +424,67 @@ execGeneric(const MachineInstr &mi, SimState &state)
     }
 }
 
+// --- Generic dispatch handlers ---------------------------------------------
+//
+// The direct-threaded forms of the generic pseudos: one free
+// function per opcode, shared by every target's handlerFor(). Each
+// is exactly the matching execGeneric() case.
+
+inline void
+hdlCopy(const MachineInstr &mi, SimState &state)
+{
+    unsigned dst = mi.ops[0].reg;
+    if (isFPReg(dst))
+        state.freg[dst - 32] = operandFPValue(mi.ops[1], state);
+    else
+        state.ireg[dst] = operandIntValue(mi.ops[1], state);
+}
+
+inline void
+hdlSpill(const MachineInstr &mi, SimState &state)
+{
+    execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+inline void
+hdlReload(const MachineInstr &mi, SimState &state)
+{
+    execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+inline void
+hdlFrameAddr(const MachineInstr &mi, SimState &state)
+{
+    state.ireg[mi.ops[0].reg] =
+        state.sp + static_cast<uint64_t>(mi.ops[1].imm);
+}
+
+inline void
+hdlDynAlloca(const MachineInstr &mi, SimState &state)
+{
+    uint64_t size = state.ireg[mi.ops[1].reg];
+    uint64_t p = state.mem->malloc(size ? size : 1);
+    if (!p) {
+        state.trap(TrapKind::StackOverflow);
+        return;
+    }
+    state.ireg[mi.ops[0].reg] = p;
+}
+
+/** Handler for a generic pseudo opcode, or nullptr. */
+inline ExecFn
+genericHandler(uint16_t opcode)
+{
+    switch (opcode) {
+      case kOpCopy: return hdlCopy;
+      case kOpSpill: return hdlSpill;
+      case kOpReload: return hdlReload;
+      case kOpFrameAddr: return hdlFrameAddr;
+      case kOpDynAlloca: return hdlDynAlloca;
+      default: return nullptr;
+    }
+}
+
 // --- Prologue / epilogue ---------------------------------------------------
 
 /**

@@ -547,12 +547,138 @@ X86Target::insertPrologueEpilogue(
                          kX86LoadStack);
 }
 
+namespace {
+
+// Direct-threaded dispatch handlers (Target::handlerFor): one free
+// function per opcode group, the single source of the execution
+// semantics — execute() routes through the same functions, so the
+// legacy switch dispatch and the threaded engine cannot diverge.
+// Handlers rely on the driver presetting state.next = Fall and must
+// write every consumer field of the Next value they request.
+
 void
-X86Target::execute(const MachineInstr &mi, SimState &state) const
+hX86Alu(const MachineInstr &mi, SimState &state)
 {
     using namespace tgt;
-    if (execGeneric(mi, state))
-        return;
+    uint64_t a = state.ireg[mi.ops[1].reg];
+    uint64_t b = operandIntValue(mi.ops[2], state);
+    uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
+                         mi.signExt, mi.trapEnabled, state);
+    if (state.next != SimState::Next::Trap)
+        state.ireg[mi.ops[0].reg] = r;
+}
+
+void
+hX86FAlu(const MachineInstr &mi, SimState &state)
+{
+    using namespace tgt;
+    state.freg[mi.ops[0].reg - 32] =
+        evalFAlu(aluOfFP(mi.opcode), state.freg[mi.ops[1].reg - 32],
+                 state.freg[mi.ops[2].reg - 32], mi.fp32);
+}
+
+void
+hX86Cmp(const MachineInstr &mi, SimState &state)
+{
+    tgt::recordCmp(state.ireg[mi.ops[0].reg],
+                   tgt::operandIntValue(mi.ops[1], state), mi.width,
+                   state);
+}
+
+void
+hX86FCmp(const MachineInstr &mi, SimState &state)
+{
+    tgt::recordFCmp(state.freg[mi.ops[0].reg - 32],
+                    state.freg[mi.ops[1].reg - 32], state);
+}
+
+void
+hX86SetCC(const MachineInstr &mi, SimState &state)
+{
+    state.ireg[mi.ops[0].reg] =
+        tgt::evalCondState(condOf(mi.opcode), mi.signExt, state) ? 1
+                                                                 : 0;
+}
+
+void
+hX86Jnz(const MachineInstr &mi, SimState &state)
+{
+    if (state.ireg[mi.ops[0].reg]) {
+        state.next = SimState::Next::Branch;
+        state.branchTarget = mi.ops[1].block;
+    }
+}
+
+void
+hX86Jmp(const MachineInstr &mi, SimState &state)
+{
+    state.next = SimState::Next::Branch;
+    state.branchTarget = mi.ops[0].block;
+}
+
+void
+hX86Call(const MachineInstr &mi, SimState &state)
+{
+    state.next = SimState::Next::Call;
+    if (mi.ops[0].kind == MOperand::Func) {
+        state.callTarget = mi.ops[0].func;
+    } else {
+        // Without a full reset() a stale direct-call target would
+        // shadow the indirect address, so clear it explicitly.
+        state.callTarget = nullptr;
+        state.callAddr = state.ireg[mi.ops[0].reg];
+    }
+}
+
+void
+hX86Ret(const MachineInstr &, SimState &state)
+{
+    state.next = SimState::Next::Return;
+}
+
+void
+hX86Unwind(const MachineInstr &, SimState &state)
+{
+    state.next = SimState::Next::Unwind;
+}
+
+void
+hX86Load(const MachineInstr &mi, SimState &state)
+{
+    tgt::execLoad(mi, state.ireg[mi.ops[1].reg], state);
+}
+
+void
+hX86Store(const MachineInstr &mi, SimState &state)
+{
+    tgt::execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
+}
+
+void
+hX86LoadStack(const MachineInstr &mi, SimState &state)
+{
+    tgt::execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+void
+hX86StoreStack(const MachineInstr &mi, SimState &state)
+{
+    tgt::execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
+}
+
+void
+hX86SpAdj(const MachineInstr &mi, SimState &state)
+{
+    state.sp += static_cast<uint64_t>(mi.ops[0].imm);
+}
+
+} // namespace
+
+ExecFn
+X86Target::handlerFor(const MachineInstr &mi) const
+{
+    if (ExecFn fn = tgt::genericHandler(mi.opcode))
+        return fn;
     switch (mi.opcode) {
       case kX86Add:
       case kX86Sub:
@@ -563,99 +689,47 @@ X86Target::execute(const MachineInstr &mi, SimState &state) const
       case kX86Or:
       case kX86Xor:
       case kX86Shl:
-      case kX86Shr: {
-        uint64_t a = state.ireg[mi.ops[1].reg];
-        uint64_t b = operandIntValue(mi.ops[2], state);
-        uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
-                             mi.signExt, mi.trapEnabled, state);
-        if (state.next != SimState::Next::Trap)
-            state.ireg[mi.ops[0].reg] = r;
-        break;
-      }
+      case kX86Shr:
+        return hX86Alu;
       case kX86FAdd:
       case kX86FSub:
       case kX86FMul:
       case kX86FDiv:
       case kX86FRem:
-        state.freg[mi.ops[0].reg - 32] =
-            evalFAlu(aluOfFP(mi.opcode),
-                     state.freg[mi.ops[1].reg - 32],
-                     state.freg[mi.ops[2].reg - 32], mi.fp32);
-        break;
-      case kX86Cmp:
-        recordCmp(state.ireg[mi.ops[0].reg],
-                  operandIntValue(mi.ops[1], state), mi.width, state);
-        break;
-      case kX86FCmp:
-        recordFCmp(state.freg[mi.ops[0].reg - 32],
-                   state.freg[mi.ops[1].reg - 32], state);
-        break;
+        return hX86FAlu;
+      case kX86Cmp: return hX86Cmp;
+      case kX86FCmp: return hX86FCmp;
       case kX86SetEq:
       case kX86SetNe:
       case kX86SetLt:
       case kX86SetGt:
       case kX86SetLe:
       case kX86SetGe:
-        state.ireg[mi.ops[0].reg] =
-            evalCondState(condOf(mi.opcode), mi.signExt, state) ? 1
-                                                                : 0;
-        break;
-      case kX86Jnz:
-        if (state.ireg[mi.ops[0].reg]) {
-            state.next = SimState::Next::Branch;
-            state.branchTarget = mi.ops[1].block;
-        }
-        break;
-      case kX86Jmp:
-        state.next = SimState::Next::Branch;
-        state.branchTarget = mi.ops[0].block;
-        break;
-      case kX86Call:
-        state.next = SimState::Next::Call;
-        if (mi.ops[0].kind == MOperand::Func)
-            state.callTarget = mi.ops[0].func;
-        else
-            state.callAddr = state.ireg[mi.ops[0].reg];
-        break;
-      case kX86Ret:
-        state.next = SimState::Next::Return;
-        break;
-      case kX86Unwind:
-        state.next = SimState::Next::Unwind;
-        break;
-      case kX86Load:
-        execLoad(mi, state.ireg[mi.ops[1].reg], state);
-        break;
-      case kX86Store:
-        execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
-        break;
-      case kX86LoadStack:
-        execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
-        break;
-      case kX86StoreStack:
-        execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
-        break;
-      case kX86Ext:
-        execExt(mi, state);
-        break;
-      case kX86CvtI2F:
-        execCvtI2F(mi, state);
-        break;
-      case kX86CvtF2I:
-        execCvtF2I(mi, state);
-        break;
-      case kX86CvtF2F:
-        execCvtF2F(mi, state);
-        break;
-      case kX86CvtI2B:
-        execCvtI2B(mi, state);
-        break;
-      case kX86SpAdj:
-        state.sp += static_cast<uint64_t>(mi.ops[0].imm);
-        break;
+        return hX86SetCC;
+      case kX86Jnz: return hX86Jnz;
+      case kX86Jmp: return hX86Jmp;
+      case kX86Call: return hX86Call;
+      case kX86Ret: return hX86Ret;
+      case kX86Unwind: return hX86Unwind;
+      case kX86Load: return hX86Load;
+      case kX86Store: return hX86Store;
+      case kX86LoadStack: return hX86LoadStack;
+      case kX86StoreStack: return hX86StoreStack;
+      case kX86Ext: return tgt::execExt;
+      case kX86CvtI2F: return tgt::execCvtI2F;
+      case kX86CvtF2I: return tgt::execCvtF2I;
+      case kX86CvtF2F: return tgt::execCvtF2F;
+      case kX86CvtI2B: return tgt::execCvtI2B;
+      case kX86SpAdj: return hX86SpAdj;
       default:
         panic("x86: cannot execute opcode");
     }
+}
+
+void
+X86Target::execute(const MachineInstr &mi, SimState &state) const
+{
+    handlerFor(mi)(mi, state);
 }
 
 std::vector<uint8_t>

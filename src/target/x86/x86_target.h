@@ -37,6 +37,7 @@ class X86Target final : public Target
         const override;
     void execute(const MachineInstr &mi, SimState &state)
         const override;
+    ExecFn handlerFor(const MachineInstr &mi) const override;
     std::string instrToString(const MachineInstr &mi) const override;
 
   private:

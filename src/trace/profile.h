@@ -18,6 +18,7 @@
 #ifndef LLVA_TRACE_PROFILE_H
 #define LLVA_TRACE_PROFILE_H
 
+#include <iterator>
 #include <map>
 #include <vector>
 
@@ -89,15 +90,21 @@ struct EdgeProfile
         noteId(from ? blockId(from) : BlockId{}, blockId(to));
     }
 
-    /** \p from == BlockId{} records a block entry with no edge. */
+    /**
+     * \p from == BlockId{} records a block entry with no edge.
+     * \p weight > 1 is how sampled profiling keeps counts in
+     * execution units: recording every Nth event with weight N
+     * estimates the same totals at 1/N the map traffic.
+     */
     void
-    noteId(const BlockId &from, const BlockId &to)
+    noteId(const BlockId &from, const BlockId &to,
+           uint64_t weight = 1)
     {
         if (from.fn || from.block)
-            ++edges[{from, to}];
-        ++blocks[to];
-        ++fnSamples[to.fn];
-        ++samples;
+            edges[{from, to}] += weight;
+        blocks[to] += weight;
+        fnSamples[to.fn] += weight;
+        samples += weight;
     }
 
     bool empty() const { return blocks.empty(); }
@@ -125,6 +132,29 @@ struct EdgeProfile
     {
         auto it = fnSamples.find(fnHash);
         return it == fnSamples.end() ? 0 : it->second;
+    }
+
+    /**
+     * Exponentially decay every counter by \p shift halvings and
+     * drop entries that reach zero. Long-lived engines call this
+     * periodically so a profile left always-on tracks the *current*
+     * hot set instead of accumulating stale history forever.
+     */
+    void
+    decay(unsigned shift = 1)
+    {
+        auto scale = [shift](auto &m) {
+            for (auto it = m.begin(); it != m.end();) {
+                it->second >>= shift;
+                it = it->second ? std::next(it) : m.erase(it);
+            }
+        };
+        scale(edges);
+        scale(blocks);
+        scale(fnSamples);
+        samples = 0;
+        for (const auto &[id, c] : blocks)
+            samples += c;
     }
 
     /** Accumulate \p other into this profile. */

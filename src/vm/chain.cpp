@@ -1,0 +1,100 @@
+#include "vm/chain.h"
+
+#include "support/statistic.h"
+
+namespace llva {
+
+namespace {
+
+Statistic NumSuperblockLinks(
+    "vm.superblock_links",
+    "Superblock side exits and fallthroughs patched to successors");
+
+Statistic NumSuperblockUnlinks(
+    "vm.superblock_unlinks",
+    "Chained functions unlinked on invalidate()/SMC retirement");
+
+} // namespace
+
+ChainedFunction::ChainedFunction(const MachineFunction *mf,
+                                 Target &target)
+    : mf_(mf), target_(target)
+{
+    blocks_.resize(mf->blocks().size());
+}
+
+ChainedBlock *
+ChainedFunction::blockFor(MachineBasicBlock *mbb)
+{
+    LLVA_ASSERT(mbb->parent() == mf_,
+                "chaining a block of another function");
+    auto &slot = blocks_[mbb->index()];
+    if (!slot) {
+        auto cb = std::make_unique<ChainedBlock>();
+        cb->mbb = mbb;
+        cb->id = BlockId{mf_->nameHash(), mbb->nameHash()};
+        cb->code.reserve(mbb->instrs().size());
+        for (const auto &mi : mbb->instrs()) {
+            ChainedInstr ci;
+            ci.mi = mi.get();
+            ci.fn = mi->exec ? mi->exec
+                             : (mi->exec = target_.handlerFor(*mi));
+            cb->code.push_back(ci);
+        }
+        slot = std::move(cb);
+    }
+    return slot.get();
+}
+
+ChainedBlock *
+ChainedFunction::entry()
+{
+    return blockFor(mf_->blocks().front().get());
+}
+
+ChainedBlock *
+ChainedFunction::linkFallthrough(ChainedBlock *cb)
+{
+    size_t next = cb->mbb->index() + 1;
+    LLVA_ASSERT(next < mf_->blocks().size(),
+                "machine function fell off the end (%s)",
+                mf_->name().c_str());
+    ChainedBlock *succ = blockFor(mf_->blocks()[next].get());
+    if (!unlinked_) {
+        cb->fall = succ;
+        ++links_;
+        ++NumSuperblockLinks;
+    }
+    return succ;
+}
+
+ChainedBlock *
+ChainedFunction::linkBranch(ChainedInstr &ci,
+                            MachineBasicBlock *target)
+{
+    ChainedBlock *succ = blockFor(target);
+    if (!unlinked_) {
+        if (!ci.link)
+            ++links_;
+        ci.link = succ;
+        ++NumSuperblockLinks;
+    }
+    return succ;
+}
+
+void
+ChainedFunction::unlink()
+{
+    for (auto &cb : blocks_) {
+        if (!cb)
+            continue;
+        cb->fall = nullptr;
+        for (ChainedInstr &ci : cb->code)
+            ci.link = nullptr;
+    }
+    links_ = 0;
+    unlinked_ = true;
+    ++NumSuperblockUnlinks;
+}
+
+} // namespace llva

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Superblock chaining for the trace tier (ROADMAP item 3, after the
+ * shape of JCPU's block-chaining VM). Once a function reaches
+ * `-O2+traces`, its machine blocks — the trace-laid-out superblocks
+ * — are flattened into arrays of (instruction, resolved handler)
+ * pairs, and each side exit is linked directly to its successor's
+ * chained form the first time it is taken. Hot paths then run
+ * dispatch-loop-free: one indirect call per instruction, one
+ * pointer hop per block transition, no map lookups and no name
+ * hashing.
+ *
+ * Links are intra-function and patched lazily; invalidate()/SMC
+ * retirement unlinks the whole chained function (every patched
+ * side exit and fallthrough is severed) so no future execution can
+ * chain into a retired body. The ChainedFunction itself is retired,
+ * not destroyed, for the same reason MachineFunctions are: a live
+ * activation may still be executing inside it.
+ */
+
+#ifndef LLVA_VM_CHAIN_H
+#define LLVA_VM_CHAIN_H
+
+#include <memory>
+#include <vector>
+
+#include "codegen/target.h"
+#include "trace/profile.h"
+
+namespace llva {
+
+class ChainedFunction;
+struct ChainedBlock;
+
+/** One instruction slot of a chained superblock. */
+struct ChainedInstr
+{
+    const MachineInstr *mi = nullptr;
+    ExecFn fn = nullptr;       ///< resolved at chain-build time
+    ChainedBlock *link = nullptr; ///< patched side-exit successor
+};
+
+/** The chained form of one machine basic block. */
+struct ChainedBlock
+{
+    MachineBasicBlock *mbb = nullptr;
+    BlockId id;                ///< cached stable profile ID
+    std::vector<ChainedInstr> code;
+    ChainedBlock *fall = nullptr; ///< patched fallthrough successor
+};
+
+/**
+ * The chained form of one trace-tier MachineFunction. Blocks are
+ * built lazily on first entry; side exits and fallthroughs are
+ * patched on first traversal and counted so tests (and -stats) can
+ * observe the linking protocol.
+ */
+class ChainedFunction
+{
+  public:
+    ChainedFunction(const MachineFunction *mf, Target &target);
+
+    const MachineFunction *function() const { return mf_; }
+
+    /** Chained form of \p mbb, building it on first use. */
+    ChainedBlock *blockFor(MachineBasicBlock *mbb);
+
+    /** Chained entry block. */
+    ChainedBlock *entry();
+
+    /** Resolve + patch the fallthrough successor of \p cb (the next
+     *  block in layout order, the elided-jump convention). */
+    ChainedBlock *linkFallthrough(ChainedBlock *cb);
+
+    /** Resolve + patch the side exit of \p ci to \p target. */
+    ChainedBlock *linkBranch(ChainedInstr &ci,
+                             MachineBasicBlock *target);
+
+    /** Patched links currently live (side exits + fallthroughs). */
+    size_t linkCount() const { return links_; }
+
+    /** Sever every patched link (invalidate()/SMC retirement). */
+    void unlink();
+
+    bool unlinked() const { return unlinked_; }
+
+  private:
+    const MachineFunction *mf_;
+    Target &target_;
+    std::vector<std::unique_ptr<ChainedBlock>> blocks_; ///< by index
+    size_t links_ = 0;
+    bool unlinked_ = false;
+};
+
+} // namespace llva
+
+#endif // LLVA_VM_CHAIN_H

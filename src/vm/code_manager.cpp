@@ -137,11 +137,37 @@ CodeManager::invalidate(const Function *f)
     // translation may also be re-promoted later.
     auto it = cache_.find(f);
     if (it != cache_.end()) {
+        retireChain(it->second.get());
         retired_.push_back(std::move(it->second));
         cache_.erase(it);
     }
     tiers_.erase(f);
     promoteAttempted_.erase(f);
+}
+
+ChainedFunction *
+CodeManager::chainFor(const MachineFunction *mf)
+{
+    auto &slot = chains_[mf];
+    if (!slot)
+        slot = std::make_unique<ChainedFunction>(mf, target_);
+    return slot.get();
+}
+
+void
+CodeManager::retireChain(const MachineFunction *mf)
+{
+    auto it = chains_.find(mf);
+    if (it == chains_.end())
+        return;
+    // Sever every patched link before retiring: a still-running
+    // activation of the old body keeps a valid (block-at-a-time)
+    // chain, but no hot path can race through stale superblock
+    // links into a body the program just replaced.
+    it->second->unlink();
+    ++chainsUnlinked_;
+    retiredChains_.push_back(std::move(it->second));
+    chains_.erase(it);
 }
 
 size_t
@@ -214,6 +240,12 @@ void
 CodeManager::install(const Function *f,
                      std::unique_ptr<MachineFunction> mf, uint8_t tier)
 {
+    auto old = cache_.find(f);
+    if (old != cache_.end()) {
+        retireChain(old->second.get());
+        retired_.push_back(std::move(old->second));
+        cache_.erase(old);
+    }
     cache_[f] = std::move(mf);
     tiers_[f] = tier;
 }
@@ -221,7 +253,12 @@ CodeManager::install(const Function *f,
 void
 CodeManager::markInterpreted(const Function *f)
 {
-    cache_.erase(f);
+    auto it = cache_.find(f);
+    if (it != cache_.end()) {
+        retireChain(it->second.get());
+        retired_.push_back(std::move(it->second));
+        cache_.erase(it);
+    }
     tiers_[f] = kTierInterpreter;
 }
 
@@ -283,8 +320,10 @@ CodeManager::maybePromote(const Function *f)
 
     // Atomic install with retirement: the executing activation keeps
     // its (old) body; every future dispatch gets the promoted one.
+    // The old body's superblock chain (if any) is unlinked with it.
     auto old = cache_.find(f);
     if (old != cache_.end()) {
+        retireChain(old->second.get());
         retired_.push_back(std::move(old->second));
         cache_.erase(old);
     }

@@ -45,6 +45,7 @@
 #include "support/thread_pool.h"
 #include "trace/trace.h"
 #include "transforms/pass.h"
+#include "vm/chain.h"
 
 namespace llva {
 
@@ -91,6 +92,16 @@ class CodeManager
     has(const Function *f) const
     {
         return cache_.count(f) != 0;
+    }
+
+    /** The currently installed body of \p f, or nullptr — a pure
+     *  lookup that never triggers translation (the chaining code
+     *  uses it to tell a live body from a retired one). */
+    const MachineFunction *
+    cached(const Function *f) const
+    {
+        auto it = cache_.find(f);
+        return it == cache_.end() ? nullptr : it->second.get();
     }
 
     /** Drop a translation (SMC invalidation). */
@@ -172,6 +183,25 @@ class CodeManager
      */
     bool maybePromote(const Function *f);
 
+    // --- Superblock chaining ----------------------------------------------
+
+    /**
+     * The chained (direct-threaded, superblock-linked) form of a
+     * trace-tier body, built lazily on first use. Chains live here —
+     * not in the simulator — so invalidate()/SMC retirement can
+     * unlink them: a retired chain is severed (every patched side
+     * exit cleared) and kept alive, never re-linked, while any
+     * still-running activation of the old body falls back to
+     * block-at-a-time resolution inside it.
+     */
+    ChainedFunction *chainFor(const MachineFunction *mf);
+
+    /** Live (non-retired) chained functions. */
+    size_t chainedFunctions() const { return chains_.size(); }
+
+    /** Chains unlinked by invalidation/retirement so far. */
+    size_t chainsUnlinked() const { return chainsUnlinked_; }
+
     /** Trace-tier promotions installed. */
     size_t promotions() const { return promotions_; }
     /** Promotions attempted but failed (existing tier kept). */
@@ -208,6 +238,9 @@ class CodeManager
      *  nullptr if the tier failed; the body is left as found. */
     std::unique_ptr<MachineFunction> translateAtTraceTier(Function &f);
 
+    /** Unlink and retire the chain of \p mf (if one was built). */
+    void retireChain(const MachineFunction *mf);
+
     Target &target_;
     CodeGenOptions opts_;
     TranslationHooks hooks_;
@@ -231,6 +264,10 @@ class CodeManager
     std::set<BlockId> traceHeads_;
     std::set<const Function *> promoteAttempted_;
     std::vector<std::unique_ptr<MachineFunction>> retired_;
+    std::map<const MachineFunction *, std::unique_ptr<ChainedFunction>>
+        chains_;
+    std::vector<std::unique_ptr<ChainedFunction>> retiredChains_;
+    size_t chainsUnlinked_ = 0;
     size_t promotions_ = 0;
     size_t promotionFailures_ = 0;
     double lastCoverage_ = 0;

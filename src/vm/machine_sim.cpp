@@ -4,6 +4,11 @@
 
 namespace llva {
 
+// Defined in interpreter.cpp — both engines count failed trap
+// deliveries into one counter (the registry resolves names to the
+// first registrant, so a second definition would be shadowed).
+extern Statistic NumTrapHandlerMissing;
+
 namespace {
 
 constexpr size_t kMaxCallDepth = 2048;
@@ -56,8 +61,21 @@ MachineSimulator::run(const Function *f,
                     ctx_.memory().functionAt(handler)) {
                 std::vector<RtValue> hargs = {
                     RtValue::ofInt(trapno), RtValue::ofInt(0)};
-                runInternal(hf, hargs);
+                ExecResult hr = runInternal(hf, hargs);
                 result.instructionsExecuted = executed_;
+                // The handler's own outcome must not be swallowed:
+                // a trap raised inside the handler supersedes the
+                // trap it was handling, and an unwind escaping the
+                // handler surfaces as an escaped unwind.
+                if (hr.trap != TrapKind::None)
+                    result.trap = hr.trap;
+                if (hr.unwound)
+                    result.unwound = true;
+            } else {
+                // A registered address that no longer names a
+                // function (SMC moved it, or it was bogus) means
+                // the handler silently never runs — count it.
+                ++NumTrapHandlerMissing;
             }
         }
     }
@@ -70,9 +88,15 @@ MachineSimulator::interpretFallback(const Function *f,
                                     uint64_t stackBase)
 {
     Interpreter interp(ctx_);
-    if (limit_)
-        interp.setInstructionLimit(
-            limit_ > executed_ ? limit_ - executed_ : 1);
+    if (limit_) {
+        // Hand the interpreter exactly the remaining budget. A
+        // drained budget (executed_ >= limit_) must not buy a free
+        // instruction: any defined function executes at least one,
+        // so the handoff itself exceeds the limit.
+        if (executed_ >= limit_)
+            fatal("simulator instruction limit exceeded");
+        interp.setInstructionLimit(limit_ - executed_);
+    }
     ExecResult r = interp.invoke(f, args, stackBase);
     executed_ += r.instructionsExecuted;
     interpreted_ += r.instructionsExecuted;
@@ -115,24 +139,81 @@ MachineSimulator::runInternal(const Function *f,
     size_t index = 0;
     std::vector<Frame> frames;
 
+    const bool threaded = dispatch_ == Dispatch::Threaded;
+
+    // Superblock chaining state: non-null while the current frame
+    // runs the live trace-tier body of its function under threaded
+    // dispatch.
+    ChainedFunction *chain = nullptr;
+    ChainedBlock *cb = nullptr;
+
     // Profile hook: record a block entry (and, within one function,
     // the edge taken into it). Machine block names mirror the source
     // blocks' names, so these are the same stable IDs the trace
     // formation resolves on the IR. `from == nullptr` marks entries
     // with no intra-function predecessor (call dispatch, invoke
-    // resumption).
+    // resumption). Threaded dispatch uses the hashes cached at
+    // translation time; the legacy engine keeps its original
+    // rehash-per-event cost as the measurable baseline. Events are
+    // recorded every sampleInterval_-th occurrence with matching
+    // weight, so totals stay in execution units.
     auto noteBlock = [&](const MachineFunction *in,
                          const MachineBasicBlock *from,
                          const MachineBasicBlock *to) {
         if (!profile_)
             return;
-        uint64_t fnHash = functionId(in->name());
-        profile_->noteId(from ? BlockId{fnHash, fnv1a(from->name())}
-                              : BlockId{},
-                         BlockId{fnHash, fnv1a(to->name())});
-        ++NumProfileSamples;
+        if (--sampleCountdown_)
+            return;
+        sampleCountdown_ = sampleInterval_;
+        if (threaded) {
+            profile_->noteId(
+                from ? BlockId{in->nameHash(), from->nameHash()}
+                     : BlockId{},
+                BlockId{in->nameHash(), to->nameHash()},
+                sampleInterval_);
+        } else {
+            uint64_t fnHash = functionId(in->name());
+            profile_->noteId(
+                from ? BlockId{fnHash, fnv1a(from->name())}
+                     : BlockId{},
+                BlockId{fnHash, fnv1a(to->name())}, sampleInterval_);
+        }
+        NumProfileSamples += sampleInterval_;
     };
+
+    // Same event, on the superblock fast path: both IDs were cached
+    // when the blocks were chained.
+    auto noteChained = [&](const ChainedBlock *from,
+                           const ChainedBlock *to) {
+        if (!profile_)
+            return;
+        if (--sampleCountdown_)
+            return;
+        sampleCountdown_ = sampleInterval_;
+        profile_->noteId(from->id, to->id, sampleInterval_);
+        NumProfileSamples += sampleInterval_;
+    };
+
+    // Re-derive the chaining state after any control transfer that
+    // may have changed the current function (call, return, unwind)
+    // or retired its body (SMC invalidation, promotion). Only the
+    // *live* body of a trace-tier function chains: a retired body
+    // keeps executing, unchained, until its activation ends.
+    auto syncChain = [&]() {
+        chain = nullptr;
+        cb = nullptr;
+        if (!threaded)
+            return;
+        if (code_.tierOf(mf->source()) != kTierTrace)
+            return;
+        if (code_.cached(mf->source()) != mf)
+            return;
+        chain = code_.chainFor(mf);
+        cb = chain->blockFor(block);
+    };
+
     noteBlock(mf, nullptr, block);
+    syncChain();
 
     // Pop machine frames to the nearest invoke-style call site and
     // resume at its handler block; false if the unwind escapes.
@@ -147,6 +228,7 @@ MachineSimulator::runInternal(const Function *f,
                 block = invokeBlockOperand(site, 1);
                 index = 0;
                 noteBlock(mf, nullptr, block);
+                syncChain();
                 return true;
             }
         }
@@ -157,26 +239,96 @@ MachineSimulator::runInternal(const Function *f,
     (void)start_count;
 
     while (true) {
-        if (index >= block->instrs().size()) {
-            // Elided fallthrough jump: continue with the next block
-            // in layout order.
-            size_t next = block->index() + 1;
-            LLVA_ASSERT(next < mf->blocks().size(),
-                        "machine function fell off the end (%s)",
-                        mf->name().c_str());
-            MachineBasicBlock *prev = block;
-            block = mf->blocks()[next].get();
-            index = 0;
-            noteBlock(mf, prev, block);
-            continue;
-        }
-        const MachineInstr &mi = *block->instrs()[index];
-        state.reset();
-        target.execute(mi, state);
-        ++executed_;
-        if (limit_ && executed_ > limit_)
-            fatal("simulator instruction limit exceeded");
+        const MachineInstr *mip = nullptr;
 
+        if (cb) {
+            // Superblock fast path: cached handlers over flattened
+            // blocks, transitions through patched links — no map
+            // lookups, no hashing, no dispatch switch. Falls out
+            // only on a call/return/trap/unwind side exit. Chained
+            // blocks are pointer-stable and their code arrays never
+            // resize after build, so the walk stays in registers;
+            // `index` is synced back on every exit.
+            ChainedInstr *ip = cb->code.data() + index;
+            const ChainedInstr *end =
+                cb->code.data() + cb->code.size();
+            for (;;) {
+                if (ip == end) {
+                    ChainedBlock *next = cb->fall;
+                    if (!next)
+                        next = chain->linkFallthrough(cb);
+                    noteChained(cb, next);
+                    cb = next;
+                    block = cb->mbb;
+                    ip = cb->code.data();
+                    end = ip + cb->code.size();
+                    continue;
+                }
+                ++executed_;
+                if (limit_ && executed_ > limit_) {
+                    index = size_t(ip - cb->code.data());
+                    fatal("simulator instruction limit exceeded");
+                }
+                state.next = SimState::Next::Fall;
+                ip->fn(*ip->mi, state);
+                if (state.next == SimState::Next::Fall) {
+                    ++ip;
+                    continue;
+                }
+                if (state.next == SimState::Next::Branch) {
+                    ChainedInstr &ci = *ip;
+                    ChainedBlock *next =
+                        ci.link && ci.link->mbb == state.branchTarget
+                            ? ci.link
+                            : chain->linkBranch(ci,
+                                                state.branchTarget);
+                    noteChained(cb, next);
+                    cb = next;
+                    block = cb->mbb;
+                    ip = cb->code.data();
+                    end = ip + cb->code.size();
+                    continue;
+                }
+                mip = ip->mi;
+                index = size_t(ip - cb->code.data());
+                break;
+            }
+        } else {
+            if (index >= block->instrs().size()) {
+                // Elided fallthrough jump: continue with the next
+                // block in layout order.
+                size_t next = block->index() + 1;
+                LLVA_ASSERT(next < mf->blocks().size(),
+                            "machine function fell off the end (%s)",
+                            mf->name().c_str());
+                MachineBasicBlock *prev = block;
+                block = mf->blocks()[next].get();
+                index = 0;
+                noteBlock(mf, prev, block);
+                continue;
+            }
+            const MachineInstr &mi = *block->instrs()[index];
+            ++executed_;
+            if (limit_ && executed_ > limit_)
+                fatal("simulator instruction limit exceeded");
+            if (threaded) {
+                // Direct-threaded dispatch: resolve the handler
+                // once, then one indirect call per execution. Only
+                // next is re-armed — handlers write every consumer
+                // field of the Next value they request.
+                ExecFn fn = mi.exec;
+                if (!fn)
+                    fn = mi.exec = target.handlerFor(mi);
+                state.next = SimState::Next::Fall;
+                fn(mi, state);
+            } else {
+                state.reset();
+                target.execute(mi, state);
+            }
+            mip = &mi;
+        }
+
+        const MachineInstr &mi = *mip;
         switch (state.next) {
           case SimState::Next::Fall:
             ++index;
@@ -219,6 +371,7 @@ MachineSimulator::runInternal(const Function *f,
                 block = fr.block;
                 index = fr.index + 1;
             }
+            syncChain();
             break;
           }
 
@@ -259,6 +412,10 @@ MachineSimulator::runInternal(const Function *f,
                 } else {
                     ++index;
                 }
+                // The handler may have invalidated this very
+                // function: its chain is now severed and must not
+                // be re-entered.
+                syncChain();
                 break;
             }
 
@@ -303,6 +460,9 @@ MachineSimulator::runInternal(const Function *f,
                 } else {
                     ++index;
                 }
+                // interpretFallback applied any invalidations the
+                // interpreted code requested.
+                syncChain();
                 break;
             }
 
@@ -311,6 +471,7 @@ MachineSimulator::runInternal(const Function *f,
             block = mf->blocks().front().get();
             index = 0;
             noteBlock(mf, nullptr, block);
+            syncChain();
             break;
           }
 

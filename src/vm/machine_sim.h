@@ -20,6 +20,18 @@ namespace llva {
 class MachineSimulator
 {
   public:
+    /** How the inner loop dispatches instructions. */
+    enum class Dispatch : uint8_t
+    {
+        /** The legacy engine: state.reset() + virtual execute()
+         *  opcode switch per instruction, names rehashed on every
+         *  profile event. Kept as the measurable baseline. */
+        Switch,
+        /** Direct-threaded handlers cached per instruction, plus
+         *  chained superblocks for trace-tier functions. */
+        Threaded,
+    };
+
     MachineSimulator(ExecutionContext &ctx, CodeManager &code)
         : ctx_(ctx), code_(code)
     {}
@@ -27,6 +39,22 @@ class MachineSimulator
     /** Run \p f to completion (JIT-translating on demand). */
     ExecResult run(const Function *f,
                    const std::vector<RtValue> &args = {});
+
+    void setDispatch(Dispatch d) { dispatch_ = d; }
+    Dispatch dispatch() const { return dispatch_; }
+
+    /**
+     * Sampled profiling: record every Nth block-entry event with
+     * weight N (1 = exact counting, the default). Estimated totals
+     * stay in execution units, so the promotion watermark needs no
+     * rescaling, at 1/N the profile-map traffic.
+     */
+    void
+    setProfileSampleInterval(uint64_t n)
+    {
+        sampleInterval_ = n ? n : 1;
+        sampleCountdown_ = sampleInterval_;
+    }
 
     /**
      * Collect an edge profile of the *translated* code while
@@ -74,6 +102,9 @@ class MachineSimulator
     uint64_t interpreted_ = 0;
     uint64_t limit_ = 0;
     EdgeProfile *profile_ = nullptr;
+    Dispatch dispatch_ = Dispatch::Threaded;
+    uint64_t sampleInterval_ = 1;
+    uint64_t sampleCountdown_ = 1;
 };
 
 } // namespace llva
