@@ -6,12 +6,18 @@
  * semantics of each machine instruction (so translated code actually
  * runs, on the machine simulator).
  *
- * Two targets model the paper's evaluation machines:
+ * Three targets are registered (src/codegen/targets.cpp), all built
+ * on the common framework in src/target/common/:
  *  - "x86"  : CISC, two-address, 8 integer registers, variable-length
- *             encoding, stack-based calling convention.
+ *             encoding, stack-based calling convention — models the
+ *             paper's CISC evaluation machine.
  *  - "sparc": RISC, three-address, 32 integer registers, fixed 4-byte
  *             encoding, register calling convention, sethi+or for
- *             large immediates.
+ *             large immediates, delay slots — the paper's RISC
+ *             evaluation machine.
+ *  - "riscv": RISC, three-address, fixed 4-byte encoding, lui+ori
+ *             immediate pairs, eight register arguments, no delay
+ *             slots — the framework's proof target.
  */
 
 #ifndef LLVA_CODEGEN_TARGET_H
@@ -204,7 +210,7 @@ class Target
 /** The registry of built-in targets. */
 Target *getTarget(const std::string &name);
 
-/** Names of all built-in targets ("x86", "sparc"). */
+/** Names of all built-in targets ("x86", "sparc", "riscv"). */
 std::vector<std::string> targetNames();
 
 } // namespace llva

@@ -1,20 +1,53 @@
+/**
+ * @file
+ * The target registry. One table row per backend — name plus a
+ * lazily-constructed singleton — drives getTarget, targetNames, and
+ * every consumer that enumerates targets (tool flags, the
+ * differential oracle, the cache compatibility tests), so adding a
+ * backend means adding exactly one row here.
+ */
+
 #include "codegen/target.h"
 
+#include <functional>
+
 #include "support/error.h"
+#include "target/riscv/riscv_target.h"
 #include "target/sparc/sparc_target.h"
 #include "target/x86/x86_target.h"
 
 namespace llva {
 
+namespace {
+
+struct TargetEntry
+{
+    const char *name;
+    Target &(*instance)();
+};
+
+template <typename T>
+Target &
+singleton()
+{
+    static T target;
+    return target;
+}
+
+const TargetEntry kTargets[] = {
+    {"x86", singleton<X86Target>},
+    {"sparc", singleton<SparcTarget>},
+    {"riscv", singleton<RiscvTarget>},
+};
+
+} // namespace
+
 Target *
 getTarget(const std::string &name)
 {
-    static X86Target x86;
-    static SparcTarget sparc;
-    if (name == "x86")
-        return &x86;
-    if (name == "sparc")
-        return &sparc;
+    for (const TargetEntry &e : kTargets)
+        if (name == e.name)
+            return &e.instance();
     std::string known;
     for (const std::string &n : targetNames()) {
         if (!known.empty())
@@ -28,7 +61,10 @@ getTarget(const std::string &name)
 std::vector<std::string>
 targetNames()
 {
-    return {"x86", "sparc"};
+    std::vector<std::string> names;
+    for (const TargetEntry &e : kTargets)
+        names.push_back(e.name);
+    return names;
 }
 
 } // namespace llva

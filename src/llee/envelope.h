@@ -63,7 +63,7 @@ namespace llva {
  * semantics of translated code change; old entries then classify as
  * Incompatible and are retranslated instead of misinterpreted.
  */
-constexpr uint32_t kTranslatorVersion = 2;
+constexpr uint32_t kTranslatorVersion = 3;
 
 /** Tier value marking a function pinned to the interpreter. */
 constexpr uint8_t kTierInterpreter = 0xff;

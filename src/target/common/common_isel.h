@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared instruction selection against the common relative opcode
+ * layout. CommonISel implements the whole ISelBase contract —
+ * argument and return marshalling from the ABI descriptor, binary
+ * ops in either two-address (read-modify-write) or three-address
+ * form, immediate-pair materialization (sethi+or / lui+ori),
+ * branches, memory, conversions, calls and invokes — leaving a
+ * backend only small policy hooks: which immediates encode inline,
+ * whether calls/returns need delay-slot fillers, and (for
+ * flags-based machines) how comparisons are lowered.
+ */
+
+#ifndef LLVA_TARGET_COMMON_COMMON_ISEL_H
+#define LLVA_TARGET_COMMON_COMMON_ISEL_H
+
+#include "codegen/isel.h"
+#include "target/common/common_target.h"
+
+namespace llva {
+namespace cmn {
+
+class CommonISel : public ISelBase
+{
+  protected:
+    /**
+     * \p two_address selects read-modify-write binary lowering
+     * (dst <- a; dst <- dst OP b) instead of three-address form.
+     * \p lo_bits is the low-half width of the immediate-pair
+     * materialization scheme (10 for sethi+or, 12 for lui+ori);
+     * 0 materializes everything with plain copies (CISC immediate
+     * forms).
+     */
+    CommonISel(uint16_t opcode_base, const AbiDesc &abi,
+               bool two_address, unsigned lo_bits)
+        : base_(opcode_base), abi_(abi), twoAddress_(two_address),
+          loBits_(lo_bits)
+    {}
+
+    // --- Policy hooks -----------------------------------------------------
+
+    /** Whether an integer immediate can ride inline in an operand. */
+    virtual bool
+    immFits(int64_t v) const
+    {
+        (void)v;
+        return true;
+    }
+
+    /** Inline-immediate policy for multiway-branch case values
+     *  (x86 compares cannot take imm64 even though moves can). */
+    virtual bool
+    caseImmFits(int64_t v) const
+    {
+        return immFits(v);
+    }
+
+    /** Delay-slot fillers, emitted right after calls / returns. */
+    virtual void afterCall() {}
+    virtual void afterRet() {}
+
+    /** One boolean-producing equality test for a multiway-branch
+     *  case (default: compare-into-register setcc). */
+    virtual void emitCaseSetEq(unsigned dst, unsigned v,
+                               const MOperand &b);
+
+    // --- Shared machinery -------------------------------------------------
+
+    uint16_t
+    op(unsigned rel) const
+    {
+        return static_cast<uint16_t>(base_ | rel);
+    }
+
+    static MOperand
+    R(unsigned reg)
+    {
+        return MOperand::makeReg(reg);
+    }
+
+    uint8_t widthOf(const Type *t) const;
+
+    /** Inline a ConstantInt passing immFits; else a register. */
+    MOperand intOperand(const Value *v);
+
+    /** Binary op in the target's address style; returns the ALU
+     *  instruction for flag fixup (width, signExt, traps). */
+    MachineInstr *emitBin(uint16_t opcode, unsigned dst, unsigned a,
+                          const MOperand &b, bool fp, bool fp32);
+
+    void marshalOutgoingArgs(const std::vector<const Value *> &args);
+    MachineInstr *emitCallInstr(const Value *callee,
+                                std::vector<MOperand> blocks);
+    void emitResultCopy(const Instruction &inst);
+
+    // --- ISelBase emit-helper vocabulary ---------------------------------
+
+    void emitMove(unsigned dst, unsigned src, bool fp,
+                  bool fp32) override;
+    void emitMaterialize(unsigned dst, const MOperand &value,
+                         bool fp, bool fp32) override;
+    void emitAdd(unsigned dst, unsigned a, unsigned b) override;
+    void emitAddImm(unsigned dst, unsigned a, int64_t imm) override;
+    void emitMulImm(unsigned dst, unsigned a, int64_t imm) override;
+    void emitDynAlloca(unsigned dst, unsigned size_reg) override;
+
+    // --- ISelBase lowerings ----------------------------------------------
+
+    void lowerArgs() override;
+    void lowerBinary(const BinaryOperator &inst) override;
+    void lowerCompare(const SetCondInst &inst) override;
+    void lowerRet(const ReturnInst &inst) override;
+    void lowerBr(const BranchInst &inst) override;
+    void lowerMBr(const MBrInst &inst) override;
+    void lowerLoad(const LoadInst &inst) override;
+    void lowerStore(const StoreInst &inst) override;
+    void lowerCast(const CastInst &inst) override;
+    void lowerCall(const CallInst &inst) override;
+    void lowerInvoke(const InvokeInst &inst) override;
+    void lowerUnwind(const UnwindInst &inst) override;
+
+  private:
+    void emitBinImm(unsigned rel, unsigned dst, unsigned a,
+                    int64_t imm);
+
+    uint16_t base_;
+    AbiDesc abi_;
+    bool twoAddress_;
+    unsigned loBits_;
+};
+
+} // namespace cmn
+} // namespace llva
+
+#endif // LLVA_TARGET_COMMON_COMMON_ISEL_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The shared structural opcode layout for I-ISA backends. Every
+ * target's opcode space is a 256-entry window at a per-target base
+ * (x86 0x100, sparc 0x200, riscv 0x300); within the window the
+ * *relative* opcode identifies the structural operation, so the
+ * common execute handlers and the table-driven instruction
+ * descriptions can be written once against `opcode & 0xff`.
+ *
+ * The first kNumCommonOps slots are operations every backend
+ * provides; kHi..kNop are optional ops shared by more than one
+ * backend (registered only by the targets that use them); slots from
+ * kTargetOp0 are free for genuinely target-specific instructions
+ * (e.g. the x86 flags-setting compares).
+ *
+ * Relative ALU opcodes follow tgt::Alu order and relative setcc
+ * opcodes follow tgt::Cond order, so handlers recover the semantic
+ * operation arithmetically.
+ */
+
+#ifndef LLVA_TARGET_COMMON_TARGET_OPS_H
+#define LLVA_TARGET_COMMON_TARGET_OPS_H
+
+#include <cstdint>
+
+namespace llva {
+namespace cmn {
+
+enum RelOp : uint16_t {
+    // Integer ALU (tgt::Alu order).
+    kAdd = 0,
+    kSub,
+    kMul,
+    kDiv,
+    kRem,
+    kAnd,
+    kOr,
+    kXor,
+    kShl,
+    kShr,
+    // FP ALU (tgt::Alu order).
+    kFAdd,
+    kFSub,
+    kFMul,
+    kFDiv,
+    kFRem,
+    // Boolean-producing comparisons (tgt::Cond order). The execute
+    // style differs by target: flags + setcc (x86) or
+    // compare-into-register (sparc, riscv); the table picks the
+    // handler.
+    kSetEq,
+    kSetNe,
+    kSetLt,
+    kSetGt,
+    kSetLe,
+    kSetGe,
+    // Control flow: branch-if-nonzero, unconditional branch.
+    kBrnz,
+    kBr,
+    kCall,
+    kRet,
+    kUnwind,
+    // Memory.
+    kLoad,
+    kStore,
+    kLoadStack,
+    kStoreStack,
+    // Conversions.
+    kExt,
+    kCvtI2F,
+    kCvtF2I,
+    kCvtF2F,
+    kCvtI2B,
+    // Stack pointer adjustment (prologue/epilogue).
+    kSpAdj,
+    kNumCommonOps,
+
+    // Optional shared ops: high/low immediate-pair synthesis
+    // (sethi+or, lui+ori), FP constant-pool loads, and the
+    // delay-slot filler. Registered only by targets that use them.
+    kHi = 40,
+    kLo,
+    kLoadConst,
+    kNop,
+
+    // First free slot for target-specific instructions.
+    kTargetOp0 = 44,
+
+    // Table capacity per target.
+    kNumRelOps = 48,
+};
+
+/** Per-target opcode window bases. */
+constexpr uint16_t kX86Base = 0x100;
+constexpr uint16_t kSparcBase = 0x200;
+constexpr uint16_t kRiscvBase = 0x300;
+
+/** Relative (structural) opcode of a target instruction. */
+constexpr uint16_t
+relOp(uint16_t opcode)
+{
+    return opcode & 0xff;
+}
+
+} // namespace cmn
+} // namespace llva
+
+#endif // LLVA_TARGET_COMMON_TARGET_OPS_H

@@ -4,12 +4,17 @@
  * over 32 integer registers, compare-into-register conditionals
  * (V9-style branch-on-register, so no condition-code state), fixed
  * 4-byte instruction words — large immediates pay the sethi+or tax
- * the paper's sparc expansion ratios come from — and a register
- * calling convention.
+ * the paper's sparc expansion ratios come from — a register calling
+ * convention, and branch/call/return delay slots.
  *
  * Register numbering follows the architecture: %g0-%g7 = 0-7,
  * %o0-%o7 = 8-15, %l0-%l7 = 16-23, %i0-%i7 = 24-31, and %f0-%f31 at
  * 32-63. %o0-%o5 / %f0-%f5 carry arguments, %o0 / %f0 returns.
+ *
+ * Everything structural lives in the common target framework; this
+ * file keeps only the sparc policy: simm13 inline immediates, the
+ * 10-bit sethi/or split, delay-slot fillers, and the disassembly
+ * syntax.
  */
 
 #include "target/sparc/sparc_target.h"
@@ -18,544 +23,50 @@
 
 #include "codegen/isel.h"
 #include "ir/function.h"
+#include "target/common/common_exec.h"
+#include "target/common/common_isel.h"
 #include "target/target_util.h"
 
 namespace llva {
 
 namespace {
 
-using tgt::Alu;
-using tgt::Cond;
-
-enum SparcOp : uint16_t {
-    // Three-address ALU: [def dst, use a, use b(Reg|Imm simm13)].
-    kSpAdd = 0x200,
-    kSpSub,
-    kSpMul,
-    kSpDiv,
-    kSpRem,
-    kSpAnd,
-    kSpOr,
-    kSpXor,
-    kSpSll,
-    kSpSrl,
-    kSpFAdd,
-    kSpFSub,
-    kSpFMul,
-    kSpFDiv,
-    kSpFRem,
-    // Compare-into-register: [def dst, use a, use b]. Integer or FP
-    // by the register class of the first source operand.
-    kSpSetEq,
-    kSpSetNe,
-    kSpSetLt,
-    kSpSetGt,
-    kSpSetLe,
-    kSpSetGe,
-    // Address/large-immediate synthesis; both halves carry the full
-    // value (or symbol) so the pair reconstructs any 64-bit canonical
-    // image exactly. Global and function addresses always pay this
-    // two-instruction tax — the RISC property behind the paper's
-    // sparc code-size numbers.
-    kSpSethi,
-    kSpOrLo,
-    /** FP constant-pool load: [def fdst, use addr, FPImm]. Pairs with
-     *  a kSpSethi that forms the pool entry's address. */
-    kSpLoadC,
-    // Control flow.
-    kSpBrnz,
-    kSpBa,
-    kSpCall,
-    kSpRet,
-    kSpUnwind,
-    // Memory.
-    kSpLoad,
-    kSpStore,
-    kSpLoadStack,
-    kSpStoreStack,
-    // Conversions.
-    kSpExt,
-    kSpCvtI2F,
-    kSpCvtF2I,
-    kSpCvtF2F,
-    kSpCvtI2B,
-    // Stack pointer adjustment.
-    kSpSpAdj,
-    /** Delay-slot filler. This simple code generator does not
-     *  schedule useful work into call/return delay slots. */
-    kSpNop,
-};
-
-Alu
-aluOfInt(uint16_t opc)
+class SparcISel final : public cmn::CommonISel
 {
-    return static_cast<Alu>(opc - kSpAdd);
-}
+  public:
+    explicit SparcISel(const cmn::AbiDesc &abi)
+        : CommonISel(cmn::kSparcBase, abi, /*two_address=*/false,
+                     /*lo_bits=*/10)
+    {}
 
-Alu
-aluOfFP(uint16_t opc)
-{
-    return static_cast<Alu>(opc - kSpFAdd);
-}
-
-Cond
-condOf(uint16_t opc)
-{
-    return static_cast<Cond>(opc - kSpSetEq);
-}
-
-uint16_t
-intAluOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: return kSpAdd;
-      case Opcode::Sub: return kSpSub;
-      case Opcode::Mul: return kSpMul;
-      case Opcode::Div: return kSpDiv;
-      case Opcode::Rem: return kSpRem;
-      case Opcode::And: return kSpAnd;
-      case Opcode::Or: return kSpOr;
-      case Opcode::Xor: return kSpXor;
-      case Opcode::Shl: return kSpSll;
-      case Opcode::Shr: return kSpSrl;
-      default: panic("not an integer ALU opcode");
-    }
-}
-
-uint16_t
-fpAluOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: return kSpFAdd;
-      case Opcode::Sub: return kSpFSub;
-      case Opcode::Mul: return kSpFMul;
-      case Opcode::Div: return kSpFDiv;
-      case Opcode::Rem: return kSpFRem;
-      default: panic("not an FP ALU opcode");
-    }
-}
-
-uint16_t
-setOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::SetEQ: return kSpSetEq;
-      case Opcode::SetNE: return kSpSetNe;
-      case Opcode::SetLT: return kSpSetLt;
-      case Opcode::SetGT: return kSpSetGt;
-      case Opcode::SetLE: return kSpSetLe;
-      case Opcode::SetGE: return kSpSetGe;
-      default: panic("not a comparison opcode");
-    }
-}
-
-/** Number of register-carried arguments. */
-constexpr unsigned kRegArgs = 6;
-
-class SparcISel final : public ISelBase
-{
   protected:
-    static MOperand
-    R(unsigned reg)
+    bool
+    immFits(int64_t v) const override
     {
-        return MOperand::makeReg(reg);
-    }
-
-    uint8_t
-    widthOf(const Type *t) const
-    {
-        return static_cast<uint8_t>(
-            tgt::widthCodeOf(t, pointerSize_));
-    }
-
-    /** Inline a ConstantInt fitting simm13; else a register (which
-     *  materializes sethi+or for wide values). */
-    MOperand
-    intOperand(const Value *v)
-    {
-        if (auto *ci = dyn_cast<ConstantInt>(v)) {
-            int64_t imm = ci->sext();
-            if (tgt::fitsSimm13(imm))
-                return MOperand::makeImm(imm);
-        }
-        return R(valueReg(v));
+        return tgt::fitsSimm13(v);
     }
 
     void
-    emitMove(unsigned dst, unsigned src, bool fp, bool fp32) override
+    afterCall() override
     {
-        (void)fp;
-        auto *mi = emit(kOpCopy, {R(dst), R(src)}, 1);
-        mi->fp32 = fp32;
+        emit(op(cmn::kNop), {}); // delay slot
     }
 
     void
-    emitMaterialize(unsigned dst, const MOperand &value, bool fp,
-                    bool fp32) override
+    afterRet() override
     {
-        (void)fp;
-        if (value.kind == MOperand::FPImm) {
-            // No FP-immediate forms: go through a constant-pool
-            // entry whose address is itself a sethi pair base.
-            unsigned t = mf_->createVReg(RegClass::Int);
-            emit(kSpSethi, {R(t), value}, 1);
-            auto *ld = emit(kSpLoadC, {R(dst), R(t), value}, 1);
-            ld->fp32 = fp32;
-            return;
-        }
-        if (value.kind == MOperand::Global ||
-            value.kind == MOperand::Func) {
-            emit(kSpSethi, {R(dst), value}, 1);
-            emit(kSpOrLo, {R(dst), R(dst), value}, 1);
-            return;
-        }
-        if (value.kind == MOperand::Imm &&
-            !tgt::fitsSimm13(value.imm)) {
-            int64_t v = value.imm;
-            // sethi covers bits 31:10, or the rest: two
-            // instructions reach any value representable in 32 bits
-            // (sign- or zero-extended). Anything wider takes the
-            // full six-instruction setx sequence: build each 32-bit
-            // half, shift the high half up, merge.
-            if ((v >> 32) == 0 || (v >> 32) == -1) {
-                emit(kSpSethi, {R(dst), value}, 1);
-                emit(kSpOrLo, {R(dst), R(dst), value}, 1);
-                return;
-            }
-            unsigned t = mf_->createVReg(RegClass::Int);
-            MOperand hi = MOperand::makeImm(v >> 32);
-            MOperand lo = MOperand::makeImm(v & 0xffffffff);
-            emit(kSpSethi, {R(t), hi}, 1);
-            emit(kSpOrLo, {R(t), R(t), hi}, 1);
-            emit(kSpSll, {R(t), R(t), MOperand::makeImm(32)}, 1);
-            emit(kSpSethi, {R(dst), lo}, 1);
-            emit(kSpOrLo, {R(dst), R(dst), lo}, 1);
-            emit(kSpOr, {R(dst), R(dst), R(t)}, 1);
-            return;
-        }
-        auto *mi = emit(kOpCopy, {R(dst), value}, 1);
-        mi->fp32 = fp32;
-    }
-
-    void
-    emitAdd(unsigned dst, unsigned a, unsigned b) override
-    {
-        emit(kSpAdd, {R(dst), R(a), R(b)}, 1);
-    }
-
-    void
-    emitAddImm(unsigned dst, unsigned a, int64_t imm) override
-    {
-        if (tgt::fitsSimm13(imm)) {
-            emit(kSpAdd, {R(dst), R(a), MOperand::makeImm(imm)}, 1);
-            return;
-        }
-        unsigned t = mf_->createVReg(RegClass::Int);
-        emitMaterialize(t, MOperand::makeImm(imm), false, false);
-        emit(kSpAdd, {R(dst), R(a), R(t)}, 1);
-    }
-
-    void
-    emitMulImm(unsigned dst, unsigned a, int64_t imm) override
-    {
-        if (tgt::fitsSimm13(imm)) {
-            emit(kSpMul, {R(dst), R(a), MOperand::makeImm(imm)}, 1);
-            return;
-        }
-        unsigned t = mf_->createVReg(RegClass::Int);
-        emitMaterialize(t, MOperand::makeImm(imm), false, false);
-        emit(kSpMul, {R(dst), R(a), R(t)}, 1);
-    }
-
-    void
-    emitDynAlloca(unsigned dst, unsigned size_reg) override
-    {
-        emit(kOpDynAlloca, {R(dst), R(size_reg)}, 1);
-    }
-
-    void
-    lowerArgs() override
-    {
-        for (unsigned i = 0; i < f_->numArgs(); ++i) {
-            const auto *a = f_->arg(i);
-            bool fp = a->type()->isFloatingPoint();
-            unsigned dst = vregFor(a);
-            if (i < kRegArgs) {
-                unsigned phys = fp ? 32 + i : 8 + i; // %fI / %oI
-                auto *mi = emit(kOpCopy, {R(dst), R(phys)}, 1);
-                mi->fp32 = isFP32(a->type());
-            } else {
-                emit(kSpLoadStack,
-                     {R(dst),
-                      MOperand::makeFrame(-1 - static_cast<int>(i))},
-                     1);
-            }
-        }
-    }
-
-    void
-    lowerBinary(const BinaryOperator &inst) override
-    {
-        const Type *t = inst.type();
-        unsigned dst = vregFor(&inst);
-        if (t->isFloatingPoint()) {
-            unsigned a = valueReg(inst.lhs());
-            unsigned b = valueReg(inst.rhs());
-            auto *mi = emit(fpAluOpcode(inst.opcode()),
-                            {R(dst), R(a), R(b)}, 1);
-            mi->fp32 = isFP32(t);
-            return;
-        }
-        unsigned a = valueReg(inst.lhs());
-        MOperand b = intOperand(inst.rhs());
-        auto *mi =
-            emit(intAluOpcode(inst.opcode()), {R(dst), R(a), b}, 1);
-        mi->width = widthOf(t);
-        mi->signExt = t->isSignedInteger();
-        if (inst.opcode() == Opcode::Div ||
-            inst.opcode() == Opcode::Rem)
-            mi->trapEnabled = inst.exceptionsEnabled();
-    }
-
-    void
-    lowerCompare(const SetCondInst &inst) override
-    {
-        const Type *t = inst.lhs()->type();
-        unsigned dst = vregFor(&inst);
-        if (t->isFloatingPoint()) {
-            unsigned a = valueReg(inst.lhs());
-            unsigned b = valueReg(inst.rhs());
-            emit(setOpcode(inst.opcode()), {R(dst), R(a), R(b)}, 1);
-            return;
-        }
-        unsigned a = valueReg(inst.lhs());
-        MOperand b = intOperand(inst.rhs());
-        auto *mi = emit(setOpcode(inst.opcode()), {R(dst), R(a), b},
-                        1);
-        mi->width = widthOf(t);
-        mi->signExt = t->isSignedInteger();
-    }
-
-    void
-    lowerRet(const ReturnInst &inst) override
-    {
-        if (const Value *v = inst.returnValue()) {
-            bool fp = v->type()->isFloatingPoint();
-            unsigned r = valueReg(v);
-            auto *cp = emit(kOpCopy, {R(fp ? 32u : 8u), R(r)}, 1);
-            cp->fp32 = isFP32(v->type());
-        }
-        emit(kSpRet, {})->isRet = true;
-        emit(kSpNop, {}); // delay slot
-    }
-
-    void
-    lowerBr(const BranchInst &inst) override
-    {
-        if (!inst.isConditional()) {
-            auto *t = blockMap_.at(inst.target(0));
-            emit(kSpBa, {MOperand::makeBlock(t)});
-            cur_->successors().push_back(t);
-            return;
-        }
-        unsigned c = valueReg(inst.condition());
-        auto *tb = blockMap_.at(inst.target(0));
-        auto *fb = blockMap_.at(inst.target(1));
-        emit(kSpBrnz, {R(c), MOperand::makeBlock(tb)});
-        emit(kSpBa, {MOperand::makeBlock(fb)});
-        cur_->successors().push_back(tb);
-        cur_->successors().push_back(fb);
-    }
-
-    void
-    lowerMBr(const MBrInst &inst) override
-    {
-        // All compares first, then one contiguous run of branches,
-        // so phi-elimination copies land on every outgoing path.
-        unsigned v = valueReg(inst.condition());
-        std::vector<unsigned> match;
-        for (unsigned i = 0; i < inst.numCases(); ++i) {
-            int64_t cv = inst.caseValue(i)->sext();
-            MOperand b = MOperand::makeImm(cv);
-            if (!tgt::fitsSimm13(cv)) {
-                unsigned t = mf_->createVReg(RegClass::Int);
-                emitMaterialize(t, MOperand::makeImm(cv), false,
-                                false);
-                b = R(t);
-            }
-            unsigned r = mf_->createVReg(RegClass::Int);
-            // Full canonical 64-bit equality, like the interpreter.
-            emit(kSpSetEq, {R(r), R(v), b}, 1);
-            match.push_back(r);
-        }
-        for (unsigned i = 0; i < inst.numCases(); ++i) {
-            auto *bb = blockMap_.at(inst.caseDest(i));
-            emit(kSpBrnz, {R(match[i]), MOperand::makeBlock(bb)});
-            cur_->successors().push_back(bb);
-        }
-        auto *def = blockMap_.at(inst.defaultDest());
-        emit(kSpBa, {MOperand::makeBlock(def)});
-        cur_->successors().push_back(def);
-    }
-
-    void
-    lowerLoad(const LoadInst &inst) override
-    {
-        const Type *t = inst.type();
-        unsigned addr = valueReg(inst.pointer());
-        auto *mi = emit(kSpLoad, {R(vregFor(&inst)), R(addr)}, 1);
-        mi->trapEnabled = inst.exceptionsEnabled();
-        if (t->isFloatingPoint()) {
-            mi->fp32 = isFP32(t);
-        } else {
-            mi->width = widthOf(t);
-            mi->signExt = t->isSignedInteger();
-        }
-    }
-
-    void
-    lowerStore(const StoreInst &inst) override
-    {
-        const Type *t = inst.value()->type();
-        unsigned src = valueReg(inst.value());
-        unsigned addr = valueReg(inst.pointer());
-        auto *mi = emit(kSpStore, {R(src), R(addr)});
-        mi->trapEnabled = inst.exceptionsEnabled();
-        if (t->isFloatingPoint())
-            mi->fp32 = isFP32(t);
-        else
-            mi->width = widthOf(t);
-    }
-
-    void
-    lowerCast(const CastInst &inst) override
-    {
-        const Type *src = inst.value()->type();
-        const Type *dst = inst.type();
-        unsigned d = vregFor(&inst);
-        unsigned s = valueReg(inst.value());
-        if (src->isFloatingPoint() && dst->isFloatingPoint()) {
-            auto *mi = emit(kSpCvtF2F, {R(d), R(s)}, 1);
-            mi->fp32 = isFP32(dst);
-        } else if (src->isFloatingPoint()) {
-            auto *mi = emit(kSpCvtF2I, {R(d), R(s)}, 1);
-            mi->width = widthOf(dst);
-            mi->signExt = dst->isSignedInteger();
-        } else if (dst->isFloatingPoint()) {
-            auto *mi = emit(kSpCvtI2F, {R(d), R(s)}, 1);
-            mi->signExt = src->isSignedInteger();
-            mi->fp32 = isFP32(dst);
-        } else if (dst->isBool()) {
-            emit(kSpCvtI2B, {R(d), R(s)}, 1);
-        } else {
-            auto *mi = emit(kSpExt, {R(d), R(s)}, 1);
-            mi->width = widthOf(dst);
-            mi->signExt = dst->isSignedInteger();
-        }
-    }
-
-    void
-    marshalOutgoingArgs(const std::vector<const Value *> &args)
-    {
-        for (unsigned i = 0; i < args.size(); ++i) {
-            bool fp = args[i]->type()->isFloatingPoint();
-            unsigned r = valueReg(args[i]);
-            if (i < kRegArgs) {
-                unsigned phys = fp ? 32 + i : 8 + i;
-                auto *mi = emit(kOpCopy, {R(phys), R(r)}, 1);
-                mi->fp32 = isFP32(args[i]->type());
-            } else {
-                emit(kSpStoreStack,
-                     {R(r),
-                      MOperand::makeImm(8 * static_cast<int64_t>(i))});
-            }
-        }
-        if (args.size() > kRegArgs)
-            mf_->noteOutgoingArgs(8ull * args.size());
-    }
-
-    MachineInstr *
-    emitCallInstr(const Value *callee, std::vector<MOperand> blocks)
-    {
-        std::vector<MOperand> ops;
-        if (auto *fn = dyn_cast<Function>(callee))
-            ops.push_back(MOperand::makeFunc(fn));
-        else
-            ops.push_back(R(valueReg(callee)));
-        for (auto &b : blocks)
-            ops.push_back(b);
-        auto *mi = emit(kSpCall, std::move(ops));
-        mi->isCall = true;
-        return mi;
-    }
-
-    void
-    emitResultCopy(const Instruction &inst)
-    {
-        const Type *t = inst.type();
-        if (t->kind() == TypeKind::Void)
-            return;
-        bool fp = t->isFloatingPoint();
-        auto *cp =
-            emit(kOpCopy, {R(vregFor(&inst)), R(fp ? 32u : 8u)}, 1);
-        cp->fp32 = isFP32(t);
-    }
-
-    void
-    lowerCall(const CallInst &inst) override
-    {
-        std::vector<const Value *> args;
-        for (unsigned i = 0; i < inst.numArgs(); ++i)
-            args.push_back(inst.arg(i));
-        marshalOutgoingArgs(args);
-        emitCallInstr(inst.callee(), {});
-        emit(kSpNop, {}); // delay slot
-        emitResultCopy(inst);
-    }
-
-    void
-    lowerInvoke(const InvokeInst &inst) override
-    {
-        std::vector<const Value *> args;
-        for (unsigned i = 0; i < inst.numArgs(); ++i)
-            args.push_back(inst.arg(i));
-        marshalOutgoingArgs(args);
-
-        auto *ret = mf_->createBlock(cur_->name() + ".invret");
-        auto *uw = mf_->createBlock(cur_->name() + ".invuw");
-        emitCallInstr(inst.callee(), {MOperand::makeBlock(ret),
-                                      MOperand::makeBlock(uw)});
-        emit(kSpNop, {}); // delay slot
-        cur_->successors().push_back(ret);
-        cur_->successors().push_back(uw);
-        edgeBlock_[{inst.parent(), inst.normalDest()}] = ret;
-        edgeBlock_[{inst.parent(), inst.unwindDest()}] = uw;
-
-        MachineBasicBlock *save = cur_;
-        cur_ = ret;
-        emitResultCopy(inst);
-        auto *nd = blockMap_.at(inst.normalDest());
-        emit(kSpBa, {MOperand::makeBlock(nd)});
-        ret->successors().push_back(nd);
-
-        cur_ = uw;
-        auto *ud = blockMap_.at(inst.unwindDest());
-        emit(kSpBa, {MOperand::makeBlock(ud)});
-        uw->successors().push_back(ud);
-        cur_ = save;
-    }
-
-    void
-    lowerUnwind(const UnwindInst &inst) override
-    {
-        (void)inst;
-        emit(kSpUnwind, {});
+        emit(op(cmn::kNop), {}); // delay slot
     }
 };
 
 } // namespace
 
 SparcTarget::SparcTarget()
+    : CommonTarget(cmn::kSparcBase,
+                   cmn::AbiDesc{/*numRegArgs=*/6, /*intArgBase=*/8,
+                                /*fpArgBase=*/32, /*intRetReg=*/8,
+                                /*fpRetReg=*/32},
+                   /*fixed_instr_bytes=*/4)
 {
     // %g1-%g5 (caller-saved) first, then the callee-saved locals and
     // ins. Excluded: %g0 (zero), %g6/%g7 (system), %o0-%o7
@@ -571,24 +82,19 @@ SparcTarget::SparcTarget()
         allocFP_.push_back(r); // %f6-%f31
     for (unsigned r = 48; r < 64; ++r)
         calleeFP_.push_back(r); // %f16-%f31
-}
 
-const std::vector<unsigned> &
-SparcTarget::allocatable(RegClass rc) const
-{
-    return rc == RegClass::Int ? allocInt_ : allocFP_;
-}
-
-const std::vector<unsigned> &
-SparcTarget::calleeSaved(RegClass rc) const
-{
-    return rc == RegClass::Int ? calleeInt_ : calleeFP_;
-}
-
-unsigned
-SparcTarget::returnReg(RegClass rc) const
-{
-    return rc == RegClass::Int ? 8u : 32u; // %o0 / %f0
+    installCommonCore(cmn::hSetCCCompare);
+    // Address/large-immediate synthesis; both halves carry the full
+    // value (or symbol) so the pair reconstructs any 64-bit canonical
+    // image exactly. Global and function addresses always pay this
+    // two-instruction tax — the RISC property behind the paper's
+    // sparc code-size numbers. The delay-slot nop exists because this
+    // simple code generator never schedules useful work into
+    // call/return slots.
+    setInstr(cmn::kHi, "sethi", cmn::hHi<0x3ff>);
+    setInstr(cmn::kLo, "or", cmn::hLo<0x3ff>);
+    setInstr(cmn::kLoadConst, "ld", cmn::hLoadConst);
+    setInstr(cmn::kNop, "nop", cmn::hNop);
 }
 
 const char *
@@ -614,17 +120,13 @@ SparcTarget::regName(unsigned reg) const
 void
 SparcTarget::select(const Function &f, MachineFunction &mf)
 {
-    SparcISel isel;
+    SparcISel isel(abi());
     isel.runOn(f, mf);
 }
 
 void
-SparcTarget::insertPrologueEpilogue(
-    MachineFunction &mf,
-    const std::vector<std::pair<unsigned, int64_t>> &saved)
+SparcTarget::finishPrologueEpilogue(MachineFunction &mf)
 {
-    tgt::insertFrameCode(mf, saved, kSpSpAdj, kSpStoreStack,
-                         kSpLoadStack);
     // Fill branch delay slots with nops. Call and return slots are
     // filled during selection; branch slots must wait until after
     // phi elimination, which needs the branch run at the end of each
@@ -632,291 +134,16 @@ SparcTarget::insertPrologueEpilogue(
     for (auto &mbb : mf.blocks()) {
         auto &instrs = mbb->instrs();
         for (size_t i = 0; i < instrs.size(); ++i) {
-            uint16_t op = instrs[i]->opcode;
-            if (op != kSpBrnz && op != kSpBa)
+            uint16_t opc = instrs[i]->opcode;
+            if (opc != op(cmn::kBrnz) && opc != op(cmn::kBr))
                 continue;
-            instrs.insert(instrs.begin() +
-                              static_cast<ptrdiff_t>(i + 1),
-                          std::make_unique<MachineInstr>(
-                              kSpNop, std::vector<MOperand>{}, 0));
+            instrs.insert(
+                instrs.begin() + static_cast<ptrdiff_t>(i + 1),
+                std::make_unique<MachineInstr>(
+                    op(cmn::kNop), std::vector<MOperand>{}, 0));
             ++i;
         }
     }
-}
-
-void
-SparcTarget::writeArgs(SimState &state, const FunctionType *ft,
-                       const std::vector<RtValue> &args) const
-{
-    for (size_t i = 0; i < args.size(); ++i) {
-        bool fp = i < ft->numParams() &&
-                  ft->paramType(i)->isFloatingPoint();
-        if (i < kRegArgs) {
-            if (fp)
-                state.freg[i] = args[i].f;
-            else
-                state.ireg[8 + i] = args[i].i;
-        } else {
-            uint64_t addr = state.sp + 8 * i;
-            if (fp)
-                state.mem->storeFP(addr, false, args[i].f);
-            else
-                state.mem->store(addr, 8, args[i].i);
-        }
-    }
-}
-
-std::vector<RtValue>
-SparcTarget::readArgs(SimState &state, const FunctionType *ft) const
-{
-    std::vector<RtValue> args(ft->numParams());
-    for (size_t i = 0; i < ft->numParams(); ++i) {
-        bool fp = ft->paramType(i)->isFloatingPoint();
-        if (i < kRegArgs) {
-            args[i] = fp ? RtValue::ofFP(state.freg[i])
-                         : RtValue::ofInt(state.ireg[8 + i]);
-        } else {
-            uint64_t addr = state.sp + 8 * i;
-            if (fp) {
-                double v = 0;
-                state.mem->loadFP(addr, false, v);
-                args[i] = RtValue::ofFP(v);
-            } else {
-                uint64_t v = 0;
-                state.mem->load(addr, 8, v);
-                args[i] = RtValue::ofInt(v);
-            }
-        }
-    }
-    return args;
-}
-
-namespace {
-
-// Direct-threaded dispatch handlers (Target::handlerFor): one free
-// function per opcode group, the single source of the execution
-// semantics — execute() routes through the same functions, so the
-// legacy switch dispatch and the threaded engine cannot diverge.
-// Handlers rely on the driver presetting state.next = Fall and must
-// write every consumer field of the Next value they request.
-
-void
-hSpAlu(const MachineInstr &mi, SimState &state)
-{
-    using namespace tgt;
-    uint64_t a = state.ireg[mi.ops[1].reg];
-    uint64_t b = operandIntValue(mi.ops[2], state);
-    uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
-                         mi.signExt, mi.trapEnabled, state);
-    if (state.next != SimState::Next::Trap)
-        state.ireg[mi.ops[0].reg] = r;
-}
-
-void
-hSpFAlu(const MachineInstr &mi, SimState &state)
-{
-    using namespace tgt;
-    state.freg[mi.ops[0].reg - 32] =
-        evalFAlu(aluOfFP(mi.opcode), state.freg[mi.ops[1].reg - 32],
-                 state.freg[mi.ops[2].reg - 32], mi.fp32);
-}
-
-void
-hSpSetCC(const MachineInstr &mi, SimState &state)
-{
-    using namespace tgt;
-    Cond c = condOf(mi.opcode);
-    bool r;
-    if (isFPReg(mi.ops[1].reg)) {
-        r = evalCond<double>(c, state.freg[mi.ops[1].reg - 32],
-                             state.freg[mi.ops[2].reg - 32]);
-    } else {
-        uint64_t a = state.ireg[mi.ops[1].reg];
-        uint64_t b = operandIntValue(mi.ops[2], state);
-        if (mi.signExt)
-            r = evalCond<int64_t>(
-                c, static_cast<int64_t>(normInt(a, mi.width, true)),
-                static_cast<int64_t>(normInt(b, mi.width, true)));
-        else
-            r = evalCond<uint64_t>(c, normInt(a, mi.width, false),
-                                   normInt(b, mi.width, false));
-    }
-    state.ireg[mi.ops[0].reg] = r ? 1 : 0;
-}
-
-void
-hSpSethi(const MachineInstr &mi, SimState &state)
-{
-    // An FPImm operand marks a constant-pool address pair; the
-    // simulated pool has no real location, so the base is zero
-    // (kSpLoadC carries the value itself).
-    uint64_t v = mi.ops[1].kind == MOperand::FPImm
-                     ? 0
-                     : tgt::operandIntValue(mi.ops[1], state);
-    state.ireg[mi.ops[0].reg] = v & ~0x3ffull;
-}
-
-void
-hSpOrLo(const MachineInstr &mi, SimState &state)
-{
-    state.ireg[mi.ops[0].reg] =
-        state.ireg[mi.ops[1].reg] |
-        (tgt::operandIntValue(mi.ops[2], state) & 0x3ffull);
-}
-
-void
-hSpLoadC(const MachineInstr &mi, SimState &state)
-{
-    state.freg[mi.ops[0].reg - 32] =
-        tgt::fpRound(mi.ops[2].fpimm, mi.fp32);
-}
-
-void
-hSpNop(const MachineInstr &, SimState &)
-{}
-
-void
-hSpBrnz(const MachineInstr &mi, SimState &state)
-{
-    if (state.ireg[mi.ops[0].reg]) {
-        state.next = SimState::Next::Branch;
-        state.branchTarget = mi.ops[1].block;
-    }
-}
-
-void
-hSpBa(const MachineInstr &mi, SimState &state)
-{
-    state.next = SimState::Next::Branch;
-    state.branchTarget = mi.ops[0].block;
-}
-
-void
-hSpCall(const MachineInstr &mi, SimState &state)
-{
-    state.next = SimState::Next::Call;
-    if (mi.ops[0].kind == MOperand::Func) {
-        state.callTarget = mi.ops[0].func;
-    } else {
-        // Without a full reset() a stale direct-call target would
-        // shadow the indirect address, so clear it explicitly.
-        state.callTarget = nullptr;
-        state.callAddr = state.ireg[mi.ops[0].reg];
-    }
-}
-
-void
-hSpRet(const MachineInstr &, SimState &state)
-{
-    state.next = SimState::Next::Return;
-}
-
-void
-hSpUnwind(const MachineInstr &, SimState &state)
-{
-    state.next = SimState::Next::Unwind;
-}
-
-void
-hSpLoad(const MachineInstr &mi, SimState &state)
-{
-    tgt::execLoad(mi, state.ireg[mi.ops[1].reg], state);
-}
-
-void
-hSpStore(const MachineInstr &mi, SimState &state)
-{
-    tgt::execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
-}
-
-void
-hSpLoadStack(const MachineInstr &mi, SimState &state)
-{
-    tgt::execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
-}
-
-void
-hSpStoreStack(const MachineInstr &mi, SimState &state)
-{
-    tgt::execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
-}
-
-void
-hSpSpAdj(const MachineInstr &mi, SimState &state)
-{
-    state.sp += static_cast<uint64_t>(mi.ops[0].imm);
-}
-
-} // namespace
-
-ExecFn
-SparcTarget::handlerFor(const MachineInstr &mi) const
-{
-    if (ExecFn fn = tgt::genericHandler(mi.opcode))
-        return fn;
-    switch (mi.opcode) {
-      case kSpAdd:
-      case kSpSub:
-      case kSpMul:
-      case kSpDiv:
-      case kSpRem:
-      case kSpAnd:
-      case kSpOr:
-      case kSpXor:
-      case kSpSll:
-      case kSpSrl:
-        return hSpAlu;
-      case kSpFAdd:
-      case kSpFSub:
-      case kSpFMul:
-      case kSpFDiv:
-      case kSpFRem:
-        return hSpFAlu;
-      case kSpSetEq:
-      case kSpSetNe:
-      case kSpSetLt:
-      case kSpSetGt:
-      case kSpSetLe:
-      case kSpSetGe:
-        return hSpSetCC;
-      case kSpSethi: return hSpSethi;
-      case kSpOrLo: return hSpOrLo;
-      case kSpLoadC: return hSpLoadC;
-      case kSpNop: return hSpNop;
-      case kSpBrnz: return hSpBrnz;
-      case kSpBa: return hSpBa;
-      case kSpCall: return hSpCall;
-      case kSpRet: return hSpRet;
-      case kSpUnwind: return hSpUnwind;
-      case kSpLoad: return hSpLoad;
-      case kSpStore: return hSpStore;
-      case kSpLoadStack: return hSpLoadStack;
-      case kSpStoreStack: return hSpStoreStack;
-      case kSpExt: return tgt::execExt;
-      case kSpCvtI2F: return tgt::execCvtI2F;
-      case kSpCvtF2I: return tgt::execCvtF2I;
-      case kSpCvtF2F: return tgt::execCvtF2F;
-      case kSpCvtI2B: return tgt::execCvtI2B;
-      case kSpSpAdj: return hSpSpAdj;
-      default:
-        panic("sparc: cannot execute opcode");
-    }
-}
-
-void
-SparcTarget::execute(const MachineInstr &mi, SimState &state) const
-{
-    handlerFor(mi)(mi, state);
-}
-
-std::vector<uint8_t>
-SparcTarget::encode(const MachineInstr &mi) const
-{
-    // The RISC property: every instruction, including the generic
-    // pseudos, packs into exactly one 4-byte word. Wide constants
-    // already cost an extra instruction (sethi+or), never a wider
-    // word.
-    return tgt::packEncoding(mi, 4);
 }
 
 std::string
@@ -947,7 +174,9 @@ SparcTarget::instrToString(const MachineInstr &mi) const
             return "[" + operand(op) + "]";
         return "[%sp+" + std::to_string(op.imm) + "]";
     };
-    switch (mi.opcode) {
+    unsigned key =
+        mi.opcode >= kOpPhi ? mi.opcode : cmn::relOp(mi.opcode);
+    switch (key) {
       case kOpCopy:
         if (isFPReg(mi.ops[0].reg))
             os << (mi.fp32 ? "fmovs " : "fmovd ")
@@ -974,78 +203,78 @@ SparcTarget::instrToString(const MachineInstr &mi) const
         os << "call alloca, " << reg(mi.ops[1]) << ", "
            << reg(mi.ops[0]);
         break;
-      case kSpAdd:
-      case kSpSub:
-      case kSpMul:
-      case kSpDiv:
-      case kSpRem:
-      case kSpAnd:
-      case kSpOr:
-      case kSpXor:
-      case kSpSll:
-      case kSpSrl: {
+      case cmn::kAdd:
+      case cmn::kSub:
+      case cmn::kMul:
+      case cmn::kDiv:
+      case cmn::kRem:
+      case cmn::kAnd:
+      case cmn::kOr:
+      case cmn::kXor:
+      case cmn::kShl:
+      case cmn::kShr: {
         static const char *const sn[10] = {
             "add", "sub", "mulx", "sdivx", "srem",
             "and", "or",  "xor",  "sllx",  "srax"};
         static const char *const un[10] = {
             "add", "sub", "mulx", "udivx", "urem",
             "and", "or",  "xor",  "sllx",  "srlx"};
-        os << (mi.signExt ? sn : un)[mi.opcode - kSpAdd] << " "
+        os << (mi.signExt ? sn : un)[key - cmn::kAdd] << " "
            << reg(mi.ops[1]) << ", " << operand(mi.ops[2]) << ", "
            << reg(mi.ops[0]);
         break;
       }
-      case kSpFAdd:
-      case kSpFSub:
-      case kSpFMul:
-      case kSpFDiv:
-      case kSpFRem: {
+      case cmn::kFAdd:
+      case cmn::kFSub:
+      case cmn::kFMul:
+      case cmn::kFDiv:
+      case cmn::kFRem: {
         static const char *const fd[5] = {"faddd", "fsubd", "fmuld",
                                           "fdivd", "fremd"};
         static const char *const fs[5] = {"fadds", "fsubs", "fmuls",
                                           "fdivs", "frems"};
-        os << (mi.fp32 ? fs : fd)[mi.opcode - kSpFAdd] << " "
+        os << (mi.fp32 ? fs : fd)[key - cmn::kFAdd] << " "
            << reg(mi.ops[1]) << ", " << reg(mi.ops[2]) << ", "
            << reg(mi.ops[0]);
         break;
       }
-      case kSpSetEq:
-      case kSpSetNe:
-      case kSpSetLt:
-      case kSpSetGt:
-      case kSpSetLe:
-      case kSpSetGe: {
+      case cmn::kSetEq:
+      case cmn::kSetNe:
+      case cmn::kSetLt:
+      case cmn::kSetGt:
+      case cmn::kSetLe:
+      case cmn::kSetGe: {
         static const char *const names[6] = {"seteq", "setne",
                                              "setlt", "setgt",
                                              "setle", "setge"};
-        os << names[mi.opcode - kSpSetEq] << " " << reg(mi.ops[1])
+        os << names[key - cmn::kSetEq] << " " << reg(mi.ops[1])
            << ", " << operand(mi.ops[2]) << ", " << reg(mi.ops[0]);
         break;
       }
-      case kSpSethi:
+      case cmn::kHi:
         os << "sethi %hi(" << operand(mi.ops[1]) << "), "
            << reg(mi.ops[0]);
         break;
-      case kSpOrLo:
+      case cmn::kLo:
         os << "or " << reg(mi.ops[1]) << ", %lo("
            << operand(mi.ops[2]) << "), " << reg(mi.ops[0]);
         break;
-      case kSpLoadC:
+      case cmn::kLoadConst:
         os << (mi.fp32 ? "ld [" : "ldd [") << reg(mi.ops[1])
            << "+%lo(" << operand(mi.ops[2]) << ")], "
            << reg(mi.ops[0]);
         break;
-      case kSpNop:
+      case cmn::kNop:
         os << "nop";
         break;
-      case kSpBrnz:
+      case cmn::kBrnz:
         os << "brnz " << reg(mi.ops[0]) << ", "
            << operand(mi.ops[1]);
         break;
-      case kSpBa:
+      case cmn::kBr:
         os << "ba " << operand(mi.ops[0]);
         break;
-      case kSpCall:
+      case cmn::kCall:
         if (mi.ops[0].kind == MOperand::Func)
             os << "call " << mi.ops[0].func->name();
         else
@@ -1053,13 +282,13 @@ SparcTarget::instrToString(const MachineInstr &mi) const
         for (size_t i = 1; i < mi.ops.size(); ++i)
             os << (i == 1 ? " -> " : ", ") << operand(mi.ops[i]);
         break;
-      case kSpRet:
+      case cmn::kRet:
         os << "ret";
         break;
-      case kSpUnwind:
+      case cmn::kUnwind:
         os << "unwind";
         break;
-      case kSpLoad:
+      case cmn::kLoad:
         if (isFPReg(mi.ops[0].reg))
             os << (mi.fp32 ? "ld [" : "ldd [") << reg(mi.ops[1])
                << "], " << reg(mi.ops[0]);
@@ -1074,7 +303,7 @@ SparcTarget::instrToString(const MachineInstr &mi) const
                << reg(mi.ops[1]) << "], " << reg(mi.ops[0]);
         }
         break;
-      case kSpStore:
+      case cmn::kStore:
         if (isFPReg(mi.ops[0].reg))
             os << (mi.fp32 ? "st " : "std ") << reg(mi.ops[0])
                << ", [" << reg(mi.ops[1]) << "]";
@@ -1086,33 +315,33 @@ SparcTarget::instrToString(const MachineInstr &mi) const
                << reg(mi.ops[1]) << "]";
         }
         break;
-      case kSpLoadStack:
+      case cmn::kLoadStack:
         os << "ldx " << slot(mi.ops[1]) << ", " << reg(mi.ops[0]);
         break;
-      case kSpStoreStack:
+      case cmn::kStoreStack:
         os << "stx " << reg(mi.ops[0]) << ", " << slot(mi.ops[1]);
         break;
-      case kSpExt:
+      case cmn::kExt:
         os << (mi.signExt ? "sext" : "zext")
            << static_cast<unsigned>(tgt::widthBits(mi.width)) << " "
            << reg(mi.ops[1]) << ", " << reg(mi.ops[0]);
         break;
-      case kSpCvtI2F:
+      case cmn::kCvtI2F:
         os << (mi.fp32 ? "fitos " : "fitod ") << reg(mi.ops[1])
            << ", " << reg(mi.ops[0]);
         break;
-      case kSpCvtF2I:
+      case cmn::kCvtF2I:
         os << "fdtoi " << reg(mi.ops[1]) << ", " << reg(mi.ops[0]);
         break;
-      case kSpCvtF2F:
+      case cmn::kCvtF2F:
         os << (mi.fp32 ? "fdtos " : "fstod ") << reg(mi.ops[1])
            << ", " << reg(mi.ops[0]);
         break;
-      case kSpCvtI2B:
+      case cmn::kCvtI2B:
         os << "movrnz " << reg(mi.ops[1]) << ", 1, "
            << reg(mi.ops[0]);
         break;
-      case kSpSpAdj:
+      case cmn::kSpAdj:
         os << "add %sp, " << mi.ops[0].imm << ", %sp";
         break;
       default:

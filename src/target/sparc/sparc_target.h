@@ -2,55 +2,32 @@
  * @file
  * The sparc-like I-ISA (paper Section 5.2's RISC evaluation
  * machine): 32 integer registers, three-address arithmetic, fixed
- * 4-byte instruction words (large immediates need sethi+or), and a
+ * 4-byte instruction words (large immediates need sethi+or), a
  * register calling convention (first six arguments in %o0-%o5 /
- * %f0-%f5), so the marshalling hooks are overridden.
+ * %f0-%f5), and branch/call/return delay slots.
  */
 
 #ifndef LLVA_TARGET_SPARC_SPARC_TARGET_H
 #define LLVA_TARGET_SPARC_SPARC_TARGET_H
 
-#include "codegen/target.h"
+#include "target/common/common_target.h"
 
 namespace llva {
 
-class SparcTarget final : public Target
+class SparcTarget final : public cmn::CommonTarget
 {
   public:
     SparcTarget();
 
     const char *name() const override { return "sparc"; }
-    const std::vector<unsigned> &allocatable(RegClass rc)
-        const override;
-    const std::vector<unsigned> &calleeSaved(RegClass rc)
-        const override;
-    unsigned returnReg(RegClass rc) const override;
     const char *regName(unsigned reg) const override;
 
     void select(const Function &f, MachineFunction &mf) override;
-    void insertPrologueEpilogue(
-        MachineFunction &mf,
-        const std::vector<std::pair<unsigned, int64_t>> &saved)
-        override;
-
-    std::vector<uint8_t> encode(const MachineInstr &mi)
-        const override;
-    void execute(const MachineInstr &mi, SimState &state)
-        const override;
-    ExecFn handlerFor(const MachineInstr &mi) const override;
     std::string instrToString(const MachineInstr &mi) const override;
 
-    // Register calling convention: the first six arguments ride in
-    // %o0-%o5 (integer) / %f0-%f5 (FP); the rest use the stack area.
-    void writeArgs(SimState &state, const FunctionType *ft,
-                   const std::vector<RtValue> &args) const override;
-    std::vector<RtValue> readArgs(SimState &state,
-                                  const FunctionType *ft)
-        const override;
-
-  private:
-    std::vector<unsigned> allocInt_, allocFP_;
-    std::vector<unsigned> calleeInt_, calleeFP_;
+  protected:
+    /** Fill branch delay slots (after phi elimination). */
+    void finishPrologueEpilogue(MachineFunction &mf) override;
 };
 
 } // namespace llva

@@ -4,8 +4,13 @@
  * arithmetic over 8 registers with condition flags, variable-length
  * encoding (reg/reg forms vs imm8/imm32/imm64 forms), and a fully
  * stack-based calling convention: all arguments travel through the
- * caller's outgoing area at sp+8i, so the default marshalling hooks
- * in target_conv.cpp apply unchanged.
+ * caller's outgoing area at sp+8i.
+ *
+ * Everything structural — isel traversal, marshalling, handler
+ * table, encode driver — comes from the common target framework;
+ * this file keeps only the CISC-specific parts: the flags-based
+ * comparison lowering, the operand-dependent instruction sizes, and
+ * the AT&T-flavored disassembly.
  *
  * Register numbering: 0=rax 1=rcx 2=rdx 3=rbx 4=rsi 5=rdi 6=rbp
  * (7=rsp is the simulated stack pointer and never allocated);
@@ -16,480 +21,98 @@
 
 #include <sstream>
 
-#include "codegen/isel.h"
 #include "ir/function.h"
+#include "target/common/common_exec.h"
+#include "target/common/common_isel.h"
 #include "target/target_util.h"
 
 namespace llva {
 
 namespace {
 
-using tgt::Alu;
-using tgt::Cond;
-
+/** x86-specific opcodes: the flags-setting compares. */
 enum X86Op : uint16_t {
-    // Two-address ALU: [def dst, use dst, use src(Reg|Imm)]. The
-    // dst-as-use operand keeps both register allocators honest about
-    // the read-modify-write semantics.
-    kX86Add = 0x100,
-    kX86Sub,
-    kX86IMul,
-    kX86Div,
-    kX86Rem,
-    kX86And,
-    kX86Or,
-    kX86Xor,
-    kX86Shl,
-    kX86Shr,
-    // FP two-address ALU: [def dst, use dst, use src].
-    kX86FAdd,
-    kX86FSub,
-    kX86FMul,
-    kX86FDiv,
-    kX86FRem,
-    // Flags: cmp records both signed and unsigned views; setcc picks
-    // one via signExt (or the FP view when the last compare was FP).
-    kX86Cmp,
+    kX86Cmp = cmn::kX86Base + cmn::kTargetOp0,
     kX86FCmp,
-    kX86SetEq,
-    kX86SetNe,
-    kX86SetLt,
-    kX86SetGt,
-    kX86SetLe,
-    kX86SetGe,
-    // Control flow. Jnz is the fused test+jnz on a register, so no
-    // flags survive across phi-copy insertion points.
-    kX86Jnz,
-    kX86Jmp,
-    kX86Call,
-    kX86Ret,
-    kX86Unwind,
-    // Memory.
-    kX86Load,
-    kX86Store,
-    kX86LoadStack,
-    kX86StoreStack,
-    // Conversions.
-    kX86Ext,
-    kX86CvtI2F,
-    kX86CvtF2I,
-    kX86CvtF2F,
-    kX86CvtI2B,
-    // Stack pointer adjustment (prologue/epilogue).
-    kX86SpAdj,
 };
 
 const char *const kIntRegNames[8] = {"rax", "rcx", "rdx", "rbx",
                                      "rsi", "rdi", "rbp", "rsp"};
 
-Alu
-aluOfInt(uint16_t opc)
+class X86ISel final : public cmn::CommonISel
 {
-    return static_cast<Alu>(opc - kX86Add);
-}
+  public:
+    explicit X86ISel(const cmn::AbiDesc &abi)
+        : CommonISel(cmn::kX86Base, abi, /*two_address=*/true,
+                     /*lo_bits=*/0)
+    {}
 
-Alu
-aluOfFP(uint16_t opc)
-{
-    return static_cast<Alu>(opc - kX86FAdd);
-}
-
-Cond
-condOf(uint16_t opc)
-{
-    return static_cast<Cond>(opc - kX86SetEq);
-}
-
-uint16_t
-intAluOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: return kX86Add;
-      case Opcode::Sub: return kX86Sub;
-      case Opcode::Mul: return kX86IMul;
-      case Opcode::Div: return kX86Div;
-      case Opcode::Rem: return kX86Rem;
-      case Opcode::And: return kX86And;
-      case Opcode::Or: return kX86Or;
-      case Opcode::Xor: return kX86Xor;
-      case Opcode::Shl: return kX86Shl;
-      case Opcode::Shr: return kX86Shr;
-      default: panic("not an integer ALU opcode");
-    }
-}
-
-uint16_t
-fpAluOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: return kX86FAdd;
-      case Opcode::Sub: return kX86FSub;
-      case Opcode::Mul: return kX86FMul;
-      case Opcode::Div: return kX86FDiv;
-      case Opcode::Rem: return kX86FRem;
-      default: panic("not an FP ALU opcode");
-    }
-}
-
-uint16_t
-setOpcode(Opcode op)
-{
-    switch (op) {
-      case Opcode::SetEQ: return kX86SetEq;
-      case Opcode::SetNE: return kX86SetNe;
-      case Opcode::SetLT: return kX86SetLt;
-      case Opcode::SetGT: return kX86SetGt;
-      case Opcode::SetLE: return kX86SetLe;
-      case Opcode::SetGE: return kX86SetGe;
-      default: panic("not a comparison opcode");
-    }
-}
-
-class X86ISel final : public ISelBase
-{
   protected:
-    static MOperand
-    R(unsigned reg)
+    // Compares cannot carry an imm64 even though moves can.
+    bool
+    caseImmFits(int64_t v) const override
     {
-        return MOperand::makeReg(reg);
+        return tgt::fitsInt32(v);
     }
 
-    uint8_t
-    widthOf(const Type *t) const
-    {
-        return static_cast<uint8_t>(
-            tgt::widthCodeOf(t, pointerSize_));
-    }
-
-    /** Inline a ConstantInt as an immediate; else a register. */
-    MOperand
-    intOperand(const Value *v)
-    {
-        if (auto *ci = dyn_cast<ConstantInt>(v))
-            return MOperand::makeImm(ci->sext());
-        return R(valueReg(v));
-    }
-
-    void
-    emitMove(unsigned dst, unsigned src, bool fp, bool fp32) override
-    {
-        (void)fp;
-        auto *mi = emit(kOpCopy, {R(dst), R(src)}, 1);
-        mi->fp32 = fp32;
-    }
-
-    void
-    emitMaterialize(unsigned dst, const MOperand &value, bool fp,
-                    bool fp32) override
-    {
-        (void)fp;
-        auto *mi = emit(kOpCopy, {R(dst), value}, 1);
-        mi->fp32 = fp32;
-    }
-
-    void
-    emitAdd(unsigned dst, unsigned a, unsigned b) override
-    {
-        emitMove(dst, a, false, false);
-        emit(kX86Add, {R(dst), R(dst), R(b)}, 1);
-    }
-
-    void
-    emitAddImm(unsigned dst, unsigned a, int64_t imm) override
-    {
-        emitMove(dst, a, false, false);
-        emit(kX86Add, {R(dst), R(dst), MOperand::makeImm(imm)}, 1);
-    }
-
-    void
-    emitMulImm(unsigned dst, unsigned a, int64_t imm) override
-    {
-        emitMove(dst, a, false, false);
-        emit(kX86IMul, {R(dst), R(dst), MOperand::makeImm(imm)}, 1);
-    }
-
-    void
-    emitDynAlloca(unsigned dst, unsigned size_reg) override
-    {
-        emit(kOpDynAlloca, {R(dst), R(size_reg)}, 1);
-    }
-
-    void
-    lowerArgs() override
-    {
-        // Stack convention: incoming argument i lives in the
-        // caller's outgoing area, reachable through the negative
-        // frame index -1-i (resolved during frame finalization).
-        for (unsigned i = 0; i < f_->numArgs(); ++i)
-            emit(kX86LoadStack,
-                 {R(vregFor(f_->arg(i))),
-                  MOperand::makeFrame(-1 - static_cast<int>(i))},
-                 1);
-    }
-
-    void
-    lowerBinary(const BinaryOperator &inst) override
-    {
-        const Type *t = inst.type();
-        unsigned dst = vregFor(&inst);
-        if (t->isFloatingPoint()) {
-            unsigned a = valueReg(inst.lhs());
-            unsigned b = valueReg(inst.rhs());
-            emitMove(dst, a, true, isFP32(t));
-            auto *mi = emit(fpAluOpcode(inst.opcode()),
-                            {R(dst), R(dst), R(b)}, 1);
-            mi->fp32 = isFP32(t);
-            return;
-        }
-        unsigned a = valueReg(inst.lhs());
-        MOperand b = intOperand(inst.rhs());
-        emitMove(dst, a, false, false);
-        auto *mi =
-            emit(intAluOpcode(inst.opcode()), {R(dst), R(dst), b}, 1);
-        mi->width = widthOf(t);
-        mi->signExt = t->isSignedInteger();
-        if (inst.opcode() == Opcode::Div ||
-            inst.opcode() == Opcode::Rem)
-            mi->trapEnabled = inst.exceptionsEnabled();
-    }
-
+    /** Flags: cmp records both signed and unsigned views; setcc
+     *  picks one via signExt (or the FP view when the last compare
+     *  was FP). */
     void
     lowerCompare(const SetCondInst &inst) override
     {
         const Type *t = inst.lhs()->type();
         unsigned dst = vregFor(&inst);
+        unsigned a = valueReg(inst.lhs());
         if (t->isFloatingPoint()) {
-            unsigned a = valueReg(inst.lhs());
             unsigned b = valueReg(inst.rhs());
             emit(kX86FCmp, {R(a), R(b)});
-            emit(setOpcode(inst.opcode()), {R(dst)}, 1);
+            emit(op(cmn::kSetEq + setccIndex(inst.opcode())),
+                 {R(dst)}, 1);
             return;
         }
-        unsigned a = valueReg(inst.lhs());
         MOperand b = intOperand(inst.rhs());
         auto *cmp = emit(kX86Cmp, {R(a), b});
         cmp->width = widthOf(t);
-        auto *set = emit(setOpcode(inst.opcode()), {R(dst)}, 1);
+        auto *set = emit(
+            op(cmn::kSetEq + setccIndex(inst.opcode())), {R(dst)}, 1);
         set->signExt = t->isSignedInteger();
     }
 
     void
-    lowerRet(const ReturnInst &inst) override
+    emitCaseSetEq(unsigned dst, unsigned v,
+                  const MOperand &b) override
     {
-        if (const Value *v = inst.returnValue()) {
-            bool fp = v->type()->isFloatingPoint();
-            unsigned r = valueReg(v);
-            auto *cp = emit(kOpCopy, {R(fp ? 32u : 0u), R(r)}, 1);
-            cp->fp32 = isFP32(v->type());
+        // The interpreter matches on full canonical 64-bit values,
+        // so compare at width 8 unsigned.
+        emit(kX86Cmp, {R(v), b});
+        emit(op(cmn::kSetEq), {R(dst)}, 1);
+    }
+
+  private:
+    static unsigned
+    setccIndex(Opcode op)
+    {
+        switch (op) {
+          case Opcode::SetEQ: return 0;
+          case Opcode::SetNE: return 1;
+          case Opcode::SetLT: return 2;
+          case Opcode::SetGT: return 3;
+          case Opcode::SetLE: return 4;
+          case Opcode::SetGE: return 5;
+          default: panic("not a comparison opcode");
         }
-        emit(kX86Ret, {})->isRet = true;
-    }
-
-    void
-    lowerBr(const BranchInst &inst) override
-    {
-        if (!inst.isConditional()) {
-            auto *t = blockMap_.at(inst.target(0));
-            emit(kX86Jmp, {MOperand::makeBlock(t)});
-            cur_->successors().push_back(t);
-            return;
-        }
-        unsigned c = valueReg(inst.condition());
-        auto *tb = blockMap_.at(inst.target(0));
-        auto *fb = blockMap_.at(inst.target(1));
-        emit(kX86Jnz, {R(c), MOperand::makeBlock(tb)});
-        emit(kX86Jmp, {MOperand::makeBlock(fb)});
-        cur_->successors().push_back(tb);
-        cur_->successors().push_back(fb);
-    }
-
-    void
-    lowerMBr(const MBrInst &inst) override
-    {
-        // Materialize one bool per case first, then dispatch with a
-        // branch chain. Keeping all the Block-carrying instructions
-        // in one trailing run lets phi elimination insert its copies
-        // on every outgoing path.
-        unsigned v = valueReg(inst.condition());
-        std::vector<unsigned> match;
-        for (unsigned i = 0; i < inst.numCases(); ++i) {
-            int64_t cv = inst.caseValue(i)->sext();
-            MOperand b = MOperand::makeImm(cv);
-            if (!tgt::fitsInt32(cv)) {
-                unsigned t = mf_->createVReg(RegClass::Int);
-                emitMaterialize(t, MOperand::makeImm(cv), false,
-                                false);
-                b = R(t);
-            }
-            // The interpreter matches on full canonical 64-bit
-            // values, so compare at width 8 unsigned.
-            emit(kX86Cmp, {R(v), b});
-            unsigned r = mf_->createVReg(RegClass::Int);
-            emit(kX86SetEq, {R(r)}, 1);
-            match.push_back(r);
-        }
-        for (unsigned i = 0; i < inst.numCases(); ++i) {
-            auto *bb = blockMap_.at(inst.caseDest(i));
-            emit(kX86Jnz, {R(match[i]), MOperand::makeBlock(bb)});
-            cur_->successors().push_back(bb);
-        }
-        auto *def = blockMap_.at(inst.defaultDest());
-        emit(kX86Jmp, {MOperand::makeBlock(def)});
-        cur_->successors().push_back(def);
-    }
-
-    void
-    lowerLoad(const LoadInst &inst) override
-    {
-        const Type *t = inst.type();
-        unsigned addr = valueReg(inst.pointer());
-        auto *mi = emit(kX86Load, {R(vregFor(&inst)), R(addr)}, 1);
-        mi->trapEnabled = inst.exceptionsEnabled();
-        if (t->isFloatingPoint()) {
-            mi->fp32 = isFP32(t);
-        } else {
-            mi->width = widthOf(t);
-            mi->signExt = t->isSignedInteger();
-        }
-    }
-
-    void
-    lowerStore(const StoreInst &inst) override
-    {
-        const Type *t = inst.value()->type();
-        unsigned src = valueReg(inst.value());
-        unsigned addr = valueReg(inst.pointer());
-        auto *mi = emit(kX86Store, {R(src), R(addr)});
-        mi->trapEnabled = inst.exceptionsEnabled();
-        if (t->isFloatingPoint())
-            mi->fp32 = isFP32(t);
-        else
-            mi->width = widthOf(t);
-    }
-
-    void
-    lowerCast(const CastInst &inst) override
-    {
-        const Type *src = inst.value()->type();
-        const Type *dst = inst.type();
-        unsigned d = vregFor(&inst);
-        unsigned s = valueReg(inst.value());
-        if (src->isFloatingPoint() && dst->isFloatingPoint()) {
-            auto *mi = emit(kX86CvtF2F, {R(d), R(s)}, 1);
-            mi->fp32 = isFP32(dst);
-        } else if (src->isFloatingPoint()) {
-            auto *mi = emit(kX86CvtF2I, {R(d), R(s)}, 1);
-            mi->width = widthOf(dst);
-            mi->signExt = dst->isSignedInteger();
-        } else if (dst->isFloatingPoint()) {
-            auto *mi = emit(kX86CvtI2F, {R(d), R(s)}, 1);
-            mi->signExt = src->isSignedInteger();
-            mi->fp32 = isFP32(dst);
-        } else if (dst->isBool()) {
-            emit(kX86CvtI2B, {R(d), R(s)}, 1);
-        } else {
-            auto *mi = emit(kX86Ext, {R(d), R(s)}, 1);
-            mi->width = widthOf(dst);
-            mi->signExt = dst->isSignedInteger();
-        }
-    }
-
-    void
-    storeOutgoingArgs(const Value *const *args, unsigned n)
-    {
-        for (unsigned i = 0; i < n; ++i)
-            emit(kX86StoreStack,
-                 {R(valueReg(args[i])),
-                  MOperand::makeImm(8 * static_cast<int64_t>(i))});
-        mf_->noteOutgoingArgs(8ull * n);
-    }
-
-    MachineInstr *
-    emitCallInstr(const Value *callee, std::vector<MOperand> blocks)
-    {
-        std::vector<MOperand> ops;
-        if (auto *fn = dyn_cast<Function>(callee))
-            ops.push_back(MOperand::makeFunc(fn));
-        else
-            ops.push_back(R(valueReg(callee)));
-        for (auto &b : blocks)
-            ops.push_back(b);
-        auto *mi = emit(kX86Call, std::move(ops));
-        mi->isCall = true;
-        return mi;
-    }
-
-    void
-    emitResultCopy(const Instruction &inst)
-    {
-        const Type *t = inst.type();
-        if (t->kind() == TypeKind::Void)
-            return;
-        bool fp = t->isFloatingPoint();
-        auto *cp =
-            emit(kOpCopy, {R(vregFor(&inst)), R(fp ? 32u : 0u)}, 1);
-        cp->fp32 = isFP32(t);
-    }
-
-    void
-    lowerCall(const CallInst &inst) override
-    {
-        std::vector<const Value *> args;
-        for (unsigned i = 0; i < inst.numArgs(); ++i)
-            args.push_back(inst.arg(i));
-        storeOutgoingArgs(args.data(),
-                          static_cast<unsigned>(args.size()));
-        emitCallInstr(inst.callee(), {});
-        emitResultCopy(inst);
-    }
-
-    void
-    lowerInvoke(const InvokeInst &inst) override
-    {
-        std::vector<const Value *> args;
-        for (unsigned i = 0; i < inst.numArgs(); ++i)
-            args.push_back(inst.arg(i));
-        storeOutgoingArgs(args.data(),
-                          static_cast<unsigned>(args.size()));
-
-        // The simulator driver resumes at the first Block operand on
-        // normal return and at the second after an unwind. Each edge
-        // gets its own landing block so phi copies can distinguish
-        // the two paths.
-        auto *ret = mf_->createBlock(cur_->name() + ".invret");
-        auto *uw = mf_->createBlock(cur_->name() + ".invuw");
-        emitCallInstr(inst.callee(), {MOperand::makeBlock(ret),
-                                      MOperand::makeBlock(uw)});
-        cur_->successors().push_back(ret);
-        cur_->successors().push_back(uw);
-        edgeBlock_[{inst.parent(), inst.normalDest()}] = ret;
-        edgeBlock_[{inst.parent(), inst.unwindDest()}] = uw;
-
-        MachineBasicBlock *save = cur_;
-        cur_ = ret;
-        emitResultCopy(inst);
-        auto *nd = blockMap_.at(inst.normalDest());
-        emit(kX86Jmp, {MOperand::makeBlock(nd)});
-        ret->successors().push_back(nd);
-
-        cur_ = uw;
-        auto *ud = blockMap_.at(inst.unwindDest());
-        emit(kX86Jmp, {MOperand::makeBlock(ud)});
-        uw->successors().push_back(ud);
-        cur_ = save;
-    }
-
-    void
-    lowerUnwind(const UnwindInst &inst) override
-    {
-        (void)inst;
-        emit(kX86Unwind, {});
     }
 };
 
 } // namespace
 
 X86Target::X86Target()
+    : CommonTarget(cmn::kX86Base,
+                   cmn::AbiDesc{/*numRegArgs=*/0, /*intArgBase=*/0,
+                                /*fpArgBase=*/32, /*intRetReg=*/0,
+                                /*fpRetReg=*/32},
+                   /*fixed_instr_bytes=*/0)
 {
     // Preference order: caller-saved first so leaf code stays cheap;
     // the linear-scan allocator reserves the last two per class as
@@ -498,24 +121,29 @@ X86Target::X86Target()
     calleeInt_ = {3, 4, 5, 6}; // rbx rsi rdi rbp
     allocFP_ = {32, 33, 34, 35, 36, 37, 38, 39};
     calleeFP_ = {}; // xmm regs are caller-saved on x86
-}
 
-const std::vector<unsigned> &
-X86Target::allocatable(RegClass rc) const
-{
-    return rc == RegClass::Int ? allocInt_ : allocFP_;
-}
+    installCommonCore(cmn::hSetCCFlags);
+    setInstr(cmn::relOp(kX86Cmp), "cmp", cmn::hCmpFlags);
+    setInstr(cmn::relOp(kX86FCmp), "ucomisd", cmn::hFCmpFlags, 4);
 
-const std::vector<unsigned> &
-X86Target::calleeSaved(RegClass rc) const
-{
-    return rc == RegClass::Int ? calleeInt_ : calleeFP_;
-}
-
-unsigned
-X86Target::returnReg(RegClass rc) const
-{
-    return rc == RegClass::Int ? 0u : 32u; // rax / xmm0
+    // Fixed encoded sizes; rows left at 0 are operand-dependent and
+    // resolved by variableSize().
+    for (unsigned i = cmn::kFAdd; i <= cmn::kFDiv; ++i)
+        setEncBytes(i, 4);
+    setEncBytes(cmn::kFRem, 5); // runtime fmod thunk
+    setEncBytes(cmn::kDiv, 3);  // cqo implied
+    setEncBytes(cmn::kRem, 3);
+    for (unsigned i = cmn::kSetEq; i <= cmn::kSetGe; ++i)
+        setEncBytes(i, 4);      // setcc + movzx fold
+    setEncBytes(cmn::kBrnz, 9); // test r,r (3) + jnz rel32 (6)
+    setEncBytes(cmn::kBr, 5);   // jmp rel32
+    setEncBytes(cmn::kRet, 1);
+    setEncBytes(cmn::kUnwind, 2); // int imm8 style trap
+    setEncBytes(cmn::kExt, 4);
+    setEncBytes(cmn::kCvtI2F, 5);
+    setEncBytes(cmn::kCvtF2I, 5);
+    setEncBytes(cmn::kCvtF2F, 4);
+    setEncBytes(cmn::kCvtI2B, 6); // test + setne
 }
 
 const char *
@@ -534,209 +162,14 @@ X86Target::regName(unsigned reg) const
 void
 X86Target::select(const Function &f, MachineFunction &mf)
 {
-    X86ISel isel;
+    X86ISel isel(abi());
     isel.runOn(f, mf);
 }
 
-void
-X86Target::insertPrologueEpilogue(
-    MachineFunction &mf,
-    const std::vector<std::pair<unsigned, int64_t>> &saved)
-{
-    tgt::insertFrameCode(mf, saved, kX86SpAdj, kX86StoreStack,
-                         kX86LoadStack);
-}
-
-namespace {
-
-// Direct-threaded dispatch handlers (Target::handlerFor): one free
-// function per opcode group, the single source of the execution
-// semantics — execute() routes through the same functions, so the
-// legacy switch dispatch and the threaded engine cannot diverge.
-// Handlers rely on the driver presetting state.next = Fall and must
-// write every consumer field of the Next value they request.
-
-void
-hX86Alu(const MachineInstr &mi, SimState &state)
+size_t
+X86Target::variableSize(const MachineInstr &mi) const
 {
     using namespace tgt;
-    uint64_t a = state.ireg[mi.ops[1].reg];
-    uint64_t b = operandIntValue(mi.ops[2], state);
-    uint64_t r = evalAlu(aluOfInt(mi.opcode), a, b, mi.width,
-                         mi.signExt, mi.trapEnabled, state);
-    if (state.next != SimState::Next::Trap)
-        state.ireg[mi.ops[0].reg] = r;
-}
-
-void
-hX86FAlu(const MachineInstr &mi, SimState &state)
-{
-    using namespace tgt;
-    state.freg[mi.ops[0].reg - 32] =
-        evalFAlu(aluOfFP(mi.opcode), state.freg[mi.ops[1].reg - 32],
-                 state.freg[mi.ops[2].reg - 32], mi.fp32);
-}
-
-void
-hX86Cmp(const MachineInstr &mi, SimState &state)
-{
-    tgt::recordCmp(state.ireg[mi.ops[0].reg],
-                   tgt::operandIntValue(mi.ops[1], state), mi.width,
-                   state);
-}
-
-void
-hX86FCmp(const MachineInstr &mi, SimState &state)
-{
-    tgt::recordFCmp(state.freg[mi.ops[0].reg - 32],
-                    state.freg[mi.ops[1].reg - 32], state);
-}
-
-void
-hX86SetCC(const MachineInstr &mi, SimState &state)
-{
-    state.ireg[mi.ops[0].reg] =
-        tgt::evalCondState(condOf(mi.opcode), mi.signExt, state) ? 1
-                                                                 : 0;
-}
-
-void
-hX86Jnz(const MachineInstr &mi, SimState &state)
-{
-    if (state.ireg[mi.ops[0].reg]) {
-        state.next = SimState::Next::Branch;
-        state.branchTarget = mi.ops[1].block;
-    }
-}
-
-void
-hX86Jmp(const MachineInstr &mi, SimState &state)
-{
-    state.next = SimState::Next::Branch;
-    state.branchTarget = mi.ops[0].block;
-}
-
-void
-hX86Call(const MachineInstr &mi, SimState &state)
-{
-    state.next = SimState::Next::Call;
-    if (mi.ops[0].kind == MOperand::Func) {
-        state.callTarget = mi.ops[0].func;
-    } else {
-        // Without a full reset() a stale direct-call target would
-        // shadow the indirect address, so clear it explicitly.
-        state.callTarget = nullptr;
-        state.callAddr = state.ireg[mi.ops[0].reg];
-    }
-}
-
-void
-hX86Ret(const MachineInstr &, SimState &state)
-{
-    state.next = SimState::Next::Return;
-}
-
-void
-hX86Unwind(const MachineInstr &, SimState &state)
-{
-    state.next = SimState::Next::Unwind;
-}
-
-void
-hX86Load(const MachineInstr &mi, SimState &state)
-{
-    tgt::execLoad(mi, state.ireg[mi.ops[1].reg], state);
-}
-
-void
-hX86Store(const MachineInstr &mi, SimState &state)
-{
-    tgt::execStore(mi, 0, state.ireg[mi.ops[1].reg], state);
-}
-
-void
-hX86LoadStack(const MachineInstr &mi, SimState &state)
-{
-    tgt::execSlotLoad(mi.ops[0].reg, mi.ops[1].imm, state);
-}
-
-void
-hX86StoreStack(const MachineInstr &mi, SimState &state)
-{
-    tgt::execSlotStore(mi.ops[0].reg, mi.ops[1].imm, state);
-}
-
-void
-hX86SpAdj(const MachineInstr &mi, SimState &state)
-{
-    state.sp += static_cast<uint64_t>(mi.ops[0].imm);
-}
-
-} // namespace
-
-ExecFn
-X86Target::handlerFor(const MachineInstr &mi) const
-{
-    if (ExecFn fn = tgt::genericHandler(mi.opcode))
-        return fn;
-    switch (mi.opcode) {
-      case kX86Add:
-      case kX86Sub:
-      case kX86IMul:
-      case kX86Div:
-      case kX86Rem:
-      case kX86And:
-      case kX86Or:
-      case kX86Xor:
-      case kX86Shl:
-      case kX86Shr:
-        return hX86Alu;
-      case kX86FAdd:
-      case kX86FSub:
-      case kX86FMul:
-      case kX86FDiv:
-      case kX86FRem:
-        return hX86FAlu;
-      case kX86Cmp: return hX86Cmp;
-      case kX86FCmp: return hX86FCmp;
-      case kX86SetEq:
-      case kX86SetNe:
-      case kX86SetLt:
-      case kX86SetGt:
-      case kX86SetLe:
-      case kX86SetGe:
-        return hX86SetCC;
-      case kX86Jnz: return hX86Jnz;
-      case kX86Jmp: return hX86Jmp;
-      case kX86Call: return hX86Call;
-      case kX86Ret: return hX86Ret;
-      case kX86Unwind: return hX86Unwind;
-      case kX86Load: return hX86Load;
-      case kX86Store: return hX86Store;
-      case kX86LoadStack: return hX86LoadStack;
-      case kX86StoreStack: return hX86StoreStack;
-      case kX86Ext: return tgt::execExt;
-      case kX86CvtI2F: return tgt::execCvtI2F;
-      case kX86CvtF2I: return tgt::execCvtF2I;
-      case kX86CvtF2F: return tgt::execCvtF2F;
-      case kX86CvtI2B: return tgt::execCvtI2B;
-      case kX86SpAdj: return hX86SpAdj;
-      default:
-        panic("x86: cannot execute opcode");
-    }
-}
-
-void
-X86Target::execute(const MachineInstr &mi, SimState &state) const
-{
-    handlerFor(mi)(mi, state);
-}
-
-std::vector<uint8_t>
-X86Target::encode(const MachineInstr &mi) const
-{
-    using namespace tgt;
-    size_t size = 0;
     auto immSize = [](int64_t v) -> size_t {
         return fitsInt8(v) ? 1 : 4;
     };
@@ -744,116 +177,59 @@ X86Target::encode(const MachineInstr &mi) const
       case kOpCopy:
         switch (mi.ops[1].kind) {
           case MOperand::Reg:
-            size = isFPReg(mi.ops[0].reg) ? 4 : 3;
-            break;
+            return isFPReg(mi.ops[0].reg) ? 4 : 3;
           case MOperand::Imm:
-            size = fitsInt32(mi.ops[1].imm) ? 5 : 10; // mov / movabs
-            break;
+            return fitsInt32(mi.ops[1].imm) ? 5 : 10; // mov / movabs
           case MOperand::FPImm:
-            size = 8; // movsd xmm, [rip+disp32]
-            break;
+            return 8; // movsd xmm, [rip+disp32]
           default:
-            size = 10; // movabs $address
-            break;
+            return 10; // movabs $address
         }
-        break;
       case kOpSpill:
       case kOpReload:
-      case kX86LoadStack:
-      case kX86StoreStack:
       case kOpFrameAddr:
         // mod/rm with rsp base: disp8 or disp32 form.
-        size = mi.ops[1].kind == MOperand::Imm
+        return mi.ops[1].kind == MOperand::Imm
                    ? 4 + immSize(mi.ops[1].imm)
                    : 8;
-        break;
       case kOpDynAlloca:
-        size = 5; // call [runtime]
-        break;
-      case kX86Add:
-      case kX86Sub:
-      case kX86And:
-      case kX86Or:
-      case kX86Xor:
-        size = mi.ops[2].kind == MOperand::Imm
+        return 5; // call [runtime]
+    }
+    switch (cmn::relOp(mi.opcode)) {
+      case cmn::kAdd:
+      case cmn::kSub:
+      case cmn::kAnd:
+      case cmn::kOr:
+      case cmn::kXor:
+        return mi.ops[2].kind == MOperand::Imm
                    ? 3 + immSize(mi.ops[2].imm)
                    : 3;
-        break;
-      case kX86IMul:
-        size = mi.ops[2].kind == MOperand::Imm
+      case cmn::kMul:
+        return mi.ops[2].kind == MOperand::Imm
                    ? 3 + immSize(mi.ops[2].imm)
                    : 4;
-        break;
-      case kX86Shl:
-      case kX86Shr:
-        size = mi.ops[2].kind == MOperand::Imm ? 4 : 3;
-        break;
-      case kX86Div:
-      case kX86Rem:
-        size = 3; // cqo implied
-        break;
-      case kX86FAdd:
-      case kX86FSub:
-      case kX86FMul:
-      case kX86FDiv:
-        size = 4;
-        break;
-      case kX86FRem:
-        size = 5; // runtime fmod thunk
-        break;
-      case kX86Cmp:
-        size = mi.ops[1].kind == MOperand::Imm
+      case cmn::kShl:
+      case cmn::kShr:
+        return mi.ops[2].kind == MOperand::Imm ? 4 : 3;
+      case cmn::relOp(kX86Cmp):
+        return mi.ops[1].kind == MOperand::Imm
                    ? 3 + immSize(mi.ops[1].imm)
                    : 3;
-        break;
-      case kX86FCmp:
-        size = 4; // ucomisd
-        break;
-      case kX86SetEq:
-      case kX86SetNe:
-      case kX86SetLt:
-      case kX86SetGt:
-      case kX86SetLe:
-      case kX86SetGe:
-        size = 4; // setcc + movzx fold
-        break;
-      case kX86Jnz:
-        size = 9; // test r,r (3) + jnz rel32 (6)
-        break;
-      case kX86Jmp:
-        size = 5; // jmp rel32
-        break;
-      case kX86Call:
-        size = mi.ops[0].kind == MOperand::Func ? 5 : 3;
-        break;
-      case kX86Ret:
-        size = 1;
-        break;
-      case kX86Unwind:
-        size = 2; // int imm8 style trap to the runtime
-        break;
-      case kX86Load:
-      case kX86Store:
-        size = isFPReg(mi.ops[0].reg) ? 5 : (mi.width == 8 ? 4 : 3);
-        break;
-      case kX86Ext:
-      case kX86CvtF2F:
-        size = 4;
-        break;
-      case kX86CvtI2F:
-      case kX86CvtF2I:
-        size = 5;
-        break;
-      case kX86CvtI2B:
-        size = 6; // test + setne
-        break;
-      case kX86SpAdj:
-        size = 3 + immSize(mi.ops[0].imm);
-        break;
+      case cmn::kCall:
+        return mi.ops[0].kind == MOperand::Func ? 5 : 3;
+      case cmn::kLoad:
+      case cmn::kStore:
+        return isFPReg(mi.ops[0].reg) ? 5 : (mi.width == 8 ? 4 : 3);
+      case cmn::kLoadStack:
+      case cmn::kStoreStack:
+        return mi.ops[1].kind == MOperand::Imm
+                   ? 4 + immSize(mi.ops[1].imm)
+                   : 8;
+      case cmn::kSpAdj:
+        return 3 + immSize(mi.ops[0].imm);
       default:
         panic("x86: cannot encode opcode");
     }
-    return packEncoding(mi, size);
 }
 
 std::string
@@ -894,7 +270,11 @@ X86Target::instrToString(const MachineInstr &mi) const
           default: return "qword";
         }
     };
-    switch (mi.opcode) {
+    // Generic pseudos keep their absolute opcode; target
+    // instructions print by their relative (structural) opcode.
+    unsigned key =
+        mi.opcode >= kOpPhi ? mi.opcode : cmn::relOp(mi.opcode);
+    switch (key) {
       case kOpCopy:
         os << (isFPReg(mi.ops[0].reg) ? (mi.fp32 ? "movss" : "movsd")
                                       : "mov")
@@ -913,67 +293,67 @@ X86Target::instrToString(const MachineInstr &mi) const
         os << "call alloca, " << reg(mi.ops[0]) << ", "
            << reg(mi.ops[1]);
         break;
-      case kX86Add:
-      case kX86Sub:
-      case kX86IMul:
-      case kX86Div:
-      case kX86Rem:
-      case kX86And:
-      case kX86Or:
-      case kX86Xor:
-      case kX86Shl:
-      case kX86Shr: {
+      case cmn::kAdd:
+      case cmn::kSub:
+      case cmn::kMul:
+      case cmn::kDiv:
+      case cmn::kRem:
+      case cmn::kAnd:
+      case cmn::kOr:
+      case cmn::kXor:
+      case cmn::kShl:
+      case cmn::kShr: {
         static const char *const sn[10] = {
             "add", "sub", "imul", "idiv", "irem",
             "and", "or",  "xor",  "shl",  "sar"};
         static const char *const un[10] = {
             "add", "sub", "imul", "div", "rem",
             "and", "or",  "xor",  "shl", "shr"};
-        os << (mi.signExt ? sn : un)[mi.opcode - kX86Add] << " "
+        os << (mi.signExt ? sn : un)[key - cmn::kAdd] << " "
            << reg(mi.ops[0]) << ", " << operand(mi.ops[2]);
         break;
       }
-      case kX86FAdd:
-      case kX86FSub:
-      case kX86FMul:
-      case kX86FDiv:
-      case kX86FRem: {
+      case cmn::kFAdd:
+      case cmn::kFSub:
+      case cmn::kFMul:
+      case cmn::kFDiv:
+      case cmn::kFRem: {
         static const char *const fd[5] = {"addsd", "subsd", "mulsd",
                                           "divsd", "fmodsd"};
         static const char *const fs[5] = {"addss", "subss", "mulss",
                                           "divss", "fmodss"};
-        os << (mi.fp32 ? fs : fd)[mi.opcode - kX86FAdd] << " "
+        os << (mi.fp32 ? fs : fd)[key - cmn::kFAdd] << " "
            << reg(mi.ops[0]) << ", " << reg(mi.ops[2]);
         break;
       }
-      case kX86Cmp:
+      case cmn::relOp(kX86Cmp):
         os << "cmp " << reg(mi.ops[0]) << ", " << operand(mi.ops[1]);
         break;
-      case kX86FCmp:
+      case cmn::relOp(kX86FCmp):
         os << "ucomisd " << reg(mi.ops[0]) << ", " << reg(mi.ops[1]);
         break;
-      case kX86SetEq:
-      case kX86SetNe:
-      case kX86SetLt:
-      case kX86SetGt:
-      case kX86SetLe:
-      case kX86SetGe: {
+      case cmn::kSetEq:
+      case cmn::kSetNe:
+      case cmn::kSetLt:
+      case cmn::kSetGt:
+      case cmn::kSetLe:
+      case cmn::kSetGe: {
         static const char *const sn[6] = {"sete",  "setne", "setl",
                                           "setg",  "setle", "setge"};
         static const char *const un[6] = {"sete",  "setne", "setb",
                                           "seta",  "setbe", "setae"};
-        os << (mi.signExt ? sn : un)[mi.opcode - kX86SetEq] << " "
+        os << (mi.signExt ? sn : un)[key - cmn::kSetEq] << " "
            << reg(mi.ops[0]);
         break;
       }
-      case kX86Jnz:
+      case cmn::kBrnz:
         os << "test " << reg(mi.ops[0]) << ", " << reg(mi.ops[0])
            << " ; jnz " << operand(mi.ops[1]);
         break;
-      case kX86Jmp:
+      case cmn::kBr:
         os << "jmp " << operand(mi.ops[0]);
         break;
-      case kX86Call:
+      case cmn::kCall:
         if (mi.ops[0].kind == MOperand::Func)
             os << "call " << mi.ops[0].func->name();
         else
@@ -981,13 +361,13 @@ X86Target::instrToString(const MachineInstr &mi) const
         for (size_t i = 1; i < mi.ops.size(); ++i)
             os << (i == 1 ? " -> " : ", ") << operand(mi.ops[i]);
         break;
-      case kX86Ret:
+      case cmn::kRet:
         os << "ret";
         break;
-      case kX86Unwind:
+      case cmn::kUnwind:
         os << "unwind";
         break;
-      case kX86Load:
+      case cmn::kLoad:
         if (isFPReg(mi.ops[0].reg))
             os << (mi.fp32 ? "movss " : "movsd ") << reg(mi.ops[0])
                << ", [" << reg(mi.ops[1]) << "]";
@@ -996,7 +376,7 @@ X86Target::instrToString(const MachineInstr &mi) const
                << reg(mi.ops[0]) << ", " << widthName() << " ["
                << reg(mi.ops[1]) << "]";
         break;
-      case kX86Store:
+      case cmn::kStore:
         if (isFPReg(mi.ops[0].reg))
             os << (mi.fp32 ? "movss [" : "movsd [") << reg(mi.ops[1])
                << "], " << reg(mi.ops[0]);
@@ -1004,35 +384,35 @@ X86Target::instrToString(const MachineInstr &mi) const
             os << "mov " << widthName() << " [" << reg(mi.ops[1])
                << "], " << reg(mi.ops[0]);
         break;
-      case kX86LoadStack:
+      case cmn::kLoadStack:
         os << (isFPReg(mi.ops[0].reg) ? "movsd " : "mov ")
            << reg(mi.ops[0]) << ", " << slot(mi.ops[1]);
         break;
-      case kX86StoreStack:
+      case cmn::kStoreStack:
         os << (isFPReg(mi.ops[0].reg) ? "movsd " : "mov ")
            << slot(mi.ops[1]) << ", " << reg(mi.ops[0]);
         break;
-      case kX86Ext:
+      case cmn::kExt:
         os << (mi.signExt ? "movsx " : "movzx ") << reg(mi.ops[0])
            << ", " << reg(mi.ops[1]);
         break;
-      case kX86CvtI2F:
+      case cmn::kCvtI2F:
         os << (mi.fp32 ? "cvtsi2ss " : "cvtsi2sd ") << reg(mi.ops[0])
            << ", " << reg(mi.ops[1]);
         break;
-      case kX86CvtF2I:
+      case cmn::kCvtF2I:
         os << "cvttsd2si " << reg(mi.ops[0]) << ", "
            << reg(mi.ops[1]);
         break;
-      case kX86CvtF2F:
+      case cmn::kCvtF2F:
         os << (mi.fp32 ? "cvtsd2ss " : "cvtss2sd ") << reg(mi.ops[0])
            << ", " << reg(mi.ops[1]);
         break;
-      case kX86CvtI2B:
+      case cmn::kCvtI2B:
         os << "test " << reg(mi.ops[1]) << " ; setne "
            << reg(mi.ops[0]);
         break;
-      case kX86SpAdj:
+      case cmn::kSpAdj:
         os << "add %rsp, " << mi.ops[0].imm;
         break;
       default:

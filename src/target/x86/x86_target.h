@@ -3,46 +3,30 @@
  * The x86-like I-ISA (paper Section 5.2's CISC evaluation machine):
  * 8 integer registers, two-address arithmetic, condition flags,
  * variable-length encoding (imm8/imm32 forms), and a fully
- * stack-based calling convention (so the default marshalling hooks
- * apply unchanged).
+ * stack-based calling convention (AbiDesc with numRegArgs == 0, so
+ * the common marshalling degenerates to the stack scheme).
  */
 
 #ifndef LLVA_TARGET_X86_X86_TARGET_H
 #define LLVA_TARGET_X86_X86_TARGET_H
 
-#include "codegen/target.h"
+#include "target/common/common_target.h"
 
 namespace llva {
 
-class X86Target final : public Target
+class X86Target final : public cmn::CommonTarget
 {
   public:
     X86Target();
 
     const char *name() const override { return "x86"; }
-    const std::vector<unsigned> &allocatable(RegClass rc)
-        const override;
-    const std::vector<unsigned> &calleeSaved(RegClass rc)
-        const override;
-    unsigned returnReg(RegClass rc) const override;
     const char *regName(unsigned reg) const override;
 
     void select(const Function &f, MachineFunction &mf) override;
-    void insertPrologueEpilogue(
-        MachineFunction &mf,
-        const std::vector<std::pair<unsigned, int64_t>> &saved)
-        override;
-
-    std::vector<uint8_t> encode(const MachineInstr &mi)
-        const override;
-    void execute(const MachineInstr &mi, SimState &state)
-        const override;
-    ExecFn handlerFor(const MachineInstr &mi) const override;
     std::string instrToString(const MachineInstr &mi) const override;
 
-  private:
-    std::vector<unsigned> allocInt_, allocFP_;
-    std::vector<unsigned> calleeInt_, calleeFP_;
+  protected:
+    size_t variableSize(const MachineInstr &mi) const override;
 };
 
 } // namespace llva

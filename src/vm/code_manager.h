@@ -196,6 +196,22 @@ class CodeManager
      */
     ChainedFunction *chainFor(const MachineFunction *mf);
 
+    /**
+     * The live chain of \p mf, or nullptr if none was built yet (or
+     * the body was retired). A non-null result proves the body is
+     * still the installed trace-tier translation of its source:
+     * every path that retires a body (invalidate, reinstall,
+     * promotion) drops its chain in the same step, so dispatch can
+     * re-derive its chaining state with this single lookup instead
+     * of the tier + cache + chain triple.
+     */
+    ChainedFunction *
+    findChain(const MachineFunction *mf) const
+    {
+        auto it = chains_.find(mf);
+        return it == chains_.end() ? nullptr : it->second.get();
+    }
+
     /** Live (non-retired) chained functions. */
     size_t chainedFunctions() const { return chains_.size(); }
 

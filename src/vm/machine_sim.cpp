@@ -181,18 +181,6 @@ MachineSimulator::runInternal(const Function *f,
         NumProfileSamples += sampleInterval_;
     };
 
-    // Same event, on the superblock fast path: both IDs were cached
-    // when the blocks were chained.
-    auto noteChained = [&](const ChainedBlock *from,
-                           const ChainedBlock *to) {
-        if (!profile_)
-            return;
-        if (--sampleCountdown_)
-            return;
-        sampleCountdown_ = sampleInterval_;
-        profile_->noteId(from->id, to->id, sampleInterval_);
-        NumProfileSamples += sampleInterval_;
-    };
 
     // Re-derive the chaining state after any control transfer that
     // may have changed the current function (call, return, unwind)
@@ -204,11 +192,18 @@ MachineSimulator::runInternal(const Function *f,
         cb = nullptr;
         if (!threaded)
             return;
-        if (code_.tierOf(mf->source()) != kTierTrace)
-            return;
-        if (code_.cached(mf->source()) != mf)
-            return;
-        chain = code_.chainFor(mf);
+        // Fast path for the steady state (every call/return runs
+        // through here): one lookup resolves an already-built live
+        // chain. The tier + installed-body checks only run when
+        // that misses, to decide first-time chain creation.
+        chain = code_.findChain(mf);
+        if (!chain) {
+            if (code_.tierOf(mf->source()) != kTierTrace)
+                return;
+            if (code_.cached(mf->source()) != mf)
+                return;
+            chain = code_.chainFor(mf);
+        }
         cb = chain->blockFor(block);
     };
 
@@ -252,6 +247,32 @@ MachineSimulator::runInternal(const Function *f,
             ChainedInstr *ip = cb->code.data() + index;
             const ChainedInstr *end =
                 cb->code.data() + cb->code.size();
+            // The instruction counter and the profile-sampling
+            // countdown live in locals for the duration of the
+            // inner loop: the indirect handler call clobbers
+            // memory, so member fields would be reloaded and
+            // stored on every instruction, while loop-local state
+            // survives in callee-saved registers. Both are synced
+            // back on every exit from the loop. With no limit set
+            // the sentinel makes the budget check a single
+            // never-taken compare.
+            uint64_t executed = executed_;
+            const uint64_t limit = limit_ ? limit_ : ~uint64_t(0);
+            uint64_t countdown = sampleCountdown_;
+            EdgeProfile *profile = profile_;
+            // Block-entry profile event over the cached IDs; the
+            // same sampling discipline as noteBlock, against the
+            // loop-local countdown.
+            auto noteChained = [&](const ChainedBlock *from,
+                                   const ChainedBlock *to) {
+                if (!profile)
+                    return;
+                if (--countdown)
+                    return;
+                countdown = sampleInterval_;
+                profile_->noteId(from->id, to->id, sampleInterval_);
+                NumProfileSamples += sampleInterval_;
+            };
             for (;;) {
                 if (ip == end) {
                     ChainedBlock *next = cb->fall;
@@ -264,9 +285,10 @@ MachineSimulator::runInternal(const Function *f,
                     end = ip + cb->code.size();
                     continue;
                 }
-                ++executed_;
-                if (limit_ && executed_ > limit_) {
+                if (++executed > limit) {
                     index = size_t(ip - cb->code.data());
+                    executed_ = executed;
+                    sampleCountdown_ = countdown;
                     fatal("simulator instruction limit exceeded");
                 }
                 state.next = SimState::Next::Fall;
@@ -291,6 +313,8 @@ MachineSimulator::runInternal(const Function *f,
                 }
                 mip = ip->mi;
                 index = size_t(ip - cb->code.data());
+                executed_ = executed;
+                sampleCountdown_ = countdown;
                 break;
             }
         } else {

@@ -153,7 +153,7 @@ TEST_P(CodegenTargets, CoalescingRemovesPhiCopies)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTargets, CodegenTargets,
-                         ::testing::Values("x86", "sparc"),
+                         ::testing::ValuesIn(targetNames()),
                          [](const auto &info) {
                              return info.param;
                          });

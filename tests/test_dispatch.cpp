@@ -76,7 +76,7 @@ adaptiveOpts(uint64_t watermark = 500)
 }
 
 LLEEResult
-runLLEE(const std::vector<uint8_t> &bc, const char *target,
+runLLEE(const std::vector<uint8_t> &bc, const std::string &target,
         CodeGenOptions opts, MachineSimulator::Dispatch dispatch,
         uint64_t sampleInterval = 1)
 {
@@ -99,7 +99,7 @@ TEST_P(DispatchSuite, ThreadedMatchesSwitchAtEveryTier)
     verifyOrDie(*m);
     auto bc = writeBytecode(*m);
 
-    for (const char *target : {"x86", "sparc"}) {
+    for (const std::string &target : targetNames()) {
         for (uint8_t level : {0, 1, 2}) {
             CodeGenOptions opts;
             opts.optLevel = level;
@@ -129,7 +129,7 @@ TEST_P(DispatchSuite, ChainedTraceTierMatchesSwitchEngine)
     verifyOrDie(*m);
     auto bc = writeBytecode(*m);
 
-    for (const char *target : {"x86", "sparc"}) {
+    for (const std::string &target : targetNames()) {
         LLEEResult sw =
             runLLEE(bc, target, adaptiveOpts(200),
                     MachineSimulator::Dispatch::Switch);
@@ -375,7 +375,7 @@ TEST(TrapDispatch, HandlerRaisedTrapSupersedesOriginal)
         auto r = interp.run(m->getFunction("main"));
         EXPECT_EQ(r.trap, TrapKind::NullAccess);
     }
-    for (const char *target : {"x86", "sparc"}) {
+    for (const std::string &target : targetNames()) {
         ExecutionContext ctx(*m);
         ctx.setTrapHandler(
             static_cast<unsigned>(TrapKind::DivByZero),

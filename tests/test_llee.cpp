@@ -612,6 +612,56 @@ TEST(LLEE, IncompatibleAndStaleEntriesAreRejected)
     EXPECT_EQ(stats::value("llee.cache_stale"), staleBefore + 1);
 }
 
+TEST(LLEE, CrossTargetCacheEntryIsIncompatibleNotCorrupt)
+{
+    // A translation cached for one I-ISA planted under the storage
+    // key of another must classify as Incompatible (the key's
+    // targetName protects it), NOT Corrupt: the envelope is intact,
+    // it just encodes a different machine's opcodes. It is evicted
+    // and retranslated without touching the corruption statistic.
+    auto bc = program();
+    auto m = readBytecode(bc).orDie();
+    Target &sparc = *getTarget("sparc");
+    Target &riscv = *getTarget("riscv");
+
+    // Populate a cache with genuine sparc translations.
+    MemoryStorage sparcStore;
+    LLEE sparcLLEE(sparc, &sparcStore);
+    ASSERT_TRUE(sparcLLEE.execute(bc).exec.ok());
+    std::string sparcKey = LLEE::translationKey(
+        LLEE::programKey(bc), *m->getFunction("main"), sparc, {});
+    std::vector<uint8_t> env;
+    ASSERT_TRUE(sparcStore.read(kCache, sparcKey, env));
+
+    // Plant the sparc envelope where the riscv configuration will
+    // look for main.
+    std::string riscvKey = LLEE::translationKey(
+        LLEE::programKey(bc), *m->getFunction("main"), riscv, {});
+    MemoryStorage planted;
+    ASSERT_TRUE(planted.createCache(kCache));
+    ASSERT_TRUE(planted.write(kCache, riscvKey, env));
+
+    uint64_t corruptBefore = stats::value("llee.cache_corrupt");
+    uint64_t incompatBefore =
+        stats::value("llee.cache_incompatible");
+    LLEE riscvLLEE(riscv, &planted);
+    LLEEResult r = riscvLLEE.execute(bc);
+    ASSERT_TRUE(r.exec.ok());
+    EXPECT_EQ(static_cast<int64_t>(r.exec.value.i), 36);
+    EXPECT_GE(r.cacheInvalid, 1u);
+    EXPECT_EQ(stats::value("llee.cache_corrupt"), corruptBefore);
+    EXPECT_EQ(stats::value("llee.cache_incompatible"),
+              incompatBefore + 1);
+
+    // The foreign entry was evicted and replaced by a riscv
+    // translation: clean hits from here on.
+    LLEEResult healed = riscvLLEE.execute(bc);
+    ASSERT_TRUE(healed.exec.ok());
+    EXPECT_EQ(healed.cacheHits, 2u);
+    EXPECT_EQ(healed.cacheInvalid, 0u);
+    EXPECT_EQ(static_cast<int64_t>(healed.exec.value.i), 36);
+}
+
 TEST(LLEE, DeadStorageDegradesToNoStorageBehaviour)
 {
     // failRate 1.0: every storage call fails. Must behave exactly

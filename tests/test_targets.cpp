@@ -1,10 +1,12 @@
 /**
  * @file
- * Target-backend tests beyond test_codegen.cpp: golden disassembly
- * snapshots (the exact instruction sequences both backends emit for
- * a small function), encoder width properties (fixed 4-byte sparc
- * words under both allocators, variable-length x86), and getTarget
- * diagnostics for unknown target names.
+ * Target-backend tests beyond test_codegen.cpp, table-driven over
+ * the registry: golden disassembly snapshots (the exact instruction
+ * sequences each backend emits for a small function), encoder width
+ * properties (fixed-word RISC encodings vs variable-length x86), and
+ * getTarget diagnostics for unknown target names. Adding a backend
+ * means adding one row per table; the per-table registry guards fail
+ * if a registered target has no row.
  */
 
 #include <gtest/gtest.h>
@@ -55,78 +57,124 @@ parse(const std::string &src)
     return m;
 }
 
+/** Golden disassembly of kMAdd, one row per registered target. */
+struct GoldenRow
+{
+    const char *target;
+    const char *expected;
+};
+
+const GoldenRow kMAddGolden[] = {
+    {"x86",
+     "madd:  ; x86, frame 0 bytes\n"
+     ".entry:\n"
+     "    mov %rax, [%rsp+0]\n"
+     "    mov %rcx, [%rsp+8]\n"
+     "    mov %rdx, %rax\n"
+     "    imul %rdx, %rcx\n"
+     "    mov %rax, %rdx\n"
+     "    add %rax, $7\n"
+     "    ret\n"},
+    {"sparc",
+     "madd:  ; sparc, frame 0 bytes\n"
+     ".entry:\n"
+     "    mov %o0, %g1\n"
+     "    mov %o1, %g2\n"
+     "    mulx %g1, %g2, %g3\n"
+     "    add %g3, 7, %g1\n"
+     "    mov %g1, %o0\n"
+     "    ret\n"
+     "    nop\n"},
+    {"riscv",
+     "madd:  ; riscv, frame 0 bytes\n"
+     ".entry:\n"
+     "    mv t0, a0\n"
+     "    mv t1, a1\n"
+     "    mul t2, t0, t1\n"
+     "    addi t0, t2, 7\n"
+     "    mv a0, t0\n"
+     "    ret\n"},
+};
+
+/** Encoding-shape expectations: fixed word size, or 0 for a
+ *  variable-length encoding (which must use >= 2 lengths). */
+struct EncodingRow
+{
+    const char *target;
+    size_t fixedBytes;
+};
+
+const EncodingRow kEncodingRows[] = {
+    {"x86", 0},
+    {"sparc", 4},
+    {"riscv", 4},
+};
+
+template <typename Row, size_t N>
+void
+expectRowPerRegisteredTarget(const Row (&rows)[N])
+{
+    std::set<std::string> covered;
+    for (const Row &r : rows)
+        covered.insert(r.target);
+    for (const std::string &name : targetNames())
+        EXPECT_TRUE(covered.count(name))
+            << "registered target '" << name
+            << "' has no test-table row";
+}
+
 } // namespace
 
-TEST(TargetGolden, X86MAddDisassembly)
+TEST(TargetGolden, MAddDisassemblyPerTarget)
 {
     auto m = parse(kMAdd);
-    auto mf = translateFunction(*m->getFunction("madd"),
-                                *getTarget("x86"));
-    EXPECT_EQ(machineFunctionToString(*mf, *getTarget("x86")),
-              "madd:  ; x86, frame 0 bytes\n"
-              ".entry:\n"
-              "    mov %rax, [%rsp+0]\n"
-              "    mov %rcx, [%rsp+8]\n"
-              "    mov %rdx, %rax\n"
-              "    imul %rdx, %rcx\n"
-              "    mov %rax, %rdx\n"
-              "    add %rax, $7\n"
-              "    ret\n");
-}
-
-TEST(TargetGolden, SparcMAddDisassembly)
-{
-    auto m = parse(kMAdd);
-    auto mf = translateFunction(*m->getFunction("madd"),
-                                *getTarget("sparc"));
-    EXPECT_EQ(machineFunctionToString(*mf, *getTarget("sparc")),
-              "madd:  ; sparc, frame 0 bytes\n"
-              ".entry:\n"
-              "    mov %o0, %g1\n"
-              "    mov %o1, %g2\n"
-              "    mulx %g1, %g2, %g3\n"
-              "    add %g3, 7, %g1\n"
-              "    mov %g1, %o0\n"
-              "    ret\n"
-              "    nop\n");
-}
-
-TEST(TargetEncoding, SparcEveryInstructionIsExactlyFourBytes)
-{
-    auto m = parse(kLoopFn);
-    Target &sparc = *getTarget("sparc");
-    for (auto alloc : {CodeGenOptions::Allocator::Local,
-                       CodeGenOptions::Allocator::LinearScan}) {
-        CodeGenOptions opts;
-        opts.allocator = alloc;
-        auto mf = translateFunction(*m->getFunction("sum"), sparc,
-                                    opts);
-        for (const auto &mbb : mf->blocks())
-            for (const auto &mi : mbb->instrs())
-                EXPECT_EQ(sparc.encode(*mi).size(), 4u)
-                    << sparc.instrToString(*mi);
+    for (const GoldenRow &row : kMAddGolden) {
+        auto mf = translateFunction(*m->getFunction("madd"),
+                                    *getTarget(row.target));
+        EXPECT_EQ(machineFunctionToString(*mf,
+                                          *getTarget(row.target)),
+                  row.expected)
+            << row.target;
     }
 }
 
-TEST(TargetEncoding, X86UsesAtLeastTwoInstructionLengths)
+TEST(TargetGolden, EveryRegisteredTargetHasGoldenRow)
+{
+    expectRowPerRegisteredTarget(kMAddGolden);
+}
+
+TEST(TargetEncoding, EncodingShapePerTarget)
 {
     auto m = parse(kLoopFn);
-    Target &x86 = *getTarget("x86");
-    for (auto alloc : {CodeGenOptions::Allocator::Local,
-                       CodeGenOptions::Allocator::LinearScan}) {
-        CodeGenOptions opts;
-        opts.allocator = alloc;
-        auto mf =
-            translateFunction(*m->getFunction("sum"), x86, opts);
-        std::set<size_t> sizes;
-        for (const auto &mbb : mf->blocks())
-            for (const auto &mi : mbb->instrs()) {
-                size_t n = x86.encode(*mi).size();
-                EXPECT_GE(n, 1u) << x86.instrToString(*mi);
-                sizes.insert(n);
+    for (const EncodingRow &row : kEncodingRows) {
+        Target &target = *getTarget(row.target);
+        for (auto alloc : {CodeGenOptions::Allocator::Local,
+                           CodeGenOptions::Allocator::LinearScan}) {
+            CodeGenOptions opts;
+            opts.allocator = alloc;
+            auto mf = translateFunction(*m->getFunction("sum"),
+                                        target, opts);
+            std::set<size_t> sizes;
+            for (const auto &mbb : mf->blocks())
+                for (const auto &mi : mbb->instrs()) {
+                    size_t n = target.encode(*mi).size();
+                    EXPECT_GE(n, 1u) << target.instrToString(*mi);
+                    sizes.insert(n);
+                }
+            if (row.fixedBytes) {
+                EXPECT_EQ(sizes.size(), 1u) << row.target;
+                EXPECT_TRUE(sizes.count(row.fixedBytes))
+                    << row.target;
+            } else {
+                EXPECT_GE(sizes.size(), 2u) << row.target;
             }
-        EXPECT_GE(sizes.size(), 2u);
+        }
     }
+}
+
+TEST(TargetEncoding, EveryRegisteredTargetHasEncodingRow)
+{
+    expectRowPerRegisteredTarget(kEncodingRows);
 }
 
 TEST(TargetEncoding, X86ImmediateWidthAffectsLength)
@@ -174,8 +222,10 @@ TEST(TargetRegistry, UnknownTargetFailsWithKnownList)
         }
         return std::string("no error");
     };
-    EXPECT_EQ(message("vax"),
-              "unknown target 'vax' (known targets: x86, sparc)");
-    EXPECT_EQ(message(""),
-              "unknown target '' (known targets: x86, sparc)");
+    EXPECT_EQ(
+        message("vax"),
+        "unknown target 'vax' (known targets: x86, sparc, riscv)");
+    EXPECT_EQ(
+        message(""),
+        "unknown target '' (known targets: x86, sparc, riscv)");
 }

@@ -38,26 +38,44 @@ using namespace llva;
 
 namespace {
 
+/** Registered target names joined with a separator, for usage text
+ *  and --list-targets (the registry is the single source of truth —
+ *  a new backend shows up here without touching the tools). */
+std::string
+targetList(const char *sep)
+{
+    std::string out;
+    for (const std::string &n : targetNames()) {
+        if (!out.empty())
+            out += sep;
+        out += n;
+    }
+    return out;
+}
+
 [[noreturn]] void
 usage()
 {
+    std::string targets = targetList("|");
     std::fprintf(stderr, R"(usage:
   llva-as  <input.llva> -o <out.bc>         assemble text to object code
   llva-dis <input.bc>  [-o <out.llva>]      disassemble object code
   llva-opt <input.bc>  -O<0|1|2> -o <out.bc> optimize object code
                        [-time-passes] [-stats] [-opt-bisect-limit=N]
-  llva-run <input.bc>  [--target x86|sparc] [--cache DIR] [--interp]
+  llva-run <input.bc>  [--target %s] [--cache DIR] [--interp]
                        [--entry NAME] [-O<0|1|2>] [-j N] [-stats]
                        [--adaptive] [--watermark N] [-print-traces]
                        [--dispatch switch|threaded]
                        [--profile-sample N]
                        [-verify-each] [-opt-bisect-limit=N]
                                              execute under LLEE
-  llva-translate <input.bc> [--target x86|sparc] [--local-alloc]
+  llva-run --list-targets                   print registered targets
+  llva-translate <input.bc> [--target %s] [--local-alloc]
                        [--no-coalesce] [-O<0|1|2>] [-j N] [-stats]
                        [-print-traces] [-verify-each]
                        [-opt-bisect-limit=N]
                                              print machine code
+  llva-translate --list-targets             print registered targets
   llva-translate --verify-cache <dir> [--repair]
                                              audit a translation cache:
                                              report corrupt/incompatible
@@ -89,8 +107,17 @@ usage()
   -print-traces print formed hot traces to stderr (llva-run: at each
                 promotion; llva-translate: after a profiling
                 interpreter run, and lay blocks out trace-first)
-)");
+)",
+                 targets.c_str(), targets.c_str());
     std::exit(2);
+}
+
+/** `--list-targets`: one registered target per line. */
+[[noreturn]] void
+listTargets()
+{
+    std::printf("%s\n", targetList("\n").c_str());
+    std::exit(0);
 }
 
 /** Parse `-j N`-style worker counts (0 means every core). */
@@ -254,6 +281,8 @@ toolRun(const std::vector<std::string> &args)
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
             target = args[++i];
+        else if (args[i] == "--list-targets")
+            listTargets();
         else if (args[i] == "--cache" && i + 1 < args.size())
             cache = args[++i];
         else if (args[i] == "--entry" && i + 1 < args.size())
@@ -311,9 +340,8 @@ toolRun(const std::vector<std::string> &args)
         return static_cast<int>(r.value.i);
     }
 
+    // getTarget fails with the registry-driven known-target list.
     Target *t = getTarget(target);
-    if (!t)
-        fatal("unknown target '%s'", target.c_str());
     std::unique_ptr<FileStorage> storage;
     if (!cache.empty())
         storage = std::make_unique<FileStorage>(cache);
@@ -416,6 +444,8 @@ toolTranslate(const std::vector<std::string> &args)
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--target" && i + 1 < args.size())
             target = args[++i];
+        else if (args[i] == "--list-targets")
+            listTargets();
         else if (args[i] == "--verify-cache" && i + 1 < args.size())
             verifyDir = args[++i];
         else if (args[i] == "--repair")
@@ -444,9 +474,8 @@ toolTranslate(const std::vector<std::string> &args)
         return verifyCache(verifyDir, repair);
     if (input.empty())
         usage();
+    // getTarget fails with the registry-driven known-target list.
     Target *t = getTarget(target);
-    if (!t)
-        fatal("unknown target '%s'", target.c_str());
     auto m = loadModule(input);
     verifyOrDie(*m);
 
