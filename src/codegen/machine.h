@@ -9,6 +9,7 @@
 #ifndef LLVA_CODEGEN_MACHINE_H
 #define LLVA_CODEGEN_MACHINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -155,8 +156,11 @@ struct MachineInstr
     bool fp32 = false;
     std::vector<MOperand> ops;
     /** Lazily resolved dispatch handler (owned by the executing
-     *  target; never serialized). */
-    mutable ExecFn exec = nullptr;
+     *  target; never serialized). Atomic because concurrent
+     *  simulators may resolve the same instruction: handlerFor()
+     *  is deterministic per opcode, so racing stores write the
+     *  same value and relaxed ordering suffices. */
+    mutable std::atomic<ExecFn> exec{nullptr};
 
     MachineInstr(uint16_t opc, std::vector<MOperand> operands,
                  unsigned defs = 0)

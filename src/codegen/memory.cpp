@@ -1,5 +1,6 @@
 #include "codegen/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "ir/instructions.h"
@@ -169,6 +170,106 @@ Memory::functionAt(uint64_t addr) const
 {
     auto it = addrFuncs_.find(addr);
     return it == addrFuncs_.end() ? nullptr : it->second;
+}
+
+void
+Memory::serialize(ByteWriter &w) const
+{
+    constexpr uint64_t kPage = 4096;
+    w.writeU64(size_);
+    // Sparse image: only pages with live data. Typical checkpoints
+    // touch a few hundred KiB of a 64 MiB space.
+    uint64_t pages = 0;
+    for (uint64_t p = 0; p < size_; p += kPage) {
+        uint64_t n = std::min(kPage, size_ - p);
+        bool zero = true;
+        for (uint64_t i = 0; i < n && zero; ++i)
+            zero = bytes_[p + i] == 0;
+        if (!zero)
+            ++pages;
+    }
+    w.writeVaruint(pages);
+    for (uint64_t p = 0; p < size_; p += kPage) {
+        uint64_t n = std::min(kPage, size_ - p);
+        bool zero = true;
+        for (uint64_t i = 0; i < n && zero; ++i)
+            zero = bytes_[p + i] == 0;
+        if (zero)
+            continue;
+        w.writeU64(p);
+        w.writeVaruint(n);
+        for (uint64_t i = 0; i < n; ++i)
+            w.writeByte(bytes_[p + i]);
+    }
+    w.writeU64(globalBrk_);
+    w.writeU64(heapBase_);
+    w.writeU64(heapBrk_);
+    w.writeU64(stackLimit_);
+    w.writeU64(heapAllocated_);
+    w.writeVaruint(heapBlocks_.size());
+    for (const auto &[addr, blk] : heapBlocks_) {
+        w.writeU64(addr);
+        w.writeU64(blk.size);
+        w.writeByte(blk.free ? 1 : 0);
+    }
+    // Function "addresses" by name: the restoring process assigns
+    // its own Function pointers but must reproduce the exact same
+    // numeric addresses (they are stored as data in the image).
+    w.writeVaruint(funcAddrs_.size());
+    for (const auto &[f, addr] : funcAddrs_) {
+        w.writeString(f->name());
+        w.writeU64(addr);
+    }
+}
+
+bool
+Memory::restore(ByteReader &r, const Module &m)
+{
+    uint64_t size = r.readU64();
+    if (size != size_)
+        return false;
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+    uint64_t pages = r.readVaruint();
+    for (uint64_t i = 0; i < pages; ++i) {
+        uint64_t p = r.readU64();
+        uint64_t n = r.readVaruint();
+        if (p + n > size_)
+            return false;
+        for (uint64_t b = 0; b < n; ++b)
+            bytes_[p + b] = r.readByte();
+    }
+    globalBrk_ = r.readU64();
+    heapBase_ = r.readU64();
+    heapBrk_ = r.readU64();
+    stackLimit_ = r.readU64();
+    heapAllocated_ = r.readU64();
+    heapBlocks_.clear();
+    uint64_t nBlocks = r.readVaruint();
+    for (uint64_t i = 0; i < nBlocks; ++i) {
+        uint64_t addr = r.readU64();
+        HeapBlock blk;
+        blk.size = r.readU64();
+        blk.free = r.readByte() != 0;
+        heapBlocks_[addr] = blk;
+    }
+    funcAddrs_.clear();
+    addrFuncs_.clear();
+    uint64_t nFuncs = r.readVaruint();
+    for (uint64_t i = 0; i < nFuncs; ++i) {
+        std::string name = r.readString();
+        uint64_t addr = r.readU64();
+        const Function *f = m.getFunction(name);
+        if (!f)
+            return false;
+        funcAddrs_[f] = addr;
+        addrFuncs_[addr] = f;
+    }
+    // functionAddress() hands out kCodeBase + 16*(n+1): restoring N
+    // entries keeps future assignments past every restored address
+    // only if the checkpointing process assigned them the same way —
+    // which it did, so the next fresh address is collision-free.
+    trap_ = TrapKind::None;
+    return true;
 }
 
 namespace {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "support/byte_io.h"
 
 namespace llva {
 
@@ -79,6 +80,22 @@ class Memory
 
     /** Total bytes handed out by malloc (statistics). */
     uint64_t heapBytesAllocated() const { return heapAllocated_; }
+
+    // --- Checkpoint ------------------------------------------------------
+
+    /**
+     * Serialize the memory image and allocator state. The byte
+     * image is written sparsely (only non-zero 4 KiB pages), and
+     * function addresses by function name — heap pointers stored in
+     * memory stay valid because the restored image reproduces the
+     * exact same address space.
+     */
+    void serialize(ByteWriter &w) const;
+
+    /** Rebuild from checkpoint bytes; function names are resolved
+     *  against \p m. Returns false on a size mismatch or a function
+     *  that no longer exists. */
+    bool restore(ByteReader &r, const Module &m);
 
   private:
     bool

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * VM checkpoint/restore: serialize a whole running program — heap
+ * and stack image, captured output, OS state (trap handlers, the
+ * privileged bit, SMC redirects), the code-cache index, the runtime
+ * edge profile, and optionally a suspended activation — into one
+ * envelope-sealed blob restorable in a fresh process.
+ *
+ * The design follows the paper's offline-translation contract
+ * (Section 4.1): everything that crosses the process boundary is
+ * expressed at the V-ISA level or validated before use. Function
+ * references travel by name; heap references need no relocation
+ * because the restored memory image reproduces the same simulated
+ * address space; machine-code entries carry their target and are
+ * *classified*, not trusted — an entry from a different target ISA
+ * is Incompatible and simply dropped, to be healed by retranslation
+ * on demand, which is what makes a checkpoint taken on one ISA
+ * restorable on another. The carried profile keeps its heat, so the
+ * adaptive tier re-promotes hot functions immediately instead of
+ * re-profiling from zero.
+ *
+ * A suspended activation (MachineSimulator pause) is restorable
+ * only onto the same target ISA: its register state and frame
+ * indices are I-ISA-level. Cross-ISA migration requires a quiescent
+ * checkpoint (pause at a call boundary, i.e. no suspended section).
+ */
+
+#ifndef LLVA_LLEE_CHECKPOINT_H
+#define LLVA_LLEE_CHECKPOINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/expected.h"
+#include "vm/machine_sim.h"
+
+namespace llva {
+
+/** Format version of the sealed checkpoint blob. */
+constexpr uint32_t kCheckpointVersion = 1;
+
+/** What a restore did with the checkpoint's contents. */
+struct CheckpointRestoreStats
+{
+    /** Code entries installed (including interpreter pins). */
+    size_t codeRestored = 0;
+    /** Entries for a different target ISA, dropped for on-demand
+     *  retranslation (the cross-ISA healing path). */
+    size_t codeIncompatible = 0;
+    /** Entries that failed validation against the module. */
+    size_t codeRejected = 0;
+    /** A carried profile was loaded into the caller's profile. */
+    bool profileRestored = false;
+    /** The checkpoint contained a suspended activation (and it was
+     *  restored — a suspended section that cannot be restored is a
+     *  hard error, not a partial restore). */
+    bool suspended = false;
+};
+
+/**
+ * Capture a checkpoint of the program state held by \p ctx and the
+ * code cache of \p cm. \p moduleHash identifies the virtual object
+ * code (any stable content hash; restore must present the same).
+ * \p profile, when non-null, is carried for immediate re-promotion
+ * after restore. \p sim, when non-null and paused, contributes its
+ * suspended activation. Returns the sealed blob.
+ */
+std::vector<uint8_t>
+captureCheckpoint(uint64_t moduleHash, const ExecutionContext &ctx,
+                  CodeManager &cm, const EdgeProfile *profile,
+                  const MachineSimulator *sim = nullptr);
+
+/**
+ * Restore a checkpoint into a fresh context/manager built over the
+ * same module (hash-checked against \p moduleHash). The restoring
+ * CodeManager's target may differ from the capturing one: native
+ * entries then classify as Incompatible and are retranslated on
+ * demand. \p profile receives the carried profile (ignored when
+ * null); \p sim receives a suspended activation if one is present
+ * (an error if it is null or on a different target). Errors:
+ * damaged envelope, module mismatch, execution state that no longer
+ * resolves, or an unrestorable suspended section.
+ */
+Expected<CheckpointRestoreStats>
+restoreCheckpoint(const std::vector<uint8_t> &sealed,
+                  uint64_t moduleHash, ExecutionContext &ctx,
+                  CodeManager &cm, EdgeProfile *profile,
+                  MachineSimulator *sim = nullptr);
+
+} // namespace llva
+
+#endif // LLVA_LLEE_CHECKPOINT_H

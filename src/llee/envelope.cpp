@@ -136,6 +136,51 @@ inspectTranslation(const std::vector<uint8_t> &envelope,
     }
 }
 
+std::vector<uint8_t>
+sealBlob(const char magic[4], uint32_t version,
+         const std::vector<uint8_t> &payload)
+{
+    ByteWriter w;
+    for (size_t i = 0; i < 4; ++i)
+        w.writeByte(static_cast<uint8_t>(magic[i]));
+    w.writeU32(version);
+    w.writeVaruint(payload.size());
+    w.writeBytes(payload.data(), payload.size());
+    w.writeU32(crc32(w.bytes()));
+    return w.takeBytes();
+}
+
+EnvelopeStatus
+openBlob(const std::vector<uint8_t> &envelope, const char magic[4],
+         uint32_t version, std::vector<uint8_t> &payload)
+{
+    if (envelope.size() < 4 + 4 + kCrcSize)
+        return EnvelopeStatus::Corrupt;
+    size_t body = envelope.size() - kCrcSize;
+    uint32_t stored = 0;
+    for (size_t i = 0; i < kCrcSize; ++i)
+        stored |= static_cast<uint32_t>(envelope[body + i]) << (8 * i);
+    if (crc32(envelope.data(), body) != stored)
+        return EnvelopeStatus::Corrupt;
+
+    try {
+        ByteReader r(envelope.data(), body);
+        for (size_t i = 0; i < 4; ++i)
+            if (r.readByte() != static_cast<uint8_t>(magic[i]))
+                return EnvelopeStatus::Corrupt;
+        if (r.readU32() != version)
+            return EnvelopeStatus::Incompatible;
+        uint64_t n = r.readVaruint();
+        if (n != r.remaining())
+            return EnvelopeStatus::Corrupt;
+        payload.resize(n);
+        r.readBytes(payload.data(), n);
+        return EnvelopeStatus::Ok;
+    } catch (const FatalError &) {
+        return EnvelopeStatus::Corrupt;
+    }
+}
+
 const char *
 envelopeStatusName(EnvelopeStatus status)
 {

@@ -121,6 +121,27 @@ EnvelopeStatus inspectTranslation(const std::vector<uint8_t> &envelope,
 /** Human-readable status name (for tool output and logs). */
 const char *envelopeStatusName(EnvelopeStatus status);
 
+// --- Generic blob envelopes ----------------------------------------------
+
+/**
+ * Seal an arbitrary payload (e.g. a VM checkpoint) under a caller-
+ * chosen 4-byte magic and format version: magic | version u32 |
+ * payload length varuint | payload | crc32 u32 over every preceding
+ * byte. The same integrity discipline as translation envelopes —
+ * nothing in the payload is trusted before the CRC passes.
+ */
+std::vector<uint8_t> sealBlob(const char magic[4], uint32_t version,
+                              const std::vector<uint8_t> &payload);
+
+/**
+ * Open a sealed blob: Corrupt on damage (bad magic, short file, CRC
+ * mismatch), Incompatible on a version mismatch, otherwise Ok with
+ * \p payload receiving the enclosed bytes.
+ */
+EnvelopeStatus openBlob(const std::vector<uint8_t> &envelope,
+                        const char magic[4], uint32_t version,
+                        std::vector<uint8_t> &payload);
+
 } // namespace llva
 
 #endif // LLVA_LLEE_ENVELOPE_H

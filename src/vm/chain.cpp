@@ -18,32 +18,48 @@ Statistic NumSuperblockUnlinks(
 
 ChainedFunction::ChainedFunction(const MachineFunction *mf,
                                  Target &target)
-    : mf_(mf), target_(target)
-{
-    blocks_.resize(mf->blocks().size());
-}
+    : mf_(mf), target_(target), blocks_(mf->blocks().size())
+{}
 
 ChainedBlock *
 ChainedFunction::blockFor(MachineBasicBlock *mbb)
 {
     LLVA_ASSERT(mbb->parent() == mf_,
                 "chaining a block of another function");
-    auto &slot = blocks_[mbb->index()];
-    if (!slot) {
-        auto cb = std::make_unique<ChainedBlock>();
-        cb->mbb = mbb;
-        cb->id = BlockId{mf_->nameHash(), mbb->nameHash()};
-        cb->code.reserve(mbb->instrs().size());
-        for (const auto &mi : mbb->instrs()) {
-            ChainedInstr ci;
-            ci.mi = mi.get();
-            ci.fn = mi->exec ? mi->exec
-                             : (mi->exec = target_.handlerFor(*mi));
-            cb->code.push_back(ci);
+    // Executors read the slot lock-free; a non-null pointer was
+    // release-published after the block was fully built.
+    ChainedBlock *cb =
+        blocks_[mbb->index()].load(std::memory_order_acquire);
+    return cb ? cb : buildBlock(mbb);
+}
+
+ChainedBlock *
+ChainedFunction::buildBlock(MachineBasicBlock *mbb)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ChainedBlock *cb =
+        blocks_[mbb->index()].load(std::memory_order_relaxed);
+    if (cb)
+        return cb; // lost the build race; reuse the winner
+    auto built = std::make_unique<ChainedBlock>();
+    built->mbb = mbb;
+    built->id = BlockId{mf_->nameHash(), mbb->nameHash()};
+    built->code.resize(mbb->instrs().size());
+    size_t i = 0;
+    for (const auto &mi : mbb->instrs()) {
+        ChainedInstr &ci = built->code[i++];
+        ci.mi = mi.get();
+        ExecFn fn = mi->exec.load(std::memory_order_relaxed);
+        if (!fn) {
+            fn = target_.handlerFor(*mi);
+            mi->exec.store(fn, std::memory_order_relaxed);
         }
-        slot = std::move(cb);
+        ci.fn = fn;
     }
-    return slot.get();
+    cb = built.get();
+    owned_.push_back(std::move(built));
+    blocks_[mbb->index()].store(cb, std::memory_order_release);
+    return cb;
 }
 
 ChainedBlock *
@@ -60,9 +76,11 @@ ChainedFunction::linkFallthrough(ChainedBlock *cb)
                 "machine function fell off the end (%s)",
                 mf_->name().c_str());
     ChainedBlock *succ = blockFor(mf_->blocks()[next].get());
-    if (!unlinked_) {
-        cb->fall = succ;
-        ++links_;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!unlinked_.load(std::memory_order_relaxed)) {
+        if (!cb->fall.load(std::memory_order_relaxed))
+            links_.fetch_add(1, std::memory_order_relaxed);
+        cb->fall.store(succ, std::memory_order_release);
         ++NumSuperblockLinks;
     }
     return succ;
@@ -73,10 +91,11 @@ ChainedFunction::linkBranch(ChainedInstr &ci,
                             MachineBasicBlock *target)
 {
     ChainedBlock *succ = blockFor(target);
-    if (!unlinked_) {
-        if (!ci.link)
-            ++links_;
-        ci.link = succ;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!unlinked_.load(std::memory_order_relaxed)) {
+        if (!ci.link.load(std::memory_order_relaxed))
+            links_.fetch_add(1, std::memory_order_relaxed);
+        ci.link.store(succ, std::memory_order_release);
         ++NumSuperblockLinks;
     }
     return succ;
@@ -85,15 +104,17 @@ ChainedFunction::linkBranch(ChainedInstr &ci,
 void
 ChainedFunction::unlink()
 {
-    for (auto &cb : blocks_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &slot : blocks_) {
+        ChainedBlock *cb = slot.load(std::memory_order_relaxed);
         if (!cb)
             continue;
-        cb->fall = nullptr;
+        cb->fall.store(nullptr, std::memory_order_release);
         for (ChainedInstr &ci : cb->code)
-            ci.link = nullptr;
+            ci.link.store(nullptr, std::memory_order_release);
     }
-    links_ = 0;
-    unlinked_ = true;
+    links_.store(0, std::memory_order_relaxed);
+    unlinked_.store(true, std::memory_order_release);
     ++NumSuperblockUnlinks;
 }
 

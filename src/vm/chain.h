@@ -16,12 +16,22 @@
  * chain into a retired body. The ChainedFunction itself is retired,
  * not destroyed, for the same reason MachineFunctions are: a live
  * activation may still be executing inside it.
+ *
+ * Thread safety: several simulator threads may execute through one
+ * chain while another builds blocks, patches links, or unlinks it
+ * (concurrent SMC replacement). Link fields are atomic pointers —
+ * a reader either sees a fully built successor (release-published)
+ * or null and falls back to the slow resolution path — and all
+ * structural mutation (lazy block build, link patching, unlink) is
+ * serialized by an internal mutex.
  */
 
 #ifndef LLVA_VM_CHAIN_H
 #define LLVA_VM_CHAIN_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "codegen/target.h"
@@ -36,17 +46,34 @@ struct ChainedBlock;
 struct ChainedInstr
 {
     const MachineInstr *mi = nullptr;
-    ExecFn fn = nullptr;       ///< resolved at chain-build time
-    ChainedBlock *link = nullptr; ///< patched side-exit successor
+    ExecFn fn = nullptr; ///< resolved at chain-build time
+    /** Patched side-exit successor (atomic: raced by executors). */
+    std::atomic<ChainedBlock *> link{nullptr};
+
+    ChainedInstr() = default;
+    ChainedInstr(const ChainedInstr &o)
+        : mi(o.mi), fn(o.fn),
+          link(o.link.load(std::memory_order_relaxed))
+    {}
+    ChainedInstr &
+    operator=(const ChainedInstr &o)
+    {
+        mi = o.mi;
+        fn = o.fn;
+        link.store(o.link.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+        return *this;
+    }
 };
 
 /** The chained form of one machine basic block. */
 struct ChainedBlock
 {
     MachineBasicBlock *mbb = nullptr;
-    BlockId id;                ///< cached stable profile ID
+    BlockId id; ///< cached stable profile ID
     std::vector<ChainedInstr> code;
-    ChainedBlock *fall = nullptr; ///< patched fallthrough successor
+    /** Patched fallthrough successor (atomic: raced by executors). */
+    std::atomic<ChainedBlock *> fall{nullptr};
 };
 
 /**
@@ -77,19 +104,33 @@ class ChainedFunction
                              MachineBasicBlock *target);
 
     /** Patched links currently live (side exits + fallthroughs). */
-    size_t linkCount() const { return links_; }
+    size_t
+    linkCount() const
+    {
+        return links_.load(std::memory_order_relaxed);
+    }
 
     /** Sever every patched link (invalidate()/SMC retirement). */
     void unlink();
 
-    bool unlinked() const { return unlinked_; }
+    bool
+    unlinked() const
+    {
+        return unlinked_.load(std::memory_order_acquire);
+    }
 
   private:
+    /** blocks_[i] publication point for executor threads; built
+     *  blocks are owned by owned_ under mu_. */
+    ChainedBlock *buildBlock(MachineBasicBlock *mbb);
+
     const MachineFunction *mf_;
     Target &target_;
-    std::vector<std::unique_ptr<ChainedBlock>> blocks_; ///< by index
-    size_t links_ = 0;
-    bool unlinked_ = false;
+    std::mutex mu_; ///< serializes build/link/unlink
+    std::vector<std::atomic<ChainedBlock *>> blocks_; ///< by index
+    std::vector<std::unique_ptr<ChainedBlock>> owned_;
+    std::atomic<size_t> links_{0};
+    std::atomic<bool> unlinked_{false};
 };
 
 } // namespace llva

@@ -32,16 +32,45 @@ Statistic NumTraceCacheHits(
     "trace.cache_hits",
     "Trace formations or cached-translation loads that reused an "
     "already-known hot trace head");
+Statistic NumRetiredBodies(
+    "vm.retired_bodies",
+    "Machine-function bodies retired by SMC invalidation, "
+    "reinstallation, or promotion");
+Statistic NumRetiredChains(
+    "vm.retired_chains",
+    "Superblock chains retired alongside their bodies");
+Statistic NumRetiredReclaimed(
+    "vm.retired_reclaimed",
+    "Retired bodies and chains freed once no epoch pin could still "
+    "reference them");
+Statistic NumLiveReplacements(
+    "vm.live_replacements",
+    "Function bodies swapped by replaceFunctionLive() while the "
+    "program kept running");
 
 } // namespace
 
 const MachineFunction *
 CodeManager::get(const Function *f)
 {
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = cache_.find(f);
+        if (it != cache_.end())
+            return it->second.get();
+        auto tit = tiers_.find(f);
+        if (tit != tiers_.end() && tit->second == kTierInterpreter)
+            return nullptr;
+    }
+
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Another thread may have translated (or pinned) while we
+    // upgraded the lock.
     auto it = cache_.find(f);
     if (it != cache_.end())
         return it->second.get();
-    if (isInterpreted(f))
+    auto tit = tiers_.find(f);
+    if (tit != tiers_.end() && tit->second == kTierInterpreter)
         return nullptr;
 
     // The ladder optimizes the body in place (and restores it); the
@@ -72,7 +101,7 @@ CodeManager::translateWithLadder(Function &f)
              level > 0 ? "retrying one tier lower"
                        : "falling back to the interpreter");
     }
-    markInterpreted(&f);
+    tiers_[&f] = kTierInterpreter;
     ++NumInterpFallbacks;
     return nullptr;
 }
@@ -129,33 +158,14 @@ CodeManager::translateAtTier(Function &f, unsigned level)
 }
 
 void
-CodeManager::invalidate(const Function *f)
+CodeManager::retireBodyLocked(std::unique_ptr<MachineFunction> mf)
 {
-    // Retire rather than destroy: the simulator may be invalidating
-    // a function whose old body still sits in its call frames (SMC
-    // affects only *future* invocations, Section 3.4). A fresh
-    // translation may also be re-promoted later.
-    auto it = cache_.find(f);
-    if (it != cache_.end()) {
-        retireChain(it->second.get());
-        retired_.push_back(std::move(it->second));
-        cache_.erase(it);
-    }
-    tiers_.erase(f);
-    promoteAttempted_.erase(f);
-}
-
-ChainedFunction *
-CodeManager::chainFor(const MachineFunction *mf)
-{
-    auto &slot = chains_[mf];
-    if (!slot)
-        slot = std::make_unique<ChainedFunction>(mf, target_);
-    return slot.get();
+    retired_.push_back({std::move(mf), ++epoch_});
+    ++NumRetiredBodies;
 }
 
 void
-CodeManager::retireChain(const MachineFunction *mf)
+CodeManager::retireChainLocked(const MachineFunction *mf)
 {
     auto it = chains_.find(mf);
     if (it == chains_.end())
@@ -166,8 +176,135 @@ CodeManager::retireChain(const MachineFunction *mf)
     // links into a body the program just replaced.
     it->second->unlink();
     ++chainsUnlinked_;
-    retiredChains_.push_back(std::move(it->second));
+    retiredChains_.push_back({std::move(it->second), ++epoch_});
+    ++NumRetiredChains;
     chains_.erase(it);
+}
+
+void
+CodeManager::reclaimLocked()
+{
+    // A pin taken at epoch P protects exactly the objects retired
+    // after it (retirement epoch > P): pointers into anything
+    // retired earlier were already unreachable when the pin was
+    // taken. An object is freed once no pin predates its
+    // retirement.
+    uint64_t minPin = pins_.empty() ? UINT64_MAX : *pins_.begin();
+    auto sweep = [&](auto &list) {
+        size_t kept = 0;
+        for (auto &entry : list) {
+            if (entry.epoch <= minPin) {
+                ++reclaimed_;
+                ++NumRetiredReclaimed;
+            } else {
+                if (kept != size_t(&entry - list.data()))
+                    list[kept] = std::move(entry);
+                ++kept;
+            }
+        }
+        list.resize(kept);
+    };
+    sweep(retired_);
+    sweep(retiredChains_);
+}
+
+uint64_t
+CodeManager::pinEpoch()
+{
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    uint64_t pin = epoch_;
+    pins_.insert(pin);
+    return pin;
+}
+
+void
+CodeManager::unpinEpoch(uint64_t pin)
+{
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = pins_.find(pin);
+    LLVA_ASSERT(it != pins_.end(), "unpinning an unknown epoch");
+    pins_.erase(it);
+    reclaimLocked();
+}
+
+size_t
+CodeManager::retiredBodies() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return retired_.size();
+}
+
+size_t
+CodeManager::retiredChainCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return retiredChains_.size();
+}
+
+size_t
+CodeManager::reclaimedObjects() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return reclaimed_;
+}
+
+void
+CodeManager::invalidateLocked(const Function *f)
+{
+    // Retire rather than destroy: the simulator may be invalidating
+    // a function whose old body still sits in its call frames (SMC
+    // affects only *future* invocations, Section 3.4). A fresh
+    // translation may also be re-promoted later.
+    auto it = cache_.find(f);
+    if (it != cache_.end()) {
+        retireChainLocked(it->second.get());
+        retireBodyLocked(std::move(it->second));
+        cache_.erase(it);
+    }
+    tiers_.erase(f);
+    promoteAttempted_.erase(f);
+    reclaimLocked();
+}
+
+void
+CodeManager::invalidate(const Function *f)
+{
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    invalidateLocked(f);
+}
+
+const MachineFunction *
+CodeManager::replaceFunctionLive(const Function *f)
+{
+    if (!f || f->isDeclaration())
+        return nullptr;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Drop the installed translation, its chain, and any
+    // interpreter pin, then walk the ladder again — all under one
+    // exclusive section, so no other thread ever observes the gap
+    // between the retirement and the fresh installation.
+    invalidateLocked(f);
+    const MachineFunction *mf =
+        translateWithLadder(*const_cast<Function *>(f));
+    ++NumLiveReplacements;
+    return mf;
+}
+
+ChainedFunction *
+CodeManager::chainFor(const MachineFunction *mf)
+{
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Never chain a retired body: a concurrent replacement may have
+    // retired mf between the caller's liveness check and this call.
+    // Its chains_ entry was dropped with it, and inserting a new one
+    // here would outlive the body (dangling key after reclamation).
+    auto live = cache_.find(mf->source());
+    if (live == cache_.end() || live->second.get() != mf)
+        return nullptr;
+    auto &slot = chains_[mf];
+    if (!slot)
+        slot = std::make_unique<ChainedFunction>(mf, target_);
+    return slot.get();
 }
 
 size_t
@@ -175,10 +312,18 @@ CodeManager::translate(const std::vector<const Function *> &fns,
                        unsigned jobs)
 {
     std::vector<const Function *> work;
-    for (const Function *f : fns)
-        if (f && !f->isDeclaration() && !cache_.count(f) &&
-            !isInterpreted(f))
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (const Function *f : fns) {
+            if (!f || f->isDeclaration() || cache_.count(f))
+                continue;
+            auto tit = tiers_.find(f);
+            if (tit != tiers_.end() &&
+                tit->second == kTierInterpreter)
+                continue;
             work.push_back(f);
+        }
+    }
     if (work.empty())
         return 0;
 
@@ -204,6 +349,7 @@ CodeManager::translate(const std::vector<const Function *> &fns,
         seconds[i] = timer.seconds();
     });
 
+    std::unique_lock<std::shared_mutex> lock(mu_);
     for (size_t i = 0; i < work.size(); ++i) {
         cache_[work[i]] = std::move(results[i]);
         tiers_[work[i]] = 0;
@@ -240,54 +386,96 @@ void
 CodeManager::install(const Function *f,
                      std::unique_ptr<MachineFunction> mf, uint8_t tier)
 {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto old = cache_.find(f);
     if (old != cache_.end()) {
-        retireChain(old->second.get());
-        retired_.push_back(std::move(old->second));
+        retireChainLocked(old->second.get());
+        retireBodyLocked(std::move(old->second));
         cache_.erase(old);
     }
     cache_[f] = std::move(mf);
     tiers_[f] = tier;
+    reclaimLocked();
 }
 
 void
 CodeManager::markInterpreted(const Function *f)
 {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(f);
     if (it != cache_.end()) {
-        retireChain(it->second.get());
-        retired_.push_back(std::move(it->second));
+        retireChainLocked(it->second.get());
+        retireBodyLocked(std::move(it->second));
         cache_.erase(it);
     }
     tiers_[f] = kTierInterpreter;
+    reclaimLocked();
 }
 
 void
-CodeManager::setAdaptive(const EdgeProfile *profile,
-                         uint64_t watermark, ThreadPool *pool)
+CodeManager::setAdaptive(EdgeProfile *profile, uint64_t watermark,
+                         ThreadPool *pool)
 {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> plock(profileMu_);
     profile_ = profile;
     watermark_ = watermark;
     pool_ = pool;
 }
 
+void
+CodeManager::mergeProfile(const EdgeProfile &delta)
+{
+    std::lock_guard<std::mutex> plock(profileMu_);
+    if (profile_)
+        profile_->merge(delta);
+}
+
+EdgeProfile
+CodeManager::profileSnapshot() const
+{
+    std::lock_guard<std::mutex> plock(profileMu_);
+    return profile_ ? *profile_ : EdgeProfile{};
+}
+
 bool
 CodeManager::maybePromote(const Function *f)
 {
-    if (!profile_ || !f || f->isDeclaration())
+    if (!f || f->isDeclaration())
         return false;
-    if (promoteAttempted_.count(f))
+    // Cheap precheck under the shared lock: this runs on every
+    // branch event of a profiled execution, and almost always
+    // rejects (already attempted, wrong tier, or still cold).
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        if (!profile_)
+            return false;
+        if (promoteAttempted_.count(f))
+            return false;
+        auto it = tiers_.find(f);
+        if (it != tiers_.end() && (it->second == kTierInterpreter ||
+                                   it->second == kTierTrace))
+            return false;
+        if (!cache_.count(f))
+            return false;
+        std::lock_guard<std::mutex> plock(profileMu_);
+        if (profile_->functionSamples(functionId(f->name())) <
+            watermark_)
+            return false;
+    }
+
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Re-validate under the exclusive lock: another thread may have
+    // promoted, replaced, or invalidated while we upgraded.
+    if (!profile_ || promoteAttempted_.count(f))
         return false;
-    // Only a function holding a plain native translation is a
-    // candidate: interpreter-pinned functions have no body to relay
-    // out, and a trace-tier body is already at the top rung.
-    auto it = tiers_.find(f);
-    if (it != tiers_.end() && (it->second == kTierInterpreter ||
-                               it->second == kTierTrace))
-        return false;
+    {
+        auto it = tiers_.find(f);
+        if (it != tiers_.end() && (it->second == kTierInterpreter ||
+                                   it->second == kTierTrace))
+            return false;
+    }
     if (!cache_.count(f))
-        return false;
-    if (profile_->functionSamples(functionId(f->name())) < watermark_)
         return false;
 
     // One attempt per function per manager: a failed promotion must
@@ -312,7 +500,10 @@ CodeManager::maybePromote(const Function *f)
         ++promotionFailures_;
         ++NumPromotionFailures;
         warn("trace-tier promotion of '%s' failed; keeping tier -O%u",
-             f->name().c_str(), static_cast<unsigned>(tierOf(f)));
+             f->name().c_str(),
+             static_cast<unsigned>(tiers_.count(f)
+                                       ? tiers_.at(f)
+                                       : opts_.optLevel));
         return false;
     }
     seconds_ += timer.seconds();
@@ -323,14 +514,15 @@ CodeManager::maybePromote(const Function *f)
     // The old body's superblock chain (if any) is unlinked with it.
     auto old = cache_.find(f);
     if (old != cache_.end()) {
-        retireChain(old->second.get());
-        retired_.push_back(std::move(old->second));
+        retireChainLocked(old->second.get());
+        retireBodyLocked(std::move(old->second));
         cache_.erase(old);
     }
     cache_[f] = std::move(mf);
     tiers_[f] = kTierTrace;
     ++promotions_;
     ++NumPromotions;
+    reclaimLocked();
     return true;
 }
 
@@ -366,6 +558,9 @@ CodeManager::translateAtTraceTier(Function &f)
             // BasicBlock pointers into the optimized body, which
             // dies when the snapshot is restored below. Only the
             // stable head IDs outlive it (re-promotion accounting).
+            // The profile is read under its own mutex: worker
+            // threads may be merging deltas concurrently.
+            std::unique_lock<std::mutex> plock(profileMu_);
             std::vector<Trace> traces =
                 formTraces(f, *profile_, TraceOptions{});
             TraceCache cache;
@@ -377,6 +572,7 @@ CodeManager::translateAtTraceTier(Function &f)
                 cache.insert(t);
             }
             lastCoverage_ = cache.coverage(*profile_);
+            plock.unlock();
             TraceCoveragePct +=
                 static_cast<uint64_t>(lastCoverage_ * 100.0);
             if (opts_.printTraces) {
@@ -419,6 +615,7 @@ CodeManager::translateAtTraceTier(Function &f)
 size_t
 CodeManager::totalMachineInstructions() const
 {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     size_t n = 0;
     for (const auto &[f, mf] : cache_)
         n += mf->instructionCount();
@@ -428,6 +625,7 @@ CodeManager::totalMachineInstructions() const
 size_t
 CodeManager::totalEncodedBytes() const
 {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     size_t n = 0;
     for (const auto &[f, mf] : cache_) {
         n += encodeFunction(*mf, target_).size();
@@ -435,6 +633,23 @@ CodeManager::totalEncodedBytes() const
         n = (n + 15) / 16 * 16;
     }
     return n;
+}
+
+void
+CodeManager::forEachCached(
+    const std::function<void(const Function *, uint8_t,
+                             const MachineFunction *)> &fn) const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto &[f, mf] : cache_) {
+        auto tit = tiers_.find(f);
+        fn(f,
+           tit != tiers_.end() ? tit->second : opts_.optLevel,
+           mf.get());
+    }
+    for (const auto &[f, tier] : tiers_)
+        if (tier == kTierInterpreter)
+            fn(f, tier, nullptr);
 }
 
 } // namespace llva

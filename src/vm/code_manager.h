@@ -8,7 +8,10 @@
  *
  * SMC support (Section 3.4): invalidating a function simply drops
  * its translation, "forcing it to be regenerated the next time the
- * function is invoked."
+ * function is invoked." replaceFunctionLive() is the push-style
+ * variant: drop + retranslate in one atomic step, so other threads
+ * never observe a translation gap while a function is swapped
+ * under them.
  *
  * Tiered degradation: when options request an optimization level,
  * each function is optimized (under the pass sandbox) and code-
@@ -26,9 +29,28 @@
  * applies trace-driven layout before instruction selection. The new
  * body is installed through the same install path; the replaced one
  * is retired, not destroyed, because the simulator may still be
- * executing it (raw MachineFunction pointers live in its frames). A
- * failed promotion keeps the existing translation — the trace tier
- * degrades exactly like any other rung.
+ * executing it (raw MachineFunction pointers live in its frames).
+ *
+ * Epoch-based reclamation: retired bodies and chains used to
+ * accumulate forever — a slow leak under repeated SMC replacement
+ * or promotion. Every retirement now advances an epoch counter and
+ * tags the retired object with it; every executing simulator pins
+ * the epoch current at its entry (pinEpoch/unpinEpoch) for the
+ * duration of its activation. A retired object is freed exactly
+ * when no pin predates its retirement — i.e. no thread can still
+ * hold a frame pointer into it. With no concurrent activations the
+ * lists drain to empty on every retire, so single-threaded use is
+ * leak-free too.
+ *
+ * Thread safety: all cache state is guarded by a shared_mutex
+ * (readers: dispatch lookups; writers: translation, installation,
+ * retirement, reclamation). Translation mutates IR bodies in place
+ * (snapshot/restore), so interpreter-tier execution of a function
+ * body — the only concurrent IR *reader* — must hold the shared
+ * lock (readLock()) for its duration. The attached profile has its
+ * own mutex: simulator threads record into thread-local profiles
+ * and publish them with mergeProfile(); promotion reads the merged
+ * master under the same lock.
  */
 
 #ifndef LLVA_VM_CODE_MANAGER_H
@@ -37,7 +59,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <vector>
 
 #include "codegen/codegen.h"
@@ -78,7 +102,11 @@ class CodeManager
     Target &target() { return target_; }
     const CodeGenOptions &options() const { return opts_; }
 
-    void setHooks(TranslationHooks hooks) { hooks_ = std::move(hooks); }
+    void setHooks(TranslationHooks hooks)
+    {
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        hooks_ = std::move(hooks);
+    }
 
     /**
      * Translation for \p f, translating now if needed — possibly at
@@ -91,6 +119,7 @@ class CodeManager
     bool
     has(const Function *f) const
     {
+        std::shared_lock<std::shared_mutex> lock(mu_);
         return cache_.count(f) != 0;
     }
 
@@ -100,12 +129,25 @@ class CodeManager
     const MachineFunction *
     cached(const Function *f) const
     {
+        std::shared_lock<std::shared_mutex> lock(mu_);
         auto it = cache_.find(f);
         return it == cache_.end() ? nullptr : it->second.get();
     }
 
     /** Drop a translation (SMC invalidation). */
     void invalidate(const Function *f);
+
+    /**
+     * Atomically replace the installed translation of \p f with a
+     * freshly translated body while other threads may be executing
+     * the old one (paper Section 3.4, live-update). The old body is
+     * retired (epoch-tagged, reclaimed once unpinned) and the
+     * ladder walks from the top again — including for a function
+     * previously pinned to the interpreter, so a replacement whose
+     * translation now succeeds un-pins it. Returns the new body, or
+     * nullptr if every native tier failed again.
+     */
+    const MachineFunction *replaceFunctionLive(const Function *f);
 
     /**
      * Translate every not-yet-cached function in \p fns on up to
@@ -141,6 +183,7 @@ class CodeManager
     bool
     isInterpreted(const Function *f) const
     {
+        std::shared_lock<std::shared_mutex> lock(mu_);
         auto it = tiers_.find(f);
         return it != tiers_.end() && it->second == kTierInterpreter;
     }
@@ -153,12 +196,47 @@ class CodeManager
     uint8_t
     tierOf(const Function *f) const
     {
+        std::shared_lock<std::shared_mutex> lock(mu_);
         auto it = tiers_.find(f);
         return it != tiers_.end() ? it->second : opts_.optLevel;
     }
 
     /** Tier demotions taken (one per abandoned level). */
     size_t tierDowngrades() const { return tierDowngrades_; }
+
+    // --- Epoch-based reclamation ------------------------------------------
+
+    /**
+     * Pin the current epoch: retired bodies/chains whose retirement
+     * postdates the pin stay alive until unpinEpoch(). Every
+     * executing simulator holds a pin for its whole activation —
+     * its call frames hold raw MachineFunction pointers.
+     */
+    uint64_t pinEpoch();
+
+    /** Release a pin and reclaim whatever became unreachable. */
+    void unpinEpoch(uint64_t pin);
+
+    /** Retired bodies currently awaiting reclamation. */
+    size_t retiredBodies() const;
+
+    /** Retired chains currently awaiting reclamation. */
+    size_t retiredChainCount() const;
+
+    /** Total retired objects (bodies + chains) freed so far. */
+    size_t reclaimedObjects() const;
+
+    /**
+     * Shared (reader) lock over translation state. Interpreter-tier
+     * execution holds this while walking a function's IR: tiered
+     * translation mutates bodies in place under the exclusive lock,
+     * and the interpreter is the only concurrent IR reader.
+     */
+    std::shared_lock<std::shared_mutex>
+    readLock() const
+    {
+        return std::shared_lock<std::shared_mutex>(mu_);
+    }
 
     // --- Adaptive promotion -----------------------------------------------
 
@@ -170,7 +248,7 @@ class CodeManager
      * activity; the pool buys a dedicated, warm worker, not
      * concurrency). \p profile must outlive this manager.
      */
-    void setAdaptive(const EdgeProfile *profile, uint64_t watermark,
+    void setAdaptive(EdgeProfile *profile, uint64_t watermark,
                      ThreadPool *pool = nullptr);
 
     /**
@@ -183,6 +261,14 @@ class CodeManager
      */
     bool maybePromote(const Function *f);
 
+    /** Fold a thread-local profile delta into the attached master
+     *  profile (no-op without one). Worker threads publish their
+     *  samples here so promotion sees fleet-wide heat. */
+    void mergeProfile(const EdgeProfile &delta);
+
+    /** Copy of the attached master profile (empty if none). */
+    EdgeProfile profileSnapshot() const;
+
     // --- Superblock chaining ----------------------------------------------
 
     /**
@@ -192,7 +278,9 @@ class CodeManager
      * unlink them: a retired chain is severed (every patched side
      * exit cleared) and kept alive, never re-linked, while any
      * still-running activation of the old body falls back to
-     * block-at-a-time resolution inside it.
+     * block-at-a-time resolution inside it. Returns nullptr when
+     * \p mf is no longer the installed body of its source (lost a
+     * race with retirement) — never chain a retired body.
      */
     ChainedFunction *chainFor(const MachineFunction *mf);
 
@@ -208,12 +296,17 @@ class CodeManager
     ChainedFunction *
     findChain(const MachineFunction *mf) const
     {
+        std::shared_lock<std::shared_mutex> lock(mu_);
         auto it = chains_.find(mf);
         return it == chains_.end() ? nullptr : it->second.get();
     }
 
     /** Live (non-retired) chained functions. */
-    size_t chainedFunctions() const { return chains_.size(); }
+    size_t chainedFunctions() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return chains_.size();
+    }
 
     /** Chains unlinked by invalidation/retirement so far. */
     size_t chainsUnlinked() const { return chainsUnlinked_; }
@@ -237,10 +330,21 @@ class CodeManager
     /** Total encoded native bytes across all cached translations. */
     size_t totalEncodedBytes() const;
 
+    /**
+     * Enumerate the cache index under the shared lock — cached
+     * bodies with their achieved tiers, plus interpreter-pinned
+     * functions (tier kTierInterpreter, null body). Checkpointing
+     * serializes entries inside the callback so no body can be
+     * retired mid-walk.
+     */
+    void forEachCached(
+        const std::function<void(const Function *, uint8_t tier,
+                                 const MachineFunction *)> &fn) const;
+
   private:
     /** Walk the ladder from opts_.optLevel down; installs the result
      *  or pins \p f to the interpreter. Returns the translation
-     *  (nullptr when pinned). */
+     *  (nullptr when pinned). Caller holds mu_ exclusively. */
     const MachineFunction *translateWithLadder(Function &f);
 
     /** One rung: optimize (sandboxed) + codegen at \p level.
@@ -254,12 +358,16 @@ class CodeManager
      *  nullptr if the tier failed; the body is left as found. */
     std::unique_ptr<MachineFunction> translateAtTraceTier(Function &f);
 
-    /** Unlink and retire the chain of \p mf (if one was built). */
-    void retireChain(const MachineFunction *mf);
+    // The following helpers assume mu_ is held exclusively.
+    void invalidateLocked(const Function *f);
+    void retireBodyLocked(std::unique_ptr<MachineFunction> mf);
+    void retireChainLocked(const MachineFunction *mf);
+    void reclaimLocked();
 
     Target &target_;
     CodeGenOptions opts_;
     TranslationHooks hooks_;
+    mutable std::shared_mutex mu_;
     std::map<const Function *, std::unique_ptr<MachineFunction>>
         cache_;
     std::map<const Function *, uint8_t> tiers_;
@@ -274,15 +382,32 @@ class CodeManager
     // TraceCache itself is scoped inside each promotion — it indexes
     // BasicBlock pointers of the *optimized* body, which die when
     // the snapshot is restored; only stable head IDs persist here.
-    const EdgeProfile *profile_ = nullptr;
+    mutable std::mutex profileMu_; ///< guards *profile_ contents
+    EdgeProfile *profile_ = nullptr;
     uint64_t watermark_ = 0;
     ThreadPool *pool_ = nullptr;
     std::set<BlockId> traceHeads_;
     std::set<const Function *> promoteAttempted_;
-    std::vector<std::unique_ptr<MachineFunction>> retired_;
+
+    // Epoch-tagged retirement lists (see file comment).
+    struct RetiredBody
+    {
+        std::unique_ptr<MachineFunction> mf;
+        uint64_t epoch;
+    };
+    struct RetiredChain
+    {
+        std::unique_ptr<ChainedFunction> chain;
+        uint64_t epoch;
+    };
+    uint64_t epoch_ = 0;
+    std::multiset<uint64_t> pins_;
+    std::vector<RetiredBody> retired_;
+    std::vector<RetiredChain> retiredChains_;
+    size_t reclaimed_ = 0;
+
     std::map<const MachineFunction *, std::unique_ptr<ChainedFunction>>
         chains_;
-    std::vector<std::unique_ptr<ChainedFunction>> retiredChains_;
     size_t chainsUnlinked_ = 0;
     size_t promotions_ = 0;
     size_t promotionFailures_ = 0;

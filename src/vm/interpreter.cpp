@@ -139,6 +139,11 @@ Interpreter::call(const Function *f, const std::vector<RtValue> &args,
             fatal("call to unresolved external %%%s",
                   f->name().c_str());
         out.value = (*h)(ctx_, args);
+        // A handler that rejected its arguments raises a recoverable
+        // trap instead of aborting; surface it like a hardware trap.
+        TrapKind pending = ctx_.takePendingTrap();
+        if (pending != TrapKind::None)
+            out.trap = pending;
         return out;
     }
 

@@ -26,6 +26,9 @@ struct ExecResult
     bool unwound = false; ///< unwind escaped past the entry function
     TrapKind trap = TrapKind::None;
     size_t instructionsExecuted = 0;
+    /** Execution paused cooperatively (MachineSimulator only); the
+     *  activation is suspended, not finished — value is not set. */
+    bool paused = false;
 
     bool ok() const { return !unwound && trap == TrapKind::None; }
 };

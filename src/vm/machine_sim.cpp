@@ -17,6 +17,10 @@ Statistic NumProfileSamples(
     "llee.profile_samples",
     "Block executions recorded into the runtime edge profile");
 
+Statistic NumPauses(
+    "vm.pauses",
+    "Cooperative pauses taken at a dispatch boundary");
+
 /** An invoke-style call site: a call with explicit handler blocks. */
 bool
 isInvokeSite(const MachineInstr &mi)
@@ -44,7 +48,32 @@ invokeBlockOperand(const MachineInstr &mi, unsigned which)
     panic("invoke site lacks handler blocks");
 }
 
+/** Unpins an activation's reclamation epoch unless the pin was
+ *  handed off to a paused activation. */
+struct PinGuard
+{
+    CodeManager &cm;
+    uint64_t pin;
+    bool active = true;
+
+    PinGuard(CodeManager &c, uint64_t p) : cm(c), pin(p) {}
+    PinGuard(const PinGuard &) = delete;
+    PinGuard &operator=(const PinGuard &) = delete;
+    void release() { active = false; }
+    ~PinGuard()
+    {
+        if (active)
+            cm.unpinEpoch(pin);
+    }
+};
+
 } // namespace
+
+MachineSimulator::~MachineSimulator()
+{
+    if (hasPausedPin_)
+        code_.unpinEpoch(pausedPin_);
+}
 
 ExecResult
 MachineSimulator::run(const Function *f,
@@ -83,6 +112,15 @@ MachineSimulator::run(const Function *f,
 }
 
 ExecResult
+MachineSimulator::resume()
+{
+    LLVA_ASSERT(suspended_.valid,
+                "resume() without a paused activation");
+    resuming_ = true;
+    return run(suspended_.f, {});
+}
+
+ExecResult
 MachineSimulator::interpretFallback(const Function *f,
                                     const std::vector<RtValue> &args,
                                     uint64_t stackBase)
@@ -97,7 +135,16 @@ MachineSimulator::interpretFallback(const Function *f,
             fatal("simulator instruction limit exceeded");
         interp.setInstructionLimit(limit_ - executed_);
     }
-    ExecResult r = interp.invoke(f, args, stackBase);
+    ExecResult r;
+    {
+        // The interpreter walks the function's IR, and tiered
+        // translation mutates IR bodies in place (under the
+        // exclusive lock): hold the shared lock for the duration of
+        // the interpreted call so no concurrent replacement can
+        // optimize the body out from under the walk.
+        auto lock = code_.readLock();
+        r = interp.invoke(f, args, stackBase);
+    }
     executed_ += r.instructionsExecuted;
     interpreted_ += r.instructionsExecuted;
     // The interpreted code may have requested SMC invalidations;
@@ -114,30 +161,64 @@ MachineSimulator::runInternal(const Function *f,
     Target &target = code_.target();
     ExecResult result;
 
-    // Apply pending SMC invalidations before dispatch.
-    for (const Function *inv : ctx_.takeInvalidations())
-        code_.invalidate(inv);
-    if (const Function *repl = ctx_.redirectFor(f))
-        f = repl;
+    const bool resuming = resuming_;
+    resuming_ = false;
+
+    // Pin the reclamation epoch for this whole activation: the call
+    // frames below hold raw MachineFunction pointers that a
+    // concurrent replaceFunctionLive()/promotion may retire. A
+    // resumed activation adopts the pin its pause kept alive.
+    uint64_t pin;
+    if (resuming && hasPausedPin_) {
+        pin = pausedPin_;
+        hasPausedPin_ = false;
+    } else {
+        pin = code_.pinEpoch();
+    }
+    PinGuard pinGuard(code_, pin);
 
     SimState state;
-    state.mem = &ctx_.memory();
-    state.globalAddrs = &ctx_.globalAddrs();
-    state.sp = ctx_.memory().stackTop() - 4096; // synthetic caller
-
-    target.writeArgs(state, f->functionType(), args);
-
-    const MachineFunction *mf = code_.get(f);
-    if (!mf) {
-        // The entry function itself is pinned to the interpreter
-        // tier; run it there with the default stack base.
-        ExecResult r = interpretFallback(f, args, 0);
-        r.instructionsExecuted = executed_;
-        return r;
-    }
-    MachineBasicBlock *block = mf->blocks().front().get();
+    const MachineFunction *mf = nullptr;
+    MachineBasicBlock *block = nullptr;
     size_t index = 0;
     std::vector<Frame> frames;
+
+    if (resuming) {
+        Suspended s = std::move(suspended_);
+        suspended_ = Suspended{};
+        f = s.f;
+        state = s.state;
+        frames = std::move(s.frames);
+        mf = s.mf;
+        block = s.block;
+        index = s.index;
+        // The context may be a different process than the one that
+        // checkpointed: re-wire the transient pointers.
+        state.mem = &ctx_.memory();
+        state.globalAddrs = &ctx_.globalAddrs();
+    } else {
+        // Apply pending SMC invalidations before dispatch.
+        for (const Function *inv : ctx_.takeInvalidations())
+            code_.invalidate(inv);
+        if (const Function *repl = ctx_.redirectFor(f))
+            f = repl;
+
+        state.mem = &ctx_.memory();
+        state.globalAddrs = &ctx_.globalAddrs();
+        state.sp = ctx_.memory().stackTop() - 4096; // synthetic caller
+
+        target.writeArgs(state, f->functionType(), args);
+
+        mf = code_.get(f);
+        if (!mf) {
+            // The entry function itself is pinned to the interpreter
+            // tier; run it there with the default stack base.
+            ExecResult r = interpretFallback(f, args, 0);
+            r.instructionsExecuted = executed_;
+            return r;
+        }
+        block = mf->blocks().front().get();
+    }
 
     const bool threaded = dispatch_ == Dispatch::Threaded;
 
@@ -202,12 +283,41 @@ MachineSimulator::runInternal(const Function *f,
                 return;
             if (code_.cached(mf->source()) != mf)
                 return;
+            // chainFor() re-validates liveness under the exclusive
+            // lock and refuses to chain a body retired since the
+            // checks above (lost race with a concurrent
+            // replacement): keep executing it unchained.
             chain = code_.chainFor(mf);
+            if (!chain)
+                return;
         }
         cb = chain->blockFor(block);
     };
 
-    noteBlock(mf, nullptr, block);
+    // Park the activation: save the resume position (about to
+    // execute block->instrs()[index]), hand the epoch pin to the
+    // suspended state, and surface a paused result.
+    auto suspendHere = [&]() -> ExecResult {
+        suspended_.valid = true;
+        suspended_.f = f;
+        suspended_.state = state;
+        suspended_.frames = frames;
+        suspended_.mf = mf;
+        suspended_.block = block;
+        suspended_.index = index;
+        pauseFlag_.store(false, std::memory_order_relaxed);
+        pauseAt_.store(0, std::memory_order_relaxed);
+        pausedPin_ = pin;
+        hasPausedPin_ = true;
+        pinGuard.release();
+        ++NumPauses;
+        result.paused = true;
+        result.instructionsExecuted = executed_;
+        return result;
+    };
+
+    if (!resuming)
+        noteBlock(mf, nullptr, block);
     syncChain();
 
     // Pop machine frames to the nearest invoke-style call site and
@@ -234,6 +344,17 @@ MachineSimulator::runInternal(const Function *f,
     (void)start_count;
 
     while (true) {
+        // Cooperative pause point: every dispatch boundary of the
+        // unchained engines, plus every block transition of the
+        // chained fast path below.
+        {
+            uint64_t pauseAt =
+                pauseAt_.load(std::memory_order_relaxed);
+            if ((pauseAt && executed_ >= pauseAt) ||
+                pauseFlag_.load(std::memory_order_relaxed))
+                return suspendHere();
+        }
+
         const MachineInstr *mip = nullptr;
 
         if (cb) {
@@ -273,9 +394,26 @@ MachineSimulator::runInternal(const Function *f,
                 profile_->noteId(from->id, to->id, sampleInterval_);
                 NumProfileSamples += sampleInterval_;
             };
+            // Pause check at a chained block transition, where the
+            // resume position is exactly (new block, index 0).
+            auto pauseHere = [&]() {
+                uint64_t pauseAt =
+                    pauseAt_.load(std::memory_order_relaxed);
+                if (!(pauseAt && executed >= pauseAt) &&
+                    !pauseFlag_.load(std::memory_order_relaxed))
+                    return false;
+                index = 0;
+                executed_ = executed;
+                sampleCountdown_ = countdown;
+                return true;
+            };
+            bool pauseNow = false;
             for (;;) {
                 if (ip == end) {
-                    ChainedBlock *next = cb->fall;
+                    // Links are release-published; a null read just
+                    // takes the slow (patching) path.
+                    ChainedBlock *next =
+                        cb->fall.load(std::memory_order_acquire);
                     if (!next)
                         next = chain->linkFallthrough(cb);
                     noteChained(cb, next);
@@ -283,6 +421,10 @@ MachineSimulator::runInternal(const Function *f,
                     block = cb->mbb;
                     ip = cb->code.data();
                     end = ip + cb->code.size();
+                    if (pauseHere()) {
+                        pauseNow = true;
+                        break;
+                    }
                     continue;
                 }
                 if (++executed > limit) {
@@ -299,9 +441,11 @@ MachineSimulator::runInternal(const Function *f,
                 }
                 if (state.next == SimState::Next::Branch) {
                     ChainedInstr &ci = *ip;
+                    ChainedBlock *link =
+                        ci.link.load(std::memory_order_acquire);
                     ChainedBlock *next =
-                        ci.link && ci.link->mbb == state.branchTarget
-                            ? ci.link
+                        link && link->mbb == state.branchTarget
+                            ? link
                             : chain->linkBranch(ci,
                                                 state.branchTarget);
                     noteChained(cb, next);
@@ -309,6 +453,10 @@ MachineSimulator::runInternal(const Function *f,
                     block = cb->mbb;
                     ip = cb->code.data();
                     end = ip + cb->code.size();
+                    if (pauseHere()) {
+                        pauseNow = true;
+                        break;
+                    }
                     continue;
                 }
                 mip = ip->mi;
@@ -317,6 +465,8 @@ MachineSimulator::runInternal(const Function *f,
                 sampleCountdown_ = countdown;
                 break;
             }
+            if (pauseNow)
+                return suspendHere();
         } else {
             if (index >= block->instrs().size()) {
                 // Elided fallthrough jump: continue with the next
@@ -339,10 +489,14 @@ MachineSimulator::runInternal(const Function *f,
                 // Direct-threaded dispatch: resolve the handler
                 // once, then one indirect call per execution. Only
                 // next is re-armed — handlers write every consumer
-                // field of the Next value they request.
-                ExecFn fn = mi.exec;
-                if (!fn)
-                    fn = mi.exec = target.handlerFor(mi);
+                // field of the Next value they request. The cache
+                // slot is a relaxed atomic: concurrent simulators
+                // racing here store the same deterministic handler.
+                ExecFn fn = mi.exec.load(std::memory_order_relaxed);
+                if (!fn) {
+                    fn = target.handlerFor(mi);
+                    mi.exec.store(fn, std::memory_order_relaxed);
+                }
                 state.next = SimState::Next::Fall;
                 fn(mi, state);
             } else {
@@ -421,14 +575,24 @@ MachineSimulator::runInternal(const Function *f,
                 std::vector<RtValue> hargs =
                     target.readArgs(state, callee->functionType());
                 RtValue rv = (*h)(ctx_, hargs);
-                target.writeReturn(
-                    state, callee->functionType()->returnType(),
-                    rv);
                 // Consume any pending SMC invalidations the handler
                 // produced before the next dispatch.
                 for (const Function *inv :
                      ctx_.takeInvalidations())
                     code_.invalidate(inv);
+                // A handler that rejected its arguments raises a
+                // recoverable trap instead of aborting: surface it
+                // through the same trap-dispatch path hardware
+                // traps take (paper Section 3.5).
+                TrapKind pending = ctx_.takePendingTrap();
+                if (pending != TrapKind::None) {
+                    result.trap = pending;
+                    result.instructionsExecuted = executed_;
+                    return result;
+                }
+                target.writeReturn(
+                    state, callee->functionType()->returnType(),
+                    rv);
                 if (isInvokeSite(mi)) {
                     block = invokeBlockOperand(mi, 0);
                     index = 0;
@@ -510,6 +674,133 @@ MachineSimulator::runInternal(const Function *f,
           }
         }
     }
+}
+
+void
+MachineSimulator::serializeSuspended(ByteWriter &w) const
+{
+    LLVA_ASSERT(suspended_.valid,
+                "no suspended activation to serialize");
+    const Suspended &s = suspended_;
+    w.writeString(s.f->name());
+    w.writeU64(executed_);
+    w.writeU64(interpreted_);
+
+    const SimState &st = s.state;
+    for (uint64_t v : st.ireg)
+        w.writeU64(v);
+    for (double v : st.freg)
+        w.writeDouble(v);
+    w.writeU64(static_cast<uint64_t>(st.ccSA));
+    w.writeU64(static_cast<uint64_t>(st.ccSB));
+    w.writeU64(st.ccUA);
+    w.writeU64(st.ccUB);
+    w.writeDouble(st.ccFA);
+    w.writeDouble(st.ccFB);
+    w.writeByte(st.ccFP ? 1 : 0);
+    w.writeU64(st.sp);
+
+    // Positions are (function name, block index, instruction index)
+    // plus the shape of what they index into: restore retranslates
+    // and must prove the regenerated body has the recorded shape
+    // before trusting raw indices into it.
+    auto writePos = [&](const MachineFunction *mf,
+                        const MachineBasicBlock *bb, size_t idx) {
+        w.writeString(mf->name());
+        w.writeVaruint(mf->blocks().size());
+        w.writeVaruint(bb->index());
+        w.writeVaruint(bb->instrs().size());
+        w.writeVaruint(idx);
+    };
+    writePos(s.mf, s.block, s.index);
+    w.writeVaruint(s.frames.size());
+    for (const Frame &fr : s.frames) {
+        writePos(fr.mf, fr.block, fr.index);
+        w.writeU64(fr.spAtCall);
+    }
+}
+
+bool
+MachineSimulator::restoreSuspended(ByteReader &r)
+{
+    Suspended s;
+    std::string entryName = r.readString();
+    s.f = ctx_.module().getFunction(entryName);
+    uint64_t executed = r.readU64();
+    uint64_t interpreted = r.readU64();
+
+    SimState &st = s.state;
+    for (auto &v : st.ireg)
+        v = r.readU64();
+    for (auto &v : st.freg)
+        v = r.readDouble();
+    st.ccSA = static_cast<int64_t>(r.readU64());
+    st.ccSB = static_cast<int64_t>(r.readU64());
+    st.ccUA = r.readU64();
+    st.ccUB = r.readU64();
+    st.ccFA = r.readDouble();
+    st.ccFB = r.readDouble();
+    st.ccFP = r.readByte() != 0;
+    st.sp = r.readU64();
+
+    // Resolve a recorded position against a (re)translated body.
+    // All fields are consumed before validating so a rejection
+    // leaves the reader positioned at the next record. A call-site
+    // index must name a real instruction; the resume position may
+    // sit one past the block's end (pending fallthrough).
+    auto readPos = [&](const MachineFunction *&mf,
+                       MachineBasicBlock *&bb, size_t &idx,
+                       bool callSite) -> bool {
+        std::string name = r.readString();
+        uint64_t nBlocks = r.readVaruint();
+        uint64_t blockIdx = r.readVaruint();
+        uint64_t nInstrs = r.readVaruint();
+        uint64_t instrIdx = r.readVaruint();
+        const Function *fn = ctx_.module().getFunction(name);
+        if (!fn || fn->isDeclaration())
+            return false;
+        const MachineFunction *m = code_.get(fn);
+        if (!m)
+            return false;
+        if (m->blocks().size() != nBlocks || blockIdx >= nBlocks)
+            return false;
+        MachineBasicBlock *b = m->blocks()[blockIdx].get();
+        if (b->instrs().size() != nInstrs)
+            return false;
+        if (callSite ? instrIdx >= nInstrs : instrIdx > nInstrs)
+            return false;
+        mf = m;
+        bb = b;
+        idx = static_cast<size_t>(instrIdx);
+        return true;
+    };
+
+    bool ok = s.f != nullptr && !s.f->isDeclaration();
+    ok = readPos(s.mf, s.block, s.index, false) && ok;
+    uint64_t nframes = r.readVaruint();
+    if (nframes > kMaxCallDepth)
+        return false;
+    s.frames.resize(static_cast<size_t>(nframes));
+    for (Frame &fr : s.frames) {
+        ok = readPos(fr.mf, fr.block, fr.index, true) && ok;
+        fr.spAtCall = r.readU64();
+    }
+    if (!ok)
+        return false;
+
+    if (hasPausedPin_) {
+        code_.unpinEpoch(pausedPin_);
+        hasPausedPin_ = false;
+    }
+    s.valid = true;
+    suspended_ = std::move(s);
+    executed_ = executed;
+    interpreted_ = interpreted;
+    // A suspended activation's frames point into live bodies: pin
+    // the epoch now so they survive until resume().
+    pausedPin_ = code_.pinEpoch();
+    hasPausedPin_ = true;
+    return true;
 }
 
 } // namespace llva

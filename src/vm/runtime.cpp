@@ -3,8 +3,18 @@
 #include <cinttypes>
 
 #include "ir/instructions.h"
+#include "support/statistic.h"
 
 namespace llva {
+
+namespace {
+
+Statistic NumIntrinsicRejected(
+    "vm.intrinsic_rejected",
+    "LLVA intrinsic invocations rejected with a recoverable trap "
+    "(bad function pointers, missing privilege)");
+
+} // namespace
 
 ExecutionContext::ExecutionContext(const Module &m, uint64_t mem_size)
     : m_(m), mem_(mem_size)
@@ -88,6 +98,94 @@ ExecutionContext::poolFree(uint64_t pool_addr, uint64_t ptr)
     // common fast path of pool allocation); account only.
     (void)ptr;
     pools_[pool_addr].totalFreed += 1;
+}
+
+void
+ExecutionContext::serialize(ByteWriter &w) const
+{
+    mem_.serialize(w);
+    w.writeString(out_);
+    w.writeVaruint(trapHandlers_.size());
+    for (const auto &[trapno, addr] : trapHandlers_) {
+        w.writeVaruint(trapno);
+        w.writeU64(addr);
+    }
+    // SMC state travels by function name: pointers are process-
+    // local, names are the V-ISA-level identity.
+    w.writeVaruint(redirects_.size());
+    for (const auto &[target, repl] : redirects_) {
+        w.writeString(target->name());
+        w.writeString(repl->name());
+    }
+    w.writeVaruint(invalidations_.size());
+    for (const Function *f : invalidations_)
+        w.writeString(f->name());
+    w.writeVaruint(pools_.size());
+    for (const auto &[addr, p] : pools_) {
+        w.writeU64(addr);
+        w.writeU64(p.chunkBase);
+        w.writeU64(p.chunkUsed);
+        w.writeU64(p.chunkSize);
+        w.writeU64(p.totalAllocated);
+        w.writeU64(p.totalFreed);
+        w.writeU64(p.loAddr);
+        w.writeU64(p.hiAddr);
+    }
+    w.writeU64(storageApi_);
+    w.writeByte(privileged_ ? 1 : 0);
+}
+
+bool
+ExecutionContext::restore(ByteReader &r)
+{
+    if (!mem_.restore(r, m_))
+        return false;
+    out_ = r.readString();
+    trapHandlers_.clear();
+    uint64_t nTraps = r.readVaruint();
+    for (uint64_t i = 0; i < nTraps; ++i) {
+        unsigned trapno = static_cast<unsigned>(r.readVaruint());
+        trapHandlers_[trapno] = r.readU64();
+    }
+    redirects_.clear();
+    uint64_t nRedirects = r.readVaruint();
+    for (uint64_t i = 0; i < nRedirects; ++i) {
+        std::string target = r.readString();
+        std::string repl = r.readString();
+        const Function *tf = m_.getFunction(target);
+        const Function *rf = m_.getFunction(repl);
+        if (!tf || !rf)
+            return false;
+        redirects_[tf] = rf;
+    }
+    invalidations_.clear();
+    uint64_t nInv = r.readVaruint();
+    for (uint64_t i = 0; i < nInv; ++i) {
+        const Function *f = m_.getFunction(r.readString());
+        if (!f)
+            return false;
+        invalidations_.push_back(f);
+    }
+    pools_.clear();
+    uint64_t nPools = r.readVaruint();
+    for (uint64_t i = 0; i < nPools; ++i) {
+        uint64_t addr = r.readU64();
+        PoolState &p = pools_[addr];
+        p.chunkBase = r.readU64();
+        p.chunkUsed = r.readU64();
+        p.chunkSize = r.readU64();
+        p.totalAllocated = r.readU64();
+        p.totalFreed = r.readU64();
+        p.loAddr = r.readU64();
+        p.hiAddr = r.readU64();
+    }
+    storageApi_ = r.readU64();
+    privileged_ = r.readByte() != 0;
+    pendingTrap_ = TrapKind::None;
+    // Global addresses are assigned deterministically by the layout
+    // pass in the constructor and the restored memory image was
+    // written against that same layout: nothing to recompute.
+    return true;
 }
 
 void
@@ -178,9 +276,15 @@ ExecutionContext::installDefaultHandlers()
                 ctx.memory().functionAt(args.at(0).i);
             const Function *repl =
                 ctx.memory().functionAt(args.at(1).i);
-            if (!target || !repl)
-                fatal("llva.smc.replace.function: bad function "
-                      "pointer");
+            if (!target || !repl) {
+                // Recoverable: an address that names no function is
+                // the same failure as calling through it — raise the
+                // trap instead of killing the VM, so a registered
+                // handler can contain the bad update.
+                ++NumIntrinsicRejected;
+                ctx.raiseTrap(TrapKind::BadIndirectCall);
+                return RtValue();
+            }
             ctx.setRedirect(target, repl);
             return RtValue();
         };
@@ -205,9 +309,14 @@ ExecutionContext::installDefaultHandlers()
         };
     handlers_["llva.os.register.traphandler"] =
         [](ExecutionContext &ctx, const std::vector<RtValue> &args) {
-            if (!ctx.privileged())
-                fatal("llva.os.register.traphandler requires the "
-                      "privileged bit");
+            if (!ctx.privileged()) {
+                // Recoverable: deliver the privilege violation as a
+                // trap (paper Section 3.5) rather than aborting the
+                // whole VM on an unprivileged caller.
+                ++NumIntrinsicRejected;
+                ctx.raiseTrap(TrapKind::PrivilegeViolation);
+                return RtValue();
+            }
             ctx.setTrapHandler(
                 static_cast<unsigned>(args.at(0).i), args.at(1).i);
             return RtValue();

@@ -22,6 +22,7 @@
 
 #include "codegen/memory.h"
 #include "codegen/target.h"
+#include "support/byte_io.h"
 
 namespace llva {
 
@@ -107,6 +108,43 @@ class ExecutionContext
         return pools_;
     }
 
+    // --- Recoverable intrinsic rejection ---------------------------------
+
+    /**
+     * Raise a trap from inside a runtime handler. Handlers have no
+     * return channel for failure, so a rejected intrinsic (bad
+     * function pointer, missing privilege) parks the trap here; both
+     * engines check takePendingTrap() after every handler invocation
+     * and deliver it through the regular trap-dispatch path — the
+     * program keeps running if it registered a handler.
+     */
+    void raiseTrap(TrapKind k) { pendingTrap_ = k; }
+
+    /** Consume the parked trap (None if the handler succeeded). */
+    TrapKind
+    takePendingTrap()
+    {
+        TrapKind k = pendingTrap_;
+        pendingTrap_ = TrapKind::None;
+        return k;
+    }
+
+    // --- Checkpoint (VM migration) ---------------------------------------
+
+    /**
+     * Serialize the whole execution state — memory image, captured
+     * output, trap handlers, SMC redirects, pools, the privileged
+     * bit — for a VM checkpoint. Function references are recorded
+     * by name (the V-ISA-level identity), so the image is
+     * relocatable across processes and target ISAs.
+     */
+    void serialize(ByteWriter &w) const;
+
+    /** Rebuild execution state from checkpoint bytes. The context
+     *  must wrap the same module the checkpoint was taken against.
+     *  Returns false if a recorded function no longer resolves. */
+    bool restore(ByteReader &r);
+
   private:
     void installDefaultHandlers();
 
@@ -121,6 +159,7 @@ class ExecutionContext
     std::map<uint64_t, PoolState> pools_;
     uint64_t storageApi_ = 0;
     bool privileged_ = false;
+    TrapKind pendingTrap_ = TrapKind::None;
 };
 
 } // namespace llva

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * VM checkpoint/restore tests: a running program's heap, globals,
+ * captured output, OS state (SMC redirects), code-cache index, and
+ * runtime profile must round-trip through a sealed checkpoint into a
+ * fresh context — including onto a *different* target ISA, where
+ * native entries classify as Incompatible and heal by on-demand
+ * retranslation while the carried profile re-promotes immediately.
+ * Suspended activations round-trip same-target (and are rejected
+ * cross-target), and damaged or mismatched blobs never restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/bytecode.h"
+#include "llee/checkpoint.h"
+#include "parser/parser.h"
+#include "support/hashing.h"
+#include "trace/profile.h"
+#include "verifier/verifier.h"
+#include "vm/machine_sim.h"
+
+using namespace llva;
+
+namespace {
+
+// Two-phase program: init() mallocs an array, fills it with running
+// sums, stashes the pointer in a global, and prints; finish() walks
+// the array through the global and prints again. Only a checkpoint
+// that faithfully reproduces the heap, the global, and the captured
+// output can run finish() correctly in a fresh context.
+const char *kPhases = R"(
+%cells = global long* null
+
+declare ubyte* %malloc(ulong %n)
+declare void %putint(long %v)
+
+long %init(long %n) {
+entry:
+    %raw = call ubyte* %malloc(ulong 800)
+    %p = cast ubyte* %raw to long*
+    store long* %p, long** %cells
+    br label %head
+head:
+    %i = phi long [ 0, %entry ], [ %i2, %head ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %head ]
+    %acc2 = add long %acc, %i
+    %slot = getelementptr long* %p, long %i
+    store long %acc2, long* %slot
+    %i2 = add long %i, 1
+    %more = setlt long %i2, %n
+    br bool %more, label %head, label %out
+out:
+    call void %putint(long %acc2)
+    ret long %acc2
+}
+
+long %finish(long %n) {
+entry:
+    %p = load long** %cells
+    br label %head
+head:
+    %i = phi long [ 0, %entry ], [ %i2, %head ]
+    %acc = phi long [ 0, %entry ], [ %acc2, %head ]
+    %slot = getelementptr long* %p, long %i
+    %v = load long* %slot
+    %acc2 = add long %acc, %v
+    %i2 = add long %i, 1
+    %more = setlt long %i2, %n
+    br bool %more, label %head, label %out
+out:
+    call void %putint(long %acc2)
+    ret long %acc2
+}
+)";
+
+// sum(0..99) and sum of its running sums.
+constexpr int64_t kInitSum = 4950;
+constexpr int64_t kFinishSum = 166650;
+
+// The hot-call module from the dispatch tests: work() crosses a
+// 500-sample watermark during main() and gets trace-tier promoted.
+const char *kHotCalls = R"(
+internal int %work(int %n) {
+entry:
+    br label %head
+head:
+    %i = phi int [ 0, %entry ], [ %i2, %head ]
+    %acc = phi int [ 0, %entry ], [ %acc2, %head ]
+    %acc2 = add int %acc, %i
+    %i2 = add int %i, 1
+    %more = setlt int %i2, %n
+    br bool %more, label %head, label %out
+out:
+    ret int %acc2
+}
+int %main() {
+entry:
+    br label %loop
+loop:
+    %j = phi int [ 0, %entry ], [ %j2, %loop ]
+    %acc = phi int [ 0, %entry ], [ %acc2, %loop ]
+    %w = call int %work(int 100)
+    %acc2 = add int %acc, %w
+    %j2 = add int %j, 1
+    %more = setlt int %j2, 40
+    br bool %more, label %loop, label %out
+out:
+    ret int %acc2
+}
+)";
+
+CodeGenOptions
+adaptiveOpts(uint64_t watermark = 500)
+{
+    CodeGenOptions opts;
+    opts.optLevel = 2;
+    opts.adaptive = true;
+    opts.promoteWatermark = watermark;
+    return opts;
+}
+
+uint64_t
+hashOf(const Module &m)
+{
+    return fnv1a(writeBytecode(m));
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripCarriesHeapGlobalsAndOutput)
+{
+    auto m = parseAssembly(kPhases).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    auto r1 = sim1.run(m->getFunction("init"), {RtValue::ofInt(100)});
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(static_cast<int64_t>(r1.value.i), kInitSum);
+    EXPECT_EQ(ctx1.output(), std::to_string(kInitSum));
+
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr);
+
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("x86"));
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr);
+    ASSERT_TRUE(st.ok()) << st.error().message();
+    // init()'s translation travels same-target; nothing is dropped.
+    EXPECT_EQ(st->codeRestored, 1u);
+    EXPECT_EQ(st->codeIncompatible, 0u);
+    EXPECT_EQ(st->codeRejected, 0u);
+    EXPECT_FALSE(st->suspended);
+    EXPECT_TRUE(cm2.has(m->getFunction("init")));
+    EXPECT_EQ(cm2.functionsTranslated(), 0u);
+
+    // finish() reads the heap through the restored global pointer
+    // and appends to the restored output.
+    MachineSimulator sim2(ctx2, cm2);
+    auto r2 = sim2.run(m->getFunction("finish"), {RtValue::ofInt(100)});
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(static_cast<int64_t>(r2.value.i), kFinishSum);
+    EXPECT_EQ(ctx2.output(), std::to_string(kInitSum) +
+                                 std::to_string(kFinishSum));
+}
+
+TEST(Checkpoint, CrossTargetRestoreHealsByRetranslation)
+{
+    auto m = parseAssembly(kPhases).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    ASSERT_TRUE(
+        sim1.run(m->getFunction("init"), {RtValue::ofInt(100)}).ok());
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr);
+
+    // Restore onto a different target ISA: the x86 body of init()
+    // classifies as Incompatible and is dropped; program state is
+    // target-independent and restores in full.
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("riscv"));
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr);
+    ASSERT_TRUE(st.ok()) << st.error().message();
+    EXPECT_EQ(st->codeIncompatible, 1u);
+    EXPECT_EQ(st->codeRestored, 0u);
+    EXPECT_FALSE(cm2.has(m->getFunction("init")));
+
+    // The migrated program continues on the new ISA: finish() is
+    // retranslated on demand (healing) and computes the same answer
+    // from the restored heap.
+    MachineSimulator sim2(ctx2, cm2);
+    auto r2 = sim2.run(m->getFunction("finish"), {RtValue::ofInt(100)});
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(static_cast<int64_t>(r2.value.i), kFinishSum);
+    EXPECT_EQ(ctx2.output(), std::to_string(kInitSum) +
+                                 std::to_string(kFinishSum));
+    EXPECT_GE(cm2.functionsTranslated(), 1u);
+}
+
+TEST(Checkpoint, CarriedProfileRepromotesImmediately)
+{
+    auto m = parseAssembly(kHotCalls).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+    const Function *work = m->getFunction("work");
+
+    // Heat up work() on x86 until it is trace-tier promoted.
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"), adaptiveOpts());
+    EdgeProfile profile1;
+    cm1.setAdaptive(&profile1, 500);
+    MachineSimulator sim1(ctx1, cm1);
+    sim1.setProfile(&profile1);
+    auto r1 = sim1.run(m->getFunction("main"));
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(static_cast<int64_t>(r1.value.i), 198000);
+    ASSERT_GE(cm1.promotions(), 1u);
+
+    auto blob = captureCheckpoint(hash, ctx1, cm1, &profile1);
+
+    // Migrate to riscv: the trace-tier body is Incompatible, but the
+    // carried profile keeps its heat — a single call to work() (far
+    // below the watermark on its own) re-promotes immediately.
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("riscv"), adaptiveOpts());
+    EdgeProfile profile2;
+    cm2.setAdaptive(&profile2, 500);
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, &profile2);
+    ASSERT_TRUE(st.ok()) << st.error().message();
+    EXPECT_TRUE(st->profileRestored);
+    EXPECT_GE(st->codeIncompatible, 1u);
+
+    MachineSimulator sim2(ctx2, cm2);
+    sim2.setProfile(&profile2);
+    auto r2 = sim2.run(work, {RtValue::ofInt(100)});
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(static_cast<int64_t>(r2.value.i), 4950);
+    EXPECT_EQ(cm2.promotions(), 1u);
+    EXPECT_EQ(cm2.tierOf(work), kTierTrace);
+
+    // Control: without the carried profile, the same single call
+    // stays below the watermark and nothing is promoted.
+    ExecutionContext ctx3(*m);
+    CodeManager cm3(*getTarget("riscv"), adaptiveOpts());
+    EdgeProfile profile3;
+    cm3.setAdaptive(&profile3, 500);
+    MachineSimulator sim3(ctx3, cm3);
+    sim3.setProfile(&profile3);
+    ASSERT_TRUE(sim3.run(work, {RtValue::ofInt(100)}).ok());
+    EXPECT_EQ(cm3.promotions(), 0u);
+}
+
+TEST(Checkpoint, InterpreterPinTravelsSameTargetOnly)
+{
+    auto m = parseAssembly(kHotCalls).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+    const Function *work = m->getFunction("work");
+
+    // Pin work() to the interpreter by failing every codegen tier.
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"), adaptiveOpts());
+    TranslationHooks hooks;
+    hooks.beforeCodegen = [](const Function &f, unsigned) {
+        if (f.name() == "work")
+            throw std::runtime_error("injected codegen fault");
+    };
+    cm1.setHooks(hooks);
+    ASSERT_EQ(cm1.get(work), nullptr);
+    ASSERT_TRUE(cm1.isInterpreted(work));
+
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr);
+
+    // Same target: the pin travels (don't walk the failing ladder
+    // again) ...
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("x86"), adaptiveOpts());
+    auto st2 = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr);
+    ASSERT_TRUE(st2.ok()) << st2.error().message();
+    EXPECT_EQ(st2->codeRestored, 1u);
+    EXPECT_TRUE(cm2.isInterpreted(work));
+
+    // ... but a ladder that failed on one ISA says nothing about
+    // another: cross-target, the pin is dropped with the rest.
+    ExecutionContext ctx3(*m);
+    CodeManager cm3(*getTarget("riscv"), adaptiveOpts());
+    auto st3 = restoreCheckpoint(blob, hash, ctx3, cm3, nullptr);
+    ASSERT_TRUE(st3.ok()) << st3.error().message();
+    EXPECT_EQ(st3->codeIncompatible, 1u);
+    EXPECT_FALSE(cm3.isInterpreted(work));
+}
+
+TEST(Checkpoint, DamagedOrMismatchedBlobsAreRejected)
+{
+    auto m = parseAssembly(kPhases).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    ASSERT_TRUE(
+        sim1.run(m->getFunction("init"), {RtValue::ofInt(100)}).ok());
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr);
+
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("x86"));
+
+    // Wrong virtual object code.
+    EXPECT_FALSE(
+        restoreCheckpoint(blob, hash + 1, ctx2, cm2, nullptr).ok());
+
+    // A flipped byte anywhere fails the envelope CRC.
+    auto flipped = blob;
+    flipped[flipped.size() / 2] ^= 0xff;
+    auto st = restoreCheckpoint(flipped, hash, ctx2, cm2, nullptr);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.error().message().find("corrupt"), std::string::npos);
+
+    // Truncation and garbage likewise.
+    auto truncated = blob;
+    truncated.resize(truncated.size() - 5);
+    EXPECT_FALSE(
+        restoreCheckpoint(truncated, hash, ctx2, cm2, nullptr).ok());
+    EXPECT_FALSE(restoreCheckpoint({}, hash, ctx2, cm2, nullptr).ok());
+}
+
+TEST(Checkpoint, SuspendedActivationRoundTrips)
+{
+    auto m = parseAssembly(kHotCalls).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    // Uninterrupted baseline.
+    ExecutionContext ctxB(*m);
+    CodeManager cmB(*getTarget("x86"));
+    MachineSimulator simB(ctxB, cmB);
+    auto rB = simB.run(m->getFunction("main"));
+    ASSERT_TRUE(rB.ok());
+    ASSERT_GT(simB.instructionsExecuted(), 3000u);
+
+    // Pause mid-run — almost certainly inside work() with main()'s
+    // frame on the stack, so the suspended section carries frames.
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    sim1.setPauseAt(1500);
+    auto r1 = sim1.run(m->getFunction("main"));
+    EXPECT_TRUE(r1.paused);
+    ASSERT_TRUE(sim1.paused());
+
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr, &sim1);
+
+    // Restore into a fresh process image and resume to completion.
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("x86"));
+    MachineSimulator sim2(ctx2, cm2);
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr, &sim2);
+    ASSERT_TRUE(st.ok()) << st.error().message();
+    EXPECT_TRUE(st->suspended);
+    ASSERT_TRUE(sim2.paused());
+    auto r2 = sim2.resume();
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.value.i, rB.value.i);
+    EXPECT_EQ(ctx2.output(), ctxB.output());
+    EXPECT_FALSE(sim2.paused());
+
+    // The original can also resume in-process, identically.
+    auto r1b = sim1.resume();
+    ASSERT_TRUE(r1b.ok());
+    EXPECT_EQ(r1b.value.i, rB.value.i);
+    EXPECT_EQ(sim1.instructionsExecuted(), simB.instructionsExecuted());
+}
+
+TEST(Checkpoint, SuspendedCrossTargetRestoreIsRejected)
+{
+    auto m = parseAssembly(kHotCalls).orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    sim1.setPauseAt(1500);
+    sim1.run(m->getFunction("main"));
+    ASSERT_TRUE(sim1.paused());
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr, &sim1);
+
+    // A suspended activation is I-ISA state: migrating it to
+    // another target must fail loudly, not restore garbage.
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("riscv"));
+    MachineSimulator sim2(ctx2, cm2);
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr, &sim2);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.error().message().find("quiescent"),
+              std::string::npos);
+    EXPECT_FALSE(sim2.paused());
+}
+
+TEST(Checkpoint, SmcReplaceThenCheckpointThenRestore)
+{
+    // The live-update sequence from the issue: replace a function
+    // via llva.smc.replace.function, checkpoint, restore — the
+    // redirect must survive into the restored image.
+    auto m = parseAssembly(R"(
+declare void %llva.smc.replace.function(ubyte* %t, ubyte* %r)
+internal long %work(long %n) {
+entry:
+    ret long 1
+}
+internal long %work2(long %n) {
+entry:
+    ret long 7
+}
+long %doswap() {
+entry:
+    %t = cast long (long)* %work to ubyte*
+    %r = cast long (long)* %work2 to ubyte*
+    call void %llva.smc.replace.function(ubyte* %t, ubyte* %r)
+    %v = call long %work(long 0)
+    ret long %v
+}
+long %callwork() {
+entry:
+    %v = call long %work(long 0)
+    ret long %v
+}
+)").orDie();
+    verifyOrDie(*m);
+    uint64_t hash = hashOf(*m);
+
+    ExecutionContext ctx1(*m);
+    CodeManager cm1(*getTarget("x86"));
+    MachineSimulator sim1(ctx1, cm1);
+    auto r1 = sim1.run(m->getFunction("doswap"));
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(static_cast<int64_t>(r1.value.i), 7);
+
+    auto blob = captureCheckpoint(hash, ctx1, cm1, nullptr);
+
+    ExecutionContext ctx2(*m);
+    CodeManager cm2(*getTarget("x86"));
+    auto st = restoreCheckpoint(blob, hash, ctx2, cm2, nullptr);
+    ASSERT_TRUE(st.ok()) << st.error().message();
+    MachineSimulator sim2(ctx2, cm2);
+    auto r2 = sim2.run(m->getFunction("callwork"));
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(static_cast<int64_t>(r2.value.i), 7);
+
+    // Control: without the restored OS state the original binding
+    // is still in effect.
+    ExecutionContext ctx3(*m);
+    CodeManager cm3(*getTarget("x86"));
+    MachineSimulator sim3(ctx3, cm3);
+    auto r3 = sim3.run(m->getFunction("callwork"));
+    ASSERT_TRUE(r3.ok());
+    EXPECT_EQ(static_cast<int64_t>(r3.value.i), 1);
+}

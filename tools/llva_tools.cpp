@@ -24,8 +24,10 @@
 
 #include "bytecode/bytecode.h"
 #include "codegen/codegen.h"
+#include "llee/checkpoint.h"
 #include "llee/envelope.h"
 #include "llee/llee.h"
+#include "support/hashing.h"
 #include "parser/parser.h"
 #include "support/statistic.h"
 #include "support/thread_pool.h"
@@ -67,6 +69,8 @@ usage()
                        [--adaptive] [--watermark N] [-print-traces]
                        [--dispatch switch|threaded]
                        [--profile-sample N]
+                       [--checkpoint FILE] [--restore FILE]
+                       [--pause-at N]
                        [-verify-each] [-opt-bisect-limit=N]
                                              execute under LLEE
   llva-run --list-targets                   print registered targets
@@ -104,6 +108,20 @@ usage()
   --profile-sample N
                 record every Nth profile event with weight N
                 (default 1 = exact counting)
+  --checkpoint FILE
+                capture the whole VM — heap, registers, OS state,
+                code-cache index, profile — into FILE after the run
+                (or mid-run with --pause-at), sealed and restorable
+                in a fresh process
+  --restore FILE
+                rebuild the VM from FILE and resume (or run the
+                entry); under a different --target the checkpointed
+                code heals by retranslation and a carried profile
+                re-promotes immediately
+  --pause-at N  pause after N simulated instructions, so a
+                --checkpoint captures the suspended activation
+                (resumable same-target only; cross-ISA migration
+                needs a quiescent checkpoint)
   -print-traces print formed hot traces to stderr (llva-run: at each
                 promotion; llva-translate: after a profiling
                 interpreter run, and lay blocks out trace-first)
@@ -269,10 +287,93 @@ toolOpt(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Checkpoint-mode execution for llva-run. `--checkpoint FILE`
+ * captures the VM image (heap, registers, OS state, code-cache
+ * index, edge profile — and, with `--pause-at N`, the suspended
+ * activation after N instructions) into FILE after the run.
+ * `--restore FILE` rebuilds the VM from such an image — possibly
+ * under a different --target, where wrong-ISA code classifies
+ * Incompatible and heals by retranslation — then resumes the
+ * suspended activation or runs the entry afresh. Both modes need
+ * the original program, for the IR and the identifying hash.
+ */
+int
+runCheckpointMode(const std::string &input, Target &t,
+                  const std::string &entry, CodeGenOptions opts,
+                  const std::string &saveTo,
+                  const std::string &loadFrom, uint64_t pauseAt,
+                  bool printStats)
+{
+    auto m = loadModule(input);
+    verifyOrDie(*m);
+    uint64_t hash = fnv1a(writeBytecode(*m));
+
+    ExecutionContext ctx(*m);
+    CodeManager cm(t, opts);
+    EdgeProfile profile;
+    if (opts.adaptive)
+        cm.setAdaptive(&profile, opts.promoteWatermark);
+    MachineSimulator sim(ctx, cm);
+    if (opts.adaptive)
+        sim.setProfile(&profile);
+
+    ExecResult r{};
+    if (!loadFrom.empty()) {
+        auto blob = readFileBytes(loadFrom);
+        auto st =
+            restoreCheckpoint(blob, hash, ctx, cm,
+                              opts.adaptive ? &profile : nullptr,
+                              &sim);
+        if (!st.ok())
+            fatal("restore '%s': %s", loadFrom.c_str(),
+                  st.error().message().c_str());
+        std::fprintf(stderr,
+                     "llva-run: restored %zu translation(s), %zu "
+                     "incompatible (retranslated on demand), "
+                     "profile %s, %s\n",
+                     st->codeRestored, st->codeIncompatible,
+                     st->profileRestored ? "carried" : "absent",
+                     st->suspended ? "resuming mid-run"
+                                   : "running entry");
+        if (pauseAt)
+            sim.setPauseAt(pauseAt);
+        r = st->suspended ? sim.resume()
+                          : sim.run(m->getFunction(entry));
+    } else {
+        if (pauseAt)
+            sim.setPauseAt(pauseAt);
+        r = sim.run(m->getFunction(entry));
+    }
+
+    if (!saveTo.empty()) {
+        auto blob = captureCheckpoint(
+            hash, ctx, cm, opts.adaptive ? &profile : nullptr,
+            sim.paused() ? &sim : nullptr);
+        writeFileBytes(saveTo, blob);
+        std::fprintf(stderr, "llva-run: wrote %s (%zu bytes%s)\n",
+                     saveTo.c_str(), blob.size(),
+                     sim.paused() ? ", suspended mid-run" : "");
+    }
+    std::fputs(ctx.output().c_str(), stdout);
+    if (printStats)
+        std::fputs(stats::report().c_str(), stderr);
+    if (sim.paused())
+        return 0; // suspended: no final value yet
+    if (r.trap != TrapKind::None) {
+        std::fprintf(stderr, "llva-run: trap: %s\n",
+                     trapKindName(r.trap));
+        return 100;
+    }
+    return static_cast<int>(r.value.i);
+}
+
 int
 toolRun(const std::vector<std::string> &args)
 {
     std::string input, target = "sparc", cache, entry = "main";
+    std::string checkpointOut, restoreIn;
+    uint64_t pauseAt = 0;
     bool interp = false, printStats = false;
     CodeGenOptions opts;
     unsigned jobs = 1;
@@ -306,6 +407,12 @@ toolRun(const std::vector<std::string> &args)
                    i + 1 < args.size())
             sampleInterval =
                 std::strtoull(args[++i].c_str(), nullptr, 10);
+        else if (args[i] == "--checkpoint" && i + 1 < args.size())
+            checkpointOut = args[++i];
+        else if (args[i] == "--restore" && i + 1 < args.size())
+            restoreIn = args[++i];
+        else if (args[i] == "--pause-at" && i + 1 < args.size())
+            pauseAt = std::strtoull(args[++i].c_str(), nullptr, 10);
         else if (args[i] == "-print-traces")
             opts.printTraces = true;
         else if (args[i] == "-j" && i + 1 < args.size())
@@ -324,6 +431,14 @@ toolRun(const std::vector<std::string> &args)
     }
     if (input.empty())
         usage();
+
+    // Checkpoint/restore bypass LLEE's storage pipeline: they build
+    // the VM by hand so the code manager and simulator are at hand
+    // for capture/restore.
+    if (!checkpointOut.empty() || !restoreIn.empty())
+        return runCheckpointMode(input, *getTarget(target), entry,
+                                 opts, checkpointOut, restoreIn,
+                                 pauseAt, printStats);
 
     if (interp) {
         auto m = loadModule(input);
